@@ -1,0 +1,84 @@
+//! Distance-function cost hierarchy (backs Table 1's relative costs).
+//!
+//! The paper reports: KL with precomputed logs ≈ L2; cosine over sparse
+//! vectors ≈ 5× L2; JS ≈ 10–20× L2; SQFD ≈ two orders of magnitude over
+//! L2; normalized Levenshtein likewise expensive. This bench measures our
+//! kernels so the hierarchy can be verified on the build machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permsearch_core::Space;
+use permsearch_datasets::{
+    dna_like, imagenet_like, sift_like, wiki128_like, wiki_sparse_like, Generator,
+};
+use permsearch_spaces::{
+    CosineDistance, JsDivergence, KlDivergence, NormalizedLevenshtein, Sqfd, L1, L2,
+};
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(30);
+
+    let dense = sift_like().generate(64, 1);
+    group.bench_function("L2_128d", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(L2.distance(&dense[i], &dense[i + 1]))
+        })
+    });
+    group.bench_function("L1_128d", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(L1.distance(&dense[i], &dense[i + 1]))
+        })
+    });
+
+    let hist = wiki128_like().generate(64, 2);
+    group.bench_function("KL_128topics", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(KlDivergence.distance(&hist[i], &hist[i + 1]))
+        })
+    });
+    group.bench_function("JS_128topics", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(JsDivergence.distance(&hist[i], &hist[i + 1]))
+        })
+    });
+
+    let sparse = wiki_sparse_like().generate(64, 3);
+    group.bench_function("cosine_sparse", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(CosineDistance.distance(&sparse[i], &sparse[i + 1]))
+        })
+    });
+
+    let seqs = dna_like().generate(64, 4);
+    group.bench_function("norm_levenshtein_32", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 63;
+            black_box(NormalizedLevenshtein.distance(&seqs[i], &seqs[i + 1]))
+        })
+    });
+
+    let sigs = imagenet_like().generate(32, 5);
+    group.bench_function("sqfd_20clusters", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 31;
+            black_box(Sqfd::default().distance(&sigs[i], &sigs[i + 1]))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

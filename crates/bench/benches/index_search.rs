@@ -1,0 +1,85 @@
+//! Per-index 10-NN search latency on a fixed SIFT-like dataset — the
+//! microbenchmark counterpart of Figure 4's x-axis-free comparison.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permsearch_core::{Dataset, ExhaustiveSearch, SearchIndex};
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_knngraph::{SwGraph, SwGraphParams};
+use permsearch_lsh::{MpLsh, MpLshParams};
+use permsearch_permutation::{
+    select_pivots, BruteForceBinFilter, BruteForcePermFilter, Napp, NappParams, PermDistanceKind,
+};
+use permsearch_spaces::L2;
+use permsearch_vptree::{VpTree, VpTreeParams};
+
+fn bench_index_search(c: &mut Criterion) {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new(gen.generate(5_000, 11)));
+    let queries = gen.generate(32, 13);
+    let mut group = c.benchmark_group("search_10nn_sift5k");
+    group.sample_size(20);
+
+    let run = |b: &mut criterion::Bencher, idx: &dyn SearchIndex<Vec<f32>>| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            black_box(idx.search(&queries[i], 10))
+        })
+    };
+
+    let exact = ExhaustiveSearch::new(data.clone(), L2);
+    group.bench_function("brute_force", |b| run(b, &exact));
+
+    let vp = VpTree::build(data.clone(), L2, VpTreeParams::default(), 1);
+    group.bench_function("vp_tree_exact", |b| run(b, &vp));
+
+    let napp = Napp::build(
+        data.clone(),
+        L2,
+        NappParams {
+            num_pivots: 256,
+            num_indexed: 16,
+            min_shared: 2,
+            threads: 4,
+            ..Default::default()
+        },
+        1,
+    );
+    group.bench_function("napp", |b| run(b, &napp));
+
+    let pivots = select_pivots(&data, 128, 1);
+    let bf = BruteForcePermFilter::build(
+        data.clone(),
+        L2,
+        pivots.clone(),
+        PermDistanceKind::SpearmanRho,
+        0.05,
+        4,
+    );
+    group.bench_function("brute_force_filt", |b| run(b, &bf));
+
+    let bfb = BruteForceBinFilter::build(data.clone(), L2, pivots, 0.05, 4);
+    group.bench_function("brute_force_filt_bin", |b| run(b, &bfb));
+
+    let sw = SwGraph::build(data.clone(), L2, SwGraphParams::default(), 1);
+    group.bench_function("knn_graph_sw", |b| run(b, &sw));
+
+    let lsh = MpLsh::build(
+        data.clone(),
+        MpLshParams {
+            num_tables: 16,
+            hashes_per_table: 8,
+            bucket_width: 800.0,
+            num_probes: 10,
+        },
+        1,
+    );
+    group.bench_function("mplsh", |b| run(b, &lsh));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_search);
+criterion_main!(benches);

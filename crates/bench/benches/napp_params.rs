@@ -1,0 +1,69 @@
+//! NAPP parameter ablation (paper §3.2 tuning discussion): search latency
+//! as a function of the shared-pivot threshold `t` and the number of
+//! indexed pivots `mi`. Larger `t` discards candidates earlier (faster,
+//! lower recall); larger `mi` lengthens the posting lists (slower, higher
+//! recall).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use permsearch_core::{Dataset, SearchIndex};
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_permutation::{Napp, NappParams};
+use permsearch_spaces::L2;
+
+fn bench_napp_params(c: &mut Criterion) {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new(gen.generate(5_000, 21)));
+    let queries = gen.generate(16, 23);
+    let mut group = c.benchmark_group("napp_ablation");
+    group.sample_size(15);
+
+    for t in [1u32, 2, 4, 8] {
+        let napp = Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 256,
+                num_indexed: 16,
+                min_shared: t,
+                threads: 4,
+                ..Default::default()
+            },
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("min_shared_t", t), &t, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(napp.search(&queries[i], 10))
+            })
+        });
+    }
+
+    for mi in [8usize, 16, 32, 64] {
+        let napp = Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 256,
+                num_indexed: mi,
+                min_shared: 2,
+                threads: 4,
+                ..Default::default()
+            },
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("num_indexed_mi", mi), &mi, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(napp.search(&queries[i], 10))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_napp_params);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Permutation-distance kernels: Spearman's rho vs the Footrule vs
+//! bit-packed Hamming (the binarization payoff) and the rho-vs-footrule
+//! *effectiveness* ablation the paper calls out ("Spearman's rho is more
+//! effective than the Footrule ... confirmed by our own experiments").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permsearch_core::rng::seeded_rng;
+use permsearch_core::Dataset;
+use permsearch_core::Space;
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_permutation::{binarize, compute_ranks, footrule, select_pivots, spearman_rho};
+use permsearch_spaces::L2;
+use rand::seq::SliceRandom;
+
+fn random_perm(m: usize, seed: u64) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..m as u32).collect();
+    v.shuffle(&mut seeded_rng(seed));
+    v
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perm_kernels");
+    group.sample_size(30);
+
+    for m in [128usize, 1024] {
+        let a = random_perm(m, 1);
+        let b = random_perm(m, 2);
+        group.bench_function(format!("spearman_rho_{m}"), |bch| {
+            bch.iter(|| black_box(spearman_rho(&a, &b)))
+        });
+        group.bench_function(format!("footrule_{m}"), |bch| {
+            bch.iter(|| black_box(footrule(&a, &b)))
+        });
+        let ba = binarize(&a, m as u32 / 2);
+        let bb = binarize(&b, m as u32 / 2);
+        group.bench_function(format!("hamming_binarized_{m}"), |bch| {
+            bch.iter(|| black_box(ba.hamming(&bb)))
+        });
+    }
+    group.finish();
+}
+
+/// Effectiveness ablation: with the same pivots and candidate budget, how
+/// often does each permutation distance rank the true nearest neighbor
+/// into the candidate set? Reported as a bench so it runs under
+/// `cargo bench`, printing the two hit rates once.
+fn rho_vs_footrule_effectiveness(c: &mut Criterion) {
+    let gen = sift_like();
+    let data = Dataset::new(gen.generate(2000, 7));
+    let queries = gen.generate(50, 8);
+    let pivots = select_pivots(&data, 64, 9);
+    let perms: Vec<Vec<u32>> = data
+        .points()
+        .iter()
+        .map(|p| compute_ranks(&L2, &pivots, p))
+        .collect();
+
+    let hit_rate = |use_rho: bool| -> f64 {
+        let budget = 40usize;
+        let mut hits = 0usize;
+        for q in &queries {
+            // True NN.
+            let mut best = (f32::INFINITY, 0u32);
+            for (id, p) in data.iter() {
+                let d = L2.distance(p, q);
+                if d < best.0 {
+                    best = (d, id);
+                }
+            }
+            let qp = compute_ranks(&L2, &pivots, q);
+            let mut scored: Vec<(u64, u32)> = perms
+                .iter()
+                .enumerate()
+                .map(|(id, perm)| {
+                    let d = if use_rho {
+                        spearman_rho(perm, &qp)
+                    } else {
+                        footrule(perm, &qp)
+                    };
+                    (d, id as u32)
+                })
+                .collect();
+            scored.sort_unstable();
+            if scored[..budget].iter().any(|&(_, id)| id == best.1) {
+                hits += 1;
+            }
+        }
+        hits as f64 / queries.len() as f64
+    };
+
+    let rho = hit_rate(true);
+    let foot = hit_rate(false);
+    println!("[ablation] 1-NN hit rate in top-40 candidates: rho={rho:.3} footrule={foot:.3}");
+
+    let mut group = c.benchmark_group("rho_vs_footrule");
+    group.sample_size(10);
+    group.bench_function("rho_filter_pass", |b| {
+        let qp = compute_ranks(&L2, &pivots, &queries[0]);
+        b.iter(|| {
+            let s: u64 = perms.iter().map(|p| spearman_rho(p, &qp)).sum();
+            black_box(s)
+        })
+    });
+    group.bench_function("footrule_filter_pass", |b| {
+        let qp = compute_ranks(&L2, &pivots, &queries[0]);
+        b.iter(|| {
+            let s: u64 = perms.iter().map(|p| footrule(p, &qp)).sum();
+            black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, rho_vs_footrule_effectiveness);
+criterion_main!(benches);

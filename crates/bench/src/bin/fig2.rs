@@ -1,0 +1,285 @@
+//! Regenerates **Figure 2**: distance values in the projected space plotted
+//! against original distance values, for eight dataset/projection panels
+//! (64-dimensional projections; random pairs plus 100-NN-stratum pairs).
+//!
+//! Scatter points are written as CSV files under `bench_results/`; the
+//! printed summary reports, per panel, the Pearson correlation between
+//! original and projected distances — the quantitative counterpart of the
+//! paper's qualitative reading (tight monotone cloud = good projection,
+//! overlapping clusters as in panel 2g = poor projection).
+//!
+//! ```text
+//! cargo run -p permsearch-bench --release --bin fig2
+//! ```
+
+use std::fs;
+use std::sync::Arc;
+
+use permsearch_bench::{worlds, Args};
+use permsearch_core::{Dataset, Space};
+use permsearch_eval::projection::{distance_pairs, PairSample};
+use permsearch_eval::Table;
+use permsearch_permutation::randproj::{
+    DenseRandomProjection, PermutationProjector, Projector, SparseRandomProjection,
+};
+use permsearch_permutation::select_pivots;
+
+const PROJ_DIM: usize = 64;
+const PAIRS_PER_STRATUM: usize = 500;
+
+fn l2_flat(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+fn cosine_flat(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na * nb)).max(0.0)
+}
+
+fn pearson(samples: &[PairSample]) -> f64 {
+    let n = samples.len() as f64;
+    let mx = samples.iter().map(|s| s.original as f64).sum::<f64>() / n;
+    let my = samples.iter().map(|s| s.projected as f64).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    for s in samples {
+        let dx = s.original as f64 - mx;
+        let dy = s.projected as f64 - my;
+        cov += dx * dy;
+        sx += dx * dx;
+        sy += dy * dy;
+    }
+    cov / (sx.sqrt() * sy.sqrt()).max(1e-12)
+}
+
+/// Mann–Whitney AUC: probability that a near-stratum pair has a smaller
+/// projected distance than a random-stratum pair. The paper's "poor
+/// projection" panels (2g) are exactly those where the two strata overlap
+/// in the projected space, i.e. AUC is far from 1.
+fn stratum_auc(samples: &[PairSample]) -> f64 {
+    let near: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.near_stratum)
+        .map(|s| s.projected as f64)
+        .collect();
+    let far: Vec<f64> = samples
+        .iter()
+        .filter(|s| !s.near_stratum)
+        .map(|s| s.projected as f64)
+        .collect();
+    if near.is_empty() || far.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for a in &near {
+        for b in &far {
+            if a < b {
+                wins += 1.0;
+            } else if a == b {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (near.len() * far.len()) as f64
+}
+
+fn write_csv(label: &str, samples: &[PairSample]) {
+    let _ = fs::create_dir_all("bench_results");
+    let mut csv = String::from("original,projected,near_stratum\n");
+    for s in samples {
+        csv.push_str(&format!(
+            "{},{},{}\n",
+            s.original, s.projected, s.near_stratum as u8
+        ));
+    }
+    let path = format!("bench_results/fig2_{label}.csv");
+    if let Err(e) = fs::write(&path, csv) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn panel<P, S, J, F>(
+    table: &mut Table,
+    label: &str,
+    data: &Arc<Dataset<P>>,
+    space: &S,
+    projector: &J,
+    proj_dist: F,
+    seed: u64,
+) where
+    S: Space<P>,
+    J: Projector<P>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let samples = distance_pairs(
+        data,
+        space,
+        projector,
+        proj_dist,
+        PAIRS_PER_STRATUM,
+        PAIRS_PER_STRATUM,
+        seed,
+    );
+    write_csv(label, &samples);
+    table.push_row(vec![
+        label.to_string(),
+        format!("{:.3}", pearson(&samples)),
+        format!("{:.3}", stratum_auc(&samples)),
+        samples.len().to_string(),
+    ]);
+}
+
+fn main() {
+    let mut args = Args::parse();
+    // Figure 2 uses 1M-point subsets in the paper; a few thousand points
+    // suffice for the scatter statistics and keep the 100-NN scans fast.
+    if args.n.is_none() {
+        args.n = Some(4_000);
+    }
+    let mut table = Table::new(&[
+        "panel",
+        "pearson(orig, proj)",
+        "near-vs-random AUC",
+        "samples",
+    ]);
+    let seed = args.seed;
+
+    // (a) SIFT, random projections.
+    {
+        let (data, _) = worlds::sift(&args);
+        let proj = DenseRandomProjection::new(128, PROJ_DIM, seed);
+        panel(
+            &mut table,
+            "a_sift_randproj",
+            &data,
+            &permsearch_spaces::L2,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (b) Wiki-sparse, random projections, cosine target.
+    {
+        let (data, _) = worlds::wiki_sparse(&args);
+        let proj = SparseRandomProjection::new(PROJ_DIM, seed);
+        panel(
+            &mut table,
+            "b_wikisparse_randproj",
+            &data,
+            &permsearch_spaces::CosineDistance,
+            &proj,
+            cosine_flat,
+            seed,
+        );
+    }
+    // (c) Wiki-8 (KL), permutations.
+    {
+        let (data, _) = worlds::wiki8(&args, "wiki8-kl");
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::KlDivergence);
+        panel(
+            &mut table,
+            "c_wiki8kl_perm",
+            &data,
+            &permsearch_spaces::KlDivergence,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (d) DNA, permutations.
+    {
+        let (data, _) = worlds::dna(&args);
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::NormalizedLevenshtein);
+        panel(
+            &mut table,
+            "d_dna_perm",
+            &data,
+            &permsearch_spaces::NormalizedLevenshtein,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (e) SIFT, permutations.
+    {
+        let (data, _) = worlds::sift(&args);
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::L2);
+        panel(
+            &mut table,
+            "e_sift_perm",
+            &data,
+            &permsearch_spaces::L2,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (f) Wiki-sparse, permutations.
+    {
+        let (data, _) = worlds::wiki_sparse(&args);
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::CosineDistance);
+        panel(
+            &mut table,
+            "f_wikisparse_perm",
+            &data,
+            &permsearch_spaces::CosineDistance,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (g) Wiki-128 (KL), permutations — the paper's poor-projection panel.
+    {
+        let (data, _) = worlds::wiki128(&args, "wiki128-kl");
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::KlDivergence);
+        panel(
+            &mut table,
+            "g_wiki128kl_perm",
+            &data,
+            &permsearch_spaces::KlDivergence,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+    // (h) Wiki-128 (JS), permutations.
+    {
+        let (data, _) = worlds::wiki128(&args, "wiki128-js");
+        let pivots = select_pivots(&data, PROJ_DIM, seed);
+        let proj = PermutationProjector::new(pivots, permsearch_spaces::JsDivergence);
+        panel(
+            &mut table,
+            "h_wiki128js_perm",
+            &data,
+            &permsearch_spaces::JsDivergence,
+            &proj,
+            l2_flat,
+            seed,
+        );
+    }
+
+    if args.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("Figure 2: original vs projected distances (CSV in bench_results/)");
+        println!("{}", table.render());
+        println!("Reading: higher correlation = tighter monotone cloud = better");
+        println!("projection. The paper's qualitative ranking — SIFT/perm good (2e),");
+        println!("Wiki-128 KL/perm poor (2g) — should be visible in these numbers.");
+    }
+}

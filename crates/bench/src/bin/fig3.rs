@@ -1,0 +1,285 @@
+//! Regenerates **Figure 3**: the fraction of candidate records that must be
+//! scanned (in projected-space order) to reach a given 10-NN recall, for
+//! projections of increasing dimensionality — nine panels combining random
+//! projections and permutations.
+//!
+//! Full curves go to `bench_results/fig3_<panel>.csv`; the printed table
+//! shows the scan fraction needed for recall 0.5, 0.9 and 1.0 at each
+//! dimensionality (the paper reads these curves on a log-scaled y axis:
+//! steep = good projection).
+//!
+//! ```text
+//! cargo run -p permsearch-bench --release --bin fig3
+//! ```
+
+use std::fs;
+use std::sync::Arc;
+
+use permsearch_bench::{worlds, Args};
+use permsearch_core::{Dataset, Space};
+use permsearch_eval::candidate_fraction_curve;
+use permsearch_eval::Table;
+use permsearch_permutation::randproj::{
+    DenseRandomProjection, PermutationProjector, Projector, SparseRandomProjection,
+};
+use permsearch_permutation::select_pivots;
+
+const K: usize = 10;
+
+fn l2_flat(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+fn cosine_flat(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    (1.0 - dot / (na * nb)).max(0.0)
+}
+
+/// Append one `(panel, dim)` curve to the CSV sink and the summary table.
+#[allow(clippy::too_many_arguments)]
+fn run_curve<P, S, J, F>(
+    table: &mut Table,
+    csv: &mut String,
+    panel: &str,
+    dim: usize,
+    data: &Arc<Dataset<P>>,
+    space: &S,
+    projector: &J,
+    proj_dist: F,
+    queries: &[P],
+) where
+    S: Space<P>,
+    J: Projector<P>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let curve = candidate_fraction_curve(data, space, projector, proj_dist, queries, K);
+    for &(r, f) in &curve {
+        csv.push_str(&format!("{panel},{dim},{r},{f}\n"));
+    }
+    let at = |recall: f64| -> f64 {
+        curve
+            .iter()
+            .find(|&&(r, _)| r >= recall - 1e-9)
+            .map(|&(_, f)| f)
+            .unwrap_or(1.0)
+    };
+    table.push_row(vec![
+        panel.to_string(),
+        dim.to_string(),
+        format!("{:.4}", at(0.5)),
+        format!("{:.4}", at(0.9)),
+        format!("{:.4}", at(1.0)),
+    ]);
+}
+
+fn main() {
+    let mut args = Args::parse();
+    if args.n.is_none() {
+        // The paper uses 1M subsets; a few thousand points reproduce the
+        // curve shapes while keeping the 1024-pivot panels tractable.
+        args.n = Some(4_000);
+    }
+    if args.queries.is_none() {
+        args.queries = Some(30);
+    }
+    let seed = args.seed;
+    let perm_dims = [4usize, 16, 64, 256, 1024];
+    let rand_dims = [8usize, 32, 128, 512, 1024];
+
+    let mut table = Table::new(&["panel", "dim", "frac@R=0.5", "frac@R=0.9", "frac@R=1.0"]);
+    let mut csv = String::from("panel,dim,recall,fraction\n");
+
+    // (a) SIFT, random projections.
+    {
+        let (data, queries) = worlds::sift(&args);
+        for &d in &rand_dims {
+            let proj = DenseRandomProjection::new(128, d, seed + d as u64);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "a_sift_rand",
+                d,
+                &data,
+                &permsearch_spaces::L2,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (b) Wiki-sparse, random projections (cosine).
+    {
+        let (data, queries) = worlds::wiki_sparse(&args);
+        for &d in &rand_dims {
+            let proj = SparseRandomProjection::new(d, seed + d as u64);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "b_wikisparse_rand",
+                d,
+                &data,
+                &permsearch_spaces::CosineDistance,
+                &proj,
+                cosine_flat,
+                &queries,
+            );
+        }
+    }
+    // (c) Wiki-8 (KL), permutations.
+    {
+        let (data, queries) = worlds::wiki8(&args, "wiki8-kl");
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::KlDivergence);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "c_wiki8kl_perm",
+                d,
+                &data,
+                &permsearch_spaces::KlDivergence,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (d) SIFT, permutations.
+    {
+        let (data, queries) = worlds::sift(&args);
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::L2);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "d_sift_perm",
+                d,
+                &data,
+                &permsearch_spaces::L2,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (e) Wiki-sparse, permutations.
+    {
+        let (data, queries) = worlds::wiki_sparse(&args);
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::CosineDistance);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "e_wikisparse_perm",
+                d,
+                &data,
+                &permsearch_spaces::CosineDistance,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (f) Wiki-128 (KL), permutations — the paper's weakest projection.
+    {
+        let (data, queries) = worlds::wiki128(&args, "wiki128-kl");
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::KlDivergence);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "f_wiki128kl_perm",
+                d,
+                &data,
+                &permsearch_spaces::KlDivergence,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (g) DNA, permutations.
+    {
+        let (data, queries) = worlds::dna(&args);
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::NormalizedLevenshtein);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "g_dna_perm",
+                d,
+                &data,
+                &permsearch_spaces::NormalizedLevenshtein,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (h) ImageNet (SQFD), permutations.
+    {
+        let (data, queries) = worlds::imagenet(&args);
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::Sqfd::default());
+            run_curve(
+                &mut table,
+                &mut csv,
+                "h_imagenet_perm",
+                d,
+                &data,
+                &permsearch_spaces::Sqfd::default(),
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+    // (i) Wiki-128 (JS), permutations.
+    {
+        let (data, queries) = worlds::wiki128(&args, "wiki128-js");
+        for &d in &perm_dims {
+            let pivots = select_pivots(&data, d.min(data.len()), seed + d as u64);
+            let proj = PermutationProjector::new(pivots, permsearch_spaces::JsDivergence);
+            run_curve(
+                &mut table,
+                &mut csv,
+                "i_wiki128js_perm",
+                d,
+                &data,
+                &permsearch_spaces::JsDivergence,
+                &proj,
+                l2_flat,
+                &queries,
+            );
+        }
+    }
+
+    let _ = fs::create_dir_all("bench_results");
+    if let Err(e) = fs::write("bench_results/fig3_curves.csv", &csv) {
+        eprintln!("warning: could not write fig3 CSV: {e}");
+    }
+    if args.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("Figure 3: fraction of candidates to scan for a recall level");
+        println!("(full curves in bench_results/fig3_curves.csv)");
+        println!("{}", table.render());
+        println!("Reading: smaller fractions = steeper curves = better projection;");
+        println!("fractions should shrink as dimensionality grows, and the Wiki-128");
+        println!("KL panel should stay poor regardless of dimensionality (paper 3f).");
+    }
+}

@@ -1,0 +1,126 @@
+//! Regenerates the paper's §3.5 analysis: empirical µ-defectiveness of
+//! every evaluated space, with and without the monotone transform the
+//! paper identifies (square root for KL/JS), plus the
+//! `e^{−|x−y|}|x−y|` counterexample where the folklore wisdoms fail.
+//!
+//! ```text
+//! cargo run -p permsearch-bench --release --bin mu_check
+//! ```
+
+use permsearch_bench::{worlds, Args};
+use permsearch_core::Dataset;
+use permsearch_eval::{empirical_mu, ParadoxSpace, Table};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.n.is_none() {
+        args.n = Some(1_000);
+    }
+    let triples = 20_000;
+    let mut table = Table::new(&["space", "transform", "empirical mu"]);
+
+    {
+        let (data, _) = worlds::sift(&args);
+        let mu = empirical_mu(&data, &permsearch_spaces::L2, |d| d, triples, args.seed);
+        table.push_row(vec![
+            "L2 (sift)".into(),
+            "identity".into(),
+            format!("{mu:.2}"),
+        ]);
+    }
+    {
+        let (data, _) = worlds::wiki8(&args, "wiki8-kl");
+        let raw = empirical_mu(
+            &data,
+            &permsearch_spaces::KlDivergence,
+            |d| d,
+            triples,
+            args.seed,
+        );
+        let sqrt = empirical_mu(
+            &data,
+            &permsearch_spaces::KlDivergence,
+            |d| d.sqrt(),
+            triples,
+            args.seed,
+        );
+        table.push_row(vec![
+            "KL (wiki8)".into(),
+            "identity".into(),
+            format!("{raw:.2}"),
+        ]);
+        table.push_row(vec![
+            "KL (wiki8)".into(),
+            "sqrt".into(),
+            format!("{sqrt:.2}"),
+        ]);
+    }
+    {
+        let (data, _) = worlds::wiki8(&args, "wiki8-js");
+        let sqrt = empirical_mu(
+            &data,
+            &permsearch_spaces::JsDivergence,
+            |d| d.sqrt(),
+            triples,
+            args.seed,
+        );
+        table.push_row(vec![
+            "JS (wiki8)".into(),
+            "sqrt (metric!)".into(),
+            format!("{sqrt:.2}"),
+        ]);
+    }
+    {
+        let (data, _) = worlds::dna(&args);
+        let mu = empirical_mu(
+            &data,
+            &permsearch_spaces::NormalizedLevenshtein,
+            |d| d,
+            triples,
+            args.seed,
+        );
+        table.push_row(vec![
+            "norm-Levenshtein (dna)".into(),
+            "identity".into(),
+            format!("{mu:.2}"),
+        ]);
+    }
+    {
+        let (data, _) = worlds::wiki_sparse(&args);
+        let mu = empirical_mu(
+            &data,
+            &permsearch_spaces::CosineDistance,
+            |d| d,
+            triples,
+            args.seed,
+        );
+        table.push_row(vec![
+            "cosine (wiki-sparse)".into(),
+            "identity".into(),
+            format!("{mu:.2}"),
+        ]);
+    }
+    {
+        // The paradox space on an ever-wider support: µ explodes.
+        for (label, step) in [("narrow [0,5]", 0.1f32), ("wide [0,100]", 2.0)] {
+            let data = Dataset::new((0..50).map(|i| i as f32 * step).collect::<Vec<f32>>());
+            let mu = empirical_mu(&data, &ParadoxSpace, |d| d, triples, args.seed);
+            table.push_row(vec![
+                format!("e^-d * d paradox {label}"),
+                "identity".into(),
+                format!("{mu:.2}"),
+            ]);
+        }
+    }
+
+    if args.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("Empirical mu-defectiveness (paper Inequality 1, section 3.5)");
+        println!("{}", table.render());
+        println!("Reading: metrics give mu = 1; the paper's non-metric spaces stay");
+        println!("bounded after the right monotone transform (sqrt for KL/JS), which");
+        println!("is why pivot pruning and neighbor-of-neighbor search behave. The");
+        println!("paradox space's mu grows without bound as the support widens.");
+    }
+}

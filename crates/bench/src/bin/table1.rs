@@ -1,0 +1,57 @@
+//! Regenerates **Table 1**: dataset summary — record count, brute-force
+//! 10-NN search time per query, in-memory size, dimensionality.
+//!
+//! ```text
+//! cargo run -p permsearch-bench --release --bin table1 [-- --n 50000]
+//! ```
+
+use permsearch_bench::{for_each_world, Args};
+use permsearch_core::Space;
+use permsearch_eval::report::{fmt_bytes, fmt_secs};
+use permsearch_eval::{compute_gold, Table};
+use permsearch_spaces::PointSize;
+
+fn dim_label(name: &str) -> &'static str {
+    match name {
+        "cophir" => "282",
+        "sift" => "128",
+        "imagenet" => "N/A",
+        "wiki-sparse" => "10^5",
+        "wiki8-kl" | "wiki8-js" => "8",
+        "wiki128-kl" | "wiki128-js" => "128",
+        "dna" => "N/A",
+        _ => "?",
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut table = Table::new(&[
+        "Name",
+        "Distance",
+        "# of rec.",
+        "Brute-force (per query)",
+        "In-memory size",
+        "Dimens.",
+    ]);
+
+    for_each_world!(args, |name, data, queries, space| {
+        let gold = compute_gold(&data, space, &queries, 10);
+        let bytes: usize = data.points().iter().map(PointSize::point_size_bytes).sum();
+        table.push_row(vec![
+            name.to_string(),
+            space.name().to_string(),
+            data.len().to_string(),
+            fmt_secs(gold.brute_force_secs),
+            fmt_bytes(bytes),
+            dim_label(name).to_string(),
+        ]);
+    });
+
+    if args.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("Table 1: Summary of Data Sets (synthetic stand-ins, scaled)");
+        println!("{}", table.render());
+    }
+}

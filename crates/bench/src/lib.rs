@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Each binary regenerates one artifact (scaled to laptop-size data, see
+//! DESIGN.md §4):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset summary (brute-force time, memory, dim) |
+//! | `table2` | Table 2 — index size and creation time per method |
+//! | `fig2`   | Figure 2 — original vs projected distance samples |
+//! | `fig3`   | Figure 3 — recall vs candidate-fraction curves |
+//! | `fig4`   | Figure 4 — improvement in efficiency vs recall |
+//! | `napp_l1_speedup` | §3.2 — NAPP speedup at ~95% recall on L1 CoPhIR |
+//!
+//! All binaries accept `--n <points>`, `--queries <count>`, `--seed <u64>`,
+//! `--datasets a,b,c` and `--json` (machine-readable output). Criterion
+//! micro-benches live in `benches/` and cover the kernel-level claims
+//! (incremental sort vs heap, rho vs footrule, distance costs, popcount
+//! Hamming, ScanCount).
+
+pub mod args;
+pub mod worlds;
+
+pub use args::Args;

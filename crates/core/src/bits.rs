@@ -1,0 +1,172 @@
+//! Packed bit vectors for binarized permutations.
+//!
+//! Tellez et al. (paper reference \[41\]) binarize permutations: every rank
+//! smaller than a threshold `b` becomes 0, ranks ≥ `b` become 1, and the
+//! similarity of binarized permutations is the Hamming distance. Bit arrays
+//! are XOR-ed word by word and non-zero bits are counted with the CPU
+//! popcount instruction (`u64::count_ones` compiles to `popcnt`).
+
+/// A fixed-length bit vector packed into 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVector {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// An all-zeros bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Panics when out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`. Panics when out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to `other` (must have equal length): the number of
+    /// positions where the two vectors differ, computed by XOR + popcount.
+    pub fn hamming(&self, other: &Self) -> u32 {
+        assert_eq!(self.len, other.len, "length mismatch in Hamming distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Borrow the underlying words (trailing bits beyond `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap footprint in bytes (for Table 2 index-size accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut v = BitVector::zeros(130);
+        assert_eq!(v.len(), 130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!v.get(i));
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    fn hamming_matches_bitwise_definition() {
+        let a = BitVector::from_bools(&[true, false, true, true, false]);
+        let b = BitVector::from_bools(&[true, true, false, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(b.hamming(&a), 2);
+    }
+
+    #[test]
+    fn hamming_across_word_boundary() {
+        let mut a = BitVector::zeros(200);
+        let mut b = BitVector::zeros(200);
+        a.set(0, true);
+        a.set(63, true);
+        a.set(64, true);
+        a.set(199, true);
+        b.set(199, true);
+        assert_eq!(a.hamming(&b), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn hamming_length_mismatch_panics() {
+        let a = BitVector::zeros(10);
+        let b = BitVector::zeros(11);
+        let _ = a.hamming(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVector::zeros(8);
+        let _ = v.get(8);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let v = BitVector::zeros(0);
+        assert!(v.is_empty());
+        assert_eq!(v.count_ones(), 0);
+        assert_eq!(v.size_bytes(), 0);
+        assert_eq!(v.hamming(&BitVector::zeros(0)), 0);
+    }
+
+    #[test]
+    fn paper_figure1_binarized_example() {
+        // Paper §2.1: with threshold b = 3 the permutations of a, b, c, d
+        // binarize to 0011, 0011, 0101, 1010 (rank >= 3 -> 1).
+        let binarize = |perm: [u32; 4]| {
+            BitVector::from_bools(&[perm[0] >= 3, perm[1] >= 3, perm[2] >= 3, perm[3] >= 3])
+        };
+        let a = binarize([1, 2, 3, 4]);
+        let b = binarize([1, 2, 4, 3]);
+        let c = binarize([2, 3, 1, 4]);
+        let d = binarize([3, 2, 4, 1]);
+        // a and its nearest neighbor b have identical binarized permutations.
+        assert_eq!(a.hamming(&b), 0);
+        // The Hamming distance does not discriminate between c and d:
+        // both are at distance two from a.
+        assert_eq!(a.hamming(&c), 2);
+        assert_eq!(a.hamming(&d), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! In-memory datasets of points addressed by dense `u32` ids.
+
+use std::ops::Index as StdIndex;
+
+/// An immutable, in-memory collection of points.
+///
+/// The paper's setting is main-memory retrieval: "both data and indices are
+/// stored in main memory". Ids are dense indices `0..len`, which is what the
+/// inverted-file methods (NAPP, MI-file) and ScanCount merging rely on.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset<P> {
+    points: Vec<P>,
+}
+
+impl<P> Dataset<P> {
+    /// Build a dataset from a vector of points. Ids are assigned in order.
+    pub fn new(points: Vec<P>) -> Self {
+        assert!(
+            points.len() <= u32::MAX as usize,
+            "dataset exceeds u32 id space"
+        );
+        Self { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the dataset holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Access a point by id.
+    pub fn get(&self, id: u32) -> &P {
+        &self.points[id as usize]
+    }
+
+    /// Iterate over `(id, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &P)> {
+        self.points.iter().enumerate().map(|(i, p)| (i as u32, p))
+    }
+
+    /// Borrow the underlying point slice.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Consume the dataset, returning the point vector.
+    pub fn into_points(self) -> Vec<P> {
+        self.points
+    }
+}
+
+impl<P> StdIndex<u32> for Dataset<P> {
+    type Output = P;
+    fn index(&self, id: u32) -> &P {
+        &self.points[id as usize]
+    }
+}
+
+impl<P> From<Vec<P>> for Dataset<P> {
+    fn from(points: Vec<P>) -> Self {
+        Self::new(points)
+    }
+}
+
+impl<'a, P> IntoIterator for &'a Dataset<P> {
+    type Item = &'a P;
+    type IntoIter = std::slice::Iter<'a, P>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_in_order() {
+        let d = Dataset::new(vec![10, 20, 30]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(*d.get(1), 20);
+        assert_eq!(d[2], 30);
+        let pairs: Vec<(u32, i32)> = d.iter().map(|(i, p)| (i, *p)).collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let d: Dataset<i32> = vec![1, 2].into();
+        let v = d.clone().into_points();
+        assert_eq!(v, vec![1, 2]);
+        let collected: Vec<i32> = (&d).into_iter().copied().collect();
+        assert_eq!(collected, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d: Dataset<u8> = Dataset::default();
+        assert!(d.is_empty());
+        assert_eq!(d.points().len(), 0);
+    }
+}

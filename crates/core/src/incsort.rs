@@ -1,0 +1,226 @@
+//! Incremental sorting for the filtering stage of permutation methods.
+//!
+//! Chávez et al. (the paper's reference \[24\]) observed that selecting the
+//! γ permutations closest to the query is faster with *incremental sorting*
+//! than with a priority queue; the paper reports a 2× speedup for `L2` and we
+//! reproduce this claim in a Criterion bench (`incsort_vs_heap`).
+//!
+//! Two entry points are provided:
+//!
+//! * [`k_smallest`] — one-shot selection of the `k` smallest elements in
+//!   sorted order (quickselect partitioning + sort of the prefix);
+//! * [`IncrementalSorter`] — the lazy *Incremental Quicksort* (IQS) of
+//!   Paredes & Navarro that yields elements one at a time in increasing
+//!   order, useful when the number of candidates is not known up front
+//!   (e.g. PP-index prefix shortening keeps asking for more).
+
+use std::cmp::Ordering;
+
+/// Reorder `items` so that its first `k` elements are the `k` smallest under
+/// `cmp`, in increasing order. Runs in expected `O(n + k log k)`.
+///
+/// If `k >= items.len()` the whole slice is simply sorted.
+pub fn k_smallest<T, F>(items: &mut [T], k: usize, mut cmp: F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    if k == 0 {
+        return;
+    }
+    if k >= items.len() {
+        items.sort_unstable_by(cmp);
+        return;
+    }
+    items.select_nth_unstable_by(k - 1, |a, b| cmp(a, b));
+    items[..k].sort_unstable_by(|a, b| cmp(a, b));
+}
+
+/// Lazy incremental quicksort (IQS).
+///
+/// Maintains a stack of pivot positions; each call to [`next_index`](Self::next_index)
+/// partitions only as much of the array as necessary to produce the next
+/// smallest element. Extracting the first `m` elements costs expected
+/// `O(n + m log m)` overall, matching a full quickselect pass without paying
+/// for elements that are never requested.
+pub struct IncrementalSorter<'a, T, F> {
+    items: &'a mut [T],
+    cmp: F,
+    /// Stack of positions `p` such that `items[p]` is a pivot already in its
+    /// final sorted place and everything right of it is ≥ it. The sentinel
+    /// `items.len()` is always at the bottom.
+    stack: Vec<usize>,
+    /// Next index to emit.
+    next_idx: usize,
+    /// Deterministic xorshift state for pivot choice (avoids adversarial
+    /// quadratic behavior on sorted inputs without pulling in a full RNG).
+    rng_state: u64,
+}
+
+impl<'a, T, F> IncrementalSorter<'a, T, F>
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    /// Begin incrementally sorting `items` under `cmp`.
+    pub fn new(items: &'a mut [T], cmp: F) -> Self {
+        let len = items.len();
+        Self {
+            items,
+            cmp,
+            stack: vec![len],
+            next_idx: 0,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn rand_below(&mut self, n: usize) -> usize {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % n as u64) as usize
+    }
+
+    /// Hoare-style partition of `items[lo..hi)` around a random pivot;
+    /// returns the final pivot position.
+    fn partition(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi - lo >= 1);
+        let pivot_idx = lo + self.rand_below(hi - lo);
+        self.items.swap(pivot_idx, hi - 1);
+        let mut store = lo;
+        for i in lo..hi - 1 {
+            if (self.cmp)(&self.items[i], &self.items[hi - 1]) == Ordering::Less {
+                self.items.swap(i, store);
+                store += 1;
+            }
+        }
+        self.items.swap(store, hi - 1);
+        store
+    }
+
+    /// Produce the index of the next smallest element, or `None` when all
+    /// elements have been emitted. After `next()` returns `Some(i)`,
+    /// `items[i]` holds the value and `i == `#elements emitted so far`- 1`.
+    pub fn next_index(&mut self) -> Option<usize> {
+        if self.next_idx >= self.items.len() {
+            return None;
+        }
+        loop {
+            let top = *self.stack.last().expect("sentinel present");
+            if top == self.next_idx {
+                self.stack.pop();
+                let idx = self.next_idx;
+                self.next_idx += 1;
+                return Some(idx);
+            }
+            let p = self.partition(self.next_idx, top);
+            self.stack.push(p);
+        }
+    }
+
+    /// Produce a copy of the next smallest element (requires `T: Clone`).
+    pub fn next_value(&mut self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.next_index().map(|i| self.items[i].clone())
+    }
+
+    /// Emit the next `m` smallest elements into `out`.
+    pub fn take_into(&mut self, m: usize, out: &mut Vec<T>)
+    where
+        T: Clone,
+    {
+        for _ in 0..m {
+            match self.next_value() {
+                Some(v) => out.push(v),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp_f32(a: &(f32, u32), b: &(f32, u32)) -> Ordering {
+        a.0.total_cmp(&b.0)
+    }
+
+    #[test]
+    fn k_smallest_selects_sorted_prefix() {
+        let mut v: Vec<(f32, u32)> = (0..100u32).map(|i| ((97 * i % 100) as f32, i)).collect();
+        k_smallest(&mut v, 10, cmp_f32);
+        let prefix: Vec<f32> = v[..10].iter().map(|p| p.0).collect();
+        assert_eq!(prefix, (0..10).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_smallest_with_k_zero_and_k_ge_len() {
+        let mut v = vec![(3.0f32, 0u32), (1.0, 1), (2.0, 2)];
+        k_smallest(&mut v, 0, cmp_f32);
+        assert_eq!(v.len(), 3);
+        k_smallest(&mut v, 10, cmp_f32);
+        let d: Vec<f32> = v.iter().map(|p| p.0).collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn incremental_sorter_yields_increasing_order() {
+        let mut v: Vec<(f32, u32)> = (0..257u32).map(|i| ((211 * i % 257) as f32, i)).collect();
+        let mut s = IncrementalSorter::new(&mut v, cmp_f32);
+        let mut out = Vec::new();
+        s.take_into(50, &mut out);
+        assert_eq!(out.len(), 50);
+        for (i, (d, _)) in out.iter().enumerate() {
+            assert_eq!(*d, i as f32);
+        }
+    }
+
+    #[test]
+    fn incremental_sorter_exhausts() {
+        let mut v = vec![(2.0f32, 0u32), (1.0, 1)];
+        let mut s = IncrementalSorter::new(&mut v, cmp_f32);
+        assert_eq!(s.next_value().map(|p| p.0), Some(1.0));
+        assert_eq!(s.next_value().map(|p| p.0), Some(2.0));
+        assert_eq!(s.next_value(), None);
+        assert_eq!(s.next_index(), None);
+    }
+
+    #[test]
+    fn incremental_sorter_on_empty_and_singleton() {
+        let mut empty: Vec<(f32, u32)> = Vec::new();
+        let mut s = IncrementalSorter::new(&mut empty, cmp_f32);
+        assert_eq!(s.next_index(), None);
+
+        let mut one = vec![(5.0f32, 7u32)];
+        let mut s = IncrementalSorter::new(&mut one, cmp_f32);
+        assert_eq!(s.next_value(), Some((5.0, 7)));
+        assert_eq!(s.next_value(), None);
+    }
+
+    #[test]
+    fn incremental_sorter_handles_duplicates() {
+        let mut v: Vec<(f32, u32)> = (0..64u32).map(|i| ((i % 4) as f32, i)).collect();
+        let mut s = IncrementalSorter::new(&mut v, cmp_f32);
+        let mut prev = f32::NEG_INFINITY;
+        while let Some((d, _)) = s.next_value() {
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn already_sorted_input_is_not_quadratic_killer() {
+        // Just a correctness check on sorted input; random pivots keep the
+        // expected cost near-linear for the emitted prefix.
+        let mut v: Vec<(f32, u32)> = (0..10_000u32).map(|i| (i as f32, i)).collect();
+        let mut s = IncrementalSorter::new(&mut v, cmp_f32);
+        let mut out = Vec::new();
+        s.take_into(5, &mut out);
+        let d: Vec<f32> = out.iter().map(|p| p.0).collect();
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

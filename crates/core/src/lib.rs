@@ -1,0 +1,91 @@
+//! Core abstractions of the `permsearch` library.
+//!
+//! This crate defines the vocabulary shared by every index implementation in
+//! the workspace:
+//!
+//! * [`Space`] — a (possibly non-metric, possibly non-symmetric) distance
+//!   function over a point type, the paper's `d(x, y)`;
+//! * [`Dataset`] — an in-memory collection of points addressed by dense ids;
+//! * [`SearchIndex`] — the k-NN query interface implemented by every method
+//!   (VP-tree, NAPP, brute-force permutation filtering, proximity graphs,
+//!   multi-probe LSH, ...);
+//! * [`Neighbor`] / [`KnnHeap`] — k-NN result representation and the bounded
+//!   max-heap used to collect results;
+//! * [`incsort`] — incremental sorting used by the filtering stage of
+//!   permutation methods (Chávez et al. report it is about twice as fast as a
+//!   priority queue; we reproduce that claim in a Criterion bench);
+//! * [`bits`] — packed bit vectors with word-level Hamming distance for
+//!   binarized permutations.
+//!
+//! The convention for non-symmetric distances follows the paper's *left*
+//! queries: a data point is always the **first** argument of
+//! [`Space::distance`], the query is the second.
+
+pub mod bits;
+pub mod dataset;
+pub mod exhaustive;
+pub mod incsort;
+pub mod neighbor;
+pub mod rng;
+pub mod space;
+
+pub use bits::BitVector;
+pub use dataset::Dataset;
+pub use exhaustive::ExhaustiveSearch;
+pub use neighbor::{KnnHeap, Neighbor};
+pub use space::{Space, SpaceStats};
+
+/// The k-NN query interface implemented by every index in the workspace.
+///
+/// Implementations answer approximate (or, for brute force, exact) k-nearest
+/// neighbor queries against the dataset they were built over. Results are
+/// returned sorted by increasing distance; ties are broken arbitrarily.
+pub trait SearchIndex<P> {
+    /// Return up to `k` approximate nearest neighbors of `query`,
+    /// sorted by increasing distance in the *original* space.
+    fn search(&self, query: &P, k: usize) -> Vec<Neighbor>;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// True when the index contains no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable method name used in experiment reports
+    /// (e.g. `"vp-tree"`, `"napp"`, `"brute-force filt. bin."`).
+    fn name(&self) -> &'static str;
+
+    /// Approximate heap footprint of the index structure in bytes,
+    /// excluding the dataset itself. Used to regenerate Table 2.
+    fn index_size_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    struct Dummy;
+
+    impl SearchIndex<f32> for Dummy {
+        fn search(&self, _query: &f32, _k: usize) -> Vec<Neighbor> {
+            Vec::new()
+        }
+        fn len(&self) -> usize {
+            0
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn index_size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn is_empty_follows_len() {
+        assert!(Dummy.is_empty());
+        assert_eq!(Dummy.name(), "dummy");
+    }
+}

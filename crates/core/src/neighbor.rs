@@ -1,0 +1,183 @@
+//! k-NN results: the [`Neighbor`] record and the bounded [`KnnHeap`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One search result: the id of a data point and its distance to the query
+/// in the original space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Dense id of the data point inside its [`Dataset`](crate::Dataset).
+    pub id: u32,
+    /// Distance from the data point to the query (left-query convention).
+    pub dist: f32,
+}
+
+impl Neighbor {
+    /// Construct a neighbor record.
+    pub fn new(id: u32, dist: f32) -> Self {
+        Self { id, dist }
+    }
+}
+
+impl Eq for Neighbor {}
+
+// Order by distance, largest first, so that `BinaryHeap<Neighbor>` is a
+// max-heap whose top is the current worst result — exactly what a bounded
+// k-NN collector needs. Ties are broken by id to make ordering total and
+// deterministic even with equal distances.
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded max-heap that keeps the `k` nearest neighbors seen so far.
+///
+/// This is the standard collector for k-NN traversals: pushing is `O(log k)`
+/// and the current k-th distance (the pruning radius for trees and graphs)
+/// is available in `O(1)` via [`radius`](Self::radius).
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl KnnHeap {
+    /// Create a collector for `k` results. `k` must be positive.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a candidate. It is kept only if fewer than `k` results were
+    /// collected or it improves on the current worst result.
+    /// Returns `true` when the candidate was kept.
+    pub fn push(&mut self, id: u32, dist: f32) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(id, dist));
+            true
+        } else {
+            // Unwrap is fine: k > 0 and the heap is full here.
+            let worst = self.heap.peek().expect("non-empty heap");
+            if dist < worst.dist {
+                self.heap.pop();
+                self.heap.push(Neighbor::new(id, dist));
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Current pruning radius: the distance of the k-th (worst kept)
+    /// neighbor, or `f32::INFINITY` while fewer than `k` results are held.
+    ///
+    /// VP-tree range-search-with-shrinking-radius and graph traversals use
+    /// this as the paper's query radius `r`.
+    pub fn radius(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap.peek().map_or(f32::INFINITY, |n| n.dist)
+        }
+    }
+
+    /// Number of results currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no results have been collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `k` results have been collected.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The `k` requested at construction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Consume the heap, returning neighbors sorted by increasing distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ordering_is_by_distance_then_id() {
+        let a = Neighbor::new(1, 2.0);
+        let b = Neighbor::new(2, 1.0);
+        let c = Neighbor::new(3, 2.0);
+        assert!(a > b);
+        assert!(c > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn heap_keeps_k_smallest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            h.push(id, d);
+        }
+        let res = h.into_sorted();
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+        assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn radius_is_infinite_until_full() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.radius(), f32::INFINITY);
+        h.push(0, 1.0);
+        assert_eq!(h.radius(), f32::INFINITY);
+        h.push(1, 3.0);
+        assert_eq!(h.radius(), 3.0);
+        // Improving candidate shrinks the radius.
+        assert!(h.push(2, 0.5));
+        assert_eq!(h.radius(), 1.0);
+        // Non-improving candidate is rejected.
+        assert!(!h.push(3, 9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = KnnHeap::new(0);
+    }
+
+    #[test]
+    fn duplicate_distances_are_kept() {
+        let mut h = KnnHeap::new(2);
+        h.push(0, 1.0);
+        h.push(1, 1.0);
+        h.push(2, 1.0); // equal to the worst: rejected (strict improvement)
+        let res = h.into_sorted();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].dist, 1.0);
+        assert_eq!(res[1].dist, 1.0);
+    }
+}

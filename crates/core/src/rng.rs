@@ -1,0 +1,96 @@
+//! Deterministic random-number helpers.
+//!
+//! All stochastic steps in the library (pivot selection, dataset generation,
+//! LSH hash functions, graph insertion order, evaluation splits) take an
+//! explicit seed so that every experiment is exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Create a fast, seeded RNG. `SmallRng` is a non-cryptographic PRNG, which
+/// is appropriate for all uses in this library.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Sample `k` distinct indices from `0..n` uniformly at random.
+///
+/// Uses Floyd's algorithm: `O(k)` expected time and memory regardless of
+/// `n`, so sampling a handful of pivots from a multi-million point dataset
+/// is cheap. The result is returned in random order.
+pub fn sample_distinct<R: Rng>(rng: &mut R, n: usize, k: usize) -> Vec<u32> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j) as u32;
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j as u32);
+            out.push(j as u32);
+        }
+    }
+    out
+}
+
+/// Fisher–Yates shuffle of a slice (used for evaluation splits).
+pub fn shuffle<R: Rng, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let va: Vec<u32> = (0..10).map(|_| a.gen()).collect();
+        let vb: Vec<u32> = (0..10).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn sample_distinct_produces_distinct_in_range() {
+        let mut rng = seeded_rng(7);
+        for (n, k) in [(10usize, 10usize), (1000, 50), (5, 0), (1, 1)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let set: HashSet<u32> = s.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicates for n={n} k={k}");
+            assert!(s.iter().all(|&x| (x as usize) < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_too_many_panics() {
+        let mut rng = seeded_rng(0);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded_rng(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut rng, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn sample_distinct_covers_all_when_k_equals_n() {
+        let mut rng = seeded_rng(11);
+        let mut s = sample_distinct(&mut rng, 16, 16);
+        s.sort_unstable();
+        assert_eq!(s, (0..16).collect::<Vec<_>>());
+    }
+}

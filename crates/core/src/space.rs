@@ -1,0 +1,181 @@
+//! The [`Space`] trait: a distance function over a point type.
+//!
+//! A *space* in this library is a pair of a point representation `P` and a
+//! dissimilarity `d(x, y) ≥ 0` with `d(x, x) = 0`. The distance does **not**
+//! have to be a metric: the paper evaluates the Kullback–Leibler divergence
+//! (not even symmetric), the Jensen–Shannon divergence, the cosine distance,
+//! and the normalized Levenshtein distance alongside the metric `L2` and
+//! SQFD.
+
+use std::cell::Cell;
+
+/// A dissimilarity function over points of type `P`.
+///
+/// Convention for non-symmetric distances (the paper's *left* queries): the
+/// data point is the **first** argument and the query point is the second,
+/// i.e. indexes evaluate `space.distance(data, query)`.
+pub trait Space<P: ?Sized>: Send + Sync {
+    /// Evaluate the distance from data point `x` to query point `y`.
+    ///
+    /// Must be non-negative and zero for identical arguments; no other
+    /// axioms (symmetry, triangle inequality) are assumed.
+    fn distance(&self, x: &P, y: &P) -> f32;
+
+    /// Whether `distance(x, y) == distance(y, x)` for all points.
+    ///
+    /// Non-symmetric spaces (KL-divergence) return `false`; indexes that
+    /// fundamentally require symmetry (e.g. LSH) must not be used with them.
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+
+    /// Short name used in reports, e.g. `"L2"` or `"KL-div"`.
+    fn name(&self) -> &'static str;
+}
+
+// A space behind a shared reference is itself a space. This lets indexes
+// borrow one space instance instead of cloning it.
+impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for &S {
+    fn distance(&self, x: &P, y: &P) -> f32 {
+        (**self).distance(x, y)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for std::sync::Arc<S> {
+    fn distance(&self, x: &P, y: &P) -> f32 {
+        (**self).distance(x, y)
+    }
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// A counting wrapper around a [`Space`] that records how many distance
+/// evaluations were performed.
+///
+/// The evaluation harness uses it to report the *number of distance
+/// computations* alongside wall-clock time: for expensive distances (SQFD,
+/// normalized Levenshtein) the distance count is the dominant cost and is
+/// hardware-independent, which makes shape comparisons with the paper robust.
+///
+/// The counter is a `Cell`, so the wrapper is intentionally `!Sync`; use one
+/// instance per thread.
+pub struct SpaceStats<S> {
+    inner: S,
+    count: Cell<u64>,
+}
+
+impl<S> SpaceStats<S> {
+    /// Wrap `inner`, starting the counter at zero.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            count: Cell::new(0),
+        }
+    }
+
+    /// Number of distance evaluations since construction or the last
+    /// [`reset`](Self::reset).
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Reset the evaluation counter to zero.
+    pub fn reset(&self) {
+        self.count.set(0);
+    }
+
+    /// Consume the wrapper, returning the inner space.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<P: ?Sized, S: Space<P>> Space<P> for SpaceStats<S>
+where
+    SpaceStats<S>: Send + Sync,
+{
+    fn distance(&self, x: &P, y: &P) -> f32 {
+        self.count.set(self.count.get() + 1);
+        self.inner.distance(x, y)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+// SAFETY-free justification: SpaceStats is used strictly single-threaded in
+// the evaluation harness, but the `Space` supertraits demand Send + Sync.
+// `Cell<u64>` is Send; we add Sync manually because concurrent increments
+// would only produce lost counts, never memory unsafety... which is NOT a
+// guarantee Rust lets us hand-wave. Instead of an unsafe impl we simply do
+// not implement Sync: the blanket impl above is gated on
+// `SpaceStats<S>: Send + Sync`, so the wrapper only acts as a `Space` when a
+// sync-safe interior is used. For single-threaded harness code we provide
+// `distance_counted` below as an inherent method that needs no bounds.
+impl<S> SpaceStats<S> {
+    /// Evaluate the wrapped distance and bump the counter without requiring
+    /// the `Space` trait bounds (usable single-threaded regardless of `Sync`).
+    pub fn distance_counted<P: ?Sized>(&self, x: &P, y: &P) -> f32
+    where
+        S: Space<P>,
+    {
+        self.count.set(self.count.get() + 1);
+        self.inner.distance(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Abs;
+    impl Space<f32> for Abs {
+        fn distance(&self, x: &f32, y: &f32) -> f32 {
+            (x - y).abs()
+        }
+        fn name(&self) -> &'static str {
+            "abs"
+        }
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let s = Abs;
+        let r: &Abs = &s;
+        assert_eq!(r.distance(&1.0, &4.0), 3.0);
+        assert!(r.is_symmetric());
+        assert_eq!(r.name(), "abs");
+    }
+
+    #[test]
+    fn arc_impl_delegates() {
+        let s = std::sync::Arc::new(Abs);
+        assert_eq!(s.distance(&1.0, &4.0), 3.0);
+        assert_eq!(s.name(), "abs");
+    }
+
+    #[test]
+    fn stats_counts_evaluations() {
+        let s = SpaceStats::new(Abs);
+        assert_eq!(s.count(), 0);
+        let _ = s.distance_counted(&0.0, &1.0);
+        let _ = s.distance_counted(&2.0, &1.0);
+        assert_eq!(s.count(), 2);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        let _ = s.into_inner();
+    }
+}

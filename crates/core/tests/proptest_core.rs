@@ -1,0 +1,119 @@
+//! Property-based tests on the core data structures: the bounded k-NN
+//! heap, incremental sorting, and packed bit vectors.
+
+use proptest::prelude::*;
+
+use permsearch_core::incsort::{k_smallest, IncrementalSorter};
+use permsearch_core::{BitVector, KnnHeap};
+
+proptest! {
+    /// KnnHeap returns exactly the k smallest distances, sorted.
+    #[test]
+    fn knn_heap_matches_sort(
+        dists in proptest::collection::vec(0.0f32..1000.0, 1..200),
+        k in 1usize..20,
+    ) {
+        let mut heap = KnnHeap::new(k);
+        for (id, &d) in dists.iter().enumerate() {
+            heap.push(id as u32, d);
+        }
+        let got: Vec<f32> = heap.into_sorted().iter().map(|n| n.dist).collect();
+        let mut expected = dists.clone();
+        expected.sort_by(f32::total_cmp);
+        expected.truncate(k);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The heap's radius always equals the current k-th best distance once
+    /// full, and pushes succeed exactly when they improve it.
+    #[test]
+    fn knn_heap_radius_invariant(
+        dists in proptest::collection::vec(0.0f32..100.0, 30..60),
+    ) {
+        let k = 5;
+        let mut heap = KnnHeap::new(k);
+        for (id, &d) in dists.iter().enumerate() {
+            let radius_before = heap.radius();
+            let kept = heap.push(id as u32, d);
+            if heap.len() <= k && radius_before == f32::INFINITY {
+                prop_assert!(kept || d >= radius_before);
+            } else {
+                prop_assert_eq!(kept, d < radius_before);
+            }
+            prop_assert!(heap.radius() <= radius_before);
+        }
+    }
+
+    /// k_smallest agrees with a full sort for any k.
+    #[test]
+    fn k_smallest_matches_sort(
+        mut items in proptest::collection::vec(0u64..10_000, 0..150),
+        k in 0usize..40,
+    ) {
+        let mut expected = items.clone();
+        expected.sort_unstable();
+        expected.truncate(k.min(items.len()));
+        k_smallest(&mut items, k, |a, b| a.cmp(b));
+        let got: Vec<u64> = items[..k.min(items.len())].to_vec();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The lazy incremental sorter emits the same sequence as a full sort,
+    /// however many elements are requested.
+    #[test]
+    fn incremental_sorter_prefix_matches_sort(
+        items in proptest::collection::vec(0u64..10_000, 0..120),
+        take in 0usize..140,
+    ) {
+        let mut expected = items.clone();
+        expected.sort_unstable();
+        let mut work = items.clone();
+        let mut sorter = IncrementalSorter::new(&mut work, |a, b| a.cmp(b));
+        let mut got = Vec::new();
+        sorter.take_into(take, &mut got);
+        prop_assert_eq!(&got[..], &expected[..take.min(items.len())]);
+    }
+
+    /// Hamming distance is a metric on bit vectors of equal length.
+    #[test]
+    fn hamming_metric_axioms(
+        a in proptest::collection::vec(any::<bool>(), 1..200),
+        b_seed in any::<u64>(),
+        c_seed in any::<u64>(),
+    ) {
+        // Derive b and c deterministically from a's length.
+        let flip = |seed: u64| -> Vec<bool> {
+            a.iter()
+                .enumerate()
+                .map(|(i, &bit)| {
+                    let h = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(i as u64);
+                    if h.is_multiple_of(3) { !bit } else { bit }
+                })
+                .collect()
+        };
+        let bv_a = BitVector::from_bools(&a);
+        let bv_b = BitVector::from_bools(&flip(b_seed));
+        let bv_c = BitVector::from_bools(&flip(c_seed));
+        prop_assert_eq!(bv_a.hamming(&bv_a), 0);
+        prop_assert_eq!(bv_a.hamming(&bv_b), bv_b.hamming(&bv_a));
+        prop_assert!(bv_a.hamming(&bv_b) <= bv_a.hamming(&bv_c) + bv_c.hamming(&bv_b));
+    }
+
+    /// Bit vector set/get round-trips and count_ones tracks mutations.
+    #[test]
+    fn bitvector_set_get_count(
+        ops in proptest::collection::vec((0usize..300, any::<bool>()), 1..80),
+    ) {
+        let mut bv = BitVector::zeros(300);
+        let mut reference = vec![false; 300];
+        for &(i, v) in &ops {
+            bv.set(i, v);
+            reference[i] = v;
+        }
+        for (i, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), expected);
+        }
+        let expected_ones = reference.iter().filter(|&&b| b).count() as u32;
+        prop_assert_eq!(bv.count_ones(), expected_ones);
+    }
+}

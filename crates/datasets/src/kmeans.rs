@@ -1,0 +1,192 @@
+//! Lloyd's k-means over fixed-dimension feature points.
+//!
+//! Used by the SQFD signature-extraction pipeline (Beecks): each image's
+//! sampled pixels are clustered with standard k-means and each cluster
+//! becomes one weighted signature component. Implemented from scratch — the
+//! reproduction builds every substrate it depends on.
+
+use rand::Rng;
+
+use permsearch_core::rng::sample_distinct;
+
+/// Result of a k-means run: centroids and the number of points assigned to
+/// each.
+#[derive(Debug, Clone)]
+pub struct KMeansResult<const D: usize> {
+    /// Cluster centroids (exactly `k` unless fewer distinct points exist).
+    pub centroids: Vec<[f32; D]>,
+    /// Points assigned to each centroid (parallel to `centroids`).
+    pub counts: Vec<usize>,
+}
+
+#[inline]
+fn sq_dist<const D: usize>(a: &[f32; D], b: &[f32; D]) -> f32 {
+    let mut s = 0.0;
+    for i in 0..D {
+        let d = a[i] - b[i];
+        s += d * d;
+    }
+    s
+}
+
+/// Run Lloyd's algorithm: `k` clusters, at most `max_iters` iterations,
+/// centroids initialized by sampling distinct input points.
+///
+/// Empty clusters are re-seeded with the point farthest from its centroid,
+/// so the result always has `min(k, points.len())` non-empty clusters.
+pub fn kmeans<const D: usize, R: Rng>(
+    points: &[[f32; D]],
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansResult<D> {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "cannot cluster an empty point set");
+    let k = k.min(points.len());
+
+    let mut centroids: Vec<[f32; D]> = sample_distinct(rng, points.len(), k)
+        .into_iter()
+        .map(|i| points[i as usize])
+        .collect();
+    let mut assignment = vec![0usize; points.len()];
+    let mut counts = vec![0usize; k];
+
+    for _ in 0..max_iters {
+        // Assignment step.
+        let mut changed = false;
+        for (pi, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = sq_dist(p, c);
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            if assignment[pi] != best {
+                assignment[pi] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![[0.0f64; D]; k];
+        counts.iter_mut().for_each(|c| *c = 0);
+        for (pi, p) in points.iter().enumerate() {
+            let a = assignment[pi];
+            counts[a] += 1;
+            for d in 0..D {
+                sums[a][d] += p[d] as f64;
+            }
+        }
+        for ci in 0..k {
+            if counts[ci] == 0 {
+                // Re-seed an empty cluster with the point farthest from its
+                // current centroid.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| {
+                        sq_dist(a, &centroids[assignment[*ia]])
+                            .total_cmp(&sq_dist(b, &centroids[assignment[*ib]]))
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[ci] = points[far];
+                changed = true;
+            } else {
+                for d in 0..D {
+                    centroids[ci][d] = (sums[ci][d] / counts[ci] as f64) as f32;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final recount for the returned weights.
+    counts.iter_mut().for_each(|c| *c = 0);
+    for p in points {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (ci, c) in centroids.iter().enumerate() {
+            let d = sq_dist(p, c);
+            if d < best_d {
+                best_d = d;
+                best = ci;
+            }
+        }
+        counts[best] += 1;
+    }
+    KMeansResult { centroids, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::rng::seeded_rng;
+
+    fn blob(center: f32, n: usize, rng: &mut impl Rng) -> Vec<[f32; 2]> {
+        (0..n)
+            .map(|_| {
+                [
+                    center + (rng.gen::<f32>() - 0.5) * 0.2,
+                    center + (rng.gen::<f32>() - 0.5) * 0.2,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let mut rng = seeded_rng(1);
+        let mut pts = blob(0.0, 50, &mut rng);
+        pts.extend(blob(10.0, 50, &mut rng));
+        let res = kmeans(&pts, 2, 50, &mut rng);
+        assert_eq!(res.centroids.len(), 2);
+        assert_eq!(res.counts.iter().sum::<usize>(), 100);
+        let mut centers: Vec<f32> = res.centroids.iter().map(|c| c[0]).collect();
+        centers.sort_by(f32::total_cmp);
+        assert!((centers[0] - 0.0).abs() < 0.5, "center {}", centers[0]);
+        assert!((centers[1] - 10.0).abs() < 0.5, "center {}", centers[1]);
+        assert!(res.counts.iter().all(|&c| c == 50));
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let mut rng = seeded_rng(2);
+        let pts = vec![[0.0f32, 0.0], [1.0, 1.0]];
+        let res = kmeans(&pts, 10, 10, &mut rng);
+        assert_eq!(res.centroids.len(), 2);
+        assert_eq!(res.counts.iter().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn counts_sum_to_point_count() {
+        let mut rng = seeded_rng(3);
+        let pts: Vec<[f32; 3]> = (0..200)
+            .map(|_| [rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let res = kmeans(&pts, 8, 25, &mut rng);
+        assert_eq!(res.counts.iter().sum::<usize>(), 200);
+        assert_eq!(res.centroids.len(), res.counts.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_input_panics() {
+        let mut rng = seeded_rng(4);
+        let pts: Vec<[f32; 2]> = vec![];
+        let _ = kmeans(&pts, 2, 5, &mut rng);
+    }
+
+    #[test]
+    fn single_point_single_cluster() {
+        let mut rng = seeded_rng(5);
+        let pts = vec![[3.0f32, 4.0]];
+        let res = kmeans(&pts, 1, 5, &mut rng);
+        assert_eq!(res.centroids, vec![[3.0, 4.0]]);
+        assert_eq!(res.counts, vec![1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Statistical samplers built from scratch on top of `rand`'s uniform
+//! source.
+//!
+//! The sanctioned dependency set includes `rand` but not `rand_distr`, so
+//! the non-uniform distributions the generators need — Normal (Box–Muller),
+//! Gamma (Marsaglia–Tsang), Dirichlet (normalized Gammas) and Zipf
+//! (inverse-CDF table) — are implemented here with tests against their
+//! analytic moments.
+
+use rand::Rng;
+
+/// Sample from `N(mu, sigma^2)` using the Box–Muller transform.
+///
+/// One of the two generated variates is discarded for simplicity; the
+/// generators are not normal-sampling-bound.
+pub fn normal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0);
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    mu + sigma * r * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample from `Gamma(shape, 1)` using Marsaglia & Tsang's squeeze method,
+/// with the standard `shape < 1` boosting trick.
+pub fn gamma<R: Rng>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng, 0.0, 1.0);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        // Squeeze test, then the full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Sample a point from the `dim`-dimensional symmetric Dirichlet(alpha)
+/// distribution: `dim` Gamma(alpha) draws, normalized to sum to one.
+pub fn dirichlet<R: Rng>(rng: &mut R, alpha: f64, dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // All-underflow corner: fall back to the uniform simplex center.
+        return vec![1.0 / dim as f32; dim];
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws.into_iter().map(|d| d as f32).collect()
+}
+
+/// Precomputed inverse-CDF sampler for the Zipf distribution over ranks
+/// `1..=n` with exponent `s`: `P(k) ∝ k^(-s)`.
+///
+/// Construction is `O(n)`, sampling is `O(log n)` via binary search on the
+/// cumulative table. Used for TF-IDF term selection, where `n = 10^5`.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the table for ranks `1..=n` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample a rank in `0..n` (zero-based; rank 0 is the most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::rng::seeded_rng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments() {
+        let mut rng = seeded_rng(2);
+        for shape in [0.3f64, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let samples: Vec<f64> = (0..n).map(|_| gamma(&mut rng, shape)).collect();
+            let mean = samples.iter().sum::<f64>() / n as f64;
+            // Gamma(shape, 1) has mean = shape, var = shape.
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(0.5),
+                "shape {shape} mean {mean}"
+            );
+            assert!(samples.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_is_non_negative() {
+        let mut rng = seeded_rng(3);
+        for alpha in [0.05f64, 0.5, 5.0] {
+            let v = dirichlet(&mut rng, alpha, 16);
+            assert_eq!(v.len(), 16);
+            assert!(v.iter().all(|&x| x >= 0.0));
+            let sum: f32 = v.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "alpha {alpha} sum {sum}");
+        }
+    }
+
+    #[test]
+    fn low_alpha_dirichlet_is_sparse() {
+        // Low concentration should put most mass on few coordinates —
+        // the property that makes LDA-like data hard for KL.
+        let mut rng = seeded_rng(4);
+        let v = dirichlet(&mut rng, 0.05, 64);
+        let max = v.iter().cloned().fold(0.0f32, f32::max);
+        assert!(max > 0.3, "expected a dominant topic, max {max}");
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let table = ZipfTable::new(1000, 1.1);
+        let mut rng = seeded_rng(5);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..60_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        // Head ranks dominate tail ranks.
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..510].iter().sum();
+        assert!(head > 10 * tail.max(1), "head {head} tail {tail}");
+        // All sampled ranks are within support.
+        assert_eq!(table.len(), 1000);
+    }
+
+    #[test]
+    fn zipf_ratio_approximates_power_law() {
+        let table = ZipfTable::new(100, 1.0);
+        let mut rng = seeded_rng(6);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..200_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        // P(rank 1) / P(rank 2) should be ~2 for s = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.25, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must be positive")]
+    fn gamma_rejects_non_positive_shape() {
+        let mut rng = seeded_rng(0);
+        let _ = gamma(&mut rng, 0.0);
+    }
+}

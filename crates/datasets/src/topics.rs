@@ -1,0 +1,138 @@
+//! LDA-like topic-histogram generator (Wiki-8 / Wiki-128 stand-ins).
+//!
+//! LDA document–topic vectors are, by the model's own definition, Dirichlet
+//! distributed. A symmetric Dirichlet with concentration `alpha < 1`
+//! reproduces the near-sparse simplex geometry that makes the KL-divergence
+//! projections poor in the paper (Figure 2g): most documents concentrate on
+//! a few topics, and KL blows up whenever a query topic is near-zero in a
+//! candidate. A small number of archetype mixtures adds the cluster
+//! structure a real corpus has.
+
+use rand::Rng;
+
+use permsearch_core::rng::seeded_rng;
+use permsearch_spaces::TopicHistogram;
+
+use crate::stat::dirichlet;
+use crate::Generator;
+
+/// Dirichlet topic-histogram generator.
+#[derive(Debug, Clone)]
+pub struct DirichletTopics {
+    topics: usize,
+    alpha: f64,
+    archetypes: usize,
+}
+
+impl DirichletTopics {
+    /// Histograms over `topics` topics with symmetric concentration
+    /// `alpha` (LDA corpora typically fit `alpha ≈ 50 / topics`, i.e. well
+    /// below 1 for 128 topics).
+    pub fn new(topics: usize, alpha: f64) -> Self {
+        assert!(topics > 0);
+        assert!(alpha > 0.0);
+        Self {
+            topics,
+            alpha,
+            archetypes: 16,
+        }
+    }
+
+    /// Number of topics (histogram dimensionality).
+    pub fn topics(&self) -> usize {
+        self.topics
+    }
+
+    /// Dirichlet concentration.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Generator for DirichletTopics {
+    type Point = TopicHistogram;
+
+    fn generate(&self, n: usize, seed: u64) -> Vec<TopicHistogram> {
+        let mut rng = seeded_rng(seed);
+        // Archetype documents; real corpora cluster around themes.
+        let archetypes: Vec<Vec<f32>> = (0..self.archetypes)
+            .map(|_| dirichlet(&mut rng, self.alpha, self.topics))
+            .collect();
+
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let base = &archetypes[rng.gen_range(0..self.archetypes)];
+            let noise = dirichlet(&mut rng, self.alpha, self.topics);
+            let lambda = 0.75 + 0.2 * rng.gen::<f32>();
+            let mixed: Vec<f32> = base
+                .iter()
+                .zip(&noise)
+                .map(|(b, x)| lambda * b + (1.0 - lambda) * x)
+                .collect();
+            out.push(TopicHistogram::new(mixed));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::Space;
+    use permsearch_spaces::{JsDivergence, KlDivergence};
+
+    #[test]
+    fn histograms_are_normalized_simplex_points() {
+        let g = DirichletTopics::new(8, 0.35);
+        for h in g.generate(100, 1) {
+            assert_eq!(h.dim(), 8);
+            let sum: f32 = h.values().iter().sum();
+            // Floors add up to at most dim * 1e-5 above 1.
+            assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+            assert!(h.values().iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn low_alpha_gives_concentrated_histograms() {
+        let g = DirichletTopics::new(128, 0.08);
+        let hs = g.generate(50, 2);
+        let mean_max: f32 = hs
+            .iter()
+            .map(|h| h.values().iter().cloned().fold(0.0f32, f32::max))
+            .sum::<f32>()
+            / hs.len() as f32;
+        assert!(
+            mean_max > 0.12,
+            "expected dominant topics, mean max {mean_max}"
+        );
+    }
+
+    #[test]
+    fn divergences_are_finite_thanks_to_flooring() {
+        let g = DirichletTopics::new(128, 0.08);
+        let hs = g.generate(20, 3);
+        for i in 0..hs.len() {
+            for j in 0..hs.len() {
+                let kl = KlDivergence.distance(&hs[i], &hs[j]);
+                let js = JsDivergence.distance(&hs[i], &hs[j]);
+                assert!(kl.is_finite() && js.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn archetype_structure_creates_clusters() {
+        let g = DirichletTopics::new(16, 0.3);
+        let hs = g.generate(200, 4);
+        let mut ds: Vec<f32> = Vec::new();
+        for i in 0..50 {
+            for j in i + 1..50 {
+                ds.push(JsDivergence.distance(&hs[i], &hs[j]));
+            }
+        }
+        ds.sort_by(f32::total_cmp);
+        // Near pairs (cluster mates) should be much closer than far pairs.
+        assert!(ds[ds.len() / 20] * 3.0 < ds[ds.len() - 1]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Exact gold standards and the brute-force timing baseline.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch_core::{Dataset, ExhaustiveSearch, Neighbor, SearchIndex, Space};
+
+/// Exact k-NN answers for a query set, plus the measured single-threaded
+/// brute-force time — the denominator-side baseline of the paper's
+/// "improvement in efficiency".
+#[derive(Debug, Clone)]
+pub struct GoldStandard {
+    /// Exact neighbors per query, sorted by distance.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Average brute-force time per query, in seconds.
+    pub brute_force_secs: f64,
+    /// k used.
+    pub k: usize,
+}
+
+impl GoldStandard {
+    /// Exact neighbor ids of query `i`.
+    pub fn ids(&self, i: usize) -> Vec<u32> {
+        self.neighbors[i].iter().map(|n| n.id).collect()
+    }
+}
+
+/// Run exact search for every query, timing the scan.
+pub fn compute_gold<P, S: Space<P>>(
+    data: &Arc<Dataset<P>>,
+    space: S,
+    queries: &[P],
+    k: usize,
+) -> GoldStandard {
+    let exact = ExhaustiveSearch::new(data.clone(), space);
+    let start = Instant::now();
+    let neighbors: Vec<Vec<Neighbor>> = queries.iter().map(|q| exact.search(q, k)).collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    GoldStandard {
+        neighbors,
+        brute_force_secs: elapsed / queries.len().max(1) as f64,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_spaces::L2;
+
+    #[test]
+    fn gold_is_exact_and_sorted() {
+        let data = Arc::new(Dataset::new(vec![
+            vec![0.0f32],
+            vec![3.0],
+            vec![1.0],
+            vec![2.0],
+        ]));
+        let queries = vec![vec![0.9f32], vec![2.9f32]];
+        let gold = compute_gold(&data, L2, &queries, 2);
+        assert_eq!(gold.k, 2);
+        assert_eq!(gold.ids(0), vec![2, 0]);
+        assert_eq!(gold.ids(1), vec![1, 3]);
+        assert!(gold.brute_force_secs >= 0.0);
+    }
+}

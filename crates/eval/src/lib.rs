@@ -1,0 +1,32 @@
+//! Evaluation harness reproducing the paper's experimental protocol (§3.3).
+//!
+//! * [`split`] — the paper's cross-validation-like protocol: a dataset is
+//!   randomly split into an indexed part and a query part, repeated over
+//!   several iterations;
+//! * [`gold`] — exact 10-NN gold standards plus brute-force timing (the
+//!   baseline of "improvement in efficiency");
+//! * [`metrics`] — recall and aggregation helpers;
+//! * [`runner`] — timed evaluation of any [`permsearch_core::SearchIndex`], producing the
+//!   `(recall, improvement-in-efficiency)` pairs plotted in Figure 4;
+//! * [`projection`] — projection-quality instrumentation behind Figures 2
+//!   (original vs projected distance scatter) and 3 (recall vs candidate
+//!   fraction curves);
+//! * [`report`] — aligned-text tables matching the paper's table layout.
+
+pub mod gold;
+pub mod metrics;
+pub mod mu_defect;
+pub mod projection;
+pub mod report;
+pub mod runner;
+pub mod split;
+pub mod splits;
+
+pub use gold::{compute_gold, GoldStandard};
+pub use metrics::{mean, recall};
+pub use mu_defect::{empirical_mu, ParadoxSpace};
+pub use projection::{candidate_fraction_curve, distance_pairs, PairSample};
+pub use report::Table;
+pub use runner::{evaluate, MethodResult};
+pub use split::split_points;
+pub use splits::{evaluate_splits, SplitResult};

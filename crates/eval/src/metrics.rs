@@ -1,0 +1,85 @@
+//! Recall and small numeric helpers.
+
+use permsearch_core::Neighbor;
+
+/// Fraction of `truth` ids present in `result` — the paper's recall
+/// ("the average fraction of true neighbors returned").
+pub fn recall(result: &[Neighbor], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let found = truth
+        .iter()
+        .filter(|t| result.iter().any(|n| n.id == **t))
+        .count();
+    found as f64 / truth.len() as f64
+}
+
+/// Arithmetic mean; zero for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(id: u32) -> Neighbor {
+        Neighbor::new(id, 0.0)
+    }
+
+    #[test]
+    fn recall_counts_overlap() {
+        let result = vec![n(1), n(2), n(3)];
+        assert_eq!(recall(&result, &[1, 2, 3]), 1.0);
+        assert_eq!(recall(&result, &[1, 9]), 0.5);
+        assert_eq!(recall(&result, &[8, 9]), 0.0);
+        assert_eq!(recall(&result, &[]), 1.0);
+        assert_eq!(recall(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn recall_is_in_unit_interval(
+            result in proptest::collection::vec(0u32..50, 0..20),
+            truth in proptest::collection::vec(0u32..50, 0..20),
+        ) {
+            let result: Vec<Neighbor> =
+                result.into_iter().map(|id| Neighbor::new(id, 0.0)).collect();
+            let r = recall(&result, &truth);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn recall_monotone_in_result_set(
+            base in proptest::collection::vec(0u32..50, 1..10),
+            extra in proptest::collection::vec(0u32..50, 1..10),
+            truth in proptest::collection::vec(0u32..50, 1..10),
+        ) {
+            let small: Vec<Neighbor> =
+                base.iter().map(|&id| Neighbor::new(id, 0.0)).collect();
+            let large: Vec<Neighbor> = base
+                .iter()
+                .chain(&extra)
+                .map(|&id| Neighbor::new(id, 0.0))
+                .collect();
+            prop_assert!(recall(&large, &truth) >= recall(&small, &truth));
+        }
+    }
+}

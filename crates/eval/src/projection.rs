@@ -1,0 +1,263 @@
+//! Projection-quality instrumentation (Figures 2 and 3).
+//!
+//! Figure 2 plots original distances against distances in a projected
+//! space, sampled from two strata: completely random pairs and pairs where
+//! the second point is one of the first point's 100 nearest neighbors (so
+//! the interesting near-query region is well represented).
+//!
+//! Figure 3 plots, for a desired recall level, the fraction of candidate
+//! records that must be scanned in projected-space order to reach it —
+//! steep curves mean good projections.
+
+use rand::Rng;
+
+use permsearch_core::rng::seeded_rng;
+use permsearch_core::{Dataset, Space};
+use permsearch_permutation::randproj::Projector;
+
+/// One Figure 2 dot: a pair's distance in the original and the projected
+/// space.
+#[derive(Debug, Clone, Copy)]
+pub struct PairSample {
+    /// Distance in the original space.
+    pub original: f32,
+    /// Distance between the two projections.
+    pub projected: f32,
+    /// Whether the pair came from the 100-NN stratum.
+    pub near_stratum: bool,
+}
+
+/// Sample distance pairs from the two strata of Figure 2.
+///
+/// `proj_dist` compares two projected vectors (`L2` for every panel except
+/// Wiki-sparse, which uses the cosine distance).
+pub fn distance_pairs<P, S, J, F>(
+    data: &Dataset<P>,
+    space: &S,
+    projector: &J,
+    proj_dist: F,
+    num_random: usize,
+    num_near: usize,
+    seed: u64,
+) -> Vec<PairSample>
+where
+    S: Space<P>,
+    J: Projector<P>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let n = data.len();
+    assert!(n >= 2, "need at least two points");
+    let mut rng = seeded_rng(seed);
+    let mut out = Vec::with_capacity(num_random + num_near);
+
+    // Stratum 1: uniform random pairs.
+    for _ in 0..num_random {
+        let i = rng.gen_range(0..n) as u32;
+        let mut j = rng.gen_range(0..n) as u32;
+        while j == i {
+            j = rng.gen_range(0..n) as u32;
+        }
+        out.push(make_pair(data, space, projector, &proj_dist, i, j, false));
+    }
+
+    // Stratum 2: (point, one of its 100 NN) pairs.
+    let nn_pool = 100.min(n - 1);
+    for _ in 0..num_near {
+        let i = rng.gen_range(0..n) as u32;
+        // Exact 100-NN of i by linear scan (sample sizes are small).
+        let mut dists: Vec<(f32, u32)> = data
+            .iter()
+            .filter(|(id, _)| *id != i)
+            .map(|(id, p)| (space.distance(p, data.get(i)), id))
+            .collect();
+        dists.select_nth_unstable_by(nn_pool - 1, |a, b| a.0.total_cmp(&b.0));
+        let j = dists[rng.gen_range(0..nn_pool)].1;
+        out.push(make_pair(data, space, projector, &proj_dist, i, j, true));
+    }
+    out
+}
+
+fn make_pair<P, S, J, F>(
+    data: &Dataset<P>,
+    space: &S,
+    projector: &J,
+    proj_dist: &F,
+    i: u32,
+    j: u32,
+    near: bool,
+) -> PairSample
+where
+    S: Space<P>,
+    J: Projector<P>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let original = space.distance(data.get(j), data.get(i));
+    let pi = projector.project(data.get(i));
+    let pj = projector.project(data.get(j));
+    PairSample {
+        original,
+        projected: proj_dist(&pj, &pi),
+        near_stratum: near,
+    }
+}
+
+/// Figure 3 curve: for each recall level `r = 1/k, 2/k, ..., 1`, the mean
+/// fraction of the dataset that must be scanned in projected-space order to
+/// capture that fraction of the true `k` nearest neighbors.
+pub fn candidate_fraction_curve<P, S, J, F>(
+    data: &Dataset<P>,
+    space: &S,
+    projector: &J,
+    proj_dist: F,
+    queries: &[P],
+    k: usize,
+) -> Vec<(f64, f64)>
+where
+    S: Space<P>,
+    J: Projector<P>,
+    F: Fn(&[f32], &[f32]) -> f32,
+{
+    let n = data.len();
+    assert!(n > k, "dataset must exceed k");
+    let projected: Vec<Vec<f32>> = data.points().iter().map(|p| projector.project(p)).collect();
+    let mut fractions_at = vec![Vec::with_capacity(queries.len()); k];
+
+    for q in queries {
+        // Exact truth.
+        let mut truth: Vec<(f32, u32)> = data
+            .iter()
+            .map(|(id, p)| (space.distance(p, q), id))
+            .collect();
+        truth.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let truth_ids: Vec<u32> = truth[..k].iter().map(|&(_, id)| id).collect();
+
+        // Candidate order by projected distance.
+        let pq = projector.project(q);
+        let mut order: Vec<(f32, u32)> = projected
+            .iter()
+            .enumerate()
+            .map(|(id, pp)| (proj_dist(pp, &pq), id as u32))
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        // Walk the candidate list and record the scan depth at which each
+        // additional true neighbor is captured.
+        let mut captured = 0usize;
+        for (depth, &(_, id)) in order.iter().enumerate() {
+            if truth_ids.contains(&id) {
+                fractions_at[captured].push((depth + 1) as f64 / n as f64);
+                captured += 1;
+                if captured == k {
+                    break;
+                }
+            }
+        }
+    }
+
+    (0..k)
+        .map(|j| {
+            let r = (j + 1) as f64 / k as f64;
+            let f = crate::metrics::mean(&fractions_at[j]);
+            (r, f)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use permsearch_datasets::{DenseGaussianMixture, Generator};
+    use permsearch_permutation::randproj::{DenseRandomProjection, PermutationProjector};
+    use permsearch_permutation::select_pivots;
+    use permsearch_spaces::L2;
+
+    fn l2_flat(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    #[test]
+    fn pairs_have_both_strata_and_near_pairs_are_nearer() {
+        let gen = DenseGaussianMixture::new(16, 4, 0.2);
+        let data = Dataset::new(gen.generate(400, 3));
+        let proj = DenseRandomProjection::new(16, 8, 1);
+        let pairs = distance_pairs(&data, &L2, &proj, l2_flat, 100, 100, 5);
+        assert_eq!(pairs.len(), 200);
+        let near: Vec<f64> = pairs
+            .iter()
+            .filter(|p| p.near_stratum)
+            .map(|p| p.original as f64)
+            .collect();
+        let far: Vec<f64> = pairs
+            .iter()
+            .filter(|p| !p.near_stratum)
+            .map(|p| p.original as f64)
+            .collect();
+        assert_eq!(near.len(), 100);
+        assert!(
+            crate::metrics::mean(&near) < crate::metrics::mean(&far),
+            "NN-stratum pairs must be closer on average"
+        );
+    }
+
+    #[test]
+    fn good_projection_yields_steep_curve() {
+        let gen = DenseGaussianMixture::new(16, 4, 0.2);
+        let data = Dataset::new(gen.generate(600, 7));
+        let queries = gen.generate(15, 11);
+        let proj = DenseRandomProjection::new(16, 16, 1);
+        let curve = candidate_fraction_curve(&data, &L2, &proj, l2_flat, &queries, 10);
+        assert_eq!(curve.len(), 10);
+        // Monotone recall levels and fractions.
+        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+        // A same-dimensional random projection of clustered L2 data is a
+        // good projection: 90% recall needs a small fraction of candidates.
+        let f90 = curve[8].1;
+        assert!(f90 < 0.2, "fraction at 0.9 recall: {f90}");
+    }
+
+    #[test]
+    fn permutation_projection_curve_is_usable() {
+        let gen = DenseGaussianMixture::new(16, 4, 0.2);
+        let points = gen.generate(600, 9);
+        let data = Dataset::new(points);
+        let queries = gen.generate(15, 13);
+        let pivots = select_pivots(&data, 64, 3);
+        let proj = PermutationProjector::new(pivots, L2);
+        let curve = candidate_fraction_curve(&data, &L2, &proj, l2_flat, &queries, 10);
+        let f90 = curve[8].1;
+        assert!(f90 < 0.5, "permutation projection too weak: {f90}");
+    }
+
+    #[test]
+    fn perfect_projection_gives_minimal_fractions() {
+        // Identity "projection": candidate order == true order, so the
+        // fraction needed for the j-th neighbor is exactly (j+1)/n ...
+        // except for ties; allow tiny slack.
+        struct Identity;
+        impl Projector<Vec<f32>> for Identity {
+            fn project(&self, p: &Vec<f32>) -> Vec<f32> {
+                p.clone()
+            }
+            fn dim(&self) -> usize {
+                4
+            }
+        }
+        let gen = DenseGaussianMixture::new(4, 2, 0.4);
+        let data = Dataset::new(gen.generate(200, 15));
+        let queries = gen.generate(5, 17);
+        let curve = candidate_fraction_curve(&data, &L2, &Identity, l2_flat, &queries, 5);
+        for (j, &(_, f)) in curve.iter().enumerate() {
+            let ideal = (j + 1) as f64 / 200.0;
+            assert!(
+                (f - ideal).abs() < 1e-9,
+                "identity projection must be ideal: {f} vs {ideal}"
+            );
+        }
+    }
+}

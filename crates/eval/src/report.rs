@@ -1,0 +1,159 @@
+//! Aligned-text tables for the experiment binaries.
+//!
+//! The harness prints the same rows the paper's tables report; this module
+//! keeps the formatting in one place (and optionally serializes results as
+//! JSON lines for downstream plotting).
+
+use serde::Serialize;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; its length must match the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize the rows as JSON (one object per row keyed by header).
+    /// Hand-rolled to keep the dependency set minimal; cell strings are
+    /// escaped for quotes and backslashes only, which covers everything the
+    /// harness emits.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (c, (h, v)) in self.header.iter().zip(row).enumerate() {
+                if c > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": \"{}\"", esc(h), esc(v)));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Format seconds as an adaptive human-readable duration.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 60.0 {
+        format!("{:.1}min", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.1}us", secs * 1e6)
+    }
+}
+
+/// Format a byte count with binary units.
+pub fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{:.2}{}", v, UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("longer-name"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_row_length_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(fmt_secs(90.0), "1.5min");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0021), "2.10ms");
+        assert_eq!(fmt_secs(3e-6), "3.0us");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert!(fmt_bytes(5 * 1024 * 1024).starts_with("5.00MiB"));
+    }
+}

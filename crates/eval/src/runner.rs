@@ -1,0 +1,85 @@
+//! Timed evaluation of a [`SearchIndex`] against a gold standard.
+
+use std::time::Instant;
+
+use permsearch_core::SearchIndex;
+
+use crate::gold::GoldStandard;
+use crate::metrics::{mean, recall};
+
+/// One method's measured operating point — a dot on a Figure 4 curve.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name as reported by the index.
+    pub name: String,
+    /// Average recall over the query set.
+    pub recall: f64,
+    /// Average query time in seconds.
+    pub query_secs: f64,
+    /// Improvement in efficiency: brute-force time / method time
+    /// (the paper's y-axis, log scale).
+    pub improvement: f64,
+    /// Index size in bytes (Table 2).
+    pub index_bytes: usize,
+}
+
+/// Run every query against `index`, measure average time and recall, and
+/// relate the time to the gold standard's brute-force baseline.
+pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
+    index: &I,
+    queries: &[P],
+    gold: &GoldStandard,
+) -> MethodResult {
+    assert_eq!(queries.len(), gold.neighbors.len(), "query/gold mismatch");
+    let start = Instant::now();
+    let results: Vec<_> = queries.iter().map(|q| index.search(q, gold.k)).collect();
+    let elapsed = start.elapsed().as_secs_f64() / queries.len().max(1) as f64;
+    let recalls: Vec<f64> = results
+        .iter()
+        .zip(&gold.neighbors)
+        .map(|(res, truth)| {
+            let ids: Vec<u32> = truth.iter().map(|n| n.id).collect();
+            recall(res, &ids)
+        })
+        .collect();
+    MethodResult {
+        name: index.name().to_string(),
+        recall: mean(&recalls),
+        query_secs: elapsed,
+        improvement: if elapsed > 0.0 {
+            gold.brute_force_secs / elapsed
+        } else {
+            f64::INFINITY
+        },
+        index_bytes: index.index_size_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gold::compute_gold;
+    use permsearch_core::{Dataset, ExhaustiveSearch};
+    use permsearch_spaces::L2;
+    use std::sync::Arc;
+
+    #[test]
+    fn exhaustive_search_has_perfect_recall_and_unit_improvement() {
+        let data = Arc::new(Dataset::new(
+            (0..500).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        ));
+        let queries: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32 + 0.4]).collect();
+        let gold = compute_gold(&data, L2, &queries, 5);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let r = evaluate(&idx, &queries, &gold);
+        assert_eq!(r.recall, 1.0);
+        // Same scan as the baseline: improvement near 1 (generous window
+        // because timing noise at microsecond scale is large).
+        assert!(
+            r.improvement > 0.2 && r.improvement < 5.0,
+            "{}",
+            r.improvement
+        );
+        assert_eq!(r.name, "brute-force");
+    }
+}

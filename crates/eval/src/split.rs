@@ -1,0 +1,52 @@
+//! The paper's split protocol: "a data set was randomly split into two
+//! parts. The larger part was indexed and the smaller part comprised
+//! queries" (§3.3).
+
+use permsearch_core::rng::{seeded_rng, shuffle};
+
+/// Randomly split `points` into `(indexed, queries)` with `num_queries`
+/// query points. Deterministic in `seed`.
+///
+/// Panics when `num_queries >= points.len()`.
+pub fn split_points<P>(mut points: Vec<P>, num_queries: usize, seed: u64) -> (Vec<P>, Vec<P>) {
+    assert!(
+        num_queries < points.len(),
+        "cannot reserve {num_queries} queries out of {} points",
+        points.len()
+    );
+    let mut rng = seeded_rng(seed);
+    shuffle(&mut rng, &mut points);
+    let queries = points.split_off(points.len() - num_queries);
+    (points, queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let points: Vec<u32> = (0..100).collect();
+        let (indexed, queries) = split_points(points, 10, 7);
+        assert_eq!(indexed.len(), 90);
+        assert_eq!(queries.len(), 10);
+        let mut all: Vec<u32> = indexed.iter().chain(&queries).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = split_points((0..50u32).collect(), 5, 3);
+        let b = split_points((0..50u32).collect(), 5, 3);
+        assert_eq!(a, b);
+        let c = split_points((0..50u32).collect(), 5, 4);
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reserve")]
+    fn oversized_query_set_panics() {
+        let _ = split_points(vec![1, 2, 3], 3, 0);
+    }
+}

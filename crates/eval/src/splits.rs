@@ -1,0 +1,154 @@
+//! The paper's full five-iteration split protocol (§3.3): "We carried out
+//! five iterations, in which a data set was randomly split into two parts.
+//! The larger part was indexed and the smaller part comprised queries ...
+//! The retrieval time, recall, and the improvement in efficiency were
+//! aggregated over five splits."
+
+use std::sync::Arc;
+
+use permsearch_core::{Dataset, SearchIndex, Space};
+
+use crate::gold::compute_gold;
+use crate::runner::evaluate;
+
+/// Aggregated result over several random splits: mean and standard
+/// deviation of recall and improvement-in-efficiency.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// Method name (from the last split's index).
+    pub name: String,
+    /// Mean recall over splits.
+    pub recall_mean: f64,
+    /// Standard deviation of recall.
+    pub recall_std: f64,
+    /// Mean improvement in efficiency.
+    pub improvement_mean: f64,
+    /// Standard deviation of the improvement.
+    pub improvement_std: f64,
+    /// Number of splits aggregated.
+    pub splits: usize,
+}
+
+fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Run the split protocol: `splits` iterations, each randomly reserving
+/// `num_queries` points as queries and indexing the rest with `build`,
+/// then evaluating recall/efficiency for `k`-NN against exact search.
+///
+/// `build` receives the indexed dataset and the split seed.
+pub fn evaluate_splits<P, S, I, B>(
+    points: &[P],
+    space: S,
+    build: B,
+    k: usize,
+    splits: usize,
+    num_queries: usize,
+    seed: u64,
+) -> SplitResult
+where
+    P: Clone,
+    S: Space<P> + Clone,
+    I: SearchIndex<P>,
+    B: Fn(Arc<Dataset<P>>, u64) -> I,
+{
+    assert!(splits >= 1);
+    let mut recalls = Vec::with_capacity(splits);
+    let mut improvements = Vec::with_capacity(splits);
+    let mut name = String::new();
+    for s in 0..splits {
+        let split_seed = seed.wrapping_add(s as u64).wrapping_mul(0x9e37_79b9);
+        let (indexed, queries) =
+            crate::split::split_points(points.to_vec(), num_queries, split_seed);
+        let data = Arc::new(Dataset::new(indexed));
+        let gold = compute_gold(&data, space.clone(), &queries, k);
+        let index = build(data, split_seed);
+        let r = evaluate(&index, &queries, &gold);
+        recalls.push(r.recall);
+        improvements.push(r.improvement);
+        name = r.name;
+    }
+    let (recall_mean, recall_std) = mean_std(&recalls);
+    let (improvement_mean, improvement_std) = mean_std(&improvements);
+    SplitResult {
+        name,
+        recall_mean,
+        recall_std,
+        improvement_mean,
+        improvement_std,
+        splits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::ExhaustiveSearch;
+    use permsearch_datasets::{DenseGaussianMixture, Generator};
+    use permsearch_permutation::{Napp, NappParams};
+    use permsearch_spaces::L2;
+
+    #[test]
+    fn exhaustive_aggregates_to_perfect_recall() {
+        let gen = DenseGaussianMixture::new(8, 3, 0.3);
+        let points = gen.generate(400, 1);
+        let res = evaluate_splits(
+            &points,
+            L2,
+            |data, _seed| ExhaustiveSearch::new(data, L2),
+            10,
+            5,
+            20,
+            7,
+        );
+        assert_eq!(res.splits, 5);
+        assert_eq!(res.recall_mean, 1.0);
+        assert_eq!(res.recall_std, 0.0);
+        assert_eq!(res.name, "brute-force");
+    }
+
+    #[test]
+    fn napp_aggregates_with_variance() {
+        let gen = DenseGaussianMixture::new(8, 3, 0.3);
+        let points = gen.generate(600, 2);
+        let res = evaluate_splits(
+            &points,
+            L2,
+            |data, seed| {
+                Napp::build(
+                    data,
+                    L2,
+                    NappParams {
+                        num_pivots: 64,
+                        num_indexed: 8,
+                        min_shared: 1,
+                        threads: 2,
+                        ..Default::default()
+                    },
+                    seed,
+                )
+            },
+            10,
+            5,
+            25,
+            11,
+        );
+        assert!(res.recall_mean > 0.7, "recall {}", res.recall_mean);
+        assert!(res.recall_std < 0.2);
+        assert!(res.improvement_mean > 0.0);
+    }
+
+    #[test]
+    fn mean_std_helper() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Best-first greedy search over a proximity graph (Malkov et al.).
+//!
+//! Each restart begins at a random entry node and runs a best-first
+//! expansion: the closest unexpanded candidate is popped; if it is farther
+//! than the current k-th result the attempt terminates (the "extended
+//! neighborhood" stopping rule); otherwise its graph neighbors are scored
+//! and enqueued. Multiple restarts lower the chance of being trapped in a
+//! local minimum, at a linear cost in search time.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+
+use permsearch_core::rng::seeded_rng;
+use permsearch_core::{Dataset, KnnHeap, Neighbor, Space};
+
+/// Best-first k-NN search over `adjacency`.
+///
+/// * `attempts` — number of random restarts;
+/// * `ef` — result-pool width: the expansion keeps going while candidates
+///   are closer than the `ef`-th best seen so far (`ef ≥ k`; larger values
+///   trade speed for recall).
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_search<P, S: Space<P>>(
+    data: &Dataset<P>,
+    space: &S,
+    adjacency: &[Vec<u32>],
+    query: &P,
+    k: usize,
+    attempts: usize,
+    ef: usize,
+    seed: u64,
+) -> Vec<Neighbor> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let ef = ef.max(k);
+    let mut rng = seeded_rng(seed);
+    // Pool of the ef best results across all attempts; the final answer is
+    // its k best.
+    let mut pool = KnnHeap::new(ef);
+    let mut visited = vec![false; n];
+
+    for _ in 0..attempts.max(1) {
+        let entry = rng.gen_range(0..n) as u32;
+        if visited[entry as usize] {
+            continue;
+        }
+        visited[entry as usize] = true;
+        let d = space.distance(data.get(entry), query);
+        pool.push(entry, d);
+        // Min-heap of candidates to expand.
+        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        candidates.push(Reverse(Neighbor::new(entry, d)));
+        while let Some(Reverse(current)) = candidates.pop() {
+            if pool.is_full() && current.dist > pool.radius() {
+                break;
+            }
+            for &nb in &adjacency[current.id as usize] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let d = space.distance(data.get(nb), query);
+                // Enqueue for expansion only if it could improve the pool.
+                if !pool.is_full() || d < pool.radius() {
+                    candidates.push(Reverse(Neighbor::new(nb, d)));
+                }
+                pool.push(nb, d);
+            }
+        }
+    }
+    let mut res = pool.into_sorted();
+    res.truncate(k);
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_spaces::L2;
+
+    /// A 1-d line graph 0-1-2-...-9 with points at integer coordinates:
+    /// greedy search must walk to the true nearest neighbor.
+    #[test]
+    fn walks_a_line_graph() {
+        let data = Dataset::new((0..10).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let adjacency: Vec<Vec<u32>> = (0..10u32)
+            .map(|i| {
+                let mut nb = Vec::new();
+                if i > 0 {
+                    nb.push(i - 1);
+                }
+                if i < 9 {
+                    nb.push(i + 1);
+                }
+                nb
+            })
+            .collect();
+        let res = greedy_search(&data, &L2, &adjacency, &vec![6.4f32], 2, 3, 4, 1);
+        assert_eq!(res[0].id, 6);
+        assert_eq!(res[1].id, 7);
+    }
+
+    #[test]
+    fn empty_graph_returns_nothing() {
+        let data: Dataset<Vec<f32>> = Dataset::default();
+        let res = greedy_search(&data, &L2, &[], &vec![0.0f32], 5, 2, 8, 0);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_need_restarts() {
+        // Two clusters with no edges between them; with many attempts the
+        // search must reach the right component eventually.
+        let mut pts: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32 * 0.01]).collect();
+        pts.extend((0..5).map(|i| vec![100.0 + i as f32 * 0.01]));
+        let data = Dataset::new(pts);
+        let adjacency: Vec<Vec<u32>> = (0..10u32)
+            .map(|i| {
+                let base = if i < 5 { 0..5u32 } else { 5..10u32 };
+                base.filter(|&j| j != i).collect()
+            })
+            .collect();
+        let res = greedy_search(&data, &L2, &adjacency, &vec![100.02f32], 1, 10, 4, 7);
+        assert_eq!(res[0].id, 7, "must find the far component");
+    }
+}

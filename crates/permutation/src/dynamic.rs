@@ -1,0 +1,313 @@
+//! Dynamic (insert/delete) NAPP index.
+//!
+//! Paper §3.5 argues a key practical advantage of inverted-file
+//! permutation methods: "indexes based on the inverted files are database
+//! friendly, because they require neither complex data structures nor many
+//! random accesses. Furthermore, deletion and addition of records can be
+//! easily implemented. In that, it is rather challenging to implement a
+//! dynamic version of the VP-tree."
+//!
+//! [`DynamicNapp`] makes that claim concrete: it owns its point storage,
+//! supports `insert` (append the id to the posting lists of the point's
+//! `mi` closest pivots) and `remove` (tombstone; postings are filtered at
+//! query time and reclaimed by [`compact`](DynamicNapp::compact)), while
+//! answering the same filter-and-refine queries as the static
+//! [`Napp`](crate::Napp).
+
+use permsearch_core::{KnnHeap, Neighbor, SearchIndex, Space};
+
+use crate::napp::NappParams;
+use crate::perm::compute_ranks;
+
+/// A NAPP index supporting online insertion and deletion.
+pub struct DynamicNapp<P, S> {
+    space: S,
+    pivots: Vec<P>,
+    /// Tombstoned storage: `None` = deleted.
+    points: Vec<Option<P>>,
+    live: usize,
+    /// `postings[p]` holds ids (possibly tombstoned until compaction).
+    postings: Vec<Vec<u32>>,
+    /// Dead ids still present in posting lists.
+    garbage: usize,
+    params: NappParams,
+}
+
+impl<P, S> DynamicNapp<P, S>
+where
+    P: Clone,
+    S: Space<P>,
+{
+    /// Create an empty index over a fixed pivot set.
+    ///
+    /// Unlike the static builder, pivots are supplied by the caller (e.g.
+    /// sampled from a bootstrap collection or a previous index epoch):
+    /// with no data yet, there is nothing to sample from.
+    pub fn new(space: S, pivots: Vec<P>, params: NappParams) -> Self {
+        assert!(!pivots.is_empty(), "need at least one pivot");
+        assert!(
+            params.num_indexed > 0 && params.num_indexed <= pivots.len(),
+            "num_indexed must be in 1..=pivots.len()"
+        );
+        let m = pivots.len();
+        Self {
+            space,
+            pivots,
+            points: Vec::new(),
+            live: 0,
+            postings: vec![Vec::new(); m],
+            garbage: 0,
+            params,
+        }
+    }
+
+    /// Insert a point, returning its id. `O(m log m)` for the permutation
+    /// plus `mi` posting appends — no global rebuild.
+    pub fn insert(&mut self, point: P) -> u32 {
+        let id = self.points.len() as u32;
+        assert!(id < u32::MAX, "id space exhausted");
+        let ranks = compute_ranks(&self.space, &self.pivots, &point);
+        let mi = self.params.num_indexed;
+        for (pivot, &r) in ranks.iter().enumerate() {
+            if (r as usize) < mi {
+                self.postings[pivot].push(id);
+            }
+        }
+        self.points.push(Some(point));
+        self.live += 1;
+        id
+    }
+
+    /// Delete a point by id. Returns `false` when the id was already
+    /// deleted or never existed. `O(1)`: posting entries become garbage
+    /// that queries skip and [`compact`](Self::compact) reclaims.
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.points.get_mut(id as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                self.garbage += self.params.num_indexed;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Rewrite posting lists without tombstoned ids. `O(total postings)`.
+    pub fn compact(&mut self) {
+        for list in &mut self.postings {
+            list.retain(|&id| self.points[id as usize].is_some());
+        }
+        self.garbage = 0;
+    }
+
+    /// Number of live points.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Tombstoned posting entries awaiting compaction.
+    pub fn garbage_len(&self) -> usize {
+        self.garbage
+    }
+
+    fn ms(&self) -> usize {
+        if self.params.num_query_pivots == 0 {
+            self.params.num_indexed
+        } else {
+            self.params.num_query_pivots.min(self.pivots.len())
+        }
+    }
+}
+
+impl<P, S> SearchIndex<P> for DynamicNapp<P, S>
+where
+    P: Clone + Send + Sync,
+    S: Space<P> + Sync,
+{
+    fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        if self.live == 0 {
+            return Vec::new();
+        }
+        let ranks = compute_ranks(&self.space, &self.pivots, query);
+        let ms = self.ms();
+        let mut counters = vec![0u8; self.points.len()];
+        for (pivot, &r) in ranks.iter().enumerate() {
+            if (r as usize) < ms {
+                for &id in &self.postings[pivot] {
+                    counters[id as usize] = counters[id as usize].saturating_add(1);
+                }
+            }
+        }
+        let t = self.params.min_shared.min(u8::MAX as u32) as u8;
+        let mut heap = KnnHeap::new(k);
+        for (id, &c) in counters.iter().enumerate() {
+            if c >= t && c > 0 {
+                if let Some(point) = &self.points[id] {
+                    heap.push(id as u32, self.space.distance(point, query));
+                }
+            }
+        }
+        heap.into_sorted()
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn name(&self) -> &'static str {
+        "napp (dynamic)"
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.postings
+            .iter()
+            .map(|l| l.len() * 4 + std::mem::size_of::<Vec<u32>>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::rng::seeded_rng;
+    use permsearch_core::Dataset;
+    use permsearch_datasets::{DenseGaussianMixture, Generator};
+    use permsearch_spaces::L2;
+    use rand::Rng;
+
+    use crate::pivots::select_pivots;
+
+    fn setup(n: usize) -> (DynamicNapp<Vec<f32>, L2>, Vec<Vec<f32>>) {
+        let gen = DenseGaussianMixture::new(10, 4, 0.2);
+        let points = gen.generate(n, 71);
+        let pivot_pool = Dataset::new(gen.generate(400, 72));
+        let pivots = select_pivots(&pivot_pool, 64, 3);
+        let mut idx = DynamicNapp::new(
+            L2,
+            pivots,
+            NappParams {
+                num_pivots: 64,
+                num_indexed: 8,
+                min_shared: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for p in &points {
+            idx.insert(p.clone());
+        }
+        (idx, points)
+    }
+
+    #[test]
+    fn insert_then_search_finds_inserted_points() {
+        let (idx, points) = setup(500);
+        assert_eq!(idx.live_len(), 500);
+        let res = idx.search(&points[42], 1);
+        assert_eq!(res[0].id, 42);
+        assert_eq!(res[0].dist, 0.0);
+    }
+
+    #[test]
+    fn removed_points_never_come_back() {
+        let (mut idx, points) = setup(300);
+        assert!(idx.remove(42));
+        assert!(!idx.remove(42), "double delete must report false");
+        assert!(!idx.remove(9999));
+        assert_eq!(idx.live_len(), 299);
+        let res = idx.search(&points[42], 5);
+        assert!(res.iter().all(|n| n.id != 42), "tombstone leaked");
+        // Garbage accounting and compaction.
+        assert_eq!(idx.garbage_len(), 8);
+        idx.compact();
+        assert_eq!(idx.garbage_len(), 0);
+        let res = idx.search(&points[42], 5);
+        assert!(res.iter().all(|n| n.id != 42));
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes_stay_consistent() {
+        let (mut idx, points) = setup(200);
+        let mut rng = seeded_rng(5);
+        let mut live: Vec<u32> = (0..200).collect();
+        for round in 0..50 {
+            if rng.gen_bool(0.5) && live.len() > 10 {
+                let at = rng.gen_range(0..live.len());
+                let id = live.swap_remove(at);
+                assert!(idx.remove(id));
+            } else {
+                let id = idx.insert(points[round % points.len()].clone());
+                live.push(id);
+            }
+        }
+        assert_eq!(idx.live_len(), live.len());
+        // Every search result is a live id.
+        let res = idx.search(&points[0], 10);
+        for n in &res {
+            assert!(live.contains(&n.id), "dead id {} returned", n.id);
+        }
+    }
+
+    #[test]
+    fn matches_static_napp_recall() {
+        // Built over the same data with the same parameters, the dynamic
+        // index must answer queries as well as the static one.
+        let gen = DenseGaussianMixture::new(10, 4, 0.2);
+        let points = gen.generate(600, 81);
+        let queries = gen.generate(15, 83);
+        let data = std::sync::Arc::new(Dataset::new(points.clone()));
+        let static_idx = crate::Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 64,
+                num_indexed: 8,
+                min_shared: 1,
+                threads: 2,
+                ..Default::default()
+            },
+            3,
+        );
+        let pivots = select_pivots(&data, 64, 3);
+        let mut dyn_idx = DynamicNapp::new(
+            L2,
+            pivots,
+            NappParams {
+                num_pivots: 64,
+                num_indexed: 8,
+                min_shared: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for p in &points {
+            dyn_idx.insert(p.clone());
+        }
+        // Same pivot seed => same pivots => identical candidate sets.
+        for q in &queries {
+            let a: Vec<u32> = static_idx.search(q, 10).iter().map(|n| n.id).collect();
+            let b: Vec<u32> = dyn_idx.search(q, 10).iter().map(|n| n.id).collect();
+            assert_eq!(a, b, "static and dynamic NAPP disagree");
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let pivots = vec![vec![0.0f32; 4]; 8];
+        let idx: DynamicNapp<Vec<f32>, L2> = DynamicNapp::new(
+            L2,
+            pivots,
+            NappParams {
+                num_pivots: 8,
+                num_indexed: 2,
+                min_shared: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert!(idx.search(&vec![0.0f32; 4], 3).is_empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.name(), "napp (dynamic)");
+    }
+}

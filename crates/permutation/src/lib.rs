@@ -1,0 +1,55 @@
+//! Permutation-based approximate k-NN search methods (paper §2).
+//!
+//! Every data point is represented by a *permutation*: the ranked list of a
+//! fixed pivot set sorted by distance to the point. The distance between
+//! permutations (Spearman's rho, the Footrule, or Hamming over binarized
+//! permutations) acts as a proxy for the original distance, enabling a
+//! filter-and-refine pipeline:
+//!
+//! 1. **Filter** — find data points whose permutations are closest to the
+//!    query's permutation (by brute force or via an index over
+//!    permutations);
+//! 2. **Refine** — compare the resulting γ candidates to the query with the
+//!    original distance and keep the best `k`.
+//!
+//! This crate implements all permutation methods surveyed in the paper:
+//!
+//! * [`BruteForcePermFilter`] / [`BruteForceBinFilter`] — §2.2 brute-force
+//!   filtering over full and binarized permutations;
+//! * [`Napp`] — Tellez et al.'s Neighborhood APProximation inverted index,
+//!   with the paper's ScanCount merging (§2.3, §3.2);
+//! * [`MiFile`] — Amato & Savino's Metric Inverted File with positional
+//!   postings and the maximum-position-difference optimization (§2.3);
+//! * [`PpIndex`] — Esuli's Permutation Prefix Index (§2.3);
+//! * [`OmedRank`] — Fagin et al.'s median-rank aggregation baseline (§2.1);
+//! * [`randproj`] — classic random projections, the reference projection of
+//!   Figures 2 and 3.
+
+pub mod binary;
+pub mod brute;
+pub mod dynamic;
+pub mod mifile;
+pub mod napp;
+pub mod omedrank;
+pub mod perm;
+pub mod permvptree;
+pub mod pivots;
+pub mod ppindex;
+pub mod randproj;
+pub mod refine;
+
+pub use binary::{binarize, BinarizedPermutations};
+pub use brute::{BruteForceBinFilter, BruteForcePermFilter, PermDistanceKind};
+pub use dynamic::DynamicNapp;
+pub use mifile::{MiFile, MiFileParams};
+pub use napp::{Napp, NappParams};
+pub use omedrank::{OmedRank, OmedRankParams};
+pub use perm::{
+    compute_ranks, footrule, ranks_to_order, spearman_rho, FootruleSpace, PermutationTable,
+    SpearmanRhoSpace,
+};
+pub use permvptree::{PermVpTree, PermVpTreeParams};
+pub use pivots::select_pivots;
+pub use ppindex::{PpIndex, PpIndexParams};
+pub use randproj::{DenseRandomProjection, SparseRandomProjection};
+pub use refine::refine;

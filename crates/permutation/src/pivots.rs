@@ -1,0 +1,52 @@
+//! Pivot selection.
+//!
+//! The paper selects pivots uniformly at random from the data (§2.1:
+//! "Pivots ... are reference points randomly selected during indexing").
+//! Random selection is simple and was repeatedly found competitive with
+//! more elaborate schemes at the pivot counts permutation methods use
+//! (hundreds to thousands).
+
+use permsearch_core::rng::{sample_distinct, seeded_rng};
+use permsearch_core::Dataset;
+
+/// Select `m` pivots by sampling distinct data points, cloning them out of
+/// the dataset. Deterministic in `seed`.
+///
+/// Panics when `m` exceeds the dataset size.
+pub fn select_pivots<P: Clone>(data: &Dataset<P>, m: usize, seed: u64) -> Vec<P> {
+    let mut rng = seeded_rng(seed);
+    let ids = sample_distinct(&mut rng, data.len(), m);
+    ids.into_iter().map(|id| data.get(id).clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_requested_count_deterministically() {
+        let data = Dataset::new((0..100i32).collect());
+        let a = select_pivots(&data, 10, 42);
+        let b = select_pivots(&data, 10, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        // Distinct points.
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = Dataset::new((0..1000i32).collect());
+        assert_ne!(select_pivots(&data, 20, 1), select_pivots(&data, 20, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn too_many_pivots_panics() {
+        let data = Dataset::new(vec![1i32, 2]);
+        let _ = select_pivots(&data, 3, 0);
+    }
+}

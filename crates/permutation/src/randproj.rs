@@ -1,0 +1,245 @@
+//! Classic random projections — the reference projection of Figures 2 & 3.
+//!
+//! The paper contrasts permutation-based projections with classic random
+//! projections, which preserve inner products and distances up to a linear
+//! relationship (Bingham & Mannila): panels 2a/2b and 3a/3b use random
+//! projections on SIFT (`L2`) and Wiki-sparse (cosine).
+//!
+//! * [`DenseRandomProjection`] — an explicit `k × d` Gaussian matrix with
+//!   `N(0, 1/k)` entries, applied to dense vectors;
+//! * [`SparseRandomProjection`] — for 10^5-dimensional sparse vectors the
+//!   explicit matrix is replaced by a seeded hash: each (dimension, row)
+//!   pair deterministically yields a Rademacher `±1/sqrt(k)` entry
+//!   (Achlioptas' database-friendly projection, same guarantees).
+
+use permsearch_core::rng::seeded_rng;
+use permsearch_spaces::SparseVector;
+
+use crate::perm::compute_ranks;
+use permsearch_core::Space;
+
+/// Standard-normal sample via the Box–Muller transform (the projection
+/// matrix does not warrant a dependency on a distributions crate).
+fn stat_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A map from points to low-dimensional dense vectors, used by the
+/// projection-quality experiments.
+pub trait Projector<P: ?Sized> {
+    /// Project a point into the target space.
+    fn project(&self, p: &P) -> Vec<f32>;
+    /// Target dimensionality.
+    fn dim(&self) -> usize;
+}
+
+/// Dense Gaussian random projection.
+#[derive(Debug, Clone)]
+pub struct DenseRandomProjection {
+    /// Row-major `k × d` matrix.
+    matrix: Vec<f32>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+impl DenseRandomProjection {
+    /// A `k = output_dim` projection for `input_dim`-dimensional vectors,
+    /// entries `N(0, 1/k)`, deterministic in `seed`.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && output_dim > 0);
+        let mut rng = seeded_rng(seed);
+        let scale = 1.0 / (output_dim as f64).sqrt();
+        let matrix = (0..input_dim * output_dim)
+            .map(|_| (stat_normal(&mut rng) * scale) as f32)
+            .collect();
+        Self {
+            matrix,
+            input_dim,
+            output_dim,
+        }
+    }
+}
+
+impl Projector<Vec<f32>> for DenseRandomProjection {
+    fn project(&self, p: &Vec<f32>) -> Vec<f32> {
+        assert_eq!(p.len(), self.input_dim, "input dimensionality mismatch");
+        let mut out = vec![0.0f32; self.output_dim];
+        for (j, row) in self.matrix.chunks(self.input_dim).enumerate() {
+            let mut acc = 0.0f32;
+            for i in 0..self.input_dim {
+                acc += row[i] * p[i];
+            }
+            out[j] = acc;
+        }
+        out
+    }
+    fn dim(&self) -> usize {
+        self.output_dim
+    }
+}
+
+/// Hash-based Rademacher projection for sparse vectors.
+#[derive(Debug, Clone)]
+pub struct SparseRandomProjection {
+    output_dim: usize,
+    seed: u64,
+}
+
+impl SparseRandomProjection {
+    /// A `k = output_dim` projection; entries are derived on the fly from
+    /// `seed`, so no `10^5 × k` matrix is materialized.
+    pub fn new(output_dim: usize, seed: u64) -> Self {
+        assert!(output_dim > 0);
+        Self { output_dim, seed }
+    }
+
+    /// splitmix64 — a high-quality 64-bit mixer for the (dim, row) key.
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Projector<SparseVector> for SparseRandomProjection {
+    fn project(&self, p: &SparseVector) -> Vec<f32> {
+        let k = self.output_dim;
+        let scale = 1.0 / (k as f32).sqrt();
+        let mut out = vec![0.0f32; k];
+        for (&idx, &val) in p.indices().iter().zip(p.values()) {
+            let base = Self::mix(self.seed ^ (u64::from(idx) << 20));
+            for (j, o) in out.iter_mut().enumerate() {
+                let h = Self::mix(base ^ j as u64);
+                let sign = if h & 1 == 0 { 1.0f32 } else { -1.0 };
+                *o += sign * scale * val;
+            }
+        }
+        out
+    }
+    fn dim(&self) -> usize {
+        self.output_dim
+    }
+}
+
+/// Permutation projector: maps a point to its rank vector (as `f32`s),
+/// the projection whose quality Figures 2c–2h and 3c–3i assess.
+pub struct PermutationProjector<P, S> {
+    pivots: Vec<P>,
+    space: S,
+}
+
+impl<P, S: Space<P>> PermutationProjector<P, S> {
+    /// Project via permutations over `pivots`.
+    pub fn new(pivots: Vec<P>, space: S) -> Self {
+        assert!(!pivots.is_empty());
+        Self { pivots, space }
+    }
+}
+
+impl<P, S: Space<P>> Projector<P> for PermutationProjector<P, S> {
+    fn project(&self, p: &P) -> Vec<f32> {
+        compute_ranks(&self.space, &self.pivots, p)
+            .into_iter()
+            .map(|r| r as f32)
+            .collect()
+    }
+    fn dim(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::Space;
+    use permsearch_datasets::{DenseGaussianMixture, Generator, ZipfTfIdf};
+    use permsearch_spaces::{CosineDistance, L2};
+
+    #[test]
+    fn dense_projection_preserves_l2_approximately() {
+        let gen = DenseGaussianMixture::new(64, 4, 0.3);
+        let pts = gen.generate(60, 1);
+        let proj = DenseRandomProjection::new(64, 32, 7);
+        let mut ratios = Vec::new();
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                let orig = L2.distance(&pts[i], &pts[j]);
+                let mapped = L2.distance(&proj.project(&pts[i]), &proj.project(&pts[j]));
+                if orig > 1e-3 {
+                    ratios.push((mapped / orig) as f64);
+                }
+            }
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        // Johnson–Lindenstrauss: ratios concentrate around 1.
+        assert!((mean - 1.0).abs() < 0.1, "mean ratio {mean}");
+        let var = ratios.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / ratios.len() as f64;
+        assert!(var < 0.05, "ratio variance {var}");
+    }
+
+    #[test]
+    fn sparse_projection_preserves_cosine_order() {
+        let gen = ZipfTfIdf::new(5_000, 60);
+        let docs = gen.generate(40, 2);
+        let proj = SparseRandomProjection::new(512, 9);
+        // Correlation between original and projected cosine distance must
+        // be strongly positive.
+        let mut orig = Vec::new();
+        let mut mapped = Vec::new();
+        let projected: Vec<Vec<f32>> = docs.iter().map(|d| proj.project(d)).collect();
+        let cos_dense = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            1.0 - dot / (na * nb).max(1e-9)
+        };
+        for i in 0..docs.len() {
+            for j in i + 1..docs.len() {
+                orig.push(CosineDistance.distance(&docs[i], &docs[j]) as f64);
+                mapped.push(cos_dense(&projected[i], &projected[j]) as f64);
+            }
+        }
+        let n = orig.len() as f64;
+        let mo = orig.iter().sum::<f64>() / n;
+        let mm = mapped.iter().sum::<f64>() / n;
+        let cov: f64 = orig
+            .iter()
+            .zip(&mapped)
+            .map(|(a, b)| (a - mo) * (b - mm))
+            .sum::<f64>();
+        let so: f64 = orig.iter().map(|a| (a - mo).powi(2)).sum::<f64>().sqrt();
+        let sm: f64 = mapped.iter().map(|b| (b - mm).powi(2)).sum::<f64>().sqrt();
+        let corr = cov / (so * sm).max(1e-12);
+        // TF-IDF cosine similarities are small, so projection noise is
+        // relatively large (visible as the vertical spread in the paper's
+        // Figure 2b); at k = 512 the rank correlation is solidly positive.
+        assert!(corr > 0.6, "correlation {corr}");
+    }
+
+    #[test]
+    fn permutation_projector_outputs_rank_vectors() {
+        let pivots = vec![vec![0.0f32, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        let proj = PermutationProjector::new(pivots, L2);
+        let v = proj.project(&vec![0.1f32, 0.1]);
+        assert_eq!(proj.dim(), 3);
+        let mut sorted = v.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(sorted, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn projections_are_deterministic() {
+        let p1 = DenseRandomProjection::new(8, 4, 5);
+        let p2 = DenseRandomProjection::new(8, 4, 5);
+        let x = vec![1.0f32; 8];
+        assert_eq!(p1.project(&x), p2.project(&x));
+
+        let sp = SparseRandomProjection::new(16, 3);
+        let doc = permsearch_spaces::SparseVector::new(vec![(1, 1.0), (99, 2.0)]);
+        assert_eq!(sp.project(&doc), sp.project(&doc));
+    }
+}

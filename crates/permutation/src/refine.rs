@@ -1,0 +1,62 @@
+//! The refine stage shared by every filter-and-refine method.
+
+use permsearch_core::{Dataset, KnnHeap, Neighbor, Space};
+
+/// Compare each candidate id to the query with the original distance and
+/// return the best `k`, sorted by increasing distance.
+///
+/// Duplicate candidate ids are tolerated (they cannot displace one another:
+/// a later duplicate fails the strict-improvement test in the heap... but to
+/// keep results clean we deduplicate defensively, which also matches what
+/// ScanCount-based merging produces).
+pub fn refine<P, S: Space<P>>(
+    data: &Dataset<P>,
+    space: &S,
+    query: &P,
+    candidates: impl IntoIterator<Item = u32>,
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    let mut last: Option<u32> = None;
+    for id in candidates {
+        // Cheap adjacent-duplicate guard; full dedup is the caller's job
+        // when candidate lists interleave.
+        if last == Some(id) {
+            continue;
+        }
+        last = Some(id);
+        heap.push(id, space.distance(data.get(id), query));
+    }
+    let mut out = heap.into_sorted();
+    out.dedup_by_key(|n| n.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_spaces::L2;
+
+    #[test]
+    fn refine_orders_by_original_distance() {
+        let data = Dataset::new(vec![vec![0.0f32], vec![10.0], vec![1.0], vec![5.0]]);
+        let res = refine(&data, &L2, &vec![0.2f32], [0u32, 1, 2, 3], 2);
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn refine_tolerates_duplicates_and_short_candidate_lists() {
+        let data = Dataset::new(vec![vec![0.0f32], vec![1.0]]);
+        let res = refine(&data, &L2, &vec![0.0f32], [1u32, 1, 1, 0], 5);
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].id, 0);
+    }
+
+    #[test]
+    fn refine_with_empty_candidates() {
+        let data = Dataset::new(vec![vec![0.0f32]]);
+        let res = refine(&data, &L2, &vec![0.0f32], std::iter::empty(), 3);
+        assert!(res.is_empty());
+    }
+}

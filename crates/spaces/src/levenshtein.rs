@@ -1,0 +1,169 @@
+//! Normalized Levenshtein distance over byte sequences (the DNA space).
+//!
+//! The paper samples ~32-character DNA substrings from the human genome and
+//! compares them with the *normalized* Levenshtein distance: the minimum
+//! number of insertions, deletions and substitutions divided by the maximum
+//! of the two lengths. The normalization makes the function non-metric, but
+//! on realistic data the triangle inequality is rarely violated (paper §3.5),
+//! which is why VP-tree pruning still works with a mild stretch.
+//!
+//! Implementation: the classic two-row dynamic program, `O(|x| · |y|)` time,
+//! `O(min)` memory, with a short-circuit for equal sequences and a
+//! `u16` cost row (sequences in this domain are far below 65k).
+
+use permsearch_core::Space;
+
+use crate::PointSize;
+
+/// A byte sequence point (DNA strings use the alphabet `ACGT`).
+pub type Sequence = Vec<u8>;
+
+/// Plain (unnormalized) edit distance between two byte slices.
+pub fn levenshtein(x: &[u8], y: &[u8]) -> u32 {
+    if x == y {
+        return 0;
+    }
+    // Keep the inner loop over the shorter sequence for cache friendliness.
+    let (s, t) = if x.len() <= y.len() { (x, y) } else { (y, x) };
+    if s.is_empty() {
+        return t.len() as u32;
+    }
+    debug_assert!(s.len() < u16::MAX as usize, "sequence too long for u16 DP");
+    let mut prev: Vec<u16> = (0..=s.len() as u16).collect();
+    let mut curr: Vec<u16> = vec![0; s.len() + 1];
+    for (j, &tj) in t.iter().enumerate() {
+        curr[0] = j as u16 + 1;
+        for (i, &si) in s.iter().enumerate() {
+            let sub = prev[i] + u16::from(si != tj);
+            let del = prev[i + 1] + 1;
+            let ins = curr[i] + 1;
+            curr[i + 1] = sub.min(del).min(ins);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[s.len()] as u32
+}
+
+/// The normalized Levenshtein distance
+/// `lev(x, y) / max(|x|, |y|)`, in `[0, 1]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalizedLevenshtein;
+
+impl Space<Sequence> for NormalizedLevenshtein {
+    fn distance(&self, x: &Sequence, y: &Sequence) -> f32 {
+        let max_len = x.len().max(y.len());
+        if max_len == 0 {
+            return 0.0;
+        }
+        levenshtein(x, y) as f32 / max_len as f32
+    }
+    fn name(&self) -> &'static str {
+        "norm-Levenshtein"
+    }
+}
+
+impl PointSize for Sequence {
+    fn point_size_bytes(&self) -> usize {
+        std::mem::size_of::<Sequence>() + self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"flaw", b"lawn"), 2);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+        assert_eq!(levenshtein(b"", b""), 0);
+        assert_eq!(levenshtein(b"ACGT", b"ACGT"), 0);
+    }
+
+    #[test]
+    fn single_edit_operations() {
+        assert_eq!(levenshtein(b"ACGT", b"AGGT"), 1); // substitution
+        assert_eq!(levenshtein(b"ACGT", b"ACGTT"), 1); // insertion
+        assert_eq!(levenshtein(b"ACGT", b"AGT"), 1); // deletion
+    }
+
+    #[test]
+    fn normalized_in_unit_interval() {
+        let d = NormalizedLevenshtein.distance(&b"AAAA".to_vec(), &b"TTTTTTTT".to_vec());
+        assert!((d - 1.0).abs() < 1e-6); // 8 edits / max len 8
+        assert_eq!(
+            NormalizedLevenshtein.distance(&Vec::new(), &Vec::new()),
+            0.0
+        );
+        assert_eq!(NormalizedLevenshtein.name(), "norm-Levenshtein");
+    }
+
+    #[test]
+    fn symmetric_regardless_of_argument_order() {
+        let a = b"GATTACA".to_vec();
+        let b = b"GCATGCU".to_vec();
+        assert_eq!(
+            NormalizedLevenshtein.distance(&a, &b),
+            NormalizedLevenshtein.distance(&b, &a)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            proptest::sample::select(vec![b'A', b'C', b'G', b'T']),
+            0..max_len,
+        )
+    }
+
+    /// Slow but obviously correct full-matrix reference.
+    fn reference(x: &[u8], y: &[u8]) -> u32 {
+        let mut dp = vec![vec![0u32; y.len() + 1]; x.len() + 1];
+        for (i, row) in dp.iter_mut().enumerate() {
+            row[0] = i as u32;
+        }
+        for (j, cell) in dp[0].iter_mut().enumerate() {
+            *cell = j as u32;
+        }
+        for i in 1..=x.len() {
+            for j in 1..=y.len() {
+                let sub = dp[i - 1][j - 1] + u32::from(x[i - 1] != y[j - 1]);
+                dp[i][j] = sub.min(dp[i - 1][j] + 1).min(dp[i][j - 1] + 1);
+            }
+        }
+        dp[x.len()][y.len()]
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_dp(x in dna(24), y in dna(24)) {
+            prop_assert_eq!(levenshtein(&x, &y), reference(&x, &y));
+        }
+
+        #[test]
+        fn bounded_by_length_difference_and_max_len(x in dna(24), y in dna(24)) {
+            let d = levenshtein(&x, &y);
+            prop_assert!(d as usize >= x.len().abs_diff(y.len()));
+            prop_assert!(d as usize <= x.len().max(y.len()));
+        }
+
+        #[test]
+        fn symmetric(x in dna(20), y in dna(20)) {
+            prop_assert_eq!(levenshtein(&x, &y), levenshtein(&y, &x));
+        }
+
+        #[test]
+        fn unnormalized_triangle_inequality(x in dna(12), y in dna(12), z in dna(12)) {
+            // Plain Levenshtein IS a metric; the normalized variant only
+            // approximately satisfies the triangle inequality.
+            prop_assert!(levenshtein(&x, &y) <= levenshtein(&x, &z) + levenshtein(&z, &y));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Distance functions and point types used in the paper's evaluation.
+//!
+//! The paper (§3.1, Table 1) evaluates seven dataset/distance combinations:
+//!
+//! | space | point type | module | properties |
+//! |---|---|---|---|
+//! | `L2` | dense `f32` vector | [`dense`] | metric, cheap |
+//! | `L1` | dense `f32` vector | [`dense`] | metric, cheap (used in the NAPP CoPhIR-L1 comparison) |
+//! | cosine distance | sparse TF-IDF vector | [`sparse`] | symmetric non-metric, ~5× `L2` cost |
+//! | KL-divergence | topic histogram | [`divergence`] | non-symmetric non-metric; as fast as `L2` with precomputed logs |
+//! | JS-divergence | topic histogram | [`divergence`] | symmetric non-metric, 10–20× `L2` cost |
+//! | normalized Levenshtein | byte sequence | [`levenshtein`] | approximately metric, expensive |
+//! | SQFD | feature signature | [`sqfd`] | metric, ~2 orders of magnitude slower than `L2` |
+//!
+//! Every space implements [`permsearch_core::Space`] with the left-query
+//! convention: `distance(data_point, query)`.
+
+pub mod dense;
+pub mod divergence;
+pub mod levenshtein;
+pub mod sparse;
+pub mod sqfd;
+
+pub use dense::{DenseVector, L1, L2};
+pub use divergence::{JsDivergence, KlDivergence, TopicHistogram};
+pub use levenshtein::{NormalizedLevenshtein, Sequence};
+pub use sparse::{CosineDistance, SparseVector};
+pub use sqfd::{Signature, SignatureCluster, Sqfd, FEATURE_DIM};
+
+/// Estimate the in-memory size in bytes of a point, used to regenerate
+/// Table 1's "in-memory size" column.
+pub trait PointSize {
+    /// Approximate heap + inline footprint of this point in bytes.
+    fn point_size_bytes(&self) -> usize;
+}
+
+impl PointSize for Vec<f32> {
+    fn point_size_bytes(&self) -> usize {
+        std::mem::size_of::<Vec<f32>>() + self.len() * 4
+    }
+}

@@ -1,0 +1,257 @@
+//! Signature Quadratic Form Distance (the ImageNet space).
+//!
+//! Following Beecks (paper reference \[4\]), each image is represented by a
+//! *feature signature*: a small set of weighted cluster representatives in a
+//! 7-dimensional feature space (3 color, 2 position, 2 texture dimensions),
+//! obtained by running k-means over ~10^4 sampled pixels.
+//!
+//! Given signatures `x = {(c_i, w_i)}` and `y = {(d_j, v_j)}`, SQFD
+//! concatenates the weight vectors as `(w | -v)` and evaluates
+//!
+//! ```text
+//! SQFD(x, y) = sqrt( (w | -v)  A  (w | -v)^T )
+//! ```
+//!
+//! where `A` is the pairwise similarity matrix of all cluster
+//! representatives, recomputed per pair with the heuristic similarity
+//! `f(a, b) = 1 / (α + L2(a, b))`. The cost is quadratic in the number of
+//! clusters — nearly two orders of magnitude slower than `L2`, which is the
+//! paper's prime example of an *expensive* distance where brute-force
+//! permutation filtering shines.
+
+use permsearch_core::Space;
+
+use crate::dense::squared_l2;
+use crate::PointSize;
+
+/// Dimensionality of the Beecks feature space (3 color + 2 position +
+/// 2 texture).
+pub const FEATURE_DIM: usize = 7;
+
+/// One weighted cluster of a feature signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignatureCluster {
+    /// Cluster centroid in the 7-d feature space.
+    pub centroid: [f32; FEATURE_DIM],
+    /// Cluster weight: fraction of image pixels assigned to the cluster.
+    pub weight: f32,
+}
+
+/// A feature signature: a set of weighted clusters. Signatures of different
+/// images may have different numbers of clusters (the "infinite-dimensional
+/// space with finitely many non-zero elements" view in the paper).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Signature {
+    clusters: Vec<SignatureCluster>,
+}
+
+impl Signature {
+    /// Build a signature from clusters. Weights must be non-negative.
+    pub fn new(clusters: Vec<SignatureCluster>) -> Self {
+        assert!(
+            clusters.iter().all(|c| c.weight >= 0.0),
+            "cluster weights must be non-negative"
+        );
+        Self { clusters }
+    }
+
+    /// The signature's clusters.
+    pub fn clusters(&self) -> &[SignatureCluster] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// True when the signature has no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+}
+
+impl PointSize for Signature {
+    fn point_size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.clusters.len() * std::mem::size_of::<SignatureCluster>()
+    }
+}
+
+/// The Signature Quadratic Form Distance with the similarity kernel
+/// `f(a, b) = 1 / (alpha + L2(a, b))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sqfd {
+    /// Kernel offset; Beecks uses `α = 1` for this family. Must be positive
+    /// (it keeps the kernel bounded and positive definite in practice).
+    pub alpha: f32,
+}
+
+impl Default for Sqfd {
+    fn default() -> Self {
+        Self { alpha: 1.0 }
+    }
+}
+
+impl Sqfd {
+    /// Construct with a custom kernel offset.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        Self { alpha }
+    }
+
+    #[inline]
+    fn sim(&self, a: &[f32; FEATURE_DIM], b: &[f32; FEATURE_DIM]) -> f32 {
+        1.0 / (self.alpha + squared_l2(a, b).sqrt())
+    }
+}
+
+impl Space<Signature> for Sqfd {
+    fn distance(&self, x: &Signature, y: &Signature) -> f32 {
+        // Quadratic form (w|-v) A (w|-v)^T expanded into three blocks:
+        //   Σ_ij w_i w_j f(c_i, c_j)   (x-x block)
+        // + Σ_ij v_i v_j f(d_i, d_j)   (y-y block)
+        // - 2 Σ_ij w_i v_j f(c_i, d_j) (cross block)
+        let xs = x.clusters();
+        let ys = y.clusters();
+        let mut xx = 0.0f32;
+        for i in 0..xs.len() {
+            // Diagonal term plus symmetric off-diagonal doubled.
+            xx += xs[i].weight * xs[i].weight * self.sim(&xs[i].centroid, &xs[i].centroid);
+            for j in i + 1..xs.len() {
+                xx +=
+                    2.0 * xs[i].weight * xs[j].weight * self.sim(&xs[i].centroid, &xs[j].centroid);
+            }
+        }
+        let mut yy = 0.0f32;
+        for i in 0..ys.len() {
+            yy += ys[i].weight * ys[i].weight * self.sim(&ys[i].centroid, &ys[i].centroid);
+            for j in i + 1..ys.len() {
+                yy +=
+                    2.0 * ys[i].weight * ys[j].weight * self.sim(&ys[i].centroid, &ys[j].centroid);
+            }
+        }
+        let mut cross = 0.0f32;
+        for cx in xs {
+            for cy in ys {
+                cross += cx.weight * cy.weight * self.sim(&cx.centroid, &cy.centroid);
+            }
+        }
+        (xx + yy - 2.0 * cross).max(0.0).sqrt()
+    }
+    fn name(&self) -> &'static str {
+        "SQFD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(centroid_seed: f32, weight: f32) -> SignatureCluster {
+        let mut centroid = [0.0f32; FEATURE_DIM];
+        for (i, c) in centroid.iter_mut().enumerate() {
+            *c = centroid_seed + i as f32 * 0.1;
+        }
+        SignatureCluster { centroid, weight }
+    }
+
+    #[test]
+    fn identical_signatures_have_zero_distance() {
+        let s = Signature::new(vec![cluster(0.0, 0.6), cluster(1.0, 0.4)]);
+        let d = Sqfd::default().distance(&s, &s);
+        assert!(d.abs() < 1e-3, "self distance {d} not ~0");
+    }
+
+    #[test]
+    fn distance_grows_with_centroid_separation() {
+        let a = Signature::new(vec![cluster(0.0, 1.0)]);
+        let near = Signature::new(vec![cluster(0.1, 1.0)]);
+        let far = Signature::new(vec![cluster(5.0, 1.0)]);
+        let sq = Sqfd::default();
+        assert!(sq.distance(&a, &near) < sq.distance(&a, &far));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Signature::new(vec![cluster(0.0, 0.5), cluster(2.0, 0.5)]);
+        let b = Signature::new(vec![cluster(1.0, 0.7), cluster(3.0, 0.3)]);
+        let sq = Sqfd::default();
+        assert!((sq.distance(&a, &b) - sq.distance(&b, &a)).abs() < 1e-5);
+        assert!(sq.is_symmetric());
+    }
+
+    #[test]
+    fn different_cluster_counts_are_supported() {
+        let a = Signature::new(vec![cluster(0.0, 1.0)]);
+        let b = Signature::new(vec![
+            cluster(0.0, 0.3),
+            cluster(1.0, 0.3),
+            cluster(2.0, 0.4),
+        ]);
+        let d = Sqfd::default().distance(&a, &b);
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn empty_signature_distance() {
+        let e = Signature::default();
+        let a = Signature::new(vec![cluster(0.0, 1.0)]);
+        assert_eq!(Sqfd::default().distance(&e, &e), 0.0);
+        assert!(Sqfd::default().distance(&e, &a) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let _ = Signature::new(vec![cluster(0.0, -0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn non_positive_alpha_panics() {
+        let _ = Sqfd::new(0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn signature() -> impl Strategy<Value = Signature> {
+        proptest::collection::vec(
+            (proptest::array::uniform7(-2.0f32..2.0), 0.01f32..1.0),
+            1..6,
+        )
+        .prop_map(|cs| {
+            Signature::new(
+                cs.into_iter()
+                    .map(|(centroid, weight)| SignatureCluster { centroid, weight })
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn non_negative_and_symmetric(a in signature(), b in signature()) {
+            let sq = Sqfd::default();
+            let d = sq.distance(&a, &b);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - sq.distance(&b, &a)).abs() < 1e-3);
+        }
+
+        #[test]
+        fn triangle_inequality_holds(a in signature(), b in signature(), c in signature()) {
+            // SQFD with a positive-definite kernel is a metric; the 1/(1+d)
+            // kernel behaves as one on this data range.
+            let sq = Sqfd::default();
+            let ab = sq.distance(&a, &b);
+            let ac = sq.distance(&a, &c);
+            let cb = sq.distance(&c, &b);
+            prop_assert!(ab <= ac + cb + 1e-3);
+        }
+    }
+}

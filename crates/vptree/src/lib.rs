@@ -1,0 +1,418 @@
+//! VP-tree with metric and polynomial non-metric pruning (paper §3.2).
+//!
+//! The vantage-point tree (Yianilos, Uhlmann) recursively partitions the
+//! space around a randomly chosen pivot `π`: the median distance `R` from
+//! `π` to the points of the current partition defines a ball; inner points
+//! go to the left subtree, outer points to the right. Partitioning stops at
+//! buckets of `b` points, which are scanned sequentially.
+//!
+//! k-NN search is simulated as a range search with a shrinking radius `r`
+//! (the distance of the current k-th best result):
+//!
+//! * **metric pruning** — if the query is inside the ball and
+//!   `R − d(π, q) > r`, the right subtree cannot contain an answer (and
+//!   symmetrically for the left subtree);
+//! * **polynomial pruning** (this paper's non-metric rule) — the right
+//!   subtree is pruned when `α_left · (R − d(π, q))^β > r`, the left when
+//!   `α_right · (d(π, q) − R)^β > r`. With `α = 1, β = 1` this degenerates
+//!   to the metric rule; `β = 2` is used for the KL-divergence and the
+//!   optimal `α`s are found by a shrinking grid search on a data sample
+//!   ([`tune`]).
+
+pub mod tune;
+
+use std::sync::Arc;
+
+use permsearch_core::rng::seeded_rng;
+use permsearch_core::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
+use rand::Rng;
+
+pub use tune::{tune_alphas, TuneResult};
+
+/// Pruning rule applied during traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pruner {
+    /// Exact triangle-inequality pruning (metric spaces only).
+    Metric,
+    /// The paper's polynomial pruner for generic spaces.
+    Polynomial {
+        /// Stretch factor when the query falls inside the pivot ball.
+        alpha_left: f32,
+        /// Stretch factor when the query falls outside the pivot ball.
+        alpha_right: f32,
+        /// Polynomial degree β (2 for the KL-divergence, 1 otherwise).
+        beta: u32,
+    },
+}
+
+impl Pruner {
+    /// Polynomial pruner with `α = 1` on both sides.
+    pub fn polynomial(beta: u32) -> Self {
+        Pruner::Polynomial {
+            alpha_left: 1.0,
+            alpha_right: 1.0,
+            beta,
+        }
+    }
+}
+
+/// VP-tree construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VpTreeParams {
+    /// Bucket size `b`: partitions smaller than this become leaves.
+    pub bucket_size: usize,
+    /// The pruning rule used at query time.
+    pub pruner: Pruner,
+}
+
+impl Default for VpTreeParams {
+    fn default() -> Self {
+        Self {
+            bucket_size: 32,
+            pruner: Pruner::Metric,
+        }
+    }
+}
+
+enum Node {
+    Internal {
+        pivot: u32,
+        radius: f32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        /// Range into the `bucket_ids` arena.
+        start: u32,
+        end: u32,
+    },
+}
+
+/// The VP-tree index.
+pub struct VpTree<P, S> {
+    data: Arc<Dataset<P>>,
+    space: S,
+    nodes: Vec<Node>,
+    /// All bucket point ids, stored contiguously ("all points in a bucket
+    /// are stored in the same chunk of memory", paper §3.2).
+    bucket_ids: Vec<u32>,
+    params: VpTreeParams,
+    root: u32,
+}
+
+impl<P, S> VpTree<P, S>
+where
+    S: Space<P>,
+{
+    /// Build the tree over `data`; pivots are chosen uniformly at random
+    /// (deterministic in `seed`).
+    pub fn build(data: Arc<Dataset<P>>, space: S, params: VpTreeParams, seed: u64) -> Self {
+        assert!(params.bucket_size >= 1, "bucket size must be positive");
+        let mut ids: Vec<u32> = (0..data.len() as u32).collect();
+        let mut tree = Self {
+            data,
+            space,
+            nodes: Vec::new(),
+            bucket_ids: Vec::new(),
+            params,
+            root: 0,
+        };
+        let mut rng = seeded_rng(seed);
+        let n = ids.len();
+        tree.root = tree.build_node(&mut ids[..], n, &mut rng);
+        tree
+    }
+
+    fn build_node<R: Rng>(&mut self, ids: &mut [u32], _n: usize, rng: &mut R) -> u32 {
+        if ids.len() <= self.params.bucket_size {
+            let start = self.bucket_ids.len() as u32;
+            self.bucket_ids.extend_from_slice(ids);
+            let end = self.bucket_ids.len() as u32;
+            self.nodes.push(Node::Leaf { start, end });
+            return (self.nodes.len() - 1) as u32;
+        }
+        // Random vantage point; move it out of the partition.
+        let pick = rng.gen_range(0..ids.len());
+        ids.swap(0, pick);
+        let pivot = ids[0];
+        let rest = &mut ids[1..];
+        let pivot_point = self.data.get(pivot);
+        // Median distance from the pivot (pivot plays the data role, the
+        // partition point the query role — consistent with query-time
+        // d(π, q)).
+        let mut dists: Vec<(f32, u32)> = rest
+            .iter()
+            .map(|&id| (self.space.distance(pivot_point, self.data.get(id)), id))
+            .collect();
+        let mid = dists.len() / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.0.total_cmp(&b.0));
+        let radius = dists[mid].0;
+        for (slot, &(_, id)) in rest.iter_mut().zip(dists.iter()) {
+            *slot = id;
+        }
+        // Split: [0, mid) inner (points exactly at distance R may land on
+        // either side, which the paper explicitly allows), [mid, len)
+        // outer. The pivot itself is reported at this internal node during
+        // traversal, so it belongs to neither subtree.
+        let (inner, outer) = rest.split_at_mut(mid);
+        let left = self.build_node(inner, _n, rng);
+        let right = self.build_node(outer, _n, rng);
+        self.nodes.push(Node::Internal {
+            pivot,
+            radius,
+            left,
+            right,
+        });
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn search_node(&self, node: u32, query: &P, heap: &mut KnnHeap) {
+        match &self.nodes[node as usize] {
+            Node::Leaf { start, end } => {
+                for &id in &self.bucket_ids[*start as usize..*end as usize] {
+                    heap.push(id, self.space.distance(self.data.get(id), query));
+                }
+            }
+            Node::Internal {
+                pivot,
+                radius,
+                left,
+                right,
+            } => {
+                let d = self.space.distance(self.data.get(*pivot), query);
+                heap.push(*pivot, d);
+                let diff = radius - d;
+                // Visit the subspace containing the query first so the
+                // radius shrinks before the pruning test on the far side.
+                let (first, second) = if diff >= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.search_node(first, query, heap);
+                if !self.prunes(diff.abs(), diff >= 0.0, heap.radius()) {
+                    self.search_node(second, query, heap);
+                }
+            }
+        }
+    }
+
+    /// Whether the far subtree can be pruned given the margin
+    /// `|R − d(π, q)|` and the current query radius `r`.
+    #[inline]
+    fn prunes(&self, margin: f32, query_inside: bool, r: f32) -> bool {
+        if r == f32::INFINITY {
+            return false;
+        }
+        match self.params.pruner {
+            Pruner::Metric => margin > r,
+            Pruner::Polynomial {
+                alpha_left,
+                alpha_right,
+                beta,
+            } => {
+                let alpha = if query_inside {
+                    alpha_left
+                } else {
+                    alpha_right
+                };
+                alpha * margin.powi(beta as i32) > r
+            }
+        }
+    }
+
+    /// The parameters the tree was built with.
+    pub fn params(&self) -> &VpTreeParams {
+        &self.params
+    }
+
+    /// Number of tree nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl<P, S> SearchIndex<P> for VpTree<P, S>
+where
+    P: Send + Sync,
+    S: Space<P>,
+{
+    fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        self.search_node(self.root, query, &mut heap);
+        heap.into_sorted()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "vp-tree"
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>() + self.bucket_ids.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::ExhaustiveSearch;
+    use permsearch_datasets::{DenseGaussianMixture, DirichletTopics, Generator};
+    use permsearch_spaces::{KlDivergence, L2};
+
+    fn dense_world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+        let gen = DenseGaussianMixture::new(8, 5, 0.2);
+        let data = Arc::new(Dataset::new(gen.generate(1500, 61)));
+        let queries = gen.generate(30, 117);
+        (data, queries)
+    }
+
+    #[test]
+    fn metric_pruning_is_exact_for_l2() {
+        let (data, queries) = dense_world();
+        let tree = VpTree::build(data.clone(), L2, VpTreeParams::default(), 1);
+        let exact = ExhaustiveSearch::new(data.clone(), L2);
+        for q in &queries {
+            let t = tree.search(q, 10);
+            let e = exact.search(q, 10);
+            let t_ids: Vec<u32> = t.iter().map(|n| n.id).collect();
+            let e_ids: Vec<u32> = e.iter().map(|n| n.id).collect();
+            assert_eq!(t_ids, e_ids, "VP-tree with metric pruning must be exact");
+        }
+    }
+
+    #[test]
+    fn polynomial_alpha_one_beta_one_equals_metric() {
+        let (data, queries) = dense_world();
+        let metric = VpTree::build(data.clone(), L2, VpTreeParams::default(), 7);
+        let poly = VpTree::build(
+            data.clone(),
+            L2,
+            VpTreeParams {
+                bucket_size: 32,
+                pruner: Pruner::polynomial(1),
+            },
+            7,
+        );
+        for q in &queries {
+            let a: Vec<u32> = metric.search(q, 5).iter().map(|n| n.id).collect();
+            let b: Vec<u32> = poly.search(q, 5).iter().map(|n| n.id).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn larger_alpha_prunes_more_and_can_lose_recall() {
+        let (data, queries) = dense_world();
+        let aggressive = VpTree::build(
+            data.clone(),
+            L2,
+            VpTreeParams {
+                bucket_size: 32,
+                pruner: Pruner::Polynomial {
+                    alpha_left: 50.0,
+                    alpha_right: 50.0,
+                    beta: 1,
+                },
+            },
+            7,
+        );
+        let exact = ExhaustiveSearch::new(data.clone(), L2);
+        let mut total = 0.0;
+        for q in &queries {
+            let truth: Vec<u32> = exact.search(q, 10).iter().map(|n| n.id).collect();
+            let res = aggressive.search(q, 10);
+            total += truth
+                .iter()
+                .filter(|t| res.iter().any(|n| n.id == **t))
+                .count() as f64
+                / 10.0;
+        }
+        let recall = total / queries.len() as f64;
+        // Aggressive stretching is allowed to be (very) approximate, but
+        // the traversal must still reach the query's own neighborhood.
+        assert!(recall > 0.05, "recall collapsed: {recall}");
+        assert!(recall < 1.0, "alpha = 50 should actually prune something");
+    }
+
+    #[test]
+    fn works_on_non_metric_kl() {
+        let gen = DirichletTopics::new(8, 0.35);
+        let data = Arc::new(Dataset::new(gen.generate(1000, 71)));
+        let queries = gen.generate(20, 127);
+        let tree = VpTree::build(
+            data.clone(),
+            KlDivergence,
+            VpTreeParams {
+                bucket_size: 16,
+                pruner: Pruner::Polynomial {
+                    alpha_left: 0.5,
+                    alpha_right: 0.5,
+                    beta: 2,
+                },
+            },
+            9,
+        );
+        let exact = ExhaustiveSearch::new(data.clone(), KlDivergence);
+        let mut total = 0.0;
+        for q in &queries {
+            let truth: Vec<u32> = exact.search(q, 10).iter().map(|n| n.id).collect();
+            let res = tree.search(q, 10);
+            total += truth
+                .iter()
+                .filter(|t| res.iter().any(|n| n.id == **t))
+                .count() as f64
+                / 10.0;
+        }
+        let recall = total / queries.len() as f64;
+        assert!(recall > 0.7, "KL recall {recall}");
+    }
+
+    #[test]
+    fn every_point_is_reachable() {
+        let (data, _) = dense_world();
+        let tree = VpTree::build(data.clone(), L2, VpTreeParams::default(), 3);
+        // k = n returns everything exactly once.
+        let res = tree.search(data.get(0), data.len());
+        assert_eq!(res.len(), data.len());
+        let mut ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), data.len());
+    }
+
+    #[test]
+    fn bucket_size_one_and_tiny_datasets() {
+        for n in [1usize, 2, 3, 7] {
+            let gen = DenseGaussianMixture::new(4, 2, 0.3);
+            let data = Arc::new(Dataset::new(gen.generate(n, 5)));
+            let tree = VpTree::build(
+                data.clone(),
+                L2,
+                VpTreeParams {
+                    bucket_size: 1,
+                    pruner: Pruner::Metric,
+                },
+                1,
+            );
+            let res = tree.search(data.get(0), n);
+            assert_eq!(res.len(), n, "n={n}");
+            assert_eq!(res[0].id, 0);
+        }
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let data: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::default());
+        let tree = VpTree::build(data, L2, VpTreeParams::default(), 0);
+        assert!(tree.search(&vec![0.0f32; 4], 5).is_empty());
+        assert_eq!(tree.name(), "vp-tree");
+        assert!(tree.index_size_bytes() > 0);
+    }
+}

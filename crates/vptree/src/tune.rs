@@ -1,0 +1,177 @@
+//! Auto-tuning of the polynomial pruner (paper §3.2).
+//!
+//! "The optimal parameters α_left and α_right can be found by a trivial
+//! grid-search-like procedure with a shrinking grid step (using a subset of
+//! data)." This module implements that procedure: on a sample of the data,
+//! evaluate recall and the number of distance computations for a grid of
+//! `α` values, keep the largest `α` (most aggressive pruning → fewest
+//! distance computations) whose recall stays above the target, then repeat
+//! with a finer grid around the winner.
+
+use std::sync::Arc;
+
+use permsearch_core::rng::{sample_distinct, seeded_rng};
+use permsearch_core::{Dataset, ExhaustiveSearch, SearchIndex, Space};
+
+use crate::{Pruner, VpTree, VpTreeParams};
+
+/// Outcome of a tuning run.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneResult {
+    /// Chosen stretch factor for the inside-the-ball test.
+    pub alpha_left: f32,
+    /// Chosen stretch factor for the outside test.
+    pub alpha_right: f32,
+    /// Polynomial degree (passed through).
+    pub beta: u32,
+    /// Recall measured at the chosen parameters on the tuning sample.
+    pub recall: f64,
+}
+
+impl TuneResult {
+    /// The pruner described by this result.
+    pub fn pruner(&self) -> Pruner {
+        Pruner::Polynomial {
+            alpha_left: self.alpha_left,
+            alpha_right: self.alpha_right,
+            beta: self.beta,
+        }
+    }
+}
+
+/// Find `α` (shared by both sides, as a symmetric stretch is what the
+/// paper's procedure converges to on symmetric-enough data) via a shrinking
+/// grid search on a sample.
+///
+/// * `sample_size` data points are indexed, `num_queries` additional points
+///   are used as queries;
+/// * recall@`k` is measured against exact search;
+/// * among the grid points with recall ≥ `target_recall`, the largest `α`
+///   wins; two refinement rounds shrink the step around the winner.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_alphas<P, S>(
+    data: &Arc<Dataset<P>>,
+    space: S,
+    beta: u32,
+    target_recall: f64,
+    sample_size: usize,
+    num_queries: usize,
+    k: usize,
+    seed: u64,
+) -> TuneResult
+where
+    P: Clone + Send + Sync,
+    S: Space<P> + Clone,
+{
+    assert!(target_recall > 0.0 && target_recall <= 1.0);
+    let mut rng = seeded_rng(seed);
+    let total = data.len();
+    let wanted = (sample_size + num_queries).min(total);
+    let ids = sample_distinct(&mut rng, total, wanted);
+    let (query_ids, sample_ids) = ids.split_at(num_queries.min(wanted / 2));
+    let sample: Vec<P> = sample_ids.iter().map(|&i| data.get(i).clone()).collect();
+    let queries: Vec<P> = query_ids.iter().map(|&i| data.get(i).clone()).collect();
+    let sample = Arc::new(Dataset::new(sample));
+
+    let exact = ExhaustiveSearch::new(sample.clone(), space.clone());
+    let truths: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| exact.search(q, k).iter().map(|n| n.id).collect())
+        .collect();
+
+    let eval = |alpha: f32| -> f64 {
+        let tree = VpTree::build(
+            sample.clone(),
+            space.clone(),
+            VpTreeParams {
+                bucket_size: 16,
+                pruner: Pruner::Polynomial {
+                    alpha_left: alpha,
+                    alpha_right: alpha,
+                    beta,
+                },
+            },
+            seed,
+        );
+        let mut total = 0.0;
+        for (q, truth) in queries.iter().zip(&truths) {
+            if truth.is_empty() {
+                continue;
+            }
+            let res = tree.search(q, k);
+            total += truth
+                .iter()
+                .filter(|t| res.iter().any(|n| n.id == **t))
+                .count() as f64
+                / truth.len() as f64;
+        }
+        total / queries.len().max(1) as f64
+    };
+
+    // Coarse exponential grid, then two shrinking refinement rounds.
+    let mut best_alpha = 2.0_f32.powi(-8);
+    let mut best_recall = 1.0;
+    let coarse: Vec<f32> = (-8..=8).map(|e| 2.0_f32.powi(e)).collect();
+    for &alpha in &coarse {
+        let r = eval(alpha);
+        if r >= target_recall && alpha > best_alpha {
+            best_alpha = alpha;
+            best_recall = r;
+        }
+    }
+    let mut step = best_alpha; // refine in [best, best * 2)
+    for _ in 0..2 {
+        step *= 0.5;
+        let candidate = best_alpha + step;
+        let r = eval(candidate);
+        if r >= target_recall {
+            best_alpha = candidate;
+            best_recall = r;
+        }
+    }
+    TuneResult {
+        alpha_left: best_alpha,
+        alpha_right: best_alpha,
+        beta,
+        recall: best_recall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_datasets::{DirichletTopics, Generator};
+    use permsearch_spaces::KlDivergence;
+
+    #[test]
+    fn tuning_meets_target_recall_on_kl() {
+        let gen = DirichletTopics::new(8, 0.35);
+        let data = Arc::new(Dataset::new(gen.generate(1200, 3)));
+        let result = tune_alphas(&data, KlDivergence, 2, 0.85, 600, 30, 10, 11);
+        assert!(
+            result.recall >= 0.85,
+            "tuned recall {} below target",
+            result.recall
+        );
+        assert!(result.alpha_left > 0.0);
+        assert_eq!(result.beta, 2);
+        match result.pruner() {
+            Pruner::Polynomial { beta, .. } => assert_eq!(beta, 2),
+            _ => panic!("expected polynomial pruner"),
+        }
+    }
+
+    #[test]
+    fn higher_target_yields_smaller_or_equal_alpha() {
+        let gen = DirichletTopics::new(8, 0.35);
+        let data = Arc::new(Dataset::new(gen.generate(1000, 5)));
+        let strict = tune_alphas(&data, KlDivergence, 2, 0.95, 500, 25, 10, 11);
+        let loose = tune_alphas(&data, KlDivergence, 2, 0.6, 500, 25, 10, 11);
+        assert!(
+            strict.alpha_left <= loose.alpha_left,
+            "strict {} loose {}",
+            strict.alpha_left,
+            loose.alpha_left
+        );
+    }
+}

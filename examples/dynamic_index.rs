@@ -1,0 +1,105 @@
+//! Online index maintenance — the paper's §3.5 argument that inverted-file
+//! permutation methods are "database friendly": insertion and deletion are
+//! cheap local operations, unlike a VP-tree rebuild.
+//!
+//! Simulates a live collection: bootstrap an index, stream inserts and
+//! deletes, and verify queries stay correct throughout, with periodic
+//! compaction reclaiming tombstoned postings.
+//!
+//! ```text
+//! cargo run --release --example dynamic_index
+//! ```
+
+use std::time::Instant;
+
+use permsearch::core::{Dataset, SearchIndex, Space};
+use permsearch::datasets::Generator;
+use permsearch::permutation::{select_pivots, DynamicNapp, NappParams};
+use permsearch::spaces::L2;
+
+fn main() {
+    let gen = permsearch::datasets::sift_like();
+    let stream = gen.generate(30_000, 42);
+    let (bootstrap, live_stream) = stream.split_at(10_000);
+
+    // Pivots come from the bootstrap sample; the index starts empty.
+    let pivot_pool = Dataset::new(bootstrap.to_vec());
+    let pivots = select_pivots(&pivot_pool, 512, 7);
+    let mut index = DynamicNapp::new(
+        L2,
+        pivots,
+        NappParams {
+            num_pivots: 512,
+            num_indexed: 32,
+            min_shared: 4,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+
+    // Phase 1: bulk-load the bootstrap set.
+    let t = Instant::now();
+    for p in bootstrap {
+        index.insert(p.clone());
+    }
+    println!(
+        "bulk insert: {} points in {:.1}s ({:.0} inserts/s)",
+        index.live_len(),
+        t.elapsed().as_secs_f64(),
+        index.live_len() as f64 / t.elapsed().as_secs_f64()
+    );
+
+    // Phase 2: interleave inserts, deletes and queries.
+    let t = Instant::now();
+    let mut deletes = 0usize;
+    let mut inserted: Vec<u32> = (0..10_000).collect();
+    for (i, p) in live_stream.iter().take(10_000).enumerate() {
+        let id = index.insert(p.clone());
+        inserted.push(id);
+        if i % 3 == 0 {
+            // Delete the oldest live record (sliding-window workload).
+            let victim = inserted.remove(0);
+            index.remove(victim);
+            deletes += 1;
+        }
+        if i % 2_500 == 0 {
+            let q = &live_stream[i];
+            let res = index.search(q, 10);
+            assert_eq!(res[0].dist, 0.0, "the just-inserted point is its own NN");
+            println!(
+                "  after {:>5} ops: {} live, {} garbage postings, 1-NN dist {:.3}",
+                i + 1,
+                index.live_len(),
+                index.garbage_len(),
+                res[0].dist
+            );
+        }
+    }
+    println!(
+        "streamed 10k inserts + {deletes} deletes in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
+
+    // Phase 3: compaction.
+    let before = index.index_size_bytes();
+    let t = Instant::now();
+    index.compact();
+    println!(
+        "compaction: {} -> {} KiB in {:.0}ms",
+        before / 1024,
+        index.index_size_bytes() / 1024,
+        t.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Final sanity: a fresh query still refines correctly.
+    let q = &live_stream[5];
+    let res = index.search(q, 5);
+    for n in &res {
+        let _ = L2.distance(q, q);
+        assert!(n.dist >= 0.0);
+    }
+    println!(
+        "final 5-NN of a live point: {:?}",
+        res.iter().map(|n| n.id).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,76 @@
+//! Quickstart: build a NAPP index over dense vectors and answer 10-NN
+//! queries, comparing recall and speed against exact brute-force search.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch::core::{Dataset, ExhaustiveSearch, SearchIndex};
+use permsearch::datasets::Generator;
+use permsearch::permutation::{Napp, NappParams};
+use permsearch::spaces::L2;
+
+fn main() {
+    // 1. Data: 20k SIFT-like 128-d descriptors plus 100 queries.
+    let gen = permsearch::datasets::sift_like();
+    let mut points = gen.generate(20_100, 42);
+    let queries = points.split_off(20_000);
+    let data = Arc::new(Dataset::new(points));
+    println!("indexed {} vectors, {} queries", data.len(), queries.len());
+
+    // 2. Exact baseline.
+    let exact = ExhaustiveSearch::new(data.clone(), L2);
+    let t = Instant::now();
+    let gold: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| exact.search(q, 10).iter().map(|n| n.id).collect())
+        .collect();
+    let brute = t.elapsed().as_secs_f64() / queries.len() as f64;
+    println!("brute force: {:.2} ms/query", brute * 1e3);
+
+    // 3. NAPP indexes: 512 pivots, 32 indexed per point; the shared-pivot
+    //    threshold t trades recall for speed (paper §3.2).
+    for min_shared in [2u32, 4, 8] {
+        let t = Instant::now();
+        let napp = Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 512,
+                num_indexed: 32,
+                min_shared,
+                threads: 4,
+                ..Default::default()
+            },
+            7,
+        );
+        let built = t.elapsed().as_secs_f64();
+
+        // 4. Query and score.
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| napp.search(q, 10).iter().map(|n| n.id).collect())
+            .collect();
+        let per_query = t.elapsed().as_secs_f64() / queries.len() as f64;
+
+        let recall: f64 = gold
+            .iter()
+            .zip(&results)
+            .map(|(truth, res)| {
+                truth.iter().filter(|t| res.contains(t)).count() as f64 / truth.len() as f64
+            })
+            .sum::<f64>()
+            / queries.len() as f64;
+
+        println!(
+            "NAPP(t={min_shared}): built {built:.1}s, {:.2} ms/query, recall {recall:.3}, \
+             {:.1}x faster than brute force",
+            per_query * 1e3,
+            brute / per_query
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: every index implementation answers the same
+//! queries over the same dataset with valid, consistently ordered results,
+//! and the exact methods agree with brute force.
+
+use std::sync::Arc;
+
+use permsearch::core::{Dataset, ExhaustiveSearch, Neighbor, SearchIndex, Space};
+use permsearch::datasets::{DenseGaussianMixture, Generator};
+use permsearch::knngraph::{nndescent, NnDescentParams, SwGraph, SwGraphParams};
+use permsearch::lsh::{MpLsh, MpLshParams};
+use permsearch::permutation::{
+    select_pivots, BruteForceBinFilter, BruteForcePermFilter, MiFile, MiFileParams, Napp,
+    NappParams, OmedRank, OmedRankParams, PermDistanceKind, PpIndex, PpIndexParams,
+};
+use permsearch::spaces::L2;
+use permsearch::vptree::{VpTree, VpTreeParams};
+
+fn world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    let gen = DenseGaussianMixture::new(12, 5, 0.2);
+    (
+        Arc::new(Dataset::new(gen.generate(1200, 3))),
+        gen.generate(15, 5),
+    )
+}
+
+fn assert_valid(results: &[Neighbor], data: &Dataset<Vec<f32>>, query: &Vec<f32>, k: usize) {
+    assert!(results.len() <= k);
+    // Sorted by distance.
+    assert!(results.windows(2).all(|w| w[0].dist <= w[1].dist));
+    // Unique ids within range, distances match recomputation.
+    let mut ids: Vec<u32> = results.iter().map(|n| n.id).collect();
+    ids.sort_unstable();
+    let mut dedup = ids.clone();
+    dedup.dedup();
+    assert_eq!(ids, dedup, "duplicate ids in result");
+    for n in results {
+        assert!((n.id as usize) < data.len());
+        let d = L2.distance(data.get(n.id), query);
+        assert!(
+            (d - n.dist).abs() <= 1e-4 * d.max(1.0),
+            "reported distance {} != recomputed {d}",
+            n.dist
+        );
+    }
+}
+
+#[test]
+fn all_indexes_return_valid_results() {
+    let (data, queries) = world();
+    let pivots = select_pivots(&data, 64, 1);
+
+    let indexes: Vec<Box<dyn SearchIndex<Vec<f32>>>> = vec![
+        Box::new(ExhaustiveSearch::new(data.clone(), L2)),
+        Box::new(VpTree::build(data.clone(), L2, VpTreeParams::default(), 1)),
+        Box::new(Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 64,
+                num_indexed: 8,
+                min_shared: 1,
+                threads: 2,
+                ..Default::default()
+            },
+            1,
+        )),
+        Box::new(MiFile::build(
+            data.clone(),
+            L2,
+            MiFileParams {
+                num_pivots: 64,
+                num_indexed: 16,
+                gamma: 0.1,
+                threads: 2,
+                ..Default::default()
+            },
+            1,
+        )),
+        Box::new(PpIndex::build(
+            data.clone(),
+            L2,
+            PpIndexParams {
+                num_pivots: 32,
+                prefix_len: 4,
+                gamma: 0.05,
+                num_trees: 2,
+                threads: 2,
+            },
+            1,
+        )),
+        Box::new(OmedRank::build(
+            data.clone(),
+            L2,
+            OmedRankParams {
+                num_pivots: 12,
+                gamma: 0.1,
+                quorum: 0.5,
+                threads: 2,
+            },
+            1,
+        )),
+        Box::new(BruteForcePermFilter::build(
+            data.clone(),
+            L2,
+            pivots.clone(),
+            PermDistanceKind::SpearmanRho,
+            0.1,
+            2,
+        )),
+        Box::new(BruteForceBinFilter::build(data.clone(), L2, pivots, 0.1, 2)),
+        Box::new(SwGraph::build(
+            data.clone(),
+            L2,
+            SwGraphParams::default(),
+            1,
+        )),
+        Box::new(nndescent(data.clone(), L2, NnDescentParams::default(), 1)),
+        Box::new(MpLsh::build(
+            data.clone(),
+            MpLshParams {
+                num_tables: 12,
+                hashes_per_table: 8,
+                bucket_width: 4.0,
+                num_probes: 8,
+            },
+            1,
+        )),
+    ];
+
+    for idx in &indexes {
+        assert_eq!(idx.len(), data.len(), "{}", idx.name());
+        for q in &queries {
+            let res = idx.search(q, 10);
+            assert!(!res.is_empty(), "{} returned nothing", idx.name());
+            assert_valid(&res, &data, q, 10);
+        }
+    }
+}
+
+#[test]
+fn exact_methods_agree_with_brute_force() {
+    let (data, queries) = world();
+    let exact = ExhaustiveSearch::new(data.clone(), L2);
+    let vp = VpTree::build(data.clone(), L2, VpTreeParams::default(), 9);
+    for q in &queries {
+        let a: Vec<u32> = exact.search(q, 10).iter().map(|n| n.id).collect();
+        let b: Vec<u32> = vp.search(q, 10).iter().map(|n| n.id).collect();
+        assert_eq!(a, b, "metric VP-tree must be exact");
+    }
+}
+
+#[test]
+fn self_queries_rank_self_first_across_methods() {
+    let (data, _) = world();
+    let pivots = select_pivots(&data, 64, 2);
+    let bf = BruteForcePermFilter::build(
+        data.clone(),
+        L2,
+        pivots,
+        PermDistanceKind::SpearmanRho,
+        0.1,
+        2,
+    );
+    let vp = VpTree::build(data.clone(), L2, VpTreeParams::default(), 2);
+    for id in [0u32, 57, 1199] {
+        let q = data.get(id).clone();
+        assert_eq!(bf.search(&q, 1)[0].dist, 0.0);
+        assert_eq!(vp.search(&q, 1)[0].id, id);
+    }
+}

