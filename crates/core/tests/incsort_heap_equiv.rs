@@ -1,0 +1,106 @@
+//! Equivalence of the two top-k selection kernels: incremental sorting
+//! ([`k_smallest`] / [`IncrementalSorter`]) and the bounded [`KnnHeap`].
+//!
+//! The paper's §3 speedup claim for permutation filtering rests on swapping
+//! the priority queue for incremental sorting, which is only valid if both
+//! select exactly the same top-k. This suite pins that equivalence on random
+//! inputs across sizes, budgets, and tie patterns.
+
+use rand::Rng;
+
+use permsearch_core::incsort::{k_smallest, IncrementalSorter};
+use permsearch_core::rng::seeded_rng;
+use permsearch_core::{KnnHeap, Neighbor};
+
+/// Top-k via the bounded max-heap, sorted by (distance, id).
+fn heap_topk(items: &[(f32, u32)], k: usize) -> Vec<Neighbor> {
+    let mut heap = KnnHeap::new(k);
+    for &(dist, id) in items {
+        heap.push(id, dist);
+    }
+    heap.into_sorted()
+}
+
+/// Top-k via one-shot incremental selection, sorted by (distance, id).
+fn incsort_topk(items: &[(f32, u32)], k: usize) -> Vec<Neighbor> {
+    let mut work: Vec<(f32, u32)> = items.to_vec();
+    k_smallest(&mut work, k, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    work[..k.min(work.len())]
+        .iter()
+        .map(|&(dist, id)| Neighbor::new(id, dist))
+        .collect()
+}
+
+/// Top-k via the lazy incremental sorter, sorted by (distance, id).
+fn lazy_topk(items: &[(f32, u32)], k: usize) -> Vec<Neighbor> {
+    let mut work: Vec<(f32, u32)> = items.to_vec();
+    let mut sorter =
+        IncrementalSorter::new(&mut work, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut out = Vec::new();
+    sorter.take_into(k, &mut out);
+    out.into_iter()
+        .map(|(dist, id)| Neighbor::new(id, dist))
+        .collect()
+}
+
+// Exact (dist, id) equality below relies on candidates being pushed in
+// ascending-id order: at a k-th-boundary distance tie KnnHeap keeps the
+// first-seen id, which then coincides with the comparator's smallest-id
+// choice. Don't shuffle the insertion order here — use the ties test below
+// for order-independent coverage.
+#[test]
+fn same_topk_on_random_inputs() {
+    let mut rng = seeded_rng(0xC0FFEE);
+    for trial in 0..200 {
+        let n = rng.gen_range(1..400usize);
+        let k = rng.gen_range(1..50usize);
+        let items: Vec<(f32, u32)> = (0..n as u32)
+            .map(|id| (rng.gen::<f32>() * 1e3, id))
+            .collect();
+        let expected = heap_topk(&items, k);
+        assert_eq!(
+            incsort_topk(&items, k),
+            expected,
+            "k_smallest disagrees with KnnHeap (trial {trial}, n={n}, k={k})"
+        );
+        assert_eq!(
+            lazy_topk(&items, k),
+            expected,
+            "IncrementalSorter disagrees with KnnHeap (trial {trial}, n={n}, k={k})"
+        );
+    }
+}
+
+#[test]
+fn same_distances_under_heavy_ties() {
+    // With duplicate distances the kernels may keep different ids at the
+    // k-th boundary (KnnHeap keeps first-seen among boundary ties, incsort
+    // keeps smallest-id), but the selected distance multiset must agree.
+    let mut rng = seeded_rng(0xBEEF);
+    for _ in 0..100 {
+        let n = rng.gen_range(1..300usize);
+        let k = rng.gen_range(1..40usize);
+        let items: Vec<(f32, u32)> = (0..n as u32)
+            .map(|id| (rng.gen_range(0..8u32) as f32, id))
+            .collect();
+        let heap_dists: Vec<f32> = heap_topk(&items, k).iter().map(|nb| nb.dist).collect();
+        let inc_dists: Vec<f32> = incsort_topk(&items, k).iter().map(|nb| nb.dist).collect();
+        let lazy_dists: Vec<f32> = lazy_topk(&items, k).iter().map(|nb| nb.dist).collect();
+        assert_eq!(heap_dists, inc_dists);
+        assert_eq!(heap_dists, lazy_dists);
+    }
+}
+
+#[test]
+fn k_at_least_n_returns_everything_sorted() {
+    let mut rng = seeded_rng(7);
+    let n = 57;
+    let items: Vec<(f32, u32)> = (0..n as u32).map(|id| (rng.gen::<f32>(), id)).collect();
+    for k in [n, n + 1, n * 3] {
+        let heap = heap_topk(&items, k);
+        assert_eq!(heap.len(), n);
+        assert!(heap.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert_eq!(incsort_topk(&items, k), heap);
+        assert_eq!(lazy_topk(&items, k), heap);
+    }
+}

@@ -55,12 +55,14 @@ impl DnaSubstrings {
             let code = |c: u8| NUCLEOTIDES.iter().position(|&n| n == c).unwrap_or(0);
             code(a) * 4 + code(b)
         };
-        genome.push(NUCLEOTIDES[rng.gen_range(0..4)]);
-        genome.push(NUCLEOTIDES[rng.gen_range(0..4)]);
+        genome.push(NUCLEOTIDES[rng.gen_range(0..4usize)]);
+        genome.push(NUCLEOTIDES[rng.gen_range(0..4usize)]);
         while genome.len() < self.genome_len {
             // Occasionally copy a past block (tandem/interspersed repeats).
             if genome.len() > 512 && rng.gen::<f64>() < 0.002 {
-                let rep_len = rng.gen_range(32..256).min(self.genome_len - genome.len());
+                let rep_len = rng
+                    .gen_range(32..256usize)
+                    .min(self.genome_len - genome.len());
                 let src = rng.gen_range(0..genome.len() - rep_len);
                 let block: Vec<u8> = genome[src..src + rep_len].to_vec();
                 genome.extend_from_slice(&block);

@@ -276,14 +276,15 @@ mod tests {
             L2,
             pivots,
             PermDistanceKind::Footrule,
-            0.2,
+            0.3,
             2,
         );
         let mut total = 0.0;
         for q in &queries {
             total += recall(&idx.search(q, 10), &gold(&data, q, 10));
         }
-        assert!(total / queries.len() as f64 > 0.85);
+        let avg = total / queries.len() as f64;
+        assert!(avg > 0.85, "avg recall {avg}");
     }
 
     #[test]

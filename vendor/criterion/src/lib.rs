@@ -1,0 +1,252 @@
+//! Offline stand-in for the [`criterion`](https://bheisler.github.io/criterion.rs/)
+//! benchmarking harness.
+//!
+//! The registry is unreachable from the build environment, so this crate
+//! mirrors the slice of the criterion 0.5 API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`/`criterion_main!`) on top of
+//! a simple mean-of-samples timer. There is no statistical analysis, warm-up
+//! calibration, or HTML report — output is one line per benchmark:
+//!
+//! ```text
+//! group/name              time: 123.45 ns/iter (30 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted as a benchmark identifier (`&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the supplied routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    mean_nanos: f64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed pass to page everything in.
+        black_box(routine());
+        let mut total_nanos = 0.0;
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            total_nanos += start.elapsed().as_nanos() as f64;
+            total_iters += self.iters_per_sample;
+        }
+        self.mean_nanos = total_nanos / total_iters as f64;
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's minimum is 10; any
+    /// positive value is accepted here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_benchmark_id();
+        let samples = self.default_sample_size;
+        self.run_one(&name, samples, &mut f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples,
+            mean_nanos: 0.0,
+        };
+        // Calibrate the per-sample iteration count so one sample costs
+        // roughly a millisecond but never more than one iteration for slow
+        // routines.
+        f(&mut bencher);
+        if bencher.mean_nanos > 0.0 && bencher.mean_nanos < 1_000_000.0 {
+            bencher.iters_per_sample = (1_000_000.0 / bencher.mean_nanos).max(1.0) as u64;
+            f(&mut bencher);
+        }
+        println!(
+            "{name:<40} time: {} ({} samples)",
+            fmt_nanos(bencher.mean_nanos),
+            samples
+        );
+    }
+}
+
+fn fmt_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s/iter", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.2} ms/iter", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.2} us/iter", nanos / 1e3)
+    } else {
+        format!("{nanos:.2} ns/iter")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate the `main` entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

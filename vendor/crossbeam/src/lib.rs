@@ -1,0 +1,69 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, providing only `thread::scope` — the one API the workspace uses —
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63, which
+//! is why crossbeam's scoped threads are no longer needed here).
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to the `scope` closure; spawns scoped workers.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker joined at scope exit. Crossbeam passes the scope
+        /// itself to the closure; every call site in this workspace ignores
+        /// that argument, so the stub passes `()`.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    /// Returns `Err` (like crossbeam) if the closure or any worker panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let wrapper = Scope { inner: s };
+                f(&wrapper)
+            })
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        thread::scope(|s| {
+            for (slot, &x) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| {
+                    *slot = x * 10;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace only uses `#[derive(Serialize)]` as a marker (all actual
+//! serialization in `permsearch_eval` is hand-rolled JSON), so this stub
+//! provides the trait names and derives without any data model behind them.
+//! Swap in the real serde by pointing the workspace dependency back at the
+//! registry once network access is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
