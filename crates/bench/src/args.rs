@@ -14,6 +14,9 @@ pub struct Args {
     pub datasets: Option<Vec<String>>,
     /// Emit JSON instead of an aligned table.
     pub json: bool,
+    /// Smoke mode: a binary shrinks its sweep to a seconds-scale sanity
+    /// pass (used by CI to exercise the serving path, not to measure it).
+    pub smoke: bool,
 }
 
 impl Default for Args {
@@ -24,6 +27,7 @@ impl Default for Args {
             seed: 42,
             datasets: None,
             json: false,
+            smoke: false,
         }
     }
 }
@@ -48,9 +52,10 @@ impl Args {
                     args.datasets = Some(v.split(',').map(|s| s.trim().to_string()).collect());
                 }
                 "--json" => args.json = true,
+                "--smoke" => args.smoke = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--n N] [--queries Q] [--seed S] [--datasets a,b,c] [--json]"
+                        "usage: [--n N] [--queries Q] [--seed S] [--datasets a,b,c] [--json] [--smoke]"
                     );
                     std::process::exit(0);
                 }
@@ -76,7 +81,7 @@ fn expect_num(flag: &str, value: Option<String>) -> usize {
 
 fn usage(flag: &str) -> ! {
     eprintln!("unexpected or malformed flag: {flag}");
-    eprintln!("usage: [--n N] [--queries Q] [--seed S] [--datasets a,b,c] [--json]");
+    eprintln!("usage: [--n N] [--queries Q] [--seed S] [--datasets a,b,c] [--json] [--smoke]");
     std::process::exit(2)
 }
 
@@ -99,11 +104,12 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let a = parse("--n 5000 --queries 50 --seed 7 --datasets sift,dna --json");
+        let a = parse("--n 5000 --queries 50 --seed 7 --datasets sift,dna --json --smoke");
         assert_eq!(a.n, Some(5000));
         assert_eq!(a.queries, Some(50));
         assert_eq!(a.seed, 7);
         assert!(a.json);
+        assert!(a.smoke);
         assert!(a.wants("sift"));
         assert!(a.wants("dna"));
         assert!(!a.wants("cophir"));

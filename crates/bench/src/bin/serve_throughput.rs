@@ -1,0 +1,174 @@
+//! Serving-throughput sweep for the `permsearch-engine` subsystem: deploys
+//! registry methods over the dense L2 world at several shard and worker
+//! counts, serves the same query batch through each deployment, and
+//! reports QPS, latency percentiles and recall per configuration.
+//!
+//! ```text
+//! cargo run -p permsearch-bench --release --bin serve_throughput
+//! cargo run -p permsearch-bench --release --bin serve_throughput -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the sweep to a seconds-scale sanity pass (used in CI
+//! to exercise the serving path end to end); `--n` / `--queries` scale the
+//! full sweep up toward production sizes. Reports are written as JSON
+//! lines to `bench_results/serve_reports.jsonl` and as CSV to
+//! `bench_results/serve_throughput.csv`.
+
+use std::fs;
+
+use permsearch_bench::{worlds, Args};
+use permsearch_engine::{dense_l2_registry, ServeReport, ShardedEngine};
+use permsearch_eval::{compute_gold, report::fmt_secs, Table};
+use permsearch_spaces::L2;
+
+const K: usize = 10;
+
+fn main() {
+    let args = Args::parse();
+    if args.datasets.is_some() {
+        eprintln!(
+            "[serve] note: serve_throughput always runs the dense L2 world; --datasets is ignored"
+        );
+    }
+    let (n, queries_n, methods, shard_grid, worker_grid): (
+        usize,
+        usize,
+        Vec<&str>,
+        Vec<usize>,
+        Vec<usize>,
+    ) = if args.smoke {
+        (1_500, 64, vec!["napp"], vec![1, 2], vec![1, 2])
+    } else {
+        (
+            10_000,
+            1_000,
+            vec!["napp", "brute", "vptree"],
+            vec![1, 2, 4],
+            vec![1, 2, 4, 8],
+        )
+    };
+    let world_args = Args {
+        n: Some(args.n.unwrap_or(n)),
+        queries: Some(args.queries.unwrap_or(queries_n)),
+        ..args.clone()
+    };
+    let (data, queries) = worlds::sift(&world_args);
+    eprintln!(
+        "[serve] dense L2 world: n={}, {} queries, computing gold...",
+        data.len(),
+        queries.len()
+    );
+    let gold = compute_gold(&data, L2, &queries, K);
+
+    let registry = dense_l2_registry();
+    let mut reports: Vec<ServeReport> = Vec::new();
+    for method in &methods {
+        for &shards in &shard_grid {
+            let mut engine =
+                ShardedEngine::from_registry(&registry, method, &data, shards, 1, args.seed)
+                    .expect("registry method");
+            for &workers in &worker_grid {
+                engine.set_workers(workers);
+                let (output, report) = engine.serve_with_report(&queries, K, Some(&gold));
+                assert_eq!(output.results.len(), queries.len());
+                eprintln!(
+                    "[serve] {method}: shards={shards} workers={workers} \
+                     qps={:.0} p99={} recall={:.3}",
+                    report.stats.qps,
+                    fmt_secs(report.stats.p99_latency_secs),
+                    report.recall.unwrap_or(f64::NAN)
+                );
+                reports.push(report);
+            }
+        }
+    }
+
+    // Worker-scaling summary: QPS at the largest worker count relative to
+    // one worker, per deployment (meaningful only on multi-core hosts).
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    for method in &methods {
+        for &shards in &shard_grid {
+            let of = |w: usize| {
+                reports
+                    .iter()
+                    .find(|r| r.method == *method && r.shards == shards && r.workers == w)
+                    .map(|r| r.stats.qps)
+            };
+            let (base, top) = (of(worker_grid[0]), of(*worker_grid.last().unwrap()));
+            if let (Some(base), Some(top)) = (base, top) {
+                eprintln!(
+                    "[serve] {method} shards={shards}: {}x QPS from {} to {} workers \
+                     ({cores} cores available)",
+                    format_args!("{:.2}", top / base),
+                    worker_grid[0],
+                    worker_grid.last().unwrap(),
+                );
+            }
+        }
+    }
+
+    let mut table = Table::new(&[
+        "method", "shards", "workers", "qps", "mean lat", "p50 lat", "p99 lat", "recall",
+    ]);
+    let mut csv = String::from(
+        "method,shards,workers,qps,mean_latency_secs,p50_latency_secs,p99_latency_secs,recall\n",
+    );
+    let mut jsonl = String::new();
+    for r in &reports {
+        table.push_row(vec![
+            r.method.clone(),
+            r.shards.to_string(),
+            r.workers.to_string(),
+            format!("{:.0}", r.stats.qps),
+            fmt_secs(r.stats.mean_latency_secs),
+            fmt_secs(r.stats.p50_latency_secs),
+            fmt_secs(r.stats.p99_latency_secs),
+            format!("{:.3}", r.recall.unwrap_or(f64::NAN)),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            r.method,
+            r.shards,
+            r.workers,
+            r.stats.qps,
+            r.stats.mean_latency_secs,
+            r.stats.p50_latency_secs,
+            r.stats.p99_latency_secs,
+            r.recall.unwrap_or(f64::NAN)
+        ));
+        jsonl.push_str(&r.to_json());
+        jsonl.push('\n');
+    }
+    let _ = fs::create_dir_all("bench_results");
+    if let Err(e) = fs::write("bench_results/serve_throughput.csv", &csv) {
+        eprintln!("warning: could not write CSV: {e}");
+    }
+    if let Err(e) = fs::write("bench_results/serve_reports.jsonl", &jsonl) {
+        eprintln!("warning: could not write JSONL: {e}");
+    }
+    if args.json {
+        println!("{}", table.to_json());
+    } else {
+        println!("Serving throughput over the dense L2 world ({K}-NN)");
+        println!("{}", table.render());
+    }
+
+    // Smoke gate: the serving path must return sane quality, not merely
+    // run. NAPP at these parameters sits well above 0.8 recall; 0.6 leaves
+    // slack for seed drift without letting regressions through.
+    if args.smoke {
+        for r in &reports {
+            let recall = r.recall.expect("smoke computes recall");
+            assert!(
+                recall >= 0.6,
+                "smoke: {} shards={} recall collapsed to {recall}",
+                r.method,
+                r.shards
+            );
+        }
+        println!(
+            "smoke OK: {} serving configurations exercised",
+            reports.len()
+        );
+    }
+}

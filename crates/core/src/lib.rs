@@ -32,8 +32,16 @@ pub mod space;
 pub use bits::BitVector;
 pub use dataset::Dataset;
 pub use exhaustive::ExhaustiveSearch;
-pub use neighbor::{KnnHeap, Neighbor};
+pub use neighbor::{merge_sorted_topk, KnnHeap, Neighbor};
 pub use space::{Space, SpaceStats};
+
+/// A heap-allocated, thread-shareable search index.
+///
+/// [`SearchIndex`] is object-safe, so any paper method can be erased to
+/// this one type — the serving layer stores one per shard and moves them
+/// across worker threads, which is why `Send + Sync` are part of the
+/// alias.
+pub type BoxedSearchIndex<P> = Box<dyn SearchIndex<P> + Send + Sync>;
 
 /// The k-NN query interface implemented by every index in the workspace.
 ///
@@ -62,6 +70,27 @@ pub trait SearchIndex<P> {
     fn index_size_bytes(&self) -> usize;
 }
 
+// Boxed (and in particular type-erased `dyn`) indices are indices too, so
+// generic consumers like `eval::runner::evaluate` accept a
+// [`BoxedSearchIndex`] without unwrapping it.
+impl<P, I: SearchIndex<P> + ?Sized> SearchIndex<P> for Box<I> {
+    fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        (**self).search(query, k)
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn index_size_bytes(&self) -> usize {
+        (**self).index_size_bytes()
+    }
+}
+
 #[cfg(test)]
 mod trait_tests {
     use super::*;
@@ -87,5 +116,15 @@ mod trait_tests {
     fn is_empty_follows_len() {
         assert!(Dummy.is_empty());
         assert_eq!(Dummy.name(), "dummy");
+    }
+
+    #[test]
+    fn boxed_index_delegates() {
+        let boxed: BoxedSearchIndex<f32> = Box::new(Dummy);
+        assert!(boxed.is_empty());
+        assert_eq!(boxed.name(), "dummy");
+        assert_eq!(boxed.len(), 0);
+        assert_eq!(boxed.index_size_bytes(), 0);
+        assert!(boxed.search(&0.0, 3).is_empty());
     }
 }

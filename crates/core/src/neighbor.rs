@@ -122,6 +122,48 @@ impl KnnHeap {
     }
 }
 
+/// Merge per-shard top-k lists into the global top-k.
+///
+/// This is the reduce step of sharded search: every shard reports its own
+/// `k` best neighbors and the lists are combined with a k-way cursor merge
+/// feeding a [`KnnHeap`]. Because candidates are offered in ascending
+/// `(distance, id)` order, the heap keeps exactly the `k` smallest
+/// neighbors under that total order — the same set an unsharded scan
+/// collecting ids in increasing order would keep, so distance ties resolve
+/// identically with and without sharding. The merge stops as soon as the
+/// heap is full and the next candidate cannot improve it, so the cost is
+/// `O(k log s)` for `s` shards, independent of list lengths.
+///
+/// Precondition: each list must be sorted ascending by `(distance, id)` —
+/// the order [`KnnHeap::into_sorted`] produces, so every index in this
+/// workspace complies. A list merely sorted by distance (equal-distance
+/// entries in arbitrary id order) still yields a correct top-k *by
+/// distance*, but which of the tied boundary ids survive is then
+/// unspecified rather than unsharded-identical.
+pub fn merge_sorted_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    // Min-heap of cursors, one per non-empty list, keyed by the current
+    // head neighbor (ties broken by list index for a total order).
+    let mut cursors: BinaryHeap<std::cmp::Reverse<(Neighbor, usize)>> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(li, l)| std::cmp::Reverse((l[0], li)))
+        .collect();
+    let mut positions = vec![0usize; lists.len()];
+    let mut heap = KnnHeap::new(k);
+    while let Some(std::cmp::Reverse((n, li))) = cursors.pop() {
+        if heap.is_full() && n.dist >= heap.radius() {
+            break; // no remaining candidate can improve the top-k
+        }
+        heap.push(n.id, n.dist);
+        positions[li] += 1;
+        if let Some(&next) = lists[li].get(positions[li]) {
+            cursors.push(std::cmp::Reverse((next, li)));
+        }
+    }
+    heap.into_sorted()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +209,36 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
         let _ = KnnHeap::new(0);
+    }
+
+    #[test]
+    fn merge_takes_global_topk_across_lists() {
+        let a = vec![Neighbor::new(0, 1.0), Neighbor::new(2, 3.0)];
+        let b = vec![Neighbor::new(1, 2.0), Neighbor::new(3, 4.0)];
+        let c = vec![Neighbor::new(4, 0.5)];
+        let merged = merge_sorted_topk(&[a, b, c], 3);
+        let ids: Vec<u32> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![4, 0, 1]);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merge_breaks_distance_ties_by_id() {
+        // Ties straddling lists must resolve exactly like a single scan in
+        // increasing id order: smallest ids win.
+        let a = vec![Neighbor::new(5, 1.0), Neighbor::new(6, 1.0)];
+        let b = vec![Neighbor::new(1, 1.0), Neighbor::new(9, 1.0)];
+        let merged = merge_sorted_topk(&[a, b], 3);
+        let ids: Vec<u32> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_short_lists() {
+        assert!(merge_sorted_topk(&[], 4).is_empty());
+        let merged = merge_sorted_topk(&[vec![], vec![Neighbor::new(7, 2.0)]], 4);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].id, 7);
     }
 
     #[test]

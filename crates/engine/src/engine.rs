@@ -1,0 +1,203 @@
+//! The object-safe [`Engine`] trait and its sharded implementation.
+//!
+//! An engine owns a deployed index (typically sharded) plus a serving
+//! configuration and answers whole query batches. The trait is
+//! deliberately object-safe — `Box<dyn Engine<P>>` — so heterogeneous
+//! deployments (different methods, shard counts, worker pools) can sit
+//! behind one API, e.g. in a routing table keyed by collection name.
+
+use std::sync::Arc;
+
+use permsearch_core::{Dataset, SearchIndex};
+use permsearch_eval::GoldStandard;
+
+use crate::registry::{EngineError, MethodRegistry};
+use crate::serve::{optional_recall, serve_batch, ServeOutput, ServeReport};
+use crate::shard::ShardedIndex;
+
+/// A deployed, batch-serving search engine. Object-safe.
+pub trait Engine<P>: Send + Sync {
+    /// Serve one query batch, returning the global top-`k` per query plus
+    /// batch statistics.
+    fn serve(&self, queries: &[P], k: usize) -> ServeOutput;
+
+    /// Registry name of the deployed method.
+    fn method(&self) -> &str;
+
+    /// Number of index shards.
+    fn num_shards(&self) -> usize;
+
+    /// Worker threads used per batch.
+    fn workers(&self) -> usize;
+
+    /// Total indexed points.
+    fn len(&self) -> usize;
+
+    /// True when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The standard engine: one registry method deployed on every shard of a
+/// partitioned dataset, served by a fixed-size worker pool.
+pub struct ShardedEngine<P> {
+    sharded: ShardedIndex<P>,
+    method: String,
+    workers: usize,
+}
+
+impl<P> ShardedEngine<P>
+where
+    P: Clone + Send + Sync,
+{
+    /// Partition `data` into `num_shards` shards, build the registry
+    /// method `method` on each shard in parallel, and serve batches with
+    /// `workers` threads. Shard `s` is built with a seed derived from
+    /// `seed` and `s`, so shards are decorrelated but the deployment is
+    /// reproducible.
+    pub fn from_registry(
+        registry: &MethodRegistry<P>,
+        method: &str,
+        data: &Arc<Dataset<P>>,
+        num_shards: usize,
+        workers: usize,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        let builder = registry.get(method)?;
+        let sharded = ShardedIndex::build(data, num_shards, |sid, shard_data| {
+            builder(
+                shard_data,
+                seed ^ (sid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        });
+        Ok(Self {
+            sharded,
+            method: method.to_string(),
+            workers: workers.max(1),
+        })
+    }
+
+    /// Change the worker-pool size between batches (used by throughput
+    /// sweeps so one build serves every worker count).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Borrow the underlying sharded index (itself a [`SearchIndex`]).
+    pub fn sharded(&self) -> &ShardedIndex<P> {
+        &self.sharded
+    }
+
+    /// Serve a batch and package the run as a [`ServeReport`], computing
+    /// recall when `gold` is supplied.
+    pub fn serve_with_report(
+        &self,
+        queries: &[P],
+        k: usize,
+        gold: Option<&GoldStandard>,
+    ) -> (ServeOutput, ServeReport) {
+        let output = self.serve(queries, k);
+        let report = ServeReport {
+            method: self.method.clone(),
+            num_points: self.len(),
+            shards: self.num_shards(),
+            // Report what the batch actually ran with, not the configured
+            // pool size — they differ for batches smaller than the pool.
+            workers: crate::serve::effective_workers(self.workers, queries.len()),
+            k,
+            stats: output.stats.clone(),
+            recall: optional_recall(&output, gold),
+        };
+        (output, report)
+    }
+}
+
+impl<P> Engine<P> for ShardedEngine<P>
+where
+    P: Send + Sync,
+{
+    fn serve(&self, queries: &[P], k: usize) -> ServeOutput {
+        serve_batch(&self.sharded, queries, k, self.workers)
+    }
+
+    fn method(&self) -> &str {
+        &self.method
+    }
+
+    fn num_shards(&self) -> usize {
+        self.sharded.num_shards()
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn len(&self) -> usize {
+        SearchIndex::len(&self.sharded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::dense_l2_registry;
+
+    fn grid_world(n: usize) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+        let data = Arc::new(Dataset::new(
+            (0..n)
+                .map(|i| vec![(i % 17) as f32, (i / 17) as f32])
+                .collect::<Vec<_>>(),
+        ));
+        let queries: Vec<Vec<f32>> = (0..25)
+            .map(|i| vec![(i % 5) as f32 + 0.3, (i / 5) as f32 + 0.6])
+            .collect();
+        (data, queries)
+    }
+
+    #[test]
+    fn engine_is_object_safe_and_serves() {
+        let (data, queries) = grid_world(300);
+        let reg = dense_l2_registry();
+        let engine: Box<dyn Engine<Vec<f32>>> =
+            Box::new(ShardedEngine::from_registry(&reg, "vptree", &data, 3, 2, 42).unwrap());
+        assert_eq!(engine.method(), "vptree");
+        assert_eq!(engine.num_shards(), 3);
+        assert_eq!(engine.workers(), 2);
+        assert_eq!(engine.len(), 300);
+        assert!(!engine.is_empty());
+        let out = engine.serve(&queries, 4);
+        assert_eq!(out.results.len(), 25);
+        assert!(out.results.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn unknown_method_surfaces_engine_error() {
+        let (data, _) = grid_world(20);
+        let reg = dense_l2_registry();
+        let err = ShardedEngine::from_registry(&reg, "nope", &data, 2, 1, 0)
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, EngineError::UnknownMethod { .. }));
+    }
+
+    #[test]
+    fn report_carries_deployment_metadata() {
+        let (data, queries) = grid_world(120);
+        let reg = dense_l2_registry();
+        let mut engine = ShardedEngine::from_registry(&reg, "napp", &data, 4, 1, 7).unwrap();
+        engine.set_workers(3);
+        let gold = permsearch_eval::compute_gold(&data, permsearch_spaces::L2, &queries, 5);
+        let (out, report) = engine.serve_with_report(&queries, 5, Some(&gold));
+        assert_eq!(report.shards, 4);
+        assert_eq!(report.workers, 3);
+        assert_eq!(report.stats.queries, 25);
+        let r = report.recall.unwrap();
+        assert!(r > 0.5, "napp recall collapsed: {r}");
+        assert_eq!(out.results.len(), 25);
+        // A batch smaller than the pool reports the clamped worker count.
+        let (_, small) = engine.serve_with_report(&queries[..2], 5, None);
+        assert_eq!(small.workers, 2);
+        assert!(small.recall.is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! # permsearch-engine
+//!
+//! A sharded, multi-threaded query-serving subsystem layered over every
+//! index method in the workspace.
+//!
+//! The paper's methods are one-shot [`SearchIndex`] objects; this crate
+//! turns any of them into a deployment that serves query *batches* under
+//! load:
+//!
+//! * [`ShardedIndex`] — partitions a [`Dataset`](permsearch_core::Dataset)
+//!   into contiguous shards, builds one index per shard in parallel, and
+//!   reduces per-shard top-k lists with the k-way heap merge
+//!   ([`permsearch_core::merge_sorted_topk`]), preserving exact
+//!   distance-tie semantics;
+//! * [`MethodRegistry`] — string-keyed builders (`"napp"`, `"mifile"`,
+//!   `"ppindex"`, `"brute"`, `"vptree"`, `"sw-graph"`, and `"lsh"` for
+//!   dense L2) so any paper method deploys behind one API;
+//! * [`serve_batch`] — executes a batch across a scoped worker pool and
+//!   records per-query latencies;
+//! * [`Engine`] / [`ShardedEngine`] — the object-safe serving façade,
+//!   producing [`ServeReport`]s (QPS, mean/p50/p99 latency, optional
+//!   recall) for dashboards and the `serve_throughput` harness.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use permsearch_core::Dataset;
+//! use permsearch_engine::{dense_l2_registry, Engine, ShardedEngine};
+//!
+//! let data = Arc::new(Dataset::new(
+//!     (0..500).map(|i| vec![(i % 23) as f32, (i / 23) as f32]).collect::<Vec<_>>(),
+//! ));
+//! let registry = dense_l2_registry();
+//! let engine = ShardedEngine::from_registry(&registry, "napp", &data, 4, 2, 42).unwrap();
+//! let batch: Vec<Vec<f32>> = (0..32).map(|i| vec![i as f32 * 0.7, 3.1]).collect();
+//! let out = engine.serve(&batch, 10);
+//! assert_eq!(out.results.len(), 32);
+//! assert!(out.stats.qps > 0.0);
+//! ```
+
+pub mod engine;
+pub mod registry;
+pub mod serve;
+pub mod shard;
+
+pub use engine::{Engine, ShardedEngine};
+pub use registry::{
+    dense_l2_registry, standard_registry, EngineError, MethodBuilder, MethodRegistry,
+};
+pub use serve::{effective_workers, percentile, serve_batch, ServeOutput, ServeReport, ServeStats};
+pub use shard::ShardedIndex;
+
+// Re-exported so engine users don't need a direct `permsearch_core`
+// dependency for the one trait the outputs are expressed in.
+pub use permsearch_core::SearchIndex;

@@ -1,0 +1,267 @@
+//! String-keyed deployment registry over every paper method.
+//!
+//! A [`MethodRegistry`] maps a method name to a builder closure producing a
+//! type-erased [`BoxedSearchIndex`] for any dataset (typically one shard).
+//! [`standard_registry`] registers the six space-generic methods of the
+//! paper — `"napp"`, `"mifile"`, `"ppindex"`, `"brute"`, `"vptree"` and
+//! `"sw-graph"` — with parameters scaled to the dataset size the same way
+//! the figure-regeneration harness scales them; [`dense_l2_registry`] adds
+//! `"lsh"`, which exists only for dense L2 vectors. Callers can
+//! [`register`](MethodRegistry::register) their own tuned builders under
+//! new or existing names.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use permsearch_core::{BoxedSearchIndex, Dataset, Space};
+use permsearch_knngraph::{SwGraph, SwGraphParams};
+use permsearch_lsh::{MpLsh, MpLshParams};
+use permsearch_permutation::{
+    select_pivots, BruteForcePermFilter, MiFile, MiFileParams, Napp, NappParams, PermDistanceKind,
+    PpIndex, PpIndexParams,
+};
+use permsearch_spaces::L2;
+use permsearch_vptree::{VpTree, VpTreeParams};
+
+/// Errors surfaced by the serving subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The requested method name is not registered.
+    UnknownMethod {
+        /// The name that failed to resolve.
+        requested: String,
+        /// Registered names, for the error message.
+        available: Vec<String>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownMethod {
+                requested,
+                available,
+            } => write!(
+                f,
+                "unknown method {requested:?}; registered: {}",
+                available.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Builder closure: `(dataset, seed) -> index`. `Send + Sync` so shard
+/// builds can run it concurrently from scoped worker threads.
+pub type MethodBuilder<P> = Arc<dyn Fn(Arc<Dataset<P>>, u64) -> BoxedSearchIndex<P> + Send + Sync>;
+
+/// A string-keyed registry of index builders over point type `P`.
+pub struct MethodRegistry<P> {
+    builders: BTreeMap<String, MethodBuilder<P>>,
+}
+
+impl<P> Default for MethodRegistry<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> MethodRegistry<P> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            builders: BTreeMap::new(),
+        }
+    }
+
+    /// Register (or replace) a builder under `name`.
+    pub fn register<F>(&mut self, name: &str, builder: F)
+    where
+        F: Fn(Arc<Dataset<P>>, u64) -> BoxedSearchIndex<P> + Send + Sync + 'static,
+    {
+        self.builders.insert(name.to_string(), Arc::new(builder));
+    }
+
+    /// Registered method names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.builders.keys().map(String::as_str).collect()
+    }
+
+    /// Look up a builder by name.
+    pub fn get(&self, name: &str) -> Result<MethodBuilder<P>, EngineError> {
+        self.builders
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownMethod {
+                requested: name.to_string(),
+                available: self.builders.keys().cloned().collect(),
+            })
+    }
+
+    /// Build an index for `data` with the named method.
+    pub fn build(
+        &self,
+        name: &str,
+        data: Arc<Dataset<P>>,
+        seed: u64,
+    ) -> Result<BoxedSearchIndex<P>, EngineError> {
+        Ok(self.get(name)?(data, seed))
+    }
+}
+
+/// Number of pivots scaled to the dataset, mirroring the harness: `m` of
+/// 512 for large sets, shrinking with `n` so tiny shards stay buildable.
+fn scaled_pivots(n: usize, cap: usize) -> usize {
+    cap.min(n / 4).max(8).min(n.max(1))
+}
+
+/// Registry of the six space-generic paper methods with size-scaled
+/// default parameters. `threads` inside each builder stays 1: shard-level
+/// parallelism already uses one thread per shard, and nesting pools would
+/// oversubscribe the machine.
+pub fn standard_registry<P, S>(space: S) -> MethodRegistry<P>
+where
+    P: Clone + Send + Sync + 'static,
+    S: Space<P> + Clone + Send + Sync + 'static,
+{
+    let mut reg = MethodRegistry::new();
+    let sp = space.clone();
+    reg.register("napp", move |data, seed| {
+        let m = scaled_pivots(data.len(), 512);
+        let params = NappParams {
+            num_pivots: m,
+            num_indexed: 32.min(m),
+            min_shared: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        Box::new(Napp::build(data, sp.clone(), params, seed))
+    });
+    let sp = space.clone();
+    reg.register("mifile", move |data, seed| {
+        let m = scaled_pivots(data.len(), 512);
+        let params = MiFileParams {
+            num_pivots: m,
+            num_indexed: 16.min(m),
+            gamma: 0.05,
+            threads: 1,
+            ..Default::default()
+        };
+        Box::new(MiFile::build(data, sp.clone(), params, seed))
+    });
+    let sp = space.clone();
+    reg.register("ppindex", move |data, seed| {
+        let m = scaled_pivots(data.len(), 64);
+        let params = PpIndexParams {
+            num_pivots: m,
+            prefix_len: 6.min(m),
+            gamma: 0.05,
+            threads: 1,
+            ..Default::default()
+        };
+        Box::new(PpIndex::build(data, sp.clone(), params, seed))
+    });
+    let sp = space.clone();
+    reg.register("brute", move |data, seed| {
+        let m = scaled_pivots(data.len(), 128).min(data.len() / 2).max(1);
+        let pivots = select_pivots(&data, m, seed);
+        Box::new(BruteForcePermFilter::build(
+            data,
+            sp.clone(),
+            pivots,
+            PermDistanceKind::SpearmanRho,
+            0.05,
+            1,
+        ))
+    });
+    let sp = space.clone();
+    reg.register("vptree", move |data, seed| {
+        Box::new(VpTree::build(
+            data,
+            sp.clone(),
+            VpTreeParams::default(),
+            seed,
+        ))
+    });
+    reg.register("sw-graph", move |data, seed| {
+        Box::new(SwGraph::build(
+            data,
+            space.clone(),
+            SwGraphParams::default(),
+            seed,
+        ))
+    });
+    reg
+}
+
+/// [`standard_registry`] over L2 plus `"lsh"` (multi-probe LSH exists only
+/// for dense vectors), with its scale-dependent bucket width derived from
+/// the data.
+pub fn dense_l2_registry() -> MethodRegistry<Vec<f32>> {
+    let mut reg = standard_registry(L2);
+    reg.register("lsh", |data, seed| {
+        let params = MpLshParams::auto(&data, seed);
+        Box::new(MpLsh::build(data, params, seed))
+    });
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::SearchIndex;
+
+    fn tiny_dense(n: usize) -> Arc<Dataset<Vec<f32>>> {
+        Arc::new(Dataset::new(
+            (0..n).map(|i| vec![i as f32, (i * 7 % 5) as f32]).collect(),
+        ))
+    }
+
+    #[test]
+    fn registry_lists_all_paper_methods() {
+        let reg = dense_l2_registry();
+        assert_eq!(
+            reg.names(),
+            vec!["brute", "lsh", "mifile", "napp", "ppindex", "sw-graph", "vptree"]
+        );
+    }
+
+    #[test]
+    fn every_registered_method_builds_and_searches() {
+        let data = tiny_dense(64);
+        let reg = dense_l2_registry();
+        for name in reg.names() {
+            let idx = reg.build(name, data.clone(), 3).unwrap();
+            assert_eq!(idx.len(), 64, "{name}");
+            let res = idx.search(&vec![5.0f32, 0.0], 3);
+            assert!(!res.is_empty(), "{name} returned nothing");
+            assert!(
+                res.windows(2).all(|w| w[0].dist <= w[1].dist),
+                "{name} unsorted"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_a_clean_error() {
+        let reg: MethodRegistry<Vec<f32>> = standard_registry(L2);
+        let err = reg
+            .build("hnsw", tiny_dense(4), 0)
+            .err()
+            .expect("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("hnsw") && msg.contains("napp"), "{msg}");
+    }
+
+    #[test]
+    fn custom_builders_can_replace_defaults() {
+        let mut reg: MethodRegistry<Vec<f32>> = MethodRegistry::new();
+        reg.register("exact", |data, _| {
+            Box::new(permsearch_core::ExhaustiveSearch::new(data, L2))
+        });
+        let idx = reg.build("exact", tiny_dense(10), 0).unwrap();
+        assert_eq!(idx.name(), "brute-force");
+    }
+}

@@ -1,0 +1,311 @@
+//! Batch execution across a worker pool, with per-batch serving statistics.
+//!
+//! [`serve_batch`] drives any [`SearchIndex`] (usually a
+//! [`ShardedIndex`](crate::ShardedIndex)) over a query batch with `W`
+//! scoped worker threads, one contiguous slice of the batch per worker —
+//! queries are independent, so parallelism across queries scales without
+//! any synchronization on the hot path. Each worker records per-query wall
+//! latency; the batch summary ([`ServeStats`]) reports throughput (QPS)
+//! plus mean/p50/p99 latency, and [`ServeReport`] adds deployment metadata
+//! and optional recall against a [`GoldStandard`] in a serializable,
+//! JSON-emitting record.
+
+use std::time::Instant;
+
+use permsearch_core::{Neighbor, SearchIndex};
+use permsearch_eval::{mean, GoldStandard};
+use serde::Serialize;
+
+/// Per-batch serving statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeStats {
+    /// Queries served.
+    pub queries: usize,
+    /// Wall time for the whole batch, in seconds.
+    pub batch_secs: f64,
+    /// Throughput: queries per second of batch wall time.
+    pub qps: f64,
+    /// Mean per-query latency, in seconds.
+    pub mean_latency_secs: f64,
+    /// Median per-query latency, in seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile per-query latency, in seconds.
+    pub p99_latency_secs: f64,
+}
+
+impl ServeStats {
+    /// Summarize a batch from its wall time and per-query latencies.
+    pub fn from_latencies(batch_secs: f64, latencies: &mut [f64]) -> Self {
+        latencies.sort_unstable_by(f64::total_cmp);
+        Self {
+            queries: latencies.len(),
+            batch_secs,
+            qps: if batch_secs > 0.0 {
+                latencies.len() as f64 / batch_secs
+            } else {
+                f64::INFINITY
+            },
+            mean_latency_secs: mean(latencies),
+            p50_latency_secs: percentile(latencies, 0.50),
+            p99_latency_secs: percentile(latencies, 0.99),
+        }
+    }
+}
+
+/// Percentile of an ascending-sorted slice (`q` in `[0, 1]`), taken as the
+/// element at rank `round(q · (len − 1))` — the rounded linear-rank
+/// convention, which is exact at the endpoints and within one rank of the
+/// classic nearest-rank definition in between.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Results plus statistics for one served batch.
+#[derive(Debug, Clone)]
+pub struct ServeOutput {
+    /// Global top-k per query, in batch order.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Batch timing summary.
+    pub stats: ServeStats,
+}
+
+impl ServeOutput {
+    /// Mean recall of the served results against exact answers.
+    pub fn recall_against(&self, gold: &GoldStandard) -> f64 {
+        assert_eq!(self.results.len(), gold.neighbors.len(), "batch/gold size");
+        let sum: f64 = self
+            .results
+            .iter()
+            .zip(&gold.neighbors)
+            .map(|(res, truth)| permsearch_eval::metrics::recall_vs(res, truth))
+            .sum();
+        sum / self.results.len().max(1) as f64
+    }
+}
+
+/// Serve `queries` against `index` with `workers` threads, collecting the
+/// top-`k` per query and per-query latencies.
+///
+/// `workers == 1` runs inline on the calling thread (no pool overhead), so
+/// single-worker numbers are an honest baseline for scaling measurements.
+/// Worker threads actually used for a batch: at least one, and never more
+/// than there are queries to hand out.
+pub fn effective_workers(requested: usize, batch_len: usize) -> usize {
+    requested.max(1).min(batch_len.max(1))
+}
+
+pub fn serve_batch<P, I>(index: &I, queries: &[P], k: usize, workers: usize) -> ServeOutput
+where
+    P: Sync,
+    I: SearchIndex<P> + Sync + ?Sized,
+{
+    let nq = queries.len();
+    let workers = effective_workers(workers, nq);
+    let mut results: Vec<Vec<Neighbor>> = Vec::new();
+    results.resize_with(nq, Vec::new);
+    let mut latencies = vec![0.0f64; nq];
+    let wall = Instant::now();
+    if workers == 1 {
+        serve_slice(index, queries, k, &mut results, &mut latencies);
+    } else {
+        let chunk = nq.div_ceil(workers);
+        crossbeam::thread::scope(|scope| {
+            for ((qs, rs), ls) in queries
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .zip(latencies.chunks_mut(chunk))
+            {
+                scope.spawn(move |_| serve_slice(index, qs, k, rs, ls));
+            }
+        })
+        .expect("serving worker panicked");
+    }
+    let batch_secs = wall.elapsed().as_secs_f64();
+    ServeOutput {
+        results,
+        stats: ServeStats::from_latencies(batch_secs, &mut latencies),
+    }
+}
+
+fn serve_slice<P, I>(
+    index: &I,
+    queries: &[P],
+    k: usize,
+    results: &mut [Vec<Neighbor>],
+    latencies: &mut [f64],
+) where
+    I: SearchIndex<P> + ?Sized,
+{
+    for (i, q) in queries.iter().enumerate() {
+        let start = Instant::now();
+        results[i] = index.search(q, k);
+        latencies[i] = start.elapsed().as_secs_f64();
+    }
+}
+
+/// One serving run's record: deployment metadata, throughput, latency and
+/// (when gold answers were supplied) recall. Serializable; `to_json` emits
+/// it without external dependencies, matching the harness convention.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeReport {
+    /// Registry method name deployed on every shard.
+    pub method: String,
+    /// Indexed points across all shards.
+    pub num_points: usize,
+    /// Shards the dataset was partitioned into.
+    pub shards: usize,
+    /// Worker threads actually used for the batch (the configured pool
+    /// clamped to the batch size — see [`effective_workers`]).
+    pub workers: usize,
+    /// Neighbors requested per query.
+    pub k: usize,
+    /// Batch statistics.
+    pub stats: ServeStats,
+    /// Mean recall against exact answers, when gold was supplied.
+    pub recall: Option<f64>,
+}
+
+impl ServeReport {
+    /// Hand-rolled JSON (all fields are numeric except the method name,
+    /// which is escaped for quotes/backslashes like `eval::Table`).
+    /// Non-finite floats (e.g. the infinite QPS of a zero-duration batch)
+    /// are emitted as `null`, since JSON has no representation for them.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let method = self.method.replace('\\', "\\\\").replace('"', "\\\"");
+        let recall = match self.recall {
+            Some(r) => num(r),
+            None => "null".to_string(),
+        };
+        let s = &self.stats;
+        format!(
+            concat!(
+                "{{\"method\": \"{}\", \"num_points\": {}, \"shards\": {}, ",
+                "\"workers\": {}, \"k\": {}, \"queries\": {}, ",
+                "\"batch_secs\": {}, \"qps\": {}, \"mean_latency_secs\": {}, ",
+                "\"p50_latency_secs\": {}, \"p99_latency_secs\": {}, \"recall\": {}}}"
+            ),
+            method,
+            self.num_points,
+            self.shards,
+            self.workers,
+            self.k,
+            s.queries,
+            num(s.batch_secs),
+            num(s.qps),
+            num(s.mean_latency_secs),
+            num(s.p50_latency_secs),
+            num(s.p99_latency_secs),
+            recall
+        )
+    }
+}
+
+/// Shared helper: recall of served results against gold, as an `Option`
+/// so reports can carry "not measured".
+pub(crate) fn optional_recall(output: &ServeOutput, gold: Option<&GoldStandard>) -> Option<f64> {
+    gold.map(|g| output.recall_against(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::{Dataset, ExhaustiveSearch};
+    use permsearch_spaces::L2;
+    use std::sync::Arc;
+
+    fn line_world(n: usize) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+        let data = Arc::new(Dataset::new(
+            (0..n).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        ));
+        let queries: Vec<Vec<f32>> = (0..40).map(|i| vec![i as f32 + 0.25]).collect();
+        (data, queries)
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let (data, queries) = line_world(200);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let one = serve_batch(&idx, &queries, 5, 1);
+        for w in [2, 3, 8, 64] {
+            let many = serve_batch(&idx, &queries, 5, w);
+            assert_eq!(one.results, many.results, "workers={w}");
+        }
+        assert_eq!(one.stats.queries, 40);
+        assert!(one.stats.qps > 0.0);
+        assert!(one.stats.p99_latency_secs >= one.stats.p50_latency_secs);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 0.5), 51.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let stats = ServeStats::from_latencies(0.5, &mut [0.1, 0.2, 0.3]);
+        let report = ServeReport {
+            method: "napp".into(),
+            num_points: 100,
+            shards: 4,
+            workers: 2,
+            k: 10,
+            stats,
+            recall: Some(0.97),
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"method\": \"napp\""));
+        assert!(json.contains("\"qps\": 6"));
+        assert!(json.contains("\"recall\": 0.97"));
+        let none = ServeReport {
+            recall: None,
+            ..report
+        };
+        assert!(none.to_json().contains("\"recall\": null"));
+    }
+
+    #[test]
+    fn report_json_nulls_non_finite_floats() {
+        let mut stats = ServeStats::from_latencies(0.0, &mut [0.1]);
+        assert_eq!(stats.qps, f64::INFINITY);
+        stats.mean_latency_secs = f64::NAN;
+        let report = ServeReport {
+            method: "m".into(),
+            num_points: 1,
+            shards: 1,
+            workers: 1,
+            k: 1,
+            stats,
+            recall: Some(1.0),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"qps\": null"), "{json}");
+        assert!(json.contains("\"mean_latency_secs\": null"), "{json}");
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn empty_batch_is_served() {
+        let (data, _) = line_world(10);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let out = serve_batch(&idx, &[] as &[Vec<f32>], 3, 4);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.queries, 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Dataset partitioning and the sharded index.
+//!
+//! A [`ShardedIndex`] splits a [`Dataset`] into `S` contiguous shards,
+//! builds one (arbitrary, type-erased) index per shard — in parallel, one
+//! scoped thread per shard — and answers queries by searching every shard
+//! for its local top-k and reducing the per-shard lists with
+//! [`merge_sorted_topk`]. Because the partition is contiguous, the remap
+//! from shard-local ids to global ids is a constant offset per shard, and
+//! the global `(distance, id)` tie order is preserved exactly (pinned by
+//! the `shard_equivalence` property test).
+//!
+//! The sharded index is itself a [`SearchIndex`], so everything written
+//! for single indices — `eval::runner::evaluate`, the property tests, the
+//! serving layer — works on it unchanged.
+
+use std::sync::Arc;
+
+use permsearch_core::{merge_sorted_topk, BoxedSearchIndex, Dataset, Neighbor, SearchIndex};
+
+/// One shard: a type-erased index over a contiguous slice of the dataset
+/// plus the offset mapping its local ids back to global ids.
+struct Shard<P> {
+    index: BoxedSearchIndex<P>,
+    /// Global id of the shard's local id 0.
+    base: u32,
+}
+
+/// An index over a dataset partitioned into contiguous shards.
+pub struct ShardedIndex<P> {
+    shards: Vec<Shard<P>>,
+    len: usize,
+}
+
+impl<P> ShardedIndex<P>
+where
+    P: Clone + Send + Sync,
+{
+    /// Partition `data` into at most `num_shards` contiguous shards and
+    /// build one index per shard in parallel (one scoped worker each).
+    ///
+    /// `build_shard` receives the shard ordinal and the shard's dataset
+    /// and returns the shard's index; it runs concurrently across shards,
+    /// so index constructors that are themselves multi-threaded should be
+    /// configured accordingly. When `num_shards` exceeds the number of
+    /// points, the extra (empty) shards are simply not created.
+    ///
+    /// Each shard owns a *copy* of its slice of the points (the
+    /// `SearchIndex` builders all take a whole `Arc<Dataset>`), so while
+    /// the caller's dataset stays alive, point memory is held twice. For
+    /// serving-only deployments, drop the original `Arc` after building;
+    /// removing the copy entirely needs a range-view `Dataset`, which
+    /// would ripple through every index constructor.
+    pub fn build<F>(data: &Arc<Dataset<P>>, num_shards: usize, build_shard: F) -> Self
+    where
+        F: Fn(usize, Arc<Dataset<P>>) -> BoxedSearchIndex<P> + Sync,
+    {
+        assert!(num_shards > 0, "num_shards must be positive");
+        assert!(!data.is_empty(), "cannot shard an empty dataset");
+        let n = data.len();
+        let chunk = n.div_ceil(num_shards);
+        let points = data.points();
+        let mut slots: Vec<Option<BoxedSearchIndex<P>>> = Vec::new();
+        slots.resize_with(points.chunks(chunk).len(), || None);
+        // Build in waves of at most the core count so a large shard count
+        // (a deployment choice, not a parallelism choice) cannot
+        // oversubscribe the machine with concurrent index builds.
+        let wave = std::thread::available_parallelism().map_or(1, |c| c.get());
+        for (wid, (slot_wave, part_wave)) in slots
+            .chunks_mut(wave)
+            .zip(points.chunks(chunk * wave))
+            .enumerate()
+        {
+            crossbeam::thread::scope(|scope| {
+                for (off, (slot, part)) in slot_wave
+                    .iter_mut()
+                    .zip(part_wave.chunks(chunk))
+                    .enumerate()
+                {
+                    let build_shard = &build_shard;
+                    let sid = wid * wave + off;
+                    scope.spawn(move |_| {
+                        *slot = Some(build_shard(sid, Arc::new(Dataset::new(part.to_vec()))));
+                    });
+                }
+            })
+            .expect("shard build worker panicked");
+        }
+        let shards = slots
+            .into_iter()
+            .enumerate()
+            .map(|(sid, slot)| Shard {
+                index: slot.expect("shard built"),
+                base: (sid * chunk) as u32,
+            })
+            .collect();
+        Self { shards, len: n }
+    }
+}
+
+impl<P> ShardedIndex<P> {
+    /// Number of shards actually built.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard method name (all shards share it by construction).
+    pub fn shard_method(&self) -> &'static str {
+        self.shards[0].index.name()
+    }
+}
+
+impl<P> SearchIndex<P> for ShardedIndex<P> {
+    /// Per-shard top-k searches followed by the k-way heap merge.
+    fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let lists: Vec<Vec<Neighbor>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut local = shard.index.search(query, k);
+                for n in &mut local {
+                    n.id += shard.base;
+                }
+                local
+            })
+            .collect();
+        merge_sorted_topk(&lists, k)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.index.index_size_bytes() + std::mem::size_of::<Shard<P>>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::ExhaustiveSearch;
+    use permsearch_spaces::L2;
+
+    fn sharded_exhaustive(
+        data: &Arc<Dataset<Vec<f32>>>,
+        num_shards: usize,
+    ) -> ShardedIndex<Vec<f32>> {
+        ShardedIndex::build(data, num_shards, |_, shard_data| {
+            Box::new(ExhaustiveSearch::new(shard_data, L2))
+        })
+    }
+
+    #[test]
+    fn covers_all_points_and_remaps_ids() {
+        let data = Arc::new(Dataset::new(
+            (0..10).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        ));
+        let idx = sharded_exhaustive(&data, 3);
+        assert_eq!(idx.num_shards(), 3);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx.shard_method(), "brute-force");
+        let res = idx.search(&vec![9.0f32], 2);
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![9, 8]); // global ids, not shard-local ones
+    }
+
+    #[test]
+    fn more_shards_than_points_degrades_gracefully() {
+        let data = Arc::new(Dataset::new(
+            (0..3).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        ));
+        let idx = sharded_exhaustive(&data, 8);
+        assert_eq!(idx.num_shards(), 3);
+        assert_eq!(idx.search(&vec![0.0f32], 3).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::default());
+        let _ = sharded_exhaustive(&data, 2);
+    }
+}

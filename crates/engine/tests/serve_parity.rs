@@ -1,0 +1,72 @@
+//! Serving-mode quality pins: a 1000-query batch served sharded and
+//! multi-threaded through the registry must match the recall of the same
+//! method run unsharded through `eval::runner::evaluate`.
+
+use std::sync::Arc;
+
+use permsearch_core::Dataset;
+use permsearch_datasets::Generator;
+use permsearch_engine::{dense_l2_registry, Engine, ShardedEngine};
+use permsearch_eval::{compute_gold, evaluate, split_points};
+use permsearch_spaces::L2;
+
+const K: usize = 10;
+const NUM_QUERIES: usize = 1000;
+
+fn dense_l2_world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    // Dense L2 world (32-d Gaussian mixture — same family as the SIFT-like
+    // generator, scaled down so the 1000-query batch stays fast in debug
+    // builds on one core).
+    let all = permsearch_datasets::DenseGaussianMixture::new(32, 8, 0.25)
+        .generate(2_000 + NUM_QUERIES, 42);
+    let (indexed, queries) = split_points(all, NUM_QUERIES, 7);
+    (Arc::new(Dataset::new(indexed)), queries)
+}
+
+#[test]
+fn sharded_threaded_serving_matches_unsharded_recall() {
+    let (data, queries) = dense_l2_world();
+    let gold = compute_gold(&data, L2, &queries, K);
+    let registry = dense_l2_registry();
+
+    // "vptree" with the metric pruner is exact on L2, so recall parity is
+    // an equality check; "napp" pins the approximate filter-and-refine
+    // path, where sharding may only help (each shard refines its own
+    // candidate set) — never hurt by more than the tolerance.
+    for method in ["vptree", "napp"] {
+        let unsharded = {
+            let idx = registry.build(method, data.clone(), 42).unwrap();
+            evaluate(&idx, &queries, &gold)
+        };
+        let engine = ShardedEngine::from_registry(&registry, method, &data, 4, 4, 42).unwrap();
+        assert_eq!(engine.num_shards(), 4);
+        let (output, report) = engine.serve_with_report(&queries, K, Some(&gold));
+        let served_recall = report.recall.unwrap();
+        assert_eq!(output.results.len(), NUM_QUERIES);
+        assert!(
+            served_recall >= unsharded.recall - 0.01,
+            "{method}: served recall {served_recall} fell more than 0.01 below \
+             unsharded {}",
+            unsharded.recall
+        );
+        if method == "vptree" {
+            assert_eq!(served_recall, 1.0, "metric vptree must stay exact");
+            assert_eq!(unsharded.recall, 1.0);
+        }
+        assert!(report.stats.qps > 0.0);
+        assert!(report.stats.p99_latency_secs >= report.stats.p50_latency_secs);
+    }
+}
+
+#[test]
+fn serving_results_are_sorted_and_within_k() {
+    let (data, queries) = dense_l2_world();
+    let registry = dense_l2_registry();
+    let engine = ShardedEngine::from_registry(&registry, "brute", &data, 3, 2, 1).unwrap();
+    let out = engine.serve(&queries[..100], K);
+    for res in &out.results {
+        assert!(!res.is_empty() && res.len() <= K);
+        assert!(res.windows(2).all(|w| w[0].dist <= w[1].dist));
+        assert!(res.iter().all(|n| (n.id as usize) < data.len()));
+    }
+}

@@ -1,0 +1,70 @@
+//! Sharding must be invisible: exhaustive search over S shards merged with
+//! the k-way heap merge returns *exactly* the same top-k as unsharded
+//! exhaustive search — same ids, same distances, same resolution of
+//! distance ties — for any dataset and any shard count.
+//!
+//! Points are drawn from a small integer grid so duplicate points (and
+//! therefore exact distance ties, including ties straddling shard
+//! boundaries) occur in almost every case.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, ExhaustiveSearch, SearchIndex};
+use permsearch_engine::ShardedIndex;
+use permsearch_spaces::L2;
+
+fn sharded_exhaustive(data: &Arc<Dataset<Vec<f32>>>, shards: usize) -> ShardedIndex<Vec<f32>> {
+    ShardedIndex::build(data, shards, |_, shard_data| {
+        Box::new(ExhaustiveSearch::new(shard_data, L2))
+    })
+}
+
+fn tie_prone_points(n_max: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    // Coordinates in {-2..2} over 2 dims: only 25 distinct points, so any
+    // few dozen draws contain many exact duplicates.
+    proptest::collection::vec(
+        proptest::collection::vec(-2i32..3, 2)
+            .prop_map(|v| v.into_iter().map(|c| c as f32).collect::<Vec<f32>>()),
+        8..n_max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_equals_unsharded_including_ties(
+        pts in tie_prone_points(60),
+        q in proptest::collection::vec(-2i32..3, 2),
+        k in 1usize..12,
+    ) {
+        let query: Vec<f32> = q.into_iter().map(|c| c as f32).collect();
+        let data = Arc::new(Dataset::new(pts));
+        let exact = ExhaustiveSearch::new(data.clone(), L2);
+        let truth = exact.search(&query, k);
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = sharded_exhaustive(&data, shards);
+            let got = sharded.search(&query, k);
+            prop_assert_eq!(
+                &got,
+                &truth,
+                "shards={} k={} n={}",
+                shards,
+                k,
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_len_and_sizes_are_consistent(pts in tie_prone_points(40)) {
+        let data = Arc::new(Dataset::new(pts));
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = sharded_exhaustive(&data, shards);
+            prop_assert_eq!(sharded.len(), data.len());
+            prop_assert!(sharded.num_shards() <= shards);
+        }
+    }
+}

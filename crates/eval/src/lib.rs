@@ -22,8 +22,8 @@ pub mod runner;
 pub mod split;
 pub mod splits;
 
-pub use gold::{compute_gold, GoldStandard};
-pub use metrics::{mean, recall};
+pub use gold::{compute_gold, compute_gold_with_threads, GoldStandard};
+pub use metrics::{mean, recall, recall_vs};
 pub use mu_defect::{empirical_mu, ParadoxSpace};
 pub use projection::{candidate_fraction_curve, distance_pairs, PairSample};
 pub use report::Table;

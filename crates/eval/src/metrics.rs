@@ -15,6 +15,20 @@ pub fn recall(result: &[Neighbor], truth: &[u32]) -> f64 {
     found as f64 / truth.len() as f64
 }
 
+/// Recall of a result list against the exact neighbor records directly —
+/// the allocation-free form used on evaluation hot paths, where building a
+/// truth-id `Vec` per query would dominate small searches.
+pub fn recall_vs(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let found = truth
+        .iter()
+        .filter(|t| result.iter().any(|n| n.id == t.id))
+        .count();
+    found as f64 / truth.len() as f64
+}
+
 /// Arithmetic mean; zero for an empty slice.
 pub fn mean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -40,6 +54,15 @@ mod tests {
         assert_eq!(recall(&result, &[8, 9]), 0.0);
         assert_eq!(recall(&result, &[]), 1.0);
         assert_eq!(recall(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn recall_vs_matches_id_form() {
+        let result = vec![n(1), n(2), n(3)];
+        let truth = vec![n(1), n(9)];
+        assert_eq!(recall_vs(&result, &truth), recall(&result, &[1, 9]),);
+        assert_eq!(recall_vs(&result, &[]), 1.0);
+        assert_eq!(recall_vs(&[], &truth), 0.0);
     }
 
     #[test]

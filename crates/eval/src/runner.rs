@@ -5,7 +5,7 @@ use std::time::Instant;
 use permsearch_core::SearchIndex;
 
 use crate::gold::GoldStandard;
-use crate::metrics::{mean, recall};
+use crate::metrics::recall_vs;
 
 /// One method's measured operating point — a dot on a Figure 4 curve.
 #[derive(Debug, Clone)]
@@ -31,20 +31,22 @@ pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
     gold: &GoldStandard,
 ) -> MethodResult {
     assert_eq!(queries.len(), gold.neighbors.len(), "query/gold mismatch");
-    let start = Instant::now();
-    let results: Vec<_> = queries.iter().map(|q| index.search(q, gold.k)).collect();
-    let elapsed = start.elapsed().as_secs_f64() / queries.len().max(1) as f64;
-    let recalls: Vec<f64> = results
-        .iter()
-        .zip(&gold.neighbors)
-        .map(|(res, truth)| {
-            let ids: Vec<u32> = truth.iter().map(|n| n.id).collect();
-            recall(res, &ids)
-        })
-        .collect();
+    // Fold recall per query instead of collecting every result `Vec`:
+    // each result is scored and dropped immediately, so the hot path
+    // allocates nothing beyond the search itself. Only the searches are
+    // timed; scoring stays outside the clock.
+    let mut search_secs = 0.0;
+    let mut recall_sum = 0.0;
+    for (q, truth) in queries.iter().zip(&gold.neighbors) {
+        let start = Instant::now();
+        let res = index.search(q, gold.k);
+        search_secs += start.elapsed().as_secs_f64();
+        recall_sum += recall_vs(&res, truth);
+    }
+    let elapsed = search_secs / queries.len().max(1) as f64;
     MethodResult {
         name: index.name().to_string(),
-        recall: mean(&recalls),
+        recall: recall_sum / queries.len().max(1) as f64,
         query_secs: elapsed,
         improvement: if elapsed > 0.0 {
             gold.brute_force_secs / elapsed

@@ -53,8 +53,8 @@ pub fn evaluate_splits<P, S, I, B>(
     seed: u64,
 ) -> SplitResult
 where
-    P: Clone,
-    S: Space<P> + Clone,
+    P: Clone + Send + Sync,
+    S: Space<P> + Clone + Sync,
     I: SearchIndex<P>,
     B: Fn(Arc<Dataset<P>>, u64) -> I,
 {

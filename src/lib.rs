@@ -18,7 +18,10 @@
 //! * [`vptree`] — VP-tree with the polynomial non-metric pruner;
 //! * [`knngraph`] — Small-World graph and NN-descent construction;
 //! * [`lsh`] — multi-probe LSH for L2;
-//! * [`eval`] — recall / improvement-in-efficiency evaluation harness.
+//! * [`eval`] — recall / improvement-in-efficiency evaluation harness;
+//! * [`engine`] — sharded, multi-threaded query serving over any of the
+//!   above methods (deployment registry, worker pool, QPS/latency/recall
+//!   reports); see `examples/serve.rs` for an end-to-end tour.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,7 @@
 
 pub use permsearch_core as core;
 pub use permsearch_datasets as datasets;
+pub use permsearch_engine as engine;
 pub use permsearch_eval as eval;
 pub use permsearch_knngraph as knngraph;
 pub use permsearch_lsh as lsh;
@@ -68,5 +72,6 @@ pub use permsearch_vptree as vptree;
 pub mod prelude {
     pub use permsearch_core::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
     pub use permsearch_datasets::Generator;
+    pub use permsearch_engine::{Engine, MethodRegistry, ShardedEngine};
     pub use permsearch_spaces::dense::L2;
 }
