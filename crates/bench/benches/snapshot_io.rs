@@ -1,0 +1,105 @@
+//! Snapshot I/O microbenchmarks: serialize/deserialize cost of the warm
+//! start path, measured in memory (no disk noise). The load numbers are
+//! the ones that matter for process-start latency — they bound how fast a
+//! serving replica can join a fleet, and they should sit orders of
+//! magnitude below the corresponding build cost (which `index_search`'s
+//! build times make observable).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use permsearch_core::{Dataset, Snapshot};
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_permutation::{Napp, NappParams};
+use permsearch_spaces::L2;
+use permsearch_vptree::{VpTree, VpTreeParams};
+
+fn bench_snapshot_io(c: &mut Criterion) {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new(gen.generate(5_000, 11)));
+    let mut group = c.benchmark_group("snapshot_io_sift5k");
+    group.sample_size(20);
+
+    // Dataset: the largest single snapshot (n x 128 floats).
+    let mut dataset_bytes = Vec::new();
+    data.write_snapshot(&mut dataset_bytes).unwrap();
+    group.bench_function("dataset_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(dataset_bytes.len());
+            data.write_snapshot(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("dataset_read", |b| {
+        b.iter(|| {
+            let d = Dataset::<Vec<f32>>::read_snapshot(&mut dataset_bytes.as_slice()).unwrap();
+            black_box(d.len())
+        })
+    });
+
+    // NAPP: inverted files, the paper's flagship method.
+    let napp = Napp::build(
+        data.clone(),
+        L2,
+        NappParams {
+            num_pivots: 256,
+            num_indexed: 16,
+            threads: 4,
+            ..Default::default()
+        },
+        1,
+    );
+    let mut napp_bytes = Vec::new();
+    napp.write_snapshot(&mut napp_bytes).unwrap();
+    group.bench_function("napp_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(napp_bytes.len());
+            napp.write_snapshot(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("napp_read", |b| {
+        b.iter(|| {
+            let idx: Napp<Vec<f32>, L2> =
+                Napp::read_snapshot(&mut napp_bytes.as_slice(), data.clone(), L2).unwrap();
+            black_box(idx.params().num_pivots)
+        })
+    });
+
+    // VP-tree: node-arena layout, the pointer-free tree read path.
+    let tree = VpTree::build(data.clone(), L2, VpTreeParams::default(), 1);
+    let mut tree_bytes = Vec::new();
+    tree.write_snapshot(&mut tree_bytes).unwrap();
+    group.bench_function("vptree_write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(tree_bytes.len());
+            tree.write_snapshot(&mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("vptree_read", |b| {
+        b.iter(|| {
+            let t: VpTree<Vec<f32>, L2> =
+                VpTree::read_snapshot(&mut tree_bytes.as_slice(), data.clone(), L2).unwrap();
+            black_box(t.node_count())
+        })
+    });
+
+    // Container framing overhead (checksum over the NAPP payload).
+    group.bench_function("container_frame_napp", |b| {
+        b.iter(|| {
+            let bytes = permsearch_store::to_vec("index:napp", |w| {
+                use std::io::Write;
+                w.write_all(&napp_bytes)
+                    .map_err(permsearch_core::SnapshotError::from)
+            })
+            .unwrap();
+            black_box(bytes.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_io);
+criterion_main!(benches);

@@ -1,0 +1,252 @@
+//! Offline index lifecycle tool: build a deployment's snapshots once,
+//! inspect them, and serve from them with zero index-build work.
+//!
+//! ```text
+//! # Build the dense L2 world, index it, persist dataset + per-shard
+//! # snapshots + manifest under DIR:
+//! cargo run -p permsearch-bench --release --bin index_tool -- \
+//!     build --dir DIR [--method napp] [--shards 4] [--n 20000] [--seed 42]
+//!
+//! # Describe every snapshot file in DIR (kind, version, size, checksum):
+//! cargo run -p permsearch-bench --release --bin index_tool -- inspect --dir DIR
+//!
+//! # Load the dataset and all shard snapshots and serve a query batch;
+//! # refuses to run if any shard snapshot is missing (no silent rebuild):
+//! cargo run -p permsearch-bench --release --bin index_tool -- \
+//!     serve --from-snapshot DIR [--queries 200] [--k 10] [--workers 2] [--smoke]
+//! ```
+//!
+//! `serve --smoke` additionally computes gold answers and asserts recall,
+//! which is the CI gate for the whole warm-start path.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch_core::Dataset;
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_engine::{dense_l2_registry, DeploymentManifest, Engine, ShardedEngine};
+use permsearch_eval::compute_gold;
+use permsearch_spaces::L2;
+
+struct ToolArgs {
+    dir: PathBuf,
+    method: String,
+    shards: usize,
+    n: usize,
+    queries: usize,
+    k: usize,
+    workers: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+const USAGE: &str = "usage:
+  index_tool build --dir DIR [--method M] [--shards N] [--n N] [--seed S]
+  index_tool inspect --dir DIR
+  index_tool serve --from-snapshot DIR [--queries Q] [--k K] [--workers W] [--smoke]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("index_tool: {msg}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+fn parse(args: &[String]) -> (String, ToolArgs) {
+    let Some(command) = args.first() else {
+        die("missing subcommand");
+    };
+    let mut parsed = ToolArgs {
+        dir: PathBuf::new(),
+        method: "napp".to_string(),
+        shards: 4,
+        n: 20_000,
+        queries: 200,
+        k: 10,
+        workers: 2,
+        seed: 42,
+        smoke: false,
+    };
+    let mut it = args[1..].iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+            .clone()
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dir" | "--from-snapshot" => parsed.dir = next_value(flag, &mut it).into(),
+            "--method" => parsed.method = next_value(flag, &mut it),
+            "--shards" => parsed.shards = parse_num(flag, &next_value(flag, &mut it)),
+            "--n" => parsed.n = parse_num(flag, &next_value(flag, &mut it)),
+            "--queries" => parsed.queries = parse_num(flag, &next_value(flag, &mut it)),
+            "--k" => parsed.k = parse_num(flag, &next_value(flag, &mut it)),
+            "--workers" => parsed.workers = parse_num(flag, &next_value(flag, &mut it)),
+            "--seed" => parsed.seed = parse_num(flag, &next_value(flag, &mut it)) as u64,
+            "--smoke" => parsed.smoke = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if parsed.dir.as_os_str().is_empty() {
+        die("--dir (or --from-snapshot) is required");
+    }
+    (command.clone(), parsed)
+}
+
+fn parse_num(flag: &str, value: &str) -> usize {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("flag {flag}: not a number: {value}")))
+}
+
+fn dataset_path(dir: &Path) -> PathBuf {
+    dir.join("dataset.psnp")
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, args) = parse(&argv);
+    match command.as_str() {
+        "build" => build(&args),
+        "inspect" => inspect(&args),
+        "serve" => serve(&args),
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}
+
+/// Generate the dense L2 world, build the deployment, and persist dataset
+/// + manifest + per-shard index snapshots.
+fn build(args: &ToolArgs) {
+    let gen = sift_like();
+    eprintln!(
+        "[build] generating dense L2 world: n={} (seed {})",
+        args.n, args.seed
+    );
+    let data = Arc::new(Dataset::new(gen.generate(args.n, args.seed)));
+    std::fs::create_dir_all(&args.dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", args.dir.display())));
+    let t = Instant::now();
+    permsearch_store::save_dataset(&dataset_path(&args.dir), &data)
+        .unwrap_or_else(|e| die(&format!("saving dataset: {e}")));
+    eprintln!(
+        "[build] dataset snapshot written in {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
+    let registry = dense_l2_registry();
+    let t = Instant::now();
+    let (engine, warm) = ShardedEngine::build_or_load(
+        &registry,
+        &args.method,
+        &data,
+        args.shards,
+        args.workers,
+        args.seed,
+        &args.dir,
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "built method={} shards={} points={} in {:.3}s ({} shards built, {} loaded) -> {}",
+        args.method,
+        engine.num_shards(),
+        engine.len(),
+        t.elapsed().as_secs_f64(),
+        warm.shards_built,
+        warm.shards_loaded,
+        args.dir.display()
+    );
+}
+
+/// Print kind/version/size/checksum status of every snapshot in the dir.
+fn inspect(args: &ToolArgs) {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&args.dir)
+        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", args.dir.display())))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "psnp"))
+        .collect();
+    entries.sort();
+    if entries.is_empty() {
+        die(&format!("no .psnp snapshots under {}", args.dir.display()));
+    }
+    println!(
+        "{:<24} {:>8} {:>12} {:>10}  kind",
+        "file", "version", "bytes", "checksum"
+    );
+    let mut all_ok = true;
+    for path in &entries {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        match permsearch_store::inspect(path) {
+            Ok(info) => {
+                all_ok &= info.checksum_ok;
+                println!(
+                    "{:<24} {:>8} {:>12} {:>10}  {}",
+                    name,
+                    info.version,
+                    info.payload_bytes,
+                    if info.checksum_ok { "ok" } else { "CORRUPT" },
+                    info.kind
+                );
+            }
+            Err(e) => {
+                all_ok = false;
+                println!("{name:<24} unreadable: {e}");
+            }
+        }
+    }
+    if let Ok(manifest) = DeploymentManifest::load(&args.dir) {
+        println!(
+            "deployment: method={} shards={} points={} seed={}",
+            manifest.method, manifest.num_shards, manifest.num_points, manifest.seed
+        );
+    }
+    if !all_ok {
+        exit(1);
+    }
+}
+
+/// Restore dataset + engine purely from snapshots and serve a batch. No
+/// index-build work runs after the load: a missing shard file is an error,
+/// never a rebuild.
+fn serve(args: &ToolArgs) {
+    let t = Instant::now();
+    let data: Dataset<Vec<f32>> = permsearch_store::load_dataset(&dataset_path(&args.dir))
+        .unwrap_or_else(|e| die(&format!("loading dataset snapshot: {e}")));
+    let data = Arc::new(data);
+    let registry = dense_l2_registry();
+    let engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    let load_secs = t.elapsed().as_secs_f64();
+    let manifest = DeploymentManifest::load(&args.dir).unwrap_or_else(|e| die(&e.to_string()));
+    eprintln!(
+        "[serve] warm start: method={} shards={} points={} loaded in {load_secs:.3}s",
+        manifest.method,
+        engine.num_shards(),
+        engine.len(),
+    );
+
+    // Queries are generated, not persisted — they are workload, not index.
+    let gen = sift_like();
+    let queries = gen.generate(args.queries, manifest.seed ^ 0x0051_C0DE);
+    let gold = args
+        .smoke
+        .then(|| compute_gold(&data, L2, &queries, args.k));
+    let (_, report) = engine.serve_with_report(&queries, args.k, gold.as_ref());
+    println!("{}", report.to_json());
+
+    if args.smoke {
+        let recall = report.recall.expect("smoke computes recall");
+        assert!(
+            recall >= 0.6,
+            "smoke: warm-started {} recall collapsed to {recall}",
+            manifest.method
+        );
+        println!(
+            "smoke OK: warm start served {} queries at recall {recall:.3} with zero build work",
+            args.queries
+        );
+    }
+}

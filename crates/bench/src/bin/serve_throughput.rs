@@ -66,7 +66,7 @@ fn main() {
         for &shards in &shard_grid {
             let mut engine =
                 ShardedEngine::from_registry(&registry, method, &data, shards, 1, args.seed)
-                    .expect("registry method");
+                    .unwrap_or_else(|e| panic!("{e}"));
             for &workers in &worker_grid {
                 engine.set_workers(workers);
                 let (output, report) = engine.serve_with_report(&queries, K, Some(&gold));

@@ -27,12 +27,14 @@ pub mod exhaustive;
 pub mod incsort;
 pub mod neighbor;
 pub mod rng;
+pub mod snapshot;
 pub mod space;
 
 pub use bits::BitVector;
 pub use dataset::Dataset;
 pub use exhaustive::ExhaustiveSearch;
 pub use neighbor::{merge_sorted_topk, KnnHeap, Neighbor};
+pub use snapshot::{PointCodec, Snapshot, SnapshotError};
 pub use space::{Space, SpaceStats};
 
 /// A heap-allocated, thread-shareable search index.

@@ -1,0 +1,514 @@
+//! Snapshot serialization: the [`Snapshot`] trait, the little-endian codec
+//! it is written in, and the typed [`SnapshotError`].
+//!
+//! Every index in the workspace is built from two kinds of state: the
+//! dataset (and the distance function over it), and the *derived structure*
+//! the build step computed — posting lists, tree nodes, adjacency lists,
+//! hash tables, permutation tables. Snapshots persist only the derived
+//! structure: [`Snapshot::write_snapshot`] streams it out,
+//! [`Snapshot::read_snapshot`] reconstructs the index from the stream plus
+//! the dataset and space handed back in by the caller. [`Dataset`] has its
+//! own snapshot pair (it needs no context), so a deployment directory is a
+//! dataset snapshot plus one index snapshot per shard.
+//!
+//! The codec is deliberately boring: fixed-width little-endian integers and
+//! floats, `u64` length prefixes on every sequence, no compression and no
+//! self-description. Framing (magic, version, checksum) is layered on top
+//! by the `permsearch-store` crate; the payloads written here are flat,
+//! sequentially-readable buffers, so the load path is a handful of large
+//! reads rather than a pointer chase.
+//!
+//! Readers never trust the stream: every length is materialized through a
+//! bounded-capacity loop (a corrupt count exhausts the stream and surfaces
+//! [`SnapshotError::Truncated`] instead of attempting a huge allocation),
+//! and every id is range-checked by the index impls before use.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use crate::Dataset;
+
+/// Errors surfaced by snapshot writing, reading, and container framing.
+///
+/// Corrupt or mismatched input is always reported as a typed error; no
+/// snapshot API panics on bad bytes or silently constructs a wrong index.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (disk, permissions, ...).
+    Io(io::Error),
+    /// The stream does not start with the snapshot container magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The container was written by a newer format version.
+    UnsupportedVersion {
+        /// Version tag found in the container.
+        found: u16,
+        /// Highest version this build can read.
+        supported: u16,
+    },
+    /// The payload checksum does not match the stored one.
+    ChecksumMismatch {
+        /// Checksum recorded in the container.
+        stored: u64,
+        /// Checksum recomputed over the bytes actually read.
+        computed: u64,
+    },
+    /// The container holds a different kind of snapshot than requested.
+    KindMismatch {
+        /// The kind the caller expected.
+        expected: String,
+        /// The kind recorded in the container.
+        found: String,
+    },
+    /// The stream ended before the structure was fully read.
+    Truncated {
+        /// What was being read when the stream ran out.
+        context: &'static str,
+    },
+    /// A decoded value violates a structural invariant of the snapshot.
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        context: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a permsearch snapshot (magic bytes {found:?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is newer than the supported version {supported}"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::KindMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot kind mismatch: expected {expected:?}, found {found:?}"
+                )
+            }
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::Corrupt { context } => write!(f, "corrupt snapshot: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated { context: "stream" }
+        } else {
+            SnapshotError::Io(e)
+        }
+    }
+}
+
+/// Shorthand constructor for [`SnapshotError::Corrupt`].
+pub fn corrupt(context: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt {
+        context: context.into(),
+    }
+}
+
+/// Serialization of one index (or the dataset) to/from a byte stream.
+///
+/// `write_snapshot` emits the derived structure only; `read_snapshot`
+/// rebuilds the index from that structure plus the dataset and space the
+/// caller supplies — the two inputs a build would have taken, minus all the
+/// distance computations. Implementations must be *round-trip exact*: an
+/// index read back from its own snapshot answers every query with the
+/// identical [`Neighbor`](crate::Neighbor) list (distances and tie order)
+/// as the in-memory original, which the `roundtrip_*` property tests pin
+/// per method.
+pub trait Snapshot<P, S>: Sized {
+    /// Serialize the derived structure (everything except the dataset and
+    /// the space) to `w`.
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError>;
+
+    /// Reconstruct the index from `r`, re-attaching `data` and `space`.
+    /// `data` must be the dataset the snapshot was written over (impls
+    /// cross-check the recorded point count and id ranges).
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError>;
+}
+
+/// Point-level codec used by [`Dataset`] snapshots and by indices that
+/// store points directly (pivot sets).
+pub trait PointCodec: Sized {
+    /// Serialize one point.
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError>;
+    /// Deserialize one point.
+    fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec. Everything is little-endian; usize travels as u64.
+// ---------------------------------------------------------------------------
+
+/// Initial capacity cap for length-prefixed reads: a corrupt count makes
+/// the read loop hit EOF, not the allocator.
+const PREALLOC_CAP: usize = 1 << 16;
+
+macro_rules! fixed_width {
+    ($write:ident, $read:ident, $ty:ty, $context:literal) => {
+        /// Write one little-endian value.
+        pub fn $write<W: Write + ?Sized>(w: &mut W, v: $ty) -> Result<(), SnapshotError> {
+            w.write_all(&v.to_le_bytes()).map_err(SnapshotError::from)
+        }
+
+        /// Read one little-endian value.
+        pub fn $read<R: Read + ?Sized>(r: &mut R) -> Result<$ty, SnapshotError> {
+            let mut buf = [0u8; std::mem::size_of::<$ty>()];
+            read_exact(r, &mut buf, $context)?;
+            Ok(<$ty>::from_le_bytes(buf))
+        }
+    };
+}
+
+fixed_width!(write_u8, read_u8, u8, "u8");
+fixed_width!(write_u16, read_u16, u16, "u16");
+fixed_width!(write_u32, read_u32, u32, "u32");
+fixed_width!(write_u64, read_u64, u64, "u64");
+fixed_width!(write_f32, read_f32, f32, "f32");
+fixed_width!(write_f64, read_f64, f64, "f64");
+
+fn read_exact<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), SnapshotError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated { context }
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
+/// Write a `usize` as `u64`.
+pub fn write_len<W: Write + ?Sized>(w: &mut W, v: usize) -> Result<(), SnapshotError> {
+    write_u64(w, v as u64)
+}
+
+/// Read a `usize` written by [`write_len`], rejecting values beyond the
+/// platform's address space.
+pub fn read_len<R: Read + ?Sized>(r: &mut R) -> Result<usize, SnapshotError> {
+    let v = read_u64(r)?;
+    usize::try_from(v).map_err(|_| corrupt(format!("length {v} exceeds the address space")))
+}
+
+/// Write an `Option<usize>` as a tag byte plus the value.
+pub fn write_opt_len<W: Write + ?Sized>(w: &mut W, v: Option<usize>) -> Result<(), SnapshotError> {
+    match v {
+        None => write_u8(w, 0),
+        Some(v) => {
+            write_u8(w, 1)?;
+            write_len(w, v)
+        }
+    }
+}
+
+/// Read an `Option<usize>` written by [`write_opt_len`].
+pub fn read_opt_len<R: Read + ?Sized>(r: &mut R) -> Result<Option<usize>, SnapshotError> {
+    match read_u8(r)? {
+        0 => Ok(None),
+        1 => Ok(Some(read_len(r)?)),
+        tag => Err(corrupt(format!("invalid Option tag {tag}"))),
+    }
+}
+
+/// Write a length-prefixed byte string.
+pub fn write_bytes<W: Write + ?Sized>(w: &mut W, bytes: &[u8]) -> Result<(), SnapshotError> {
+    write_len(w, bytes.len())?;
+    w.write_all(bytes).map_err(SnapshotError::from)
+}
+
+/// Read a length-prefixed byte string.
+pub fn read_bytes<R: Read + ?Sized>(r: &mut R) -> Result<Vec<u8>, SnapshotError> {
+    let len = read_len(r)?;
+    let mut buf = vec![0u8; len.min(PREALLOC_CAP)];
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        read_exact(r, &mut buf[..take], "byte string")?;
+        out.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str<W: Write + ?Sized>(w: &mut W, s: &str) -> Result<(), SnapshotError> {
+    write_bytes(w, s.as_bytes())
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn read_str<R: Read + ?Sized>(r: &mut R) -> Result<String, SnapshotError> {
+    String::from_utf8(read_bytes(r)?).map_err(|_| corrupt("string is not valid UTF-8"))
+}
+
+/// Write a length-prefixed sequence with a per-element writer.
+pub fn write_seq<W: Write + ?Sized, T>(
+    w: &mut W,
+    items: &[T],
+    mut write_item: impl FnMut(&mut W, &T) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError> {
+    write_len(w, items.len())?;
+    for item in items {
+        write_item(w, item)?;
+    }
+    Ok(())
+}
+
+/// Read a length-prefixed sequence with a per-element reader. Capacity is
+/// capped up front, so a corrupt count cannot trigger a huge allocation.
+pub fn read_seq<R: Read + ?Sized, T>(
+    r: &mut R,
+    mut read_item: impl FnMut(&mut R) -> Result<T, SnapshotError>,
+) -> Result<Vec<T>, SnapshotError> {
+    let len = read_len(r)?;
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    for _ in 0..len {
+        out.push(read_item(r)?);
+    }
+    Ok(out)
+}
+
+/// Write a length-prefixed `u32` slice.
+pub fn write_u32_seq<W: Write + ?Sized>(w: &mut W, items: &[u32]) -> Result<(), SnapshotError> {
+    write_seq(w, items, |w, &v| write_u32(w, v))
+}
+
+/// Read a length-prefixed `u32` vector.
+pub fn read_u32_seq<R: Read + ?Sized>(r: &mut R) -> Result<Vec<u32>, SnapshotError> {
+    read_seq(r, |r| read_u32(r))
+}
+
+/// Write a length-prefixed `f32` slice.
+pub fn write_f32_seq<W: Write + ?Sized>(w: &mut W, items: &[f32]) -> Result<(), SnapshotError> {
+    write_seq(w, items, |w, &v| write_f32(w, v))
+}
+
+/// Read a length-prefixed `f32` vector.
+pub fn read_f32_seq<R: Read + ?Sized>(r: &mut R) -> Result<Vec<f32>, SnapshotError> {
+    read_seq(r, |r| read_f32(r))
+}
+
+// ---------------------------------------------------------------------------
+// Point codecs for the built-in point representations.
+// ---------------------------------------------------------------------------
+
+impl PointCodec for Vec<f32> {
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_f32_seq(w, self)
+    }
+    fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        read_f32_seq(r)
+    }
+}
+
+impl PointCodec for Vec<u32> {
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_u32_seq(w, self)
+    }
+    fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        read_u32_seq(r)
+    }
+}
+
+/// Byte sequences (the DNA world's `Sequence` alias).
+impl PointCodec for Vec<u8> {
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_bytes(w, self)
+    }
+    fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        read_bytes(r)
+    }
+}
+
+impl PointCodec for String {
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_str(w, self)
+    }
+    fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        read_str(r)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataset snapshots.
+// ---------------------------------------------------------------------------
+
+impl<P: PointCodec> Dataset<P> {
+    /// Serialize all points, ids implicit in order.
+    pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_seq(w, self.points(), |w, p| p.write_point(w))
+    }
+
+    /// Reconstruct a dataset written by [`Dataset::write_snapshot`].
+    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        let points = read_seq(r, |r| P::read_point(r))?;
+        if points.len() > u32::MAX as usize {
+            return Err(corrupt("dataset exceeds the u32 id space"));
+        }
+        Ok(Dataset::new(points))
+    }
+}
+
+/// Check that every id in a decoded list addresses one of the dataset's
+/// `n` points; `what` names the structure for the error message.
+pub fn check_ids(ids: &[u32], n: usize, what: &str) -> Result<(), SnapshotError> {
+    if let Some(&bad) = ids.iter().find(|&&id| id as usize >= n) {
+        return Err(corrupt(format!("{what} references id {bad} >= {n} points")));
+    }
+    Ok(())
+}
+
+/// Check a recorded point count against the dataset handed to
+/// [`Snapshot::read_snapshot`]; index impls call this first.
+pub fn check_point_count(recorded: usize, data_len: usize) -> Result<(), SnapshotError> {
+    if recorded != data_len {
+        return Err(corrupt(format!(
+            "snapshot was written over {recorded} points but the supplied dataset has {data_len}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        write_u8(&mut buf, 7).unwrap();
+        write_u16(&mut buf, 513).unwrap();
+        write_u32(&mut buf, 70_000).unwrap();
+        write_u64(&mut buf, u64::MAX - 1).unwrap();
+        write_f32(&mut buf, -1.5).unwrap();
+        write_f64(&mut buf, 2.25).unwrap();
+        write_len(&mut buf, 42).unwrap();
+        write_opt_len(&mut buf, None).unwrap();
+        write_opt_len(&mut buf, Some(9)).unwrap();
+        write_str(&mut buf, "näpp").unwrap();
+        let r = &mut buf.as_slice();
+        assert_eq!(read_u8(r).unwrap(), 7);
+        assert_eq!(read_u16(r).unwrap(), 513);
+        assert_eq!(read_u32(r).unwrap(), 70_000);
+        assert_eq!(read_u64(r).unwrap(), u64::MAX - 1);
+        assert_eq!(read_f32(r).unwrap(), -1.5);
+        assert_eq!(read_f64(r).unwrap(), 2.25);
+        assert_eq!(read_len(r).unwrap(), 42);
+        assert_eq!(read_opt_len(r).unwrap(), None);
+        assert_eq!(read_opt_len(r).unwrap(), Some(9));
+        assert_eq!(read_str(r).unwrap(), "näpp");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 3).unwrap(); // promises 3 u32s, delivers 1
+        write_u32(&mut buf, 5).unwrap();
+        let err = read_u32_seq(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn absurd_length_prefix_does_not_allocate() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX / 2).unwrap();
+        let err = read_bytes(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+        let err = read_u32_seq(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_option_tag_is_corrupt() {
+        let buf = [9u8];
+        let err = read_opt_len(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dataset_snapshot_round_trips() {
+        let data: Dataset<Vec<f32>> = Dataset::new(vec![vec![1.0, 2.0], vec![-0.5, 0.25], vec![]]);
+        let mut buf = Vec::new();
+        data.write_snapshot(&mut buf).unwrap();
+        let back = Dataset::<Vec<f32>>::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), data.points());
+        let strings = Dataset::new(vec!["acgt".to_string(), String::new()]);
+        let mut buf = Vec::new();
+        strings.write_snapshot(&mut buf).unwrap();
+        let back = Dataset::<String>::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), strings.points());
+    }
+
+    #[test]
+    fn point_count_check() {
+        assert!(check_point_count(4, 4).is_ok());
+        let err = check_point_count(4, 5).unwrap_err();
+        assert!(err.to_string().contains("4") && err.to_string().contains("5"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases: Vec<(SnapshotError, &str)> = vec![
+            (SnapshotError::BadMagic { found: *b"ELF\0" }, "magic"),
+            (
+                SnapshotError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (
+                SnapshotError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum",
+            ),
+            (
+                SnapshotError::KindMismatch {
+                    expected: "dataset".into(),
+                    found: "index:napp".into(),
+                },
+                "index:napp",
+            ),
+            (SnapshotError::Truncated { context: "u32" }, "u32"),
+            (corrupt("bad id"), "bad id"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

@@ -6,12 +6,15 @@
 //! deployments (different methods, shard counts, worker pools) can sit
 //! behind one API, e.g. in a routing table keyed by collection name.
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, SearchIndex};
+use permsearch_core::snapshot::{self, corrupt};
+use permsearch_core::{Dataset, SearchIndex, SnapshotError};
 use permsearch_eval::GoldStandard;
 
-use crate::registry::{EngineError, MethodRegistry};
+use crate::registry::{EngineError, MethodRegistry, Provenance};
 use crate::serve::{optional_recall, serve_batch, ServeOutput, ServeReport};
 use crate::shard::ShardedIndex;
 
@@ -66,16 +69,153 @@ where
     ) -> Result<Self, EngineError> {
         let builder = registry.get(method)?;
         let sharded = ShardedIndex::build(data, num_shards, |sid, shard_data| {
-            builder(
-                shard_data,
-                seed ^ (sid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )
+            builder(shard_data, seed_for_shard(seed, sid))
         });
         Ok(Self {
             sharded,
             method: method.to_string(),
             workers: workers.max(1),
         })
+    }
+
+    /// Warm-start construction: per-shard snapshots under `dir` are
+    /// restored when present (in parallel, one worker per shard) and built
+    /// and persisted when missing, so the second process start of the same
+    /// deployment does zero index-build work. A [`DeploymentManifest`] is
+    /// written next to the shard files and cross-checked on later runs, so
+    /// a directory built for one configuration cannot silently serve
+    /// another.
+    pub fn build_or_load(
+        registry: &MethodRegistry<P>,
+        method: &str,
+        data: &Arc<Dataset<P>>,
+        num_shards: usize,
+        workers: usize,
+        seed: u64,
+        dir: &Path,
+    ) -> Result<(Self, WarmStart), EngineError>
+    where
+        P: permsearch_core::PointCodec,
+    {
+        let wrap = |source| EngineError::Snapshot {
+            method: method.to_string(),
+            source,
+        };
+        let manifest = DeploymentManifest {
+            method: method.to_string(),
+            num_shards,
+            num_points: data.len(),
+            seed,
+            dataset_fingerprint: permsearch_store::fingerprint_dataset(data).map_err(wrap)?,
+        };
+        std::fs::create_dir_all(dir).map_err(|e| wrap(SnapshotError::Io(e)))?;
+        let manifest_path = manifest_path(dir);
+        if manifest_path.exists() {
+            let found = DeploymentManifest::load(dir).map_err(wrap)?;
+            if found != manifest {
+                return Err(wrap(corrupt(format!(
+                    "deployment directory holds {found:?}, requested {manifest:?}"
+                ))));
+            }
+        } else {
+            manifest.save(dir).map_err(wrap)?;
+        }
+        Self::from_dir(registry, &manifest, data, workers, dir, false)
+    }
+
+    /// Restore a deployment saved by [`build_or_load`](Self::build_or_load)
+    /// without any fallback to building: the manifest describes the
+    /// configuration, and a missing or corrupt shard snapshot is an error.
+    /// This is the `serve --from-snapshot` path — after it returns, no
+    /// index-build work has run.
+    pub fn from_snapshots(
+        registry: &MethodRegistry<P>,
+        data: &Arc<Dataset<P>>,
+        workers: usize,
+        dir: &Path,
+    ) -> Result<Self, EngineError>
+    where
+        P: permsearch_core::PointCodec,
+    {
+        let manifest = DeploymentManifest::load(dir).map_err(|source| EngineError::Snapshot {
+            method: "<manifest>".to_string(),
+            source,
+        })?;
+        if manifest.num_points != data.len() {
+            return Err(EngineError::Snapshot {
+                method: manifest.method.clone(),
+                source: corrupt(format!(
+                    "manifest records {} points but the dataset has {}",
+                    manifest.num_points,
+                    data.len()
+                )),
+            });
+        }
+        let fingerprint = permsearch_store::fingerprint_dataset(data).map_err(|source| {
+            EngineError::Snapshot {
+                method: manifest.method.clone(),
+                source,
+            }
+        })?;
+        if fingerprint != manifest.dataset_fingerprint {
+            return Err(EngineError::Snapshot {
+                method: manifest.method.clone(),
+                source: corrupt(format!(
+                    "dataset fingerprint {fingerprint:#018x} does not match the manifest's \
+                     {:#018x}: these shards were built over a different dataset",
+                    manifest.dataset_fingerprint
+                )),
+            });
+        }
+        let (engine, warm) = Self::from_dir(registry, &manifest, data, workers, dir, true)?;
+        debug_assert_eq!(warm.shards_built, 0);
+        Ok(engine)
+    }
+
+    fn from_dir(
+        registry: &MethodRegistry<P>,
+        manifest: &DeploymentManifest,
+        data: &Arc<Dataset<P>>,
+        workers: usize,
+        dir: &Path,
+        load_only: bool,
+    ) -> Result<(Self, WarmStart), EngineError> {
+        let method = manifest.method.as_str();
+        // Resolve hooks up front so an unknown or snapshot-less method
+        // fails with the enumerating error before any I/O.
+        let _ = registry.snapshot_hooks(method)?;
+        let loaded = AtomicUsize::new(0);
+        let built = AtomicUsize::new(0);
+        let sharded = ShardedIndex::try_build(data, manifest.num_shards, |sid, shard_data| {
+            let path = shard_path(dir, sid);
+            let shard_seed = seed_for_shard(manifest.seed, sid);
+            // In load-only mode the strict loader opens the file directly —
+            // a missing snapshot is a NotFound error, never a rebuild, with
+            // no exists()-then-open race.
+            let (index, provenance) = if load_only {
+                (
+                    registry.load(method, shard_data, &path)?,
+                    Provenance::Loaded,
+                )
+            } else {
+                registry.build_or_load(method, shard_data, shard_seed, &path)?
+            };
+            match provenance {
+                Provenance::Loaded => loaded.fetch_add(1, Ordering::Relaxed),
+                Provenance::Built => built.fetch_add(1, Ordering::Relaxed),
+            };
+            Ok(index)
+        })?;
+        let engine = Self {
+            sharded,
+            method: method.to_string(),
+            workers: workers.max(1),
+        };
+        let warm = WarmStart {
+            shards_loaded: loaded.into_inner(),
+            shards_built: built.into_inner(),
+        };
+        Ok((engine, warm))
     }
 
     /// Change the worker-pool size between batches (used by throughput
@@ -110,6 +250,94 @@ where
             recall: optional_recall(&output, gold),
         };
         (output, report)
+    }
+}
+
+/// Shard `sid`'s build seed: decorrelated across shards, reproducible from
+/// the deployment seed (shared by cold builds and warm-start rebuilds).
+fn seed_for_shard(seed: u64, sid: usize) -> u64 {
+    seed ^ (sid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Snapshot file of shard `sid` inside a deployment directory.
+pub fn shard_path(dir: &Path, sid: usize) -> PathBuf {
+    dir.join(format!("shard_{sid:04}.psnp"))
+}
+
+/// Manifest file inside a deployment directory.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("deployment.psnp")
+}
+
+/// How a warm-start construction obtained its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStart {
+    /// Shards restored from snapshots (no build work).
+    pub shards_loaded: usize,
+    /// Shards built from the dataset (snapshots written).
+    pub shards_built: usize,
+}
+
+impl WarmStart {
+    /// True when every shard came from a snapshot.
+    pub fn is_warm(&self) -> bool {
+        self.shards_built == 0
+    }
+}
+
+/// The configuration a deployment directory was written for, persisted as
+/// its own kind-tagged container so restore-time mismatches (different
+/// method, shard count, dataset size or seed) are typed errors instead of
+/// silently wrong deployments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentManifest {
+    /// Registry method deployed on every shard.
+    pub method: String,
+    /// Number of shards the dataset was partitioned into.
+    pub num_shards: usize,
+    /// Total indexed points.
+    pub num_points: usize,
+    /// Deployment seed (per-shard seeds derive from it).
+    pub seed: u64,
+    /// FNV-1a fingerprint of the dataset's snapshot encoding
+    /// ([`permsearch_store::fingerprint_dataset`]): a same-length but
+    /// different dataset cannot silently reuse this directory's shards.
+    pub dataset_fingerprint: u64,
+}
+
+/// Container kind tag of [`DeploymentManifest`] snapshots.
+pub const MANIFEST_KIND: &str = "engine-manifest";
+
+impl DeploymentManifest {
+    /// Write the manifest into `dir` (atomically, via the store container).
+    pub fn save(&self, dir: &Path) -> Result<(), SnapshotError> {
+        permsearch_store::save_to_file(&manifest_path(dir), MANIFEST_KIND, |w| {
+            snapshot::write_str(w, &self.method)?;
+            snapshot::write_len(w, self.num_shards)?;
+            snapshot::write_len(w, self.num_points)?;
+            snapshot::write_u64(w, self.seed)?;
+            snapshot::write_u64(w, self.dataset_fingerprint)
+        })
+    }
+
+    /// Read the manifest of a deployment directory.
+    pub fn load(dir: &Path) -> Result<Self, SnapshotError> {
+        let container = permsearch_store::load_from_file(&manifest_path(dir), Some(MANIFEST_KIND))?;
+        let mut r = container.payload.as_slice();
+        let manifest = Self {
+            method: snapshot::read_str(&mut r)?,
+            num_shards: snapshot::read_len(&mut r)?,
+            num_points: snapshot::read_len(&mut r)?,
+            seed: snapshot::read_u64(&mut r)?,
+            dataset_fingerprint: snapshot::read_u64(&mut r)?,
+        };
+        if !r.is_empty() {
+            return Err(corrupt("trailing bytes after the manifest payload"));
+        }
+        if manifest.num_shards == 0 {
+            return Err(corrupt("manifest records zero shards"));
+        }
+        Ok(manifest)
     }
 }
 

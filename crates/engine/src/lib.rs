@@ -42,9 +42,12 @@ pub mod registry;
 pub mod serve;
 pub mod shard;
 
-pub use engine::{Engine, ShardedEngine};
+pub use engine::{
+    manifest_path, shard_path, DeploymentManifest, Engine, ShardedEngine, WarmStart, MANIFEST_KIND,
+};
 pub use registry::{
-    dense_l2_registry, standard_registry, EngineError, MethodBuilder, MethodRegistry,
+    dense_l2_registry, index_kind, standard_registry, EngineError, MethodBuilder, MethodRegistry,
+    Provenance, SnapshotLoader, SnapshotSaver,
 };
 pub use serve::{effective_workers, percentile, serve_batch, ServeOutput, ServeReport, ServeStats};
 pub use shard::ShardedIndex;

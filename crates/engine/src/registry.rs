@@ -9,12 +9,24 @@
 //! `"lsh"`, which exists only for dense L2 vectors. Callers can
 //! [`register`](MethodRegistry::register) their own tuned builders under
 //! new or existing names.
+//!
+//! Methods registered through
+//! [`register_snapshot`](MethodRegistry::register_snapshot) (all the
+//! standard ones) additionally support **persistence**:
+//! [`build_or_load`](MethodRegistry::build_or_load) restores an index from
+//! a snapshot file when one exists and otherwise builds it and writes the
+//! snapshot — the build-once/serve-many split the warm-start serving layer
+//! is made of. The snapshot is framed by `permsearch-store`'s checksummed
+//! container with the kind tag `index:<method>`, so files can never be
+//! loaded under the wrong method.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::Arc;
 
-use permsearch_core::{BoxedSearchIndex, Dataset, Space};
+use permsearch_core::{BoxedSearchIndex, Dataset, PointCodec, Snapshot, SnapshotError, Space};
 use permsearch_knngraph::{SwGraph, SwGraphParams};
 use permsearch_lsh::{MpLsh, MpLshParams};
 use permsearch_permutation::{
@@ -25,7 +37,13 @@ use permsearch_spaces::L2;
 use permsearch_vptree::{VpTree, VpTreeParams};
 
 /// Errors surfaced by the serving subsystem.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Every lookup failure enumerates what *would* have worked — the
+/// registered names for [`UnknownMethod`](EngineError::UnknownMethod), the
+/// snapshot-capable names for
+/// [`SnapshotUnsupported`](EngineError::SnapshotUnsupported) — so a typo'd
+/// deployment config fails with the fix in the message.
+#[derive(Debug)]
 pub enum EngineError {
     /// The requested method name is not registered.
     UnknownMethod {
@@ -33,6 +51,22 @@ pub enum EngineError {
         requested: String,
         /// Registered names, for the error message.
         available: Vec<String>,
+    },
+    /// The method is registered but has no snapshot hooks (it was added
+    /// with [`MethodRegistry::register`], not
+    /// [`MethodRegistry::register_snapshot`]).
+    SnapshotUnsupported {
+        /// The method that cannot persist.
+        method: String,
+        /// Methods that do support snapshots, for the error message.
+        snapshot_capable: Vec<String>,
+    },
+    /// Snapshot I/O or decoding failed while persisting or restoring.
+    Snapshot {
+        /// The method being persisted or restored.
+        method: String,
+        /// The underlying snapshot failure.
+        source: SnapshotError,
     },
 }
 
@@ -47,19 +81,67 @@ impl fmt::Display for EngineError {
                 "unknown method {requested:?}; registered: {}",
                 available.join(", ")
             ),
+            EngineError::SnapshotUnsupported {
+                method,
+                snapshot_capable,
+            } => write!(
+                f,
+                "method {method:?} has no snapshot support; snapshot-capable methods: {}",
+                snapshot_capable.join(", ")
+            ),
+            EngineError::Snapshot { method, source } => {
+                write!(f, "snapshot failure for method {method:?}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Snapshot { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Builder closure: `(dataset, seed) -> index`. `Send + Sync` so shard
 /// builds can run it concurrently from scoped worker threads.
 pub type MethodBuilder<P> = Arc<dyn Fn(Arc<Dataset<P>>, u64) -> BoxedSearchIndex<P> + Send + Sync>;
 
+/// Build an index *and* stream its snapshot payload to `w` while the
+/// concrete type is still known (type-erased boxes cannot be serialized).
+pub type SnapshotSaver<P> = Arc<
+    dyn Fn(Arc<Dataset<P>>, u64, &mut dyn Write) -> Result<BoxedSearchIndex<P>, SnapshotError>
+        + Send
+        + Sync,
+>;
+
+/// Restore an index from a snapshot payload plus the dataset it was built
+/// over.
+pub type SnapshotLoader<P> = Arc<
+    dyn Fn(&mut dyn Read, Arc<Dataset<P>>) -> Result<BoxedSearchIndex<P>, SnapshotError>
+        + Send
+        + Sync,
+>;
+
+struct MethodEntry<P> {
+    builder: MethodBuilder<P>,
+    snapshot: Option<(SnapshotSaver<P>, SnapshotLoader<P>)>,
+}
+
+/// How [`MethodRegistry::build_or_load`] obtained an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Restored from an existing snapshot file; no build work ran.
+    Loaded,
+    /// Built from the dataset; the snapshot file was (re)written.
+    Built,
+}
+
 /// A string-keyed registry of index builders over point type `P`.
 pub struct MethodRegistry<P> {
-    builders: BTreeMap<String, MethodBuilder<P>>,
+    builders: BTreeMap<String, MethodEntry<P>>,
 }
 
 impl<P> Default for MethodRegistry<P> {
@@ -76,12 +158,62 @@ impl<P> MethodRegistry<P> {
         }
     }
 
-    /// Register (or replace) a builder under `name`.
+    /// Register (or replace) a builder under `name`. Indices registered
+    /// this way cannot be persisted; use
+    /// [`register_snapshot`](Self::register_snapshot) when the index type
+    /// implements [`Snapshot`].
     pub fn register<F>(&mut self, name: &str, builder: F)
     where
         F: Fn(Arc<Dataset<P>>, u64) -> BoxedSearchIndex<P> + Send + Sync + 'static,
     {
-        self.builders.insert(name.to_string(), Arc::new(builder));
+        self.builders.insert(
+            name.to_string(),
+            MethodEntry {
+                builder: Arc::new(builder),
+                snapshot: None,
+            },
+        );
+    }
+
+    /// Register a concretely-typed builder together with snapshot hooks.
+    ///
+    /// `builder` returns the concrete index type `I`, which lets the
+    /// registry derive all three closures from one definition: the plain
+    /// type-erasing builder, a saver that serializes the index before
+    /// boxing it, and a loader that calls `I::read_snapshot` with a clone
+    /// of `space`.
+    pub fn register_snapshot<S, I, F>(&mut self, name: &str, space: S, builder: F)
+    where
+        P: 'static,
+        S: Clone + Send + Sync + 'static,
+        I: permsearch_core::SearchIndex<P> + Snapshot<P, S> + Send + Sync + 'static,
+        F: Fn(Arc<Dataset<P>>, u64) -> I + Send + Sync + 'static,
+    {
+        let build = Arc::new(builder);
+        let plain = {
+            let build = build.clone();
+            move |data: Arc<Dataset<P>>, seed: u64| {
+                Box::new(build(data, seed)) as BoxedSearchIndex<P>
+            }
+        };
+        let saver = {
+            let build = build.clone();
+            move |data: Arc<Dataset<P>>, seed: u64, w: &mut dyn Write| {
+                let index = build(data, seed);
+                index.write_snapshot(w)?;
+                Ok(Box::new(index) as BoxedSearchIndex<P>)
+            }
+        };
+        let loader = move |r: &mut dyn Read, data: Arc<Dataset<P>>| {
+            Ok(Box::new(I::read_snapshot(r, data, space.clone())?) as BoxedSearchIndex<P>)
+        };
+        self.builders.insert(
+            name.to_string(),
+            MethodEntry {
+                builder: Arc::new(plain),
+                snapshot: Some((Arc::new(saver), Arc::new(loader))),
+            },
+        );
     }
 
     /// Registered method names, sorted.
@@ -89,15 +221,55 @@ impl<P> MethodRegistry<P> {
         self.builders.keys().map(String::as_str).collect()
     }
 
-    /// Look up a builder by name.
-    pub fn get(&self, name: &str) -> Result<MethodBuilder<P>, EngineError> {
+    /// Registered method names with snapshot support, sorted.
+    pub fn snapshot_capable_names(&self) -> Vec<&str> {
+        self.builders
+            .iter()
+            .filter(|(_, e)| e.snapshot.is_some())
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Whether `name` is registered with snapshot hooks.
+    pub fn supports_snapshots(&self, name: &str) -> bool {
         self.builders
             .get(name)
-            .cloned()
-            .ok_or_else(|| EngineError::UnknownMethod {
-                requested: name.to_string(),
-                available: self.builders.keys().cloned().collect(),
-            })
+            .is_some_and(|e| e.snapshot.is_some())
+    }
+
+    fn unknown(&self, name: &str) -> EngineError {
+        EngineError::UnknownMethod {
+            requested: name.to_string(),
+            available: self.builders.keys().cloned().collect(),
+        }
+    }
+
+    fn entry(&self, name: &str) -> Result<&MethodEntry<P>, EngineError> {
+        self.builders.get(name).ok_or_else(|| self.unknown(name))
+    }
+
+    /// Look up a builder by name.
+    pub fn get(&self, name: &str) -> Result<MethodBuilder<P>, EngineError> {
+        Ok(self.entry(name)?.builder.clone())
+    }
+
+    /// Look up the snapshot hooks of a method, distinguishing "no such
+    /// method" from "method cannot persist".
+    pub fn snapshot_hooks(
+        &self,
+        name: &str,
+    ) -> Result<(SnapshotSaver<P>, SnapshotLoader<P>), EngineError> {
+        match &self.entry(name)?.snapshot {
+            Some((save, load)) => Ok((save.clone(), load.clone())),
+            None => Err(EngineError::SnapshotUnsupported {
+                method: name.to_string(),
+                snapshot_capable: self
+                    .snapshot_capable_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            }),
+        }
     }
 
     /// Build an index for `data` with the named method.
@@ -109,6 +281,70 @@ impl<P> MethodRegistry<P> {
     ) -> Result<BoxedSearchIndex<P>, EngineError> {
         Ok(self.get(name)?(data, seed))
     }
+
+    /// Strictly restore the named method's index from the snapshot at
+    /// `path`: a missing file is an I/O error, never a fallback build.
+    pub fn load(
+        &self,
+        name: &str,
+        data: Arc<Dataset<P>>,
+        path: &Path,
+    ) -> Result<BoxedSearchIndex<P>, EngineError> {
+        let (_, loader) = self.snapshot_hooks(name)?;
+        let wrap = |source| EngineError::Snapshot {
+            method: name.to_string(),
+            source,
+        };
+        let kind = index_kind(name);
+        let container = permsearch_store::load_from_file(path, Some(&kind)).map_err(wrap)?;
+        let mut payload = container.payload.as_slice();
+        let index = loader(&mut payload, data).map_err(wrap)?;
+        if !payload.is_empty() {
+            return Err(wrap(permsearch_core::snapshot::corrupt(format!(
+                "{} trailing bytes after the {kind} payload",
+                payload.len()
+            ))));
+        }
+        Ok(index)
+    }
+
+    /// Restore the named method's index from the snapshot at `path` when
+    /// the file exists, otherwise build it and write the snapshot there.
+    ///
+    /// The container kind is pinned to `index:<name>`, so a snapshot saved
+    /// under one method can never be restored as another. The load path
+    /// performs no index-build work: it is one sequential file read plus
+    /// structure decoding.
+    pub fn build_or_load(
+        &self,
+        name: &str,
+        data: Arc<Dataset<P>>,
+        seed: u64,
+        path: &Path,
+    ) -> Result<(BoxedSearchIndex<P>, Provenance), EngineError> {
+        let (saver, _) = self.snapshot_hooks(name)?;
+        let wrap = |source| EngineError::Snapshot {
+            method: name.to_string(),
+            source,
+        };
+        let kind = index_kind(name);
+        if path.exists() {
+            Ok((self.load(name, data, path)?, Provenance::Loaded))
+        } else {
+            let mut index = None;
+            permsearch_store::save_to_file(path, &kind, |payload| {
+                index = Some(saver(data, seed, payload)?);
+                Ok(())
+            })
+            .map_err(wrap)?;
+            Ok((index.expect("saver ran"), Provenance::Built))
+        }
+    }
+}
+
+/// Container kind tag for a registry method's index snapshots.
+pub fn index_kind(method: &str) -> String {
+    format!("index:{method}")
 }
 
 /// Number of pivots scaled to the dataset, mirroring the harness: `m` of
@@ -118,17 +354,17 @@ fn scaled_pivots(n: usize, cap: usize) -> usize {
 }
 
 /// Registry of the six space-generic paper methods with size-scaled
-/// default parameters. `threads` inside each builder stays 1: shard-level
-/// parallelism already uses one thread per shard, and nesting pools would
-/// oversubscribe the machine.
+/// default parameters, all snapshot-capable. `threads` inside each builder
+/// stays 1: shard-level parallelism already uses one thread per shard, and
+/// nesting pools would oversubscribe the machine.
 pub fn standard_registry<P, S>(space: S) -> MethodRegistry<P>
 where
-    P: Clone + Send + Sync + 'static,
+    P: PointCodec + Clone + Send + Sync + 'static,
     S: Space<P> + Clone + Send + Sync + 'static,
 {
     let mut reg = MethodRegistry::new();
     let sp = space.clone();
-    reg.register("napp", move |data, seed| {
+    reg.register_snapshot("napp", space.clone(), move |data, seed| {
         let m = scaled_pivots(data.len(), 512);
         let params = NappParams {
             num_pivots: m,
@@ -137,10 +373,10 @@ where
             threads: 1,
             ..Default::default()
         };
-        Box::new(Napp::build(data, sp.clone(), params, seed))
+        Napp::build(data, sp.clone(), params, seed)
     });
     let sp = space.clone();
-    reg.register("mifile", move |data, seed| {
+    reg.register_snapshot("mifile", space.clone(), move |data, seed| {
         let m = scaled_pivots(data.len(), 512);
         let params = MiFileParams {
             num_pivots: m,
@@ -149,10 +385,10 @@ where
             threads: 1,
             ..Default::default()
         };
-        Box::new(MiFile::build(data, sp.clone(), params, seed))
+        MiFile::build(data, sp.clone(), params, seed)
     });
     let sp = space.clone();
-    reg.register("ppindex", move |data, seed| {
+    reg.register_snapshot("ppindex", space.clone(), move |data, seed| {
         let m = scaled_pivots(data.len(), 64);
         let params = PpIndexParams {
             num_pivots: m,
@@ -161,37 +397,28 @@ where
             threads: 1,
             ..Default::default()
         };
-        Box::new(PpIndex::build(data, sp.clone(), params, seed))
+        PpIndex::build(data, sp.clone(), params, seed)
     });
     let sp = space.clone();
-    reg.register("brute", move |data, seed| {
+    reg.register_snapshot("brute", space.clone(), move |data, seed| {
         let m = scaled_pivots(data.len(), 128).min(data.len() / 2).max(1);
         let pivots = select_pivots(&data, m, seed);
-        Box::new(BruteForcePermFilter::build(
+        BruteForcePermFilter::build(
             data,
             sp.clone(),
             pivots,
             PermDistanceKind::SpearmanRho,
             0.05,
             1,
-        ))
+        )
     });
     let sp = space.clone();
-    reg.register("vptree", move |data, seed| {
-        Box::new(VpTree::build(
-            data,
-            sp.clone(),
-            VpTreeParams::default(),
-            seed,
-        ))
+    reg.register_snapshot("vptree", space.clone(), move |data, seed| {
+        VpTree::build(data, sp.clone(), VpTreeParams::default(), seed)
     });
-    reg.register("sw-graph", move |data, seed| {
-        Box::new(SwGraph::build(
-            data,
-            space.clone(),
-            SwGraphParams::default(),
-            seed,
-        ))
+    let sp = space.clone();
+    reg.register_snapshot("sw-graph", space, move |data, seed| {
+        SwGraph::build(data, sp.clone(), SwGraphParams::default(), seed)
     });
     reg
 }
@@ -201,9 +428,9 @@ where
 /// the data.
 pub fn dense_l2_registry() -> MethodRegistry<Vec<f32>> {
     let mut reg = standard_registry(L2);
-    reg.register("lsh", |data, seed| {
+    reg.register_snapshot("lsh", (), |data, seed| {
         let params = MpLshParams::auto(&data, seed);
-        Box::new(MpLsh::build(data, params, seed))
+        MpLsh::build(data, params, seed)
     });
     reg
 }
@@ -219,6 +446,12 @@ mod tests {
         ))
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("psnap-registry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn registry_lists_all_paper_methods() {
         let reg = dense_l2_registry();
@@ -226,6 +459,8 @@ mod tests {
             reg.names(),
             vec!["brute", "lsh", "mifile", "napp", "ppindex", "sw-graph", "vptree"]
         );
+        // Every paper method is snapshot-capable.
+        assert_eq!(reg.snapshot_capable_names(), reg.names());
     }
 
     #[test]
@@ -245,14 +480,50 @@ mod tests {
     }
 
     #[test]
-    fn unknown_method_is_a_clean_error() {
+    fn unknown_method_error_enumerates_available_methods() {
         let reg: MethodRegistry<Vec<f32>> = standard_registry(L2);
         let err = reg
             .build("hnsw", tiny_dense(4), 0)
             .err()
             .expect("must fail");
         let msg = err.to_string();
-        assert!(msg.contains("hnsw") && msg.contains("napp"), "{msg}");
+        assert!(msg.contains("hnsw"), "{msg}");
+        // All six registered names must appear, not just some.
+        for name in reg.names() {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+        // The snapshot path reports unknown methods identically.
+        let err = reg
+            .build_or_load("hnsw", tiny_dense(4), 0, Path::new("/nonexistent"))
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, EngineError::UnknownMethod { .. }), "{err}");
+        assert!(err.to_string().contains("napp"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_unsupported_error_enumerates_capable_methods() {
+        let mut reg = dense_l2_registry();
+        reg.register("exact", |data, _| {
+            Box::new(permsearch_core::ExhaustiveSearch::new(data, L2))
+        });
+        assert!(!reg.supports_snapshots("exact"));
+        assert!(reg.supports_snapshots("napp"));
+        let err = reg
+            .build_or_load("exact", tiny_dense(8), 0, Path::new("/nonexistent"))
+            .err()
+            .expect("must fail");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, EngineError::SnapshotUnsupported { .. }),
+            "{msg}"
+        );
+        for name in [
+            "brute", "lsh", "mifile", "napp", "ppindex", "sw-graph", "vptree",
+        ] {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+        assert!(!msg.contains("exact,"), "{msg}");
     }
 
     #[test]
@@ -263,5 +534,50 @@ mod tests {
         });
         let idx = reg.build("exact", tiny_dense(10), 0).unwrap();
         assert_eq!(idx.name(), "brute-force");
+    }
+
+    #[test]
+    fn build_or_load_round_trips_every_method() {
+        let dir = temp_dir("all");
+        let data = tiny_dense(72);
+        let reg = dense_l2_registry();
+        let queries: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32 + 0.4, 1.1]).collect();
+        for name in reg.names() {
+            let path = dir.join(format!("{name}.psnp"));
+            let (built, prov) = reg.build_or_load(name, data.clone(), 9, &path).unwrap();
+            assert_eq!(prov, Provenance::Built, "{name}");
+            assert!(path.exists(), "{name} snapshot not written");
+            let (loaded, prov) = reg.build_or_load(name, data.clone(), 9, &path).unwrap();
+            assert_eq!(prov, Provenance::Loaded, "{name}");
+            assert_eq!(loaded.len(), built.len(), "{name}");
+            for q in &queries {
+                assert_eq!(loaded.search(q, 5), built.search(q, 5), "{name}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshots_cannot_cross_methods() {
+        let dir = temp_dir("cross");
+        let data = tiny_dense(40);
+        let reg = dense_l2_registry();
+        let path = dir.join("a.psnp");
+        reg.build_or_load("vptree", data.clone(), 1, &path).unwrap();
+        let err = reg
+            .build_or_load("napp", data, 1, &path)
+            .err()
+            .expect("kind tag must block cross-method loads");
+        match err {
+            EngineError::Snapshot { method, source } => {
+                assert_eq!(method, "napp");
+                assert!(
+                    matches!(source, SnapshotError::KindMismatch { .. }),
+                    "{source}"
+                );
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

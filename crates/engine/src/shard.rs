@@ -54,12 +54,35 @@ where
     where
         F: Fn(usize, Arc<Dataset<P>>) -> BoxedSearchIndex<P> + Sync,
     {
+        let result: Result<Self, std::convert::Infallible> =
+            Self::try_build(data, num_shards, |sid, shard_data| {
+                Ok(build_shard(sid, shard_data))
+            });
+        match result {
+            Ok(sharded) => sharded,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Fallible variant of [`build`](Self::build): the per-shard closure
+    /// may fail (snapshot I/O, decoding), and the first error — in shard
+    /// order — aborts the whole build. Shards still build concurrently,
+    /// which is how warm-start restores all shard snapshots in parallel.
+    pub fn try_build<F, E>(
+        data: &Arc<Dataset<P>>,
+        num_shards: usize,
+        build_shard: F,
+    ) -> Result<Self, E>
+    where
+        F: Fn(usize, Arc<Dataset<P>>) -> Result<BoxedSearchIndex<P>, E> + Sync,
+        E: Send,
+    {
         assert!(num_shards > 0, "num_shards must be positive");
         assert!(!data.is_empty(), "cannot shard an empty dataset");
         let n = data.len();
         let chunk = n.div_ceil(num_shards);
         let points = data.points();
-        let mut slots: Vec<Option<BoxedSearchIndex<P>>> = Vec::new();
+        let mut slots: Vec<Option<Result<BoxedSearchIndex<P>, E>>> = Vec::new();
         slots.resize_with(points.chunks(chunk).len(), || None);
         // Build in waves of at most the core count so a large shard count
         // (a deployment choice, not a parallelism choice) cannot
@@ -85,15 +108,14 @@ where
             })
             .expect("shard build worker panicked");
         }
-        let shards = slots
-            .into_iter()
-            .enumerate()
-            .map(|(sid, slot)| Shard {
-                index: slot.expect("shard built"),
+        let mut shards = Vec::with_capacity(slots.len());
+        for (sid, slot) in slots.into_iter().enumerate() {
+            shards.push(Shard {
+                index: slot.expect("shard built")?,
                 base: (sid * chunk) as u32,
-            })
-            .collect();
-        Self { shards, len: n }
+            });
+        }
+        Ok(Self { shards, len: n })
     }
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use permsearch_core::Dataset;
 use permsearch_datasets::Generator;
-use permsearch_engine::{dense_l2_registry, Engine, ShardedEngine};
+use permsearch_engine::{dense_l2_registry, Engine, ShardedEngine, WarmStart};
 use permsearch_eval::{compute_gold, evaluate, split_points};
 use permsearch_spaces::L2;
 
@@ -56,6 +56,95 @@ fn sharded_threaded_serving_matches_unsharded_recall() {
         assert!(report.stats.qps > 0.0);
         assert!(report.stats.p99_latency_secs >= report.stats.p50_latency_secs);
     }
+}
+
+/// Snapshot-restored serving must be *identical* to freshly-built serving:
+/// the same 1000-query batch produces the same per-query results and
+/// therefore the same `ServeReport` recall.
+#[test]
+fn snapshot_restored_engine_matches_fresh_engine() {
+    let (data, queries) = dense_l2_world();
+    let gold = compute_gold(&data, L2, &queries, K);
+    let registry = dense_l2_registry();
+    let dir = std::env::temp_dir().join(format!("psnap-parity-{}", std::process::id()));
+
+    for method in ["vptree", "napp"] {
+        let method_dir = dir.join(method);
+        // Cold start: builds every shard and persists the snapshots.
+        let (cold, warm_stats) =
+            ShardedEngine::build_or_load(&registry, method, &data, 4, 4, 42, &method_dir).unwrap();
+        assert_eq!(
+            warm_stats,
+            WarmStart {
+                shards_loaded: 0,
+                shards_built: 4
+            },
+            "{method} cold start"
+        );
+        // The persisting cold start must serve exactly like the plain
+        // registry build (same per-shard seeds, same structures).
+        let plain = ShardedEngine::from_registry(&registry, method, &data, 4, 4, 42).unwrap();
+        let (cold_out, cold_report) = cold.serve_with_report(&queries, K, Some(&gold));
+        let (plain_out, plain_report) = plain.serve_with_report(&queries, K, Some(&gold));
+        assert_eq!(cold_out.results, plain_out.results, "{method}");
+        assert_eq!(cold_report.recall, plain_report.recall, "{method}");
+
+        // Warm start: every shard restored from its snapshot, zero builds.
+        let (restored, warm_stats) =
+            ShardedEngine::build_or_load(&registry, method, &data, 4, 4, 42, &method_dir).unwrap();
+        assert!(warm_stats.is_warm(), "{method}: {warm_stats:?}");
+        assert_eq!(warm_stats.shards_loaded, 4);
+
+        // And the load-only entry point agrees too.
+        let strict = ShardedEngine::from_snapshots(&registry, &data, 4, &method_dir).unwrap();
+        assert_eq!(strict.method(), method);
+
+        let (restored_out, restored_report) = restored.serve_with_report(&queries, K, Some(&gold));
+        let (strict_out, _) = strict.serve_with_report(&queries, K, Some(&gold));
+        assert_eq!(
+            restored_out.results, cold_out.results,
+            "{method}: restored serving diverged from fresh serving"
+        );
+        assert_eq!(strict_out.results, cold_out.results, "{method}");
+        assert_eq!(
+            restored_report.recall, cold_report.recall,
+            "{method}: recall drifted across restore"
+        );
+        assert_eq!(restored_report.shards, cold_report.shards);
+        assert_eq!(restored_report.num_points, cold_report.num_points);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A deployment directory written for one configuration refuses to serve
+/// another (different method, or a different dataset with the same point
+/// count), instead of silently rebuilding or mixing.
+#[test]
+fn deployment_directory_pins_its_configuration() {
+    let (data, _) = dense_l2_world();
+    let registry = dense_l2_registry();
+    let dir = std::env::temp_dir().join(format!("psnap-pin-{}", std::process::id()));
+    let (_, _) = ShardedEngine::build_or_load(&registry, "vptree", &data, 2, 1, 7, &dir).unwrap();
+    let err = ShardedEngine::build_or_load(&registry, "napp", &data, 2, 1, 7, &dir)
+        .err()
+        .expect("method mismatch must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("napp") && msg.contains("vptree"), "{msg}");
+
+    // Same length, different points: the manifest's dataset fingerprint
+    // must block the strict serving path.
+    let mut other_points = data.points().to_vec();
+    other_points[0][0] += 1.0;
+    let other = Arc::new(Dataset::new(other_points));
+    assert_eq!(other.len(), data.len());
+    let err = ShardedEngine::from_snapshots(&registry, &other, 1, &dir)
+        .err()
+        .expect("dataset fingerprint mismatch must fail");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    // The original dataset still restores fine.
+    let ok = ShardedEngine::from_snapshots(&registry, &data, 1, &dir).unwrap();
+    assert_eq!(ok.method(), "vptree");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -246,6 +246,69 @@ fn partial_search<P, S: Space<P>>(
     res
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot persistence. The adjacency lists are the expensive product of
+// construction (every insertion ran a graph search); the query-time seed is
+// stored too, so a reloaded graph restarts its traversals from the same
+// entry points and returns bit-identical results.
+// ---------------------------------------------------------------------------
+
+impl<P, S> permsearch_core::Snapshot<P, S> for SwGraph<P, S> {
+    fn write_snapshot<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        codec::write_len(w, self.data.len())?;
+        codec::write_len(w, self.params.m)?;
+        codec::write_len(w, self.params.build_attempts)?;
+        codec::write_len(w, self.params.build_ef)?;
+        codec::write_len(w, self.params.search_attempts)?;
+        codec::write_len(w, self.params.search_ef)?;
+        codec::write_u64(w, self.seed)?;
+        codec::write_seq(w, &self.adjacency, |w, list| codec::write_u32_seq(w, list))
+    }
+
+    fn read_snapshot<R: std::io::Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        use permsearch_core::snapshot::corrupt;
+        codec::check_point_count(codec::read_len(r)?, data.len())?;
+        let params = SwGraphParams {
+            m: codec::read_len(r)?,
+            build_attempts: codec::read_len(r)?,
+            build_ef: codec::read_len(r)?,
+            search_attempts: codec::read_len(r)?,
+            search_ef: codec::read_len(r)?,
+        };
+        if params.m == 0 {
+            return Err(corrupt("SW-graph snapshot with m = 0"));
+        }
+        let seed = codec::read_u64(r)?;
+        let adjacency = codec::read_seq(r, |r| codec::read_u32_seq(r))?;
+        if adjacency.len() != data.len() {
+            return Err(corrupt(format!(
+                "SW-graph snapshot has {} adjacency lists for {} points",
+                adjacency.len(),
+                data.len()
+            )));
+        }
+        for list in &adjacency {
+            codec::check_ids(list, data.len(), "SW-graph adjacency list")?;
+        }
+        Ok(Self {
+            data,
+            space,
+            adjacency,
+            params,
+            seed,
+        })
+    }
+}
+
 impl<P, S> SearchIndex<P> for SwGraph<P, S>
 where
     P: Send + Sync,

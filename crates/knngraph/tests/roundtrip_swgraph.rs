@@ -1,0 +1,57 @@
+//! Snapshot round-trip equivalence for the Small-World graph:
+//! `save → load → search` must return identical `Neighbor` lists to the
+//! in-memory graph. The graph's query path restarts from seeded random
+//! entry points, so the snapshot also carries the seed — equivalence here
+//! pins that the whole traversal, not just the adjacency, is reproduced.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, SearchIndex};
+use permsearch_knngraph::{SwGraph, SwGraphParams};
+use permsearch_spaces::L2;
+use permsearch_store::{index_from_slice, index_to_vec};
+
+proptest! {
+    #[test]
+    fn sw_graph_roundtrip(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-25.0f32..25.0, 4), 12..100),
+        m in 2usize..8,
+        ef in 4usize..24,
+        attempts in 1usize..4,
+        parallel in any::<bool>(),
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let params = SwGraphParams {
+            m,
+            build_attempts: attempts,
+            build_ef: ef,
+            search_attempts: attempts,
+            search_ef: ef.max(12),
+        };
+        let fresh = if parallel {
+            SwGraph::build_parallel(data.clone(), L2, params, seed, 3)
+        } else {
+            SwGraph::build(data.clone(), L2, params, seed)
+        };
+        let bytes = index_to_vec("index:sw-graph", &fresh).unwrap();
+        let loaded: SwGraph<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:sw-graph", data.clone(), L2).unwrap();
+
+        assert_eq!(fresh.adjacency(), loaded.adjacency());
+        let mut queries: Vec<Vec<f32>> = data.points().iter().take(3).cloned().collect();
+        queries.push(vec![1.0, -1.0, 0.5, 0.0]);
+        for q in &queries {
+            for k in [1usize, 5, 10] {
+                assert_eq!(
+                    fresh.search(q, k),
+                    loaded.search(q, k),
+                    "sw-graph diverged at k={k}"
+                );
+            }
+        }
+    }
+}

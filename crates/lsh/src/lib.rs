@@ -294,6 +294,113 @@ impl MpLsh {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot persistence. MPLSH is hard-wired to L2, so the space slot of the
+// `Snapshot` trait is `()`. Buckets are written in ascending key order (the
+// in-memory `HashMap` iterates in arbitrary order) so equal indices always
+// produce byte-identical snapshots; per-bucket id vectors keep their
+// insertion order, which is what the probing loop observes, so a reloaded
+// index returns bit-identical results.
+// ---------------------------------------------------------------------------
+
+impl permsearch_core::Snapshot<Vec<f32>, ()> for MpLsh {
+    fn write_snapshot<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        codec::write_len(w, self.data.len())?;
+        codec::write_len(w, self.dim)?;
+        codec::write_len(w, self.params.num_tables)?;
+        codec::write_len(w, self.params.hashes_per_table)?;
+        codec::write_f32(w, self.params.bucket_width)?;
+        codec::write_len(w, self.params.num_probes)?;
+        for table in &self.tables {
+            codec::write_f32_seq(w, &table.a)?;
+            codec::write_f32_seq(w, &table.b)?;
+            let mut buckets: Vec<(&u64, &Vec<u32>)> = table.buckets.iter().collect();
+            buckets.sort_unstable_by_key(|&(key, _)| *key);
+            codec::write_len(w, buckets.len())?;
+            for (key, ids) in buckets {
+                codec::write_u64(w, *key)?;
+                codec::write_u32_seq(w, ids)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_snapshot<R: std::io::Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<Vec<f32>>>,
+        _space: (),
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        use permsearch_core::snapshot::corrupt;
+        codec::check_point_count(codec::read_len(r)?, data.len())?;
+        let dim = codec::read_len(r)?;
+        let data_dim = data.points().first().map_or(dim, Vec::len);
+        if dim != data_dim {
+            return Err(corrupt(format!(
+                "MPLSH snapshot was written over {dim}-dim points but the supplied dataset holds {data_dim}-dim points"
+            )));
+        }
+        let params = MpLshParams {
+            num_tables: codec::read_len(r)?,
+            hashes_per_table: codec::read_len(r)?,
+            bucket_width: codec::read_f32(r)?,
+            num_probes: codec::read_len(r)?,
+        };
+        if params.num_tables == 0 || params.hashes_per_table == 0 || params.num_probes == 0 {
+            return Err(corrupt("MPLSH snapshot with a zero table parameter"));
+        }
+        if params.bucket_width.is_nan() || params.bucket_width <= 0.0 {
+            return Err(corrupt(format!(
+                "MPLSH bucket width {} must be positive",
+                params.bucket_width
+            )));
+        }
+        let mut tables = Vec::with_capacity(params.num_tables);
+        for t in 0..params.num_tables {
+            let a = codec::read_f32_seq(r)?;
+            let expected_a = params
+                .hashes_per_table
+                .checked_mul(dim)
+                .ok_or_else(|| corrupt("MPLSH table dimensions overflow"))?;
+            if a.len() != expected_a {
+                return Err(corrupt(format!(
+                    "MPLSH table {t} has {} projection coefficients, expected {expected_a}",
+                    a.len(),
+                )));
+            }
+            let b = codec::read_f32_seq(r)?;
+            if b.len() != params.hashes_per_table {
+                return Err(corrupt(format!(
+                    "MPLSH table {t} has {} offsets, expected {}",
+                    b.len(),
+                    params.hashes_per_table
+                )));
+            }
+            let num_buckets = codec::read_len(r)?;
+            let mut buckets = HashMap::with_capacity(num_buckets.min(1 << 16));
+            for _ in 0..num_buckets {
+                let key = codec::read_u64(r)?;
+                let ids = codec::read_u32_seq(r)?;
+                codec::check_ids(&ids, data.len(), "MPLSH bucket")?;
+                if buckets.insert(key, ids).is_some() {
+                    return Err(corrupt(format!("MPLSH duplicate bucket key {key:#x}")));
+                }
+            }
+            tables.push(Table { a, b, buckets });
+        }
+        Ok(Self {
+            data,
+            dim,
+            params,
+            tables,
+        })
+    }
+}
+
 impl SearchIndex<Vec<f32>> for MpLsh {
     fn search(&self, query: &Vec<f32>, k: usize) -> Vec<Neighbor> {
         if self.data.is_empty() {

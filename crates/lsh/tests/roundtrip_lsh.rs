@@ -1,0 +1,67 @@
+//! Snapshot round-trip equivalence for multi-probe LSH: `save → load →
+//! search` must return identical `Neighbor` lists to the in-memory index.
+//! The bucket maps live in `HashMap`s with arbitrary iteration order, so
+//! this also pins that serialization (sorted by key) and restoration
+//! preserve per-bucket id order — the order the probing loop observes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, SearchIndex};
+use permsearch_lsh::{MpLsh, MpLshParams};
+use permsearch_store::{index_from_slice, index_to_vec};
+
+proptest! {
+    #[test]
+    fn mplsh_roundtrip(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-20.0f32..20.0, 6), 16..110),
+        num_tables in 1usize..8,
+        hashes_per_table in 1usize..8,
+        bucket_width in 2.0f32..20.0,
+        num_probes in 1usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let params = MpLshParams {
+            num_tables,
+            hashes_per_table,
+            bucket_width,
+            num_probes,
+        };
+        let fresh = MpLsh::build(data.clone(), params, seed);
+        let bytes = index_to_vec("index:lsh", &fresh).unwrap();
+        let loaded: MpLsh =
+            index_from_slice(&bytes, "index:lsh", data.clone(), ()).unwrap();
+
+        let mut queries: Vec<Vec<f32>> = data.points().iter().take(3).cloned().collect();
+        queries.push(vec![0.5; 6]);
+        for q in &queries {
+            for k in [1usize, 4, 10] {
+                assert_eq!(
+                    fresh.search(q, k),
+                    loaded.search(q, k),
+                    "lsh diverged at k={k}"
+                );
+            }
+        }
+        assert_eq!(fresh.index_size_bytes(), loaded.index_size_bytes());
+    }
+
+    #[test]
+    fn mplsh_auto_params_roundtrip(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-5.0f32..5.0, 6), 32..80),
+        seed in 0u64..500,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let params = MpLshParams::auto(&data, seed);
+        let fresh = MpLsh::build(data.clone(), params, seed);
+        let bytes = index_to_vec("index:lsh", &fresh).unwrap();
+        let loaded: MpLsh =
+            index_from_slice(&bytes, "index:lsh", data.clone(), ()).unwrap();
+        let q = data.get(0).clone();
+        assert_eq!(fresh.search(&q, 5), loaded.search(&q, 5));
+    }
+}

@@ -30,10 +30,10 @@ pub fn binarize(ranks: &[u32], b: u32) -> BitVector {
 /// (`n × ceil(m/64)` packed words) for cache-friendly scanning.
 #[derive(Debug, Clone)]
 pub struct BinarizedPermutations {
-    words_per_point: usize,
-    m: usize,
-    threshold: u32,
-    words: Vec<u64>,
+    pub(crate) words_per_point: usize,
+    pub(crate) m: usize,
+    pub(crate) threshold: u32,
+    pub(crate) words: Vec<u64>,
 }
 
 impl BinarizedPermutations {

@@ -39,12 +39,12 @@ pub enum PermDistanceKind {
 
 /// Brute-force filtering over full permutations.
 pub struct BruteForcePermFilter<P, S> {
-    data: Arc<Dataset<P>>,
-    space: S,
-    pivots: Vec<P>,
-    table: PermutationTable,
-    distance: PermDistanceKind,
-    gamma: f64,
+    pub(crate) data: Arc<Dataset<P>>,
+    pub(crate) space: S,
+    pub(crate) pivots: Vec<P>,
+    pub(crate) table: PermutationTable,
+    pub(crate) distance: PermDistanceKind,
+    pub(crate) gamma: f64,
 }
 
 impl<P, S> BruteForcePermFilter<P, S>
@@ -136,11 +136,11 @@ where
 
 /// Brute-force filtering over binarized permutations (Hamming distance).
 pub struct BruteForceBinFilter<P, S> {
-    data: Arc<Dataset<P>>,
-    space: S,
-    pivots: Vec<P>,
-    table: BinarizedPermutations,
-    gamma: f64,
+    pub(crate) data: Arc<Dataset<P>>,
+    pub(crate) space: S,
+    pub(crate) pivots: Vec<P>,
+    pub(crate) table: BinarizedPermutations,
+    pub(crate) gamma: f64,
 }
 
 impl<P, S> BruteForceBinFilter<P, S>

@@ -37,6 +37,7 @@ pub mod pivots;
 pub mod ppindex;
 pub mod randproj;
 pub mod refine;
+pub mod snapshot;
 
 pub use binary::{binarize, BinarizedPermutations};
 pub use brute::{BruteForceBinFilter, BruteForcePermFilter, PermDistanceKind};

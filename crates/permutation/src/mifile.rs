@@ -60,19 +60,19 @@ impl Default for MiFileParams {
 /// One posting: the pivot's position in the inducing point's permutation
 /// and the point id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Posting {
-    pos: u16,
-    id: u32,
+pub(crate) struct Posting {
+    pub(crate) pos: u16,
+    pub(crate) id: u32,
 }
 
 /// The MI-file index.
 pub struct MiFile<P, S> {
-    data: Arc<Dataset<P>>,
-    space: S,
-    pivots: Vec<P>,
+    pub(crate) data: Arc<Dataset<P>>,
+    pub(crate) space: S,
+    pub(crate) pivots: Vec<P>,
     /// `postings[p]` sorted by `pos` (ties by id).
-    postings: Vec<Vec<Posting>>,
-    params: MiFileParams,
+    pub(crate) postings: Vec<Vec<Posting>>,
+    pub(crate) params: MiFileParams,
 }
 
 impl<P, S> MiFile<P, S>

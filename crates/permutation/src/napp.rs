@@ -62,13 +62,13 @@ impl Default for NappParams {
 
 /// The NAPP inverted index.
 pub struct Napp<P, S> {
-    data: Arc<Dataset<P>>,
-    space: S,
-    pivots: Vec<P>,
+    pub(crate) data: Arc<Dataset<P>>,
+    pub(crate) space: S,
+    pub(crate) pivots: Vec<P>,
     /// `postings[p]` lists ids of points having pivot `p` among their `mi`
     /// closest, in increasing id order.
-    postings: Vec<Vec<u32>>,
-    params: NappParams,
+    pub(crate) postings: Vec<Vec<u32>>,
+    pub(crate) params: NappParams,
 }
 
 impl<P, S> Napp<P, S>

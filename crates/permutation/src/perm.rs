@@ -77,8 +77,8 @@ pub fn spearman_rho(x: &[u32], y: &[u32]) -> u64 {
 /// for cache-friendly brute-force scanning.
 #[derive(Debug, Clone)]
 pub struct PermutationTable {
-    m: usize,
-    ranks: Vec<u32>,
+    pub(crate) m: usize,
+    pub(crate) ranks: Vec<u32>,
 }
 
 impl PermutationTable {

@@ -48,19 +48,19 @@ impl Default for PpIndexParams {
 
 /// Arena node of one prefix tree.
 #[derive(Debug, Clone, Default)]
-struct Node {
+pub(crate) struct Node {
     /// `(pivot id, child node index)`, sorted by pivot id.
-    children: Vec<(u32, u32)>,
+    pub(crate) children: Vec<(u32, u32)>,
     /// Point ids terminating at this node (depth == prefix_len).
-    ids: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
     /// Number of points in this subtree.
-    subtree: u32,
+    pub(crate) subtree: u32,
 }
 
 /// One prefix tree with its own pivot subset.
-struct Tree<P> {
-    pivots: Vec<P>,
-    nodes: Vec<Node>,
+pub(crate) struct Tree<P> {
+    pub(crate) pivots: Vec<P>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 impl<P> Tree<P> {
@@ -120,10 +120,10 @@ impl<P> Tree<P> {
 
 /// The PP-index: one or more prefix trees plus the shared refine stage.
 pub struct PpIndex<P, S> {
-    data: Arc<Dataset<P>>,
-    space: S,
-    trees: Vec<Tree<P>>,
-    params: PpIndexParams,
+    pub(crate) data: Arc<Dataset<P>>,
+    pub(crate) space: S,
+    pub(crate) trees: Vec<Tree<P>>,
+    pub(crate) params: PpIndexParams,
 }
 
 impl<P, S> PpIndex<P, S>

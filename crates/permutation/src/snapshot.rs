@@ -1,0 +1,514 @@
+//! [`Snapshot`] implementations for the permutation-method indices.
+//!
+//! Each payload starts with the indexed point count (cross-checked against
+//! the dataset supplied at load time) followed by the build parameters and
+//! the derived structure — pivot points, posting lists, prefix trees or
+//! permutation tables. Nothing that can be derived from `(data, space)` at
+//! query time is stored, and nothing stored is trusted: every parameter is
+//! re-validated with the same invariants the builders assert, and every id
+//! is range-checked, so a corrupt payload surfaces as
+//! [`SnapshotError::Corrupt`] instead of a panic or a silently wrong
+//! index.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use permsearch_core::snapshot::{
+    check_ids, check_point_count, corrupt, read_f64, read_len, read_opt_len, read_seq, read_u16,
+    read_u32, read_u32_seq, read_u64, read_u8, write_f64, write_len, write_opt_len, write_seq,
+    write_u16, write_u32, write_u32_seq, write_u64, write_u8,
+};
+use permsearch_core::{Dataset, PointCodec, Snapshot, SnapshotError};
+
+use crate::binary::BinarizedPermutations;
+use crate::brute::{BruteForceBinFilter, BruteForcePermFilter, PermDistanceKind};
+use crate::mifile::{MiFile, MiFileParams, Posting};
+use crate::napp::{Napp, NappParams};
+use crate::perm::PermutationTable;
+use crate::ppindex::{Node, PpIndex, PpIndexParams, Tree};
+
+fn write_pivots<W: Write + ?Sized, P: PointCodec>(
+    w: &mut W,
+    pivots: &[P],
+) -> Result<(), SnapshotError> {
+    write_seq(w, pivots, |w, p| p.write_point(w))
+}
+
+fn read_pivots<R: Read + ?Sized, P: PointCodec>(
+    r: &mut R,
+    expected: usize,
+) -> Result<Vec<P>, SnapshotError> {
+    let pivots = read_seq(r, |r| P::read_point(r))?;
+    if pivots.len() != expected {
+        return Err(corrupt(format!(
+            "expected {expected} pivots, found {}",
+            pivots.len()
+        )));
+    }
+    Ok(pivots)
+}
+
+fn check_gamma(gamma: f64) -> Result<(), SnapshotError> {
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(corrupt(format!("gamma {gamma} outside (0, 1]")));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// NAPP
+// ---------------------------------------------------------------------------
+
+impl<P: PointCodec, S> Snapshot<P, S> for Napp<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.data.len())?;
+        write_len(w, self.params.num_pivots)?;
+        write_len(w, self.params.num_indexed)?;
+        write_len(w, self.params.num_query_pivots)?;
+        write_u32(w, self.params.min_shared)?;
+        write_opt_len(w, self.params.max_candidates)?;
+        write_len(w, self.params.threads)?;
+        write_pivots(w, &self.pivots)?;
+        write_seq(w, &self.postings, |w, list| write_u32_seq(w, list))
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        check_point_count(read_len(r)?, data.len())?;
+        let params = NappParams {
+            num_pivots: read_len(r)?,
+            num_indexed: read_len(r)?,
+            num_query_pivots: read_len(r)?,
+            min_shared: read_u32(r)?,
+            max_candidates: read_opt_len(r)?,
+            threads: read_len(r)?,
+        };
+        if params.num_pivots == 0 {
+            return Err(corrupt("NAPP snapshot with zero pivots"));
+        }
+        if params.num_indexed == 0 || params.num_indexed > params.num_pivots {
+            return Err(corrupt(format!(
+                "NAPP num_indexed {} outside 1..={}",
+                params.num_indexed, params.num_pivots
+            )));
+        }
+        let pivots = read_pivots(r, params.num_pivots)?;
+        let postings = read_seq(r, |r| read_u32_seq(r))?;
+        if postings.len() != params.num_pivots {
+            return Err(corrupt(format!(
+                "NAPP snapshot has {} posting lists for {} pivots",
+                postings.len(),
+                params.num_pivots
+            )));
+        }
+        for list in &postings {
+            check_ids(list, data.len(), "NAPP posting list")?;
+        }
+        Ok(Self {
+            data,
+            space,
+            pivots,
+            postings,
+            params,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MI-file
+// ---------------------------------------------------------------------------
+
+impl<P: PointCodec, S> Snapshot<P, S> for MiFile<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.data.len())?;
+        write_len(w, self.params.num_pivots)?;
+        write_len(w, self.params.num_indexed)?;
+        write_len(w, self.params.num_query_pivots)?;
+        match self.params.max_pos_diff {
+            None => write_u8(w, 0)?,
+            Some(d) => {
+                write_u8(w, 1)?;
+                write_u32(w, d)?;
+            }
+        }
+        write_f64(w, self.params.gamma)?;
+        write_len(w, self.params.threads)?;
+        write_pivots(w, &self.pivots)?;
+        write_seq(w, &self.postings, |w, list| {
+            write_seq(w, list, |w, p| {
+                write_u16(w, p.pos)?;
+                write_u32(w, p.id)
+            })
+        })
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        check_point_count(read_len(r)?, data.len())?;
+        let num_pivots = read_len(r)?;
+        let num_indexed = read_len(r)?;
+        let num_query_pivots = read_len(r)?;
+        let max_pos_diff = match read_u8(r)? {
+            0 => None,
+            1 => Some(read_u32(r)?),
+            tag => return Err(corrupt(format!("invalid max_pos_diff tag {tag}"))),
+        };
+        let params = MiFileParams {
+            num_pivots,
+            num_indexed,
+            num_query_pivots,
+            max_pos_diff,
+            gamma: read_f64(r)?,
+            threads: read_len(r)?,
+        };
+        if params.num_pivots == 0 || params.num_pivots > u16::MAX as usize {
+            return Err(corrupt(format!(
+                "MI-file num_pivots {} outside 1..=65535",
+                params.num_pivots
+            )));
+        }
+        if params.num_indexed == 0 || params.num_indexed > params.num_pivots {
+            return Err(corrupt(format!(
+                "MI-file num_indexed {} outside 1..={}",
+                params.num_indexed, params.num_pivots
+            )));
+        }
+        check_gamma(params.gamma)?;
+        let pivots = read_pivots(r, params.num_pivots)?;
+        let postings = read_seq(r, |r| {
+            read_seq(r, |r| {
+                Ok(Posting {
+                    pos: read_u16(r)?,
+                    id: read_u32(r)?,
+                })
+            })
+        })?;
+        if postings.len() != params.num_pivots {
+            return Err(corrupt(format!(
+                "MI-file snapshot has {} posting lists for {} pivots",
+                postings.len(),
+                params.num_pivots
+            )));
+        }
+        for list in &postings {
+            for p in list {
+                if p.id as usize >= data.len() {
+                    return Err(corrupt(format!(
+                        "MI-file posting references id {} >= {} points",
+                        p.id,
+                        data.len()
+                    )));
+                }
+                if p.pos as usize >= params.num_pivots {
+                    return Err(corrupt(format!(
+                        "MI-file posting position {} >= {} pivots",
+                        p.pos, params.num_pivots
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            data,
+            space,
+            pivots,
+            postings,
+            params,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PP-index
+// ---------------------------------------------------------------------------
+
+impl<P: PointCodec, S> Snapshot<P, S> for PpIndex<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.data.len())?;
+        write_len(w, self.params.num_pivots)?;
+        write_len(w, self.params.prefix_len)?;
+        write_f64(w, self.params.gamma)?;
+        write_len(w, self.params.num_trees)?;
+        write_len(w, self.params.threads)?;
+        write_seq(w, &self.trees, |w, tree| {
+            write_pivots(w, &tree.pivots)?;
+            write_seq(w, &tree.nodes, |w, node| {
+                write_seq(w, &node.children, |w, &(pivot, child)| {
+                    write_u32(w, pivot)?;
+                    write_u32(w, child)
+                })?;
+                write_u32_seq(w, &node.ids)?;
+                write_u32(w, node.subtree)
+            })
+        })
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        check_point_count(read_len(r)?, data.len())?;
+        let params = PpIndexParams {
+            num_pivots: read_len(r)?,
+            prefix_len: read_len(r)?,
+            gamma: read_f64(r)?,
+            num_trees: read_len(r)?,
+            threads: read_len(r)?,
+        };
+        if params.num_pivots == 0 {
+            return Err(corrupt("PP-index snapshot with zero pivots"));
+        }
+        if params.prefix_len == 0 || params.prefix_len > params.num_pivots {
+            return Err(corrupt(format!(
+                "PP-index prefix_len {} outside 1..={}",
+                params.prefix_len, params.num_pivots
+            )));
+        }
+        check_gamma(params.gamma)?;
+        if params.num_trees == 0 {
+            return Err(corrupt("PP-index snapshot with zero trees"));
+        }
+        let trees: Vec<Tree<P>> = read_seq(r, |r| {
+            let pivots = read_pivots(r, params.num_pivots)?;
+            let nodes: Vec<Node> = read_seq(r, |r| {
+                Ok(Node {
+                    children: read_seq(r, |r| Ok((read_u32(r)?, read_u32(r)?)))?,
+                    ids: read_u32_seq(r)?,
+                    subtree: read_u32(r)?,
+                })
+            })?;
+            if nodes.is_empty() {
+                return Err(corrupt("PP-index tree without a root node"));
+            }
+            for node in &nodes {
+                check_ids(&node.ids, data.len(), "PP-index leaf")?;
+                for &(_, child) in &node.children {
+                    if child as usize >= nodes.len() {
+                        return Err(corrupt(format!(
+                            "PP-index child {} >= {} nodes",
+                            child,
+                            nodes.len()
+                        )));
+                    }
+                }
+            }
+            Ok(Tree { pivots, nodes })
+        })?;
+        if trees.len() != params.num_trees {
+            return Err(corrupt(format!(
+                "PP-index snapshot has {} trees for num_trees {}",
+                trees.len(),
+                params.num_trees
+            )));
+        }
+        Ok(Self {
+            data,
+            space,
+            trees,
+            params,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force permutation filters (full and binarized)
+// ---------------------------------------------------------------------------
+
+fn write_distance_kind<W: Write + ?Sized>(
+    w: &mut W,
+    kind: PermDistanceKind,
+) -> Result<(), SnapshotError> {
+    write_u8(
+        w,
+        match kind {
+            PermDistanceKind::SpearmanRho => 0,
+            PermDistanceKind::Footrule => 1,
+        },
+    )
+}
+
+fn read_distance_kind<R: Read + ?Sized>(r: &mut R) -> Result<PermDistanceKind, SnapshotError> {
+    match read_u8(r)? {
+        0 => Ok(PermDistanceKind::SpearmanRho),
+        1 => Ok(PermDistanceKind::Footrule),
+        tag => Err(corrupt(format!("invalid permutation-distance tag {tag}"))),
+    }
+}
+
+impl<P: PointCodec, S> Snapshot<P, S> for BruteForcePermFilter<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.data.len())?;
+        write_distance_kind(w, self.distance)?;
+        write_f64(w, self.gamma)?;
+        write_pivots(w, &self.pivots)?;
+        write_len(w, self.table.m)?;
+        write_u32_seq(w, &self.table.ranks)
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        check_point_count(read_len(r)?, data.len())?;
+        let distance = read_distance_kind(r)?;
+        let gamma = read_f64(r)?;
+        check_gamma(gamma)?;
+        let pivots: Vec<P> = read_seq(r, |r| P::read_point(r))?;
+        let m = read_len(r)?;
+        if m == 0 || m != pivots.len() {
+            return Err(corrupt(format!(
+                "permutation table width {m} does not match {} pivots",
+                pivots.len()
+            )));
+        }
+        let ranks = read_u32_seq(r)?;
+        if ranks.len() != data.len() * m {
+            return Err(corrupt(format!(
+                "permutation table holds {} ranks, expected {} points x {m}",
+                ranks.len(),
+                data.len()
+            )));
+        }
+        Ok(Self {
+            data,
+            space,
+            pivots,
+            table: PermutationTable { m, ranks },
+            distance,
+            gamma,
+        })
+    }
+}
+
+impl<P: PointCodec, S> Snapshot<P, S> for BruteForceBinFilter<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.data.len())?;
+        write_f64(w, self.gamma)?;
+        write_pivots(w, &self.pivots)?;
+        write_len(w, self.table.m)?;
+        write_u32(w, self.table.threshold)?;
+        write_seq(w, &self.table.words, |w, &word| write_u64(w, word))
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        check_point_count(read_len(r)?, data.len())?;
+        let gamma = read_f64(r)?;
+        check_gamma(gamma)?;
+        let pivots: Vec<P> = read_seq(r, |r| P::read_point(r))?;
+        let m = read_len(r)?;
+        if m == 0 || m != pivots.len() {
+            return Err(corrupt(format!(
+                "binarized table width {m} does not match {} pivots",
+                pivots.len()
+            )));
+        }
+        let threshold = read_u32(r)?;
+        let words = read_seq(r, |r| read_u64(r))?;
+        let words_per_point = m.div_ceil(64);
+        if words.len() != data.len() * words_per_point {
+            return Err(corrupt(format!(
+                "binarized table holds {} words, expected {} points x {words_per_point}",
+                words.len(),
+                data.len()
+            )));
+        }
+        Ok(Self {
+            data,
+            space,
+            pivots,
+            table: BinarizedPermutations {
+                words_per_point,
+                m,
+                threshold,
+                words,
+            },
+            gamma,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permsearch_core::SearchIndex;
+    use permsearch_spaces::L2;
+
+    use crate::pivots::select_pivots;
+
+    fn world() -> Arc<Dataset<Vec<f32>>> {
+        Arc::new(Dataset::new(
+            (0..120)
+                .map(|i| vec![(i % 11) as f32, (i / 11) as f32, (i % 7) as f32])
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn napp_snapshot_rejects_size_mismatch() {
+        let data = world();
+        let idx = Napp::build(
+            data.clone(),
+            L2,
+            NappParams {
+                num_pivots: 16,
+                num_indexed: 4,
+                threads: 1,
+                ..Default::default()
+            },
+            3,
+        );
+        let mut buf = Vec::new();
+        idx.write_snapshot(&mut buf).unwrap();
+        let wrong: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::new(vec![vec![0.0f32; 3]; 7]));
+        let err = Napp::<Vec<f32>, L2>::read_snapshot(&mut buf.as_slice(), wrong, L2)
+            .err()
+            .expect("size mismatch must fail");
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn brute_snapshot_preserves_filter_scores() {
+        let data = world();
+        let pivots = select_pivots(&data, 12, 5);
+        let idx = BruteForcePermFilter::build(
+            data.clone(),
+            L2,
+            pivots,
+            PermDistanceKind::Footrule,
+            0.2,
+            2,
+        );
+        let mut buf = Vec::new();
+        idx.write_snapshot(&mut buf).unwrap();
+        let back =
+            BruteForcePermFilter::<Vec<f32>, L2>::read_snapshot(&mut buf.as_slice(), data, L2)
+                .unwrap();
+        assert_eq!(back.table.ranks, idx.table.ranks);
+        assert_eq!(back.distance, idx.distance);
+        assert_eq!(
+            back.search(&vec![2.5, 3.5, 1.5], 7),
+            idx.search(&vec![2.5, 3.5, 1.5], 7)
+        );
+    }
+
+    #[test]
+    fn distance_kind_tag_round_trips() {
+        for kind in [PermDistanceKind::SpearmanRho, PermDistanceKind::Footrule] {
+            let mut buf = Vec::new();
+            write_distance_kind(&mut buf, kind).unwrap();
+            assert_eq!(read_distance_kind(&mut buf.as_slice()).unwrap(), kind);
+        }
+        assert!(read_distance_kind(&mut [9u8].as_slice()).is_err());
+    }
+}

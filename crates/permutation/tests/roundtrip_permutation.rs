@@ -1,0 +1,172 @@
+//! Snapshot round-trip equivalence for every permutation method:
+//! `save → load → search` must return *identical* `Neighbor` lists
+//! (distances and tie order) to the in-memory index, across randomized
+//! datasets, parameters and seeds. Snapshots travel through the full
+//! `permsearch-store` container (framing + checksum), not just the raw
+//! payload codec.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, SearchIndex};
+use permsearch_permutation::{
+    select_pivots, BruteForceBinFilter, BruteForcePermFilter, MiFile, MiFileParams, Napp,
+    NappParams, PermDistanceKind, PpIndex, PpIndexParams,
+};
+use permsearch_spaces::L2;
+use permsearch_store::{index_from_slice, index_to_vec};
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(proptest::collection::vec(-40.0f32..40.0, 4), 24..90)
+}
+
+/// Queries that hit distance ties (dataset points themselves) and generic
+/// off-sample locations.
+fn queries_for(data: &Dataset<Vec<f32>>) -> Vec<Vec<f32>> {
+    let mut queries: Vec<Vec<f32>> = data.points().iter().take(3).cloned().collect();
+    queries.push(vec![0.0; 4]);
+    queries.push(
+        data.get(data.len() as u32 - 1)
+            .iter()
+            .map(|x| x + 0.35)
+            .collect(),
+    );
+    queries
+}
+
+/// Assert search equivalence for several `k` on every query.
+fn assert_equivalent<I: SearchIndex<Vec<f32>>>(
+    method: &str,
+    fresh: &I,
+    loaded: &I,
+    data: &Dataset<Vec<f32>>,
+) {
+    for q in &queries_for(data) {
+        for k in [1usize, 3, 10] {
+            let a = fresh.search(q, k);
+            let b = loaded.search(q, k);
+            assert_eq!(a, b, "{method} diverged at k={k}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn napp_roundtrip(
+        points in points_strategy(),
+        num_pivots in 4usize..24,
+        num_indexed in 1usize..9,
+        min_shared in 1u32..3,
+        cap in proptest::collection::vec(10usize..60, 0..2),
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let num_pivots = num_pivots.min(data.len());
+        let params = NappParams {
+            num_pivots,
+            num_indexed: num_indexed.min(num_pivots),
+            min_shared,
+            max_candidates: cap.first().copied(),
+            threads: 2,
+            ..Default::default()
+        };
+        let fresh = Napp::build(data.clone(), L2, params, seed);
+        let bytes = index_to_vec("index:napp", &fresh).unwrap();
+        let loaded: Napp<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:napp", data.clone(), L2).unwrap();
+        assert_equivalent("napp", &fresh, &loaded, &data);
+    }
+
+    #[test]
+    fn mifile_roundtrip(
+        points in points_strategy(),
+        num_pivots in 4usize..24,
+        num_indexed in 1usize..9,
+        max_pos_diff in proptest::collection::vec(1u32..8, 0..2),
+        gamma in 0.02f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let num_pivots = num_pivots.min(data.len());
+        let params = MiFileParams {
+            num_pivots,
+            num_indexed: num_indexed.min(num_pivots),
+            max_pos_diff: max_pos_diff.first().copied(),
+            gamma,
+            threads: 2,
+            ..Default::default()
+        };
+        let fresh = MiFile::build(data.clone(), L2, params, seed);
+        let bytes = index_to_vec("index:mifile", &fresh).unwrap();
+        let loaded: MiFile<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:mifile", data.clone(), L2).unwrap();
+        assert_equivalent("mifile", &fresh, &loaded, &data);
+    }
+
+    #[test]
+    fn ppindex_roundtrip(
+        points in points_strategy(),
+        num_pivots in 4usize..20,
+        prefix_len in 1usize..6,
+        gamma in 0.02f64..0.6,
+        num_trees in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let num_pivots = num_pivots.min(data.len());
+        let params = PpIndexParams {
+            num_pivots,
+            prefix_len: prefix_len.min(num_pivots),
+            gamma,
+            num_trees,
+            threads: 2,
+        };
+        let fresh = PpIndex::build(data.clone(), L2, params, seed);
+        let bytes = index_to_vec("index:ppindex", &fresh).unwrap();
+        let loaded: PpIndex<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:ppindex", data.clone(), L2).unwrap();
+        assert_equivalent("ppindex", &fresh, &loaded, &data);
+    }
+
+    #[test]
+    fn brute_roundtrip(
+        points in points_strategy(),
+        num_pivots in 2usize..20,
+        footrule in any::<bool>(),
+        gamma in 0.05f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let m = num_pivots.min(data.len());
+        let pivots = select_pivots(&data, m, seed);
+        let kind = if footrule {
+            PermDistanceKind::Footrule
+        } else {
+            PermDistanceKind::SpearmanRho
+        };
+        let fresh = BruteForcePermFilter::build(data.clone(), L2, pivots, kind, gamma, 2);
+        let bytes = index_to_vec("index:brute", &fresh).unwrap();
+        let loaded: BruteForcePermFilter<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:brute", data.clone(), L2).unwrap();
+        assert_equivalent("brute", &fresh, &loaded, &data);
+    }
+
+    #[test]
+    fn brute_bin_roundtrip(
+        points in points_strategy(),
+        num_pivots in 2usize..80,
+        gamma in 0.05f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        // num_pivots up to 80 exercises the multi-word bit rows.
+        let data = Arc::new(Dataset::new(points));
+        let m = num_pivots.min(data.len());
+        let pivots = select_pivots(&data, m, seed);
+        let fresh = BruteForceBinFilter::build(data.clone(), L2, pivots, gamma, 2);
+        let bytes = index_to_vec("index:brute-bin", &fresh).unwrap();
+        let loaded: BruteForceBinFilter<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:brute-bin", data.clone(), L2).unwrap();
+        assert_equivalent("brute-bin", &fresh, &loaded, &data);
+    }
+}

@@ -66,6 +66,29 @@ impl PointSize for TopicHistogram {
     }
 }
 
+// Snapshot point codec: only the values travel; the log table is
+// recomputed on load (ln is deterministic, so the histogram is identical).
+impl permsearch_core::PointCodec for TopicHistogram {
+    fn write_point<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        permsearch_core::snapshot::write_f32_seq(w, &self.values)
+    }
+
+    fn read_point<R: std::io::Read + ?Sized>(
+        r: &mut R,
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        let values = permsearch_core::snapshot::read_f32_seq(r)?;
+        if values.iter().any(|v| v.is_nan() || *v < 0.0) {
+            return Err(permsearch_core::snapshot::corrupt(
+                "histogram entries must be non-negative",
+            ));
+        }
+        Ok(Self::new(values))
+    }
+}
+
 /// Kullback–Leibler divergence `KL(x ‖ y) = Σ x_i (log x_i − log y_i)`.
 ///
 /// Non-symmetric: with the library's left-query convention the data point is

@@ -131,6 +131,41 @@ impl PointSize for SparseVector {
     }
 }
 
+// Snapshot point codec: indices, values and the precomputed norm travel
+// verbatim, so a reloaded vector is bit-identical (no renormalization).
+impl permsearch_core::PointCodec for SparseVector {
+    fn write_point<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        codec::write_u32_seq(w, &self.indices)?;
+        codec::write_f32_seq(w, &self.values)?;
+        codec::write_f32(w, self.norm)
+    }
+
+    fn read_point<R: std::io::Read + ?Sized>(
+        r: &mut R,
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        use permsearch_core::snapshot::corrupt;
+        let indices = codec::read_u32_seq(r)?;
+        let values = codec::read_f32_seq(r)?;
+        let norm = codec::read_f32(r)?;
+        if indices.len() != values.len() {
+            return Err(corrupt("sparse vector index/value length mismatch"));
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("sparse vector indices not strictly increasing"));
+        }
+        Ok(Self {
+            indices,
+            values,
+            norm,
+        })
+    }
+}
+
 /// Cosine distance `1 - cos(x, y)`; zero vectors are at distance 1 from
 /// everything (including each other) by convention, matching the paper's
 /// replacement of undefined similarities.

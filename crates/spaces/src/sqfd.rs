@@ -77,6 +77,40 @@ impl PointSize for Signature {
     }
 }
 
+// Snapshot point codec: clusters travel as (7-d centroid, weight) records.
+impl permsearch_core::PointCodec for Signature {
+    fn write_point<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        codec::write_seq(w, &self.clusters, |w, c| {
+            for &x in &c.centroid {
+                codec::write_f32(w, x)?;
+            }
+            codec::write_f32(w, c.weight)
+        })
+    }
+
+    fn read_point<R: std::io::Read + ?Sized>(
+        r: &mut R,
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        let clusters = codec::read_seq(r, |r| {
+            let mut centroid = [0.0f32; FEATURE_DIM];
+            for slot in &mut centroid {
+                *slot = codec::read_f32(r)?;
+            }
+            let weight = codec::read_f32(r)?;
+            if weight.is_nan() || weight < 0.0 {
+                return Err(codec::corrupt("cluster weights must be non-negative"));
+            }
+            Ok(SignatureCluster { centroid, weight })
+        })?;
+        Ok(Self::new(clusters))
+    }
+}
+
 /// The Signature Quadratic Form Distance with the similarity kernel
 /// `f(a, b) = 1 / (alpha + L2(a, b))`.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,201 @@
+//! Corruption handling: a damaged snapshot must always surface as a typed
+//! [`SnapshotError`] — never a panic, and never a silently mis-loaded
+//! structure. Each test damages a valid container in one specific way and
+//! pins the exact error variant.
+
+use std::sync::Arc;
+
+use permsearch_core::{Dataset, SearchIndex, Snapshot, SnapshotError};
+use permsearch_spaces::L2;
+use permsearch_store::{
+    expect_kind, index_from_slice, index_to_vec, read_container, FORMAT_VERSION, MAGIC,
+};
+use permsearch_vptree::{VpTree, VpTreeParams};
+
+fn world() -> Arc<Dataset<Vec<f32>>> {
+    Arc::new(Dataset::new(
+        (0..200)
+            .map(|i| vec![(i % 14) as f32, (i / 14) as f32])
+            .collect(),
+    ))
+}
+
+type L2Tree = VpTree<Vec<f32>, L2>;
+
+/// A valid container around a real index payload.
+fn valid_snapshot() -> (Arc<Dataset<Vec<f32>>>, L2Tree, Vec<u8>) {
+    let data = world();
+    let tree = VpTree::build(data.clone(), L2, VpTreeParams::default(), 5);
+    let bytes = index_to_vec("index:vptree", &tree).unwrap();
+    (data, tree, bytes)
+}
+
+#[test]
+fn pristine_container_loads() {
+    let (data, tree, bytes) = valid_snapshot();
+    let loaded: VpTree<Vec<f32>, L2> =
+        index_from_slice(&bytes, "index:vptree", data.clone(), L2).unwrap();
+    let q = vec![3.3f32, 7.7];
+    assert_eq!(loaded.search(&q, 10), tree.search(&q, 10));
+}
+
+#[test]
+fn truncated_file_is_a_typed_error() {
+    let (data, _, bytes) = valid_snapshot();
+    // Every possible truncation point: header, kind, payload, checksum.
+    for cut in [0, 3, 5, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+        let err = index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(
+            &bytes[..cut],
+            "index:vptree",
+            data.clone(),
+            L2,
+        )
+        .err()
+        .unwrap_or_else(|| panic!("truncation at {cut} must fail"));
+        assert!(
+            matches!(err, SnapshotError::Truncated { .. }),
+            "cut at {cut}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn flipped_byte_anywhere_fails_the_checksum() {
+    let (data, _, bytes) = valid_snapshot();
+    // Flip one payload byte (well past the header) and one checksum byte.
+    for flip in [bytes.len() / 2, bytes.len() - 3] {
+        let mut bad = bytes.clone();
+        bad[flip] ^= 0x40;
+        let err = index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(
+            &bad,
+            "index:vptree",
+            data.clone(),
+            L2,
+        )
+        .err()
+        .unwrap_or_else(|| panic!("flip at {flip} must fail"));
+        assert!(
+            matches!(err, SnapshotError::ChecksumMismatch { .. }),
+            "flip at {flip}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected_before_anything_else() {
+    let (_, _, mut bytes) = valid_snapshot();
+    bytes[..4].copy_from_slice(b"ELF\x7f");
+    let err = read_container(&mut bytes.as_slice()).unwrap_err();
+    match err {
+        SnapshotError::BadMagic { found } => assert_eq!(&found, b"ELF\x7f"),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn future_version_is_refused_not_misparsed() {
+    let (_, _, mut bytes) = valid_snapshot();
+    assert_eq!(bytes[..4], MAGIC);
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[4..6].copy_from_slice(&future);
+    let err = read_container(&mut bytes.as_slice()).unwrap_err();
+    match err {
+        SnapshotError::UnsupportedVersion { found, supported } => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn kind_mismatch_is_refused() {
+    let (data, _, bytes) = valid_snapshot();
+    let err =
+        index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(&bytes, "index:napp", data, L2)
+            .err()
+            .expect("kind mismatch must fail");
+    match err {
+        SnapshotError::KindMismatch { expected, found } => {
+            assert_eq!(expected, "index:napp");
+            assert_eq!(found, "index:vptree");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    // expect_kind is usable directly on a parsed container too.
+    let container = read_container(&mut bytes.as_slice()).unwrap();
+    assert!(expect_kind(&container, "index:vptree").is_ok());
+}
+
+#[test]
+fn valid_container_with_mangled_payload_is_corrupt_not_a_panic() {
+    let (data, tree, _) = valid_snapshot();
+    // Re-frame a *legitimately checksummed* container whose payload lies
+    // about the point count: framing passes, structural validation must
+    // catch it.
+    let mut payload = Vec::new();
+    tree.write_snapshot(&mut payload).unwrap();
+    // The payload starts with the point count (u64 LE); inflate it.
+    payload[0] ^= 0xFF;
+    let bytes = permsearch_store::to_vec("index:vptree", |w| {
+        use std::io::Write;
+        w.write_all(&payload).map_err(SnapshotError::from)
+    })
+    .unwrap();
+    let err =
+        index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(&bytes, "index:vptree", data, L2)
+            .err()
+            .expect("mangled payload must fail");
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+}
+
+#[test]
+fn empty_file_and_garbage_files_fail_cleanly() {
+    let data = world();
+    for bad in [&[][..], &[0u8; 3][..], &[0u8; 64][..]] {
+        let err = index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(
+            bad,
+            "index:vptree",
+            data.clone(),
+            L2,
+        )
+        .err()
+        .expect("garbage must fail");
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::BadMagic { .. }
+            ),
+            "{err:?}"
+        );
+    }
+}
+
+#[test]
+fn appended_garbage_after_the_checksum_is_corrupt() {
+    let (data, _, mut bytes) = valid_snapshot();
+    bytes.extend_from_slice(b"junk");
+    let err =
+        index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(&bytes, "index:vptree", data, L2)
+            .err()
+            .expect("appended garbage must fail");
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+}
+
+#[test]
+fn trailing_bytes_after_payload_are_corrupt() {
+    let (data, tree, _) = valid_snapshot();
+    let mut payload = Vec::new();
+    tree.write_snapshot(&mut payload).unwrap();
+    payload.extend_from_slice(&[1, 2, 3]);
+    let bytes = permsearch_store::to_vec("index:vptree", |w| {
+        use std::io::Write;
+        w.write_all(&payload).map_err(SnapshotError::from)
+    })
+    .unwrap();
+    let err =
+        index_from_slice::<Vec<f32>, L2, VpTree<Vec<f32>, L2>>(&bytes, "index:vptree", data, L2)
+            .err()
+            .expect("trailing bytes must fail");
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+}

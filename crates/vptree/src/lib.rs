@@ -232,6 +232,140 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot persistence: the node arena, bucket arena and pruner are the
+// whole derived structure; distances are recomputed from (data, space) at
+// query time, so a reloaded tree traverses and prunes identically.
+// ---------------------------------------------------------------------------
+
+impl<P, S> permsearch_core::Snapshot<P, S> for VpTree<P, S> {
+    fn write_snapshot<W: std::io::Write + ?Sized>(
+        &self,
+        w: &mut W,
+    ) -> Result<(), permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        codec::write_len(w, self.data.len())?;
+        codec::write_len(w, self.params.bucket_size)?;
+        match self.params.pruner {
+            Pruner::Metric => codec::write_u8(w, 0)?,
+            Pruner::Polynomial {
+                alpha_left,
+                alpha_right,
+                beta,
+            } => {
+                codec::write_u8(w, 1)?;
+                codec::write_f32(w, alpha_left)?;
+                codec::write_f32(w, alpha_right)?;
+                codec::write_u32(w, beta)?;
+            }
+        }
+        codec::write_u32(w, self.root)?;
+        codec::write_u32_seq(w, &self.bucket_ids)?;
+        codec::write_seq(w, &self.nodes, |w, node| match node {
+            Node::Internal {
+                pivot,
+                radius,
+                left,
+                right,
+            } => {
+                codec::write_u8(w, 0)?;
+                codec::write_u32(w, *pivot)?;
+                codec::write_f32(w, *radius)?;
+                codec::write_u32(w, *left)?;
+                codec::write_u32(w, *right)
+            }
+            Node::Leaf { start, end } => {
+                codec::write_u8(w, 1)?;
+                codec::write_u32(w, *start)?;
+                codec::write_u32(w, *end)
+            }
+        })
+    }
+
+    fn read_snapshot<R: std::io::Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, permsearch_core::SnapshotError> {
+        use permsearch_core::snapshot as codec;
+        use permsearch_core::snapshot::corrupt;
+        codec::check_point_count(codec::read_len(r)?, data.len())?;
+        let bucket_size = codec::read_len(r)?;
+        if bucket_size == 0 {
+            return Err(corrupt("VP-tree snapshot with zero bucket size"));
+        }
+        let pruner = match codec::read_u8(r)? {
+            0 => Pruner::Metric,
+            1 => Pruner::Polynomial {
+                alpha_left: codec::read_f32(r)?,
+                alpha_right: codec::read_f32(r)?,
+                beta: codec::read_u32(r)?,
+            },
+            tag => return Err(corrupt(format!("invalid pruner tag {tag}"))),
+        };
+        let root = codec::read_u32(r)?;
+        let bucket_ids = codec::read_u32_seq(r)?;
+        codec::check_ids(&bucket_ids, data.len(), "VP-tree bucket")?;
+        let nodes: Vec<Node> = codec::read_seq(r, |r| match codec::read_u8(r)? {
+            0 => Ok(Node::Internal {
+                pivot: codec::read_u32(r)?,
+                radius: codec::read_f32(r)?,
+                left: codec::read_u32(r)?,
+                right: codec::read_u32(r)?,
+            }),
+            1 => Ok(Node::Leaf {
+                start: codec::read_u32(r)?,
+                end: codec::read_u32(r)?,
+            }),
+            tag => Err(corrupt(format!("invalid VP-tree node tag {tag}"))),
+        })?;
+        if nodes.is_empty() || root as usize >= nodes.len() {
+            return Err(corrupt(format!(
+                "VP-tree root {root} outside {} nodes",
+                nodes.len()
+            )));
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            match *node {
+                Node::Internal {
+                    pivot, left, right, ..
+                } => {
+                    if pivot as usize >= data.len() {
+                        return Err(corrupt(format!("VP-tree pivot {pivot} out of range")));
+                    }
+                    // The builder pushes both subtrees before their parent,
+                    // so children always have smaller indices; enforcing
+                    // that exact invariant also proves the traversal
+                    // terminates (no cycles reachable from any node).
+                    if left as usize >= idx || right as usize >= idx {
+                        return Err(corrupt(format!(
+                            "VP-tree node {idx} references a non-descendant child"
+                        )));
+                    }
+                }
+                Node::Leaf { start, end } => {
+                    if start > end || end as usize > bucket_ids.len() {
+                        return Err(corrupt(format!(
+                            "VP-tree leaf range {start}..{end} outside the bucket arena"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            data,
+            space,
+            nodes,
+            bucket_ids,
+            params: VpTreeParams {
+                bucket_size,
+                pruner,
+            },
+            root,
+        })
+    }
+}
+
 impl<P, S> SearchIndex<P> for VpTree<P, S>
 where
     P: Send + Sync,

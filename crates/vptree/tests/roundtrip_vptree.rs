@@ -1,0 +1,58 @@
+//! Snapshot round-trip equivalence for the VP-tree: `save → load → search`
+//! must return identical `Neighbor` lists (distances and tie order) to the
+//! in-memory tree, for both the metric and the polynomial pruner, across
+//! randomized datasets and parameters.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::Dataset;
+use permsearch_core::SearchIndex;
+use permsearch_spaces::L2;
+use permsearch_store::{index_from_slice, index_to_vec};
+use permsearch_vptree::{Pruner, VpTree, VpTreeParams};
+
+proptest! {
+    #[test]
+    fn vptree_roundtrip(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-30.0f32..30.0, 3), 16..120),
+        bucket_size in 1usize..24,
+        polynomial in any::<bool>(),
+        alpha in 0.4f32..3.0,
+        beta in 1u32..3,
+        seed in 0u64..1_000,
+    ) {
+        let data = Arc::new(Dataset::new(points));
+        let pruner = if polynomial {
+            Pruner::Polynomial {
+                alpha_left: alpha,
+                alpha_right: alpha * 0.75,
+                beta,
+            }
+        } else {
+            Pruner::Metric
+        };
+        let params = VpTreeParams { bucket_size, pruner };
+        let fresh = VpTree::build(data.clone(), L2, params, seed);
+        let bytes = index_to_vec("index:vptree", &fresh).unwrap();
+        let loaded: VpTree<Vec<f32>, L2> =
+            index_from_slice(&bytes, "index:vptree", data.clone(), L2).unwrap();
+
+        let mut queries: Vec<Vec<f32>> = data.points().iter().take(3).cloned().collect();
+        queries.push(vec![0.1, -0.2, 0.3]);
+        for q in &queries {
+            for k in [1usize, 4, 12] {
+                assert_eq!(
+                    fresh.search(q, k),
+                    loaded.search(q, k),
+                    "vptree diverged at k={k}"
+                );
+            }
+        }
+        // The reloaded tree is structurally identical, not just behaviorally.
+        assert_eq!(fresh.node_count(), loaded.node_count());
+        assert_eq!(fresh.index_size_bytes(), loaded.index_size_bytes());
+    }
+}

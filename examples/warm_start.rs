@@ -1,0 +1,65 @@
+//! Warm-start serving demo: build once, persist snapshots, then restart
+//! and serve with zero index-build work.
+//!
+//! ```text
+//! cargo run --release --example warm_start
+//! ```
+//!
+//! The example simulates two process lifetimes in one binary: a "cold"
+//! deployment that builds every shard and writes the snapshot directory,
+//! and a "warm" deployment that restores the same engine purely from disk.
+//! It prints both start-up times and proves the two engines answer a query
+//! batch identically.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch::engine::{dense_l2_registry, Engine, ShardedEngine};
+use permsearch::prelude::*;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("permsearch-warm-start-{}", std::process::id()));
+    let gen = permsearch::datasets::sift_like();
+    let data = Arc::new(Dataset::new(gen.generate(10_000, 42)));
+    let queries = gen.generate(256, 7);
+    let registry = dense_l2_registry();
+
+    // --- Process lifetime 1: cold start. Builds 4 NAPP shards (all the
+    // distance computations) and persists dataset + manifest + shards.
+    let t = Instant::now();
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    permsearch::store::save_dataset(&dir.join("dataset.psnp"), &data).expect("save dataset");
+    let (cold, warm_stats) = ShardedEngine::build_or_load(&registry, "napp", &data, 4, 2, 42, &dir)
+        .expect("cold deployment");
+    let cold_secs = t.elapsed().as_secs_f64();
+    println!(
+        "cold start: built {} shards in {cold_secs:.3}s (loaded {})",
+        warm_stats.shards_built, warm_stats.shards_loaded
+    );
+
+    // --- Process lifetime 2: warm start. Everything comes off disk; a
+    // missing shard snapshot would be an error, never a silent rebuild.
+    let t = Instant::now();
+    let restored_data: Dataset<Vec<f32>> =
+        permsearch::store::load_dataset(&dir.join("dataset.psnp")).expect("load dataset");
+    let restored = ShardedEngine::from_snapshots(&registry, &Arc::new(restored_data), 2, &dir)
+        .expect("warm deployment");
+    let warm_secs = t.elapsed().as_secs_f64();
+    println!(
+        "warm start: restored {} shards in {warm_secs:.3}s ({:.0}x faster than building)",
+        restored.num_shards(),
+        cold_secs / warm_secs.max(1e-9)
+    );
+
+    // Same engine, bit for bit: the served batches are identical.
+    let cold_out = cold.serve(&queries, 10);
+    let warm_out = restored.serve(&queries, 10);
+    assert_eq!(cold_out.results, warm_out.results);
+    println!(
+        "served {} queries on both engines: results identical, warm qps = {:.0}",
+        queries.len(),
+        warm_out.stats.qps
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -21,7 +21,10 @@
 //! * [`eval`] — recall / improvement-in-efficiency evaluation harness;
 //! * [`engine`] — sharded, multi-threaded query serving over any of the
 //!   above methods (deployment registry, worker pool, QPS/latency/recall
-//!   reports); see `examples/serve.rs` for an end-to-end tour.
+//!   reports); see `examples/serve.rs` for an end-to-end tour;
+//! * [`store`] — versioned, checksummed snapshot persistence: any built
+//!   index saves to disk and reloads without rebuilding, which is how the
+//!   engine warm-starts (`examples/warm_start.rs`).
 //!
 //! ## Quickstart
 //!
@@ -66,11 +69,13 @@ pub use permsearch_knngraph as knngraph;
 pub use permsearch_lsh as lsh;
 pub use permsearch_permutation as permutation;
 pub use permsearch_spaces as spaces;
+pub use permsearch_store as store;
 pub use permsearch_vptree as vptree;
 
 /// Convenience re-exports for examples and downstream users.
 pub mod prelude {
     pub use permsearch_core::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
+    pub use permsearch_core::{PointCodec, Snapshot, SnapshotError};
     pub use permsearch_datasets::Generator;
     pub use permsearch_engine::{Engine, MethodRegistry, ShardedEngine};
     pub use permsearch_spaces::dense::L2;
