@@ -1,0 +1,452 @@
+//! `paper_grid` — the methods × datasets performance grid.
+//!
+//! Sweeps every applicable paper method over a dense (`sift`, L2), a sparse
+//! (`wiki-sparse`, cosine) and a topic-histogram (`wiki8-kl`, KL) world and
+//! records, per `(world, method)` cell: recall@10 against exact gold,
+//! single-threaded QPS through the zero-allocation `search_into` serving
+//! pipeline, and the number of **distance computations per query** (counted
+//! by [`CountedSpace`] — batched kernels count one per point scored), plus
+//! the index size. Results are written to `bench_results/BENCH_grid.json`
+//! so every later change has a perf trajectory to beat.
+//!
+//! `--smoke` shrinks the worlds to a seconds-scale pass and **exits
+//! non-zero when any cell's recall drops below its pinned floor** — the
+//! CI regression gate for kernel or scratch changes that would silently
+//! degrade quality.
+//!
+//! Reading `BENCH_grid.json`: one JSON object per cell. `recall` is the
+//! quality axis; `qps` (and its inverse `query_secs`) the wall-clock axis
+//! on one core; `dists_per_query` the hardware-independent cost axis the
+//! paper argues with — a method whose QPS moves while `dists_per_query`
+//! stays flat changed its constant factors, not its algorithm.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch_bench::Args;
+use permsearch_core::{
+    BoxedSearchIndex, CountedSpace, Dataset, ExhaustiveSearch, SearchIndex, SearchScratch, Space,
+};
+use permsearch_eval::{compute_gold, metrics::recall_vs, GoldStandard};
+use permsearch_knngraph::{SwGraph, SwGraphParams};
+use permsearch_permutation::{
+    select_pivots, BruteForceBinFilter, BruteForcePermFilter, MiFile, MiFileParams, Napp,
+    NappParams, PermDistanceKind, PpIndex, PpIndexParams,
+};
+use permsearch_vptree::{Pruner, VpTree, VpTreeParams};
+
+const K: usize = 10;
+
+/// Labelled index constructors of one world.
+type Builders<'a, P> = Vec<(&'static str, Box<dyn Fn() -> BoxedSearchIndex<P> + 'a>)>;
+
+/// One `(world, method)` cell of the grid.
+struct GridRow {
+    world: &'static str,
+    method: String,
+    n: usize,
+    queries: usize,
+    recall: f64,
+    qps: f64,
+    query_secs: f64,
+    dists_per_query: f64,
+    index_bytes: usize,
+}
+
+impl GridRow {
+    fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let method = self.method.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            concat!(
+                "{{\"world\": \"{}\", \"method\": \"{}\", \"n\": {}, ",
+                "\"queries\": {}, \"k\": {}, \"recall\": {}, \"qps\": {}, ",
+                "\"query_secs\": {}, \"dists_per_query\": {}, \"index_bytes\": {}}}"
+            ),
+            self.world,
+            method,
+            self.n,
+            self.queries,
+            K,
+            num(self.recall),
+            num(self.qps),
+            num(self.query_secs),
+            num(self.dists_per_query),
+            self.index_bytes
+        )
+    }
+}
+
+/// Serve every query single-threaded through the scratch pipeline,
+/// measuring wall time, recall@10 and counted distance computations.
+fn measure<P, S>(
+    world: &'static str,
+    index: &BoxedSearchIndex<P>,
+    queries: &[P],
+    gold: &GoldStandard,
+    space: &CountedSpace<S>,
+) -> GridRow
+where
+    P: Send + Sync,
+    S: Space<P>,
+{
+    let mut scratch = SearchScratch::new();
+    let mut res = Vec::new();
+    // Warm-up: grow the scratch to its steady-state footprint.
+    for q in queries.iter().take(8) {
+        index.search_into(q, K, &mut scratch, &mut res);
+    }
+    space.reset();
+    let mut recall = 0.0;
+    let mut secs = 0.0;
+    // Per-query clocks around the searches only; recall scoring stays
+    // outside the timer, matching `eval::runner::evaluate`'s methodology
+    // so grid QPS is comparable to evaluate/serve numbers.
+    for (q, truth) in queries.iter().zip(&gold.neighbors) {
+        let start = Instant::now();
+        index.search_into(q, K, &mut scratch, &mut res);
+        secs += start.elapsed().as_secs_f64();
+        recall += recall_vs(&res, truth);
+    }
+    let nq = queries.len().max(1);
+    GridRow {
+        world,
+        method: index.name().to_string(),
+        n: index.len(),
+        queries: queries.len(),
+        recall: recall / nq as f64,
+        qps: nq as f64 / secs,
+        query_secs: secs / nq as f64,
+        dists_per_query: space.count() as f64 / nq as f64,
+        index_bytes: index.index_size_bytes(),
+    }
+}
+
+/// Run one world: build each method over the counted space, measure, and
+/// append the rows.
+fn run_world<P, S>(
+    world: &'static str,
+    data: &Arc<Dataset<P>>,
+    queries: &[P],
+    space: &CountedSpace<S>,
+    builders: Builders<'_, P>,
+    rows: &mut Vec<GridRow>,
+) where
+    P: Send + Sync,
+    S: Space<P> + Clone + Sync,
+{
+    // Gold uses the *uncounted* inner space; serving counts are reset per
+    // method anyway, but this keeps build-phase tallies meaningful.
+    let gold = compute_gold(data, space.inner().clone(), queries, K);
+    for (label, build) in builders {
+        let index = build();
+        let row = measure(world, &index, queries, &gold, space);
+        println!(
+            "{world:>11} {label:>10}: recall={:.4} qps={:>9.1} dists/q={:>9.1}",
+            row.recall, row.qps, row.dists_per_query
+        );
+        rows.push(row);
+    }
+}
+
+/// Pinned smoke-mode recall floors; `--smoke` exits non-zero when any cell
+/// lands below its floor. Values are the observed smoke recalls minus a
+/// safety margin — a kernel or scratch regression that degrades quality
+/// trips them long before it reaches zero.
+fn smoke_floor(world: &str, method: &str) -> f64 {
+    match (world, method) {
+        (_, "brute-force") => 0.999,
+        ("sift", "vp-tree") => 0.999,
+        ("sift", _) => 0.85,
+        // Truncated-permutation footrule estimates discriminate poorly on
+        // near-orthogonal sparse TF-IDF at smoke scale; the floor guards
+        // against regressions, not against the method's intrinsic ceiling.
+        ("wiki-sparse", "mi-file") => 0.60,
+        ("wiki-sparse", _) => 0.85,
+        ("wiki8-kl", _) => 0.80,
+        _ => 0.5,
+    }
+}
+
+fn main() {
+    let mut args = Args::parse();
+    if args.smoke {
+        args.n = Some(args.n.unwrap_or(1_500));
+        args.queries = Some(args.queries.unwrap_or(40));
+    }
+    let seed = args.seed;
+    let mut rows: Vec<GridRow> = Vec::new();
+
+    if args.wants("sift") {
+        let (data, queries) = permsearch_bench::worlds::sift(&args);
+        let space = CountedSpace::new(permsearch_spaces::L2);
+        let pivots = select_pivots(&data, 128, seed);
+        let builders: Builders<'_, Vec<f32>> = vec![
+            (
+                "brute",
+                Box::new(|| Box::new(ExhaustiveSearch::new(data.clone(), space.clone()))),
+            ),
+            (
+                "vptree",
+                Box::new(|| {
+                    Box::new(VpTree::build(
+                        data.clone(),
+                        space.clone(),
+                        VpTreeParams::default(),
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "napp",
+                Box::new(|| {
+                    Box::new(Napp::build(
+                        data.clone(),
+                        space.clone(),
+                        NappParams {
+                            num_pivots: 256,
+                            num_indexed: 16,
+                            min_shared: 2,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "mifile",
+                Box::new(|| {
+                    Box::new(MiFile::build(
+                        data.clone(),
+                        space.clone(),
+                        MiFileParams {
+                            num_pivots: 128,
+                            num_indexed: 32,
+                            gamma: 0.05,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "ppindex",
+                Box::new(|| {
+                    Box::new(PpIndex::build(
+                        data.clone(),
+                        space.clone(),
+                        PpIndexParams {
+                            num_pivots: 32,
+                            prefix_len: 4,
+                            gamma: 0.05,
+                            num_trees: 4,
+                            threads: 1,
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "bruteperm",
+                Box::new(|| {
+                    Box::new(BruteForcePermFilter::build(
+                        data.clone(),
+                        space.clone(),
+                        pivots.clone(),
+                        PermDistanceKind::SpearmanRho,
+                        0.05,
+                        1,
+                    ))
+                }),
+            ),
+            (
+                "brutebin",
+                Box::new(|| {
+                    Box::new(BruteForceBinFilter::build(
+                        data.clone(),
+                        space.clone(),
+                        pivots.clone(),
+                        0.05,
+                        1,
+                    ))
+                }),
+            ),
+            (
+                "swgraph",
+                Box::new(|| {
+                    Box::new(SwGraph::build_parallel(
+                        data.clone(),
+                        space.clone(),
+                        SwGraphParams::default(),
+                        seed,
+                        1,
+                    ))
+                }),
+            ),
+        ];
+        run_world("sift", &data, &queries, &space, builders, &mut rows);
+    }
+
+    if args.wants("wiki-sparse") {
+        let mut sparse_args = args.clone();
+        if !args.smoke && args.n.is_none() {
+            sparse_args.n = Some(5_000); // cosine is ~5x L2; keep the grid laptop-scale
+        }
+        let (data, queries) = permsearch_bench::worlds::wiki_sparse(&sparse_args);
+        let space = CountedSpace::new(permsearch_spaces::CosineDistance);
+        let builders: Builders<'_, permsearch_spaces::SparseVector> = vec![
+            (
+                "brute",
+                Box::new(|| Box::new(ExhaustiveSearch::new(data.clone(), space.clone()))),
+            ),
+            (
+                "napp",
+                Box::new(|| {
+                    Box::new(Napp::build(
+                        data.clone(),
+                        space.clone(),
+                        NappParams {
+                            num_pivots: 256,
+                            num_indexed: 32,
+                            min_shared: 2,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "mifile",
+                Box::new(|| {
+                    Box::new(MiFile::build(
+                        data.clone(),
+                        space.clone(),
+                        MiFileParams {
+                            num_pivots: 128,
+                            num_indexed: 64,
+                            gamma: 0.2,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+        ];
+        run_world("wiki-sparse", &data, &queries, &space, builders, &mut rows);
+    }
+
+    if args.wants("wiki8-kl") {
+        let (data, queries) = permsearch_bench::worlds::wiki8(&args, "wiki8-kl");
+        let space = CountedSpace::new(permsearch_spaces::KlDivergence);
+        let builders: Builders<'_, permsearch_spaces::TopicHistogram> = vec![
+            (
+                "brute",
+                Box::new(|| Box::new(ExhaustiveSearch::new(data.clone(), space.clone()))),
+            ),
+            (
+                "vptree-poly",
+                Box::new(|| {
+                    Box::new(VpTree::build(
+                        data.clone(),
+                        space.clone(),
+                        VpTreeParams {
+                            bucket_size: 16,
+                            pruner: Pruner::Polynomial {
+                                alpha_left: 0.5,
+                                alpha_right: 0.5,
+                                beta: 2,
+                            },
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "napp",
+                Box::new(|| {
+                    Box::new(Napp::build(
+                        data.clone(),
+                        space.clone(),
+                        NappParams {
+                            num_pivots: 256,
+                            num_indexed: 16,
+                            min_shared: 2,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+            (
+                "mifile",
+                Box::new(|| {
+                    Box::new(MiFile::build(
+                        data.clone(),
+                        space.clone(),
+                        MiFileParams {
+                            num_pivots: 128,
+                            num_indexed: 32,
+                            gamma: 0.05,
+                            threads: 1,
+                            ..Default::default()
+                        },
+                        seed,
+                    ))
+                }),
+            ),
+        ];
+        run_world("wiki8-kl", &data, &queries, &space, builders, &mut rows);
+    }
+
+    // Emit the JSON trajectory file.
+    let mut json = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(json, "  {}{sep}", row.to_json());
+    }
+    json.push_str("]\n");
+    if let Err(e) = fs::create_dir_all("bench_results") {
+        eprintln!("cannot create bench_results/: {e}");
+        std::process::exit(1);
+    }
+    let path = "bench_results/BENCH_grid.json";
+    if let Err(e) = fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path} ({} cells)", rows.len());
+
+    if args.smoke {
+        let mut failed = false;
+        for row in &rows {
+            let floor = smoke_floor(row.world, &row.method);
+            if row.recall < floor {
+                eprintln!(
+                    "SMOKE FLOOR VIOLATION: {}/{} recall {:.4} < floor {:.2}",
+                    row.world, row.method, row.recall, floor
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "smoke: all {} cells at or above their recall floors",
+            rows.len()
+        );
+    }
+}

@@ -6,6 +6,33 @@
 //! are XOR-ed word by word and non-zero bits are counted with the CPU
 //! popcount instruction (`u64::count_ones` compiles to `popcnt`).
 
+/// Batched Hamming kernel over a flat row-major word table.
+///
+/// `rows` holds `rows.len() / words_per_row` packed bit rows back to back;
+/// `f(row_index, hamming)` is invoked once per row, in order. This is the
+/// "Hamming over `u64` words" scan of binarized permutation tables: one
+/// pass over contiguous memory, XOR + popcount per word, no per-row bounds
+/// arithmetic. Results are identical to calling [`BitVector::hamming`] (or
+/// any per-row zip) on each row — popcount sums over the same words.
+#[inline]
+pub fn hamming_flat(
+    rows: &[u64],
+    words_per_row: usize,
+    query: &[u64],
+    mut f: impl FnMut(u32, u32),
+) {
+    assert!(words_per_row > 0, "words_per_row must be positive");
+    debug_assert_eq!(query.len(), words_per_row, "query row width mismatch");
+    debug_assert_eq!(rows.len() % words_per_row, 0, "ragged row table");
+    for (i, row) in rows.chunks_exact(words_per_row).enumerate() {
+        let mut h = 0u32;
+        for (a, b) in row.iter().zip(query) {
+            h += (a ^ b).count_ones();
+        }
+        f(i as u32, h);
+    }
+}
+
 /// A fixed-length bit vector packed into 64-bit words.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitVector {
@@ -149,6 +176,30 @@ mod tests {
         assert_eq!(v.count_ones(), 0);
         assert_eq!(v.size_bytes(), 0);
         assert_eq!(v.hamming(&BitVector::zeros(0)), 0);
+    }
+
+    #[test]
+    fn hamming_flat_matches_per_row_hamming() {
+        // Three 2-word rows against one query row.
+        let rows: Vec<u64> = vec![0b1011, 0, 0b0110, u64::MAX, 0, 0b1];
+        let query = [0b0011u64, 0b1];
+        let mut got = Vec::new();
+        hamming_flat(&rows, 2, &query, |i, h| got.push((i, h)));
+        let expect: Vec<(u32, u32)> = rows
+            .chunks_exact(2)
+            .enumerate()
+            .map(|(i, row)| {
+                let h = row
+                    .iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                (i as u32, h)
+            })
+            .collect();
+        assert_eq!(got, expect);
+        // Empty table: no callbacks.
+        hamming_flat(&[], 4, &[0; 4], |_, _| panic!("no rows expected"));
     }
 
     #[test]

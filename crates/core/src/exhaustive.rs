@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use crate::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
+use crate::{score_all, Dataset, Neighbor, SearchIndex, SearchScratch, Space};
 
 /// Exact sequential-scan k-NN search.
 pub struct ExhaustiveSearch<P, S> {
@@ -34,11 +34,34 @@ impl<P, S: Space<P>> ExhaustiveSearch<P, S> {
 
 impl<P, S: Space<P>> SearchIndex<P> for ExhaustiveSearch<P, S> {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
-        let mut heap = KnnHeap::new(k);
-        for (id, p) in self.data.iter() {
-            heap.push(id, self.space.distance(p, query));
-        }
-        heap.into_sorted()
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Batched scan: points are scored in [`crate::BATCH_WIDTH`] blocks via
+    /// [`Space::distance_block`] and offered to the reused result heap in
+    /// increasing id order — the same push sequence as the scalar scan, so
+    /// results (tie order included) are identical.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let heap = &mut scratch.heap;
+        heap.reset(k);
+        score_all(
+            &self.space,
+            &self.data,
+            query,
+            &mut scratch.dists,
+            |id, d| {
+                heap.push(id, d);
+            },
+        );
+        heap.drain_sorted_into(out);
     }
 
     fn len(&self) -> usize {

@@ -27,15 +27,17 @@ pub mod exhaustive;
 pub mod incsort;
 pub mod neighbor;
 pub mod rng;
+pub mod scratch;
 pub mod snapshot;
 pub mod space;
 
 pub use bits::BitVector;
 pub use dataset::Dataset;
 pub use exhaustive::ExhaustiveSearch;
-pub use neighbor::{merge_sorted_topk, KnnHeap, Neighbor};
+pub use neighbor::{merge_sorted_topk, merge_sorted_topk_with, KnnHeap, Neighbor};
+pub use scratch::{SearchScratch, VisitedSet};
 pub use snapshot::{PointCodec, Snapshot, SnapshotError};
-pub use space::{Space, SpaceStats};
+pub use space::{score_all, score_ids, score_slice, CountedSpace, Space, SpaceStats, BATCH_WIDTH};
 
 /// A heap-allocated, thread-shareable search index.
 ///
@@ -54,6 +56,30 @@ pub trait SearchIndex<P> {
     /// Return up to `k` approximate nearest neighbors of `query`,
     /// sorted by increasing distance in the *original* space.
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor>;
+
+    /// Scratch-reusing form of [`search`](Self::search): results are
+    /// written into `out` (cleared first) and every intermediate buffer —
+    /// candidate lists, visited sets, result heaps — lives in `scratch`,
+    /// so a serving thread that reuses one scratch and one output vector
+    /// performs no per-query heap allocation in steady state.
+    ///
+    /// **Equivalence contract:** must produce exactly the `Neighbor` list
+    /// `search` returns, distance-tie ordering included, regardless of
+    /// what earlier queries left in `scratch` (pinned by the cross-method
+    /// scratch-equivalence tests). The default delegates to `search`;
+    /// every index in this workspace overrides it with the real pipeline
+    /// and implements `search` by delegating the other way.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.search(query, k));
+    }
 
     /// Number of indexed points.
     fn len(&self) -> usize;
@@ -78,6 +104,15 @@ pub trait SearchIndex<P> {
 impl<P, I: SearchIndex<P> + ?Sized> SearchIndex<P> for Box<I> {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         (**self).search(query, k)
+    }
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        (**self).search_into(query, k, scratch, out)
     }
     fn len(&self) -> usize {
         (**self).len()

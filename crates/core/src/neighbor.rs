@@ -51,6 +51,14 @@ pub struct KnnHeap {
     heap: BinaryHeap<Neighbor>,
 }
 
+impl Default for KnnHeap {
+    /// An empty single-result collector; scratch owners call
+    /// [`reset`](Self::reset) with the real `k` before use.
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
 impl KnnHeap {
     /// Create a collector for `k` results. `k` must be positive.
     pub fn new(k: usize) -> Self {
@@ -59,6 +67,15 @@ impl KnnHeap {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
         }
+    }
+
+    /// Prepare the collector for a new query with `k` results, keeping the
+    /// allocated capacity. A reset heap behaves exactly like
+    /// `KnnHeap::new(k)` (pinned by the `scratch_equivalence` proptests).
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be positive");
+        self.k = k;
+        self.heap.clear();
     }
 
     /// Offer a candidate. It is kept only if fewer than `k` results were
@@ -120,6 +137,19 @@ impl KnnHeap {
         v.sort_unstable();
         v
     }
+
+    /// Drain the collected neighbors into `out` (cleared first), sorted by
+    /// increasing `(distance, id)`, leaving the heap empty but with its
+    /// capacity intact. Produces exactly the vector
+    /// [`into_sorted`](Self::into_sorted) would — `Neighbor`'s ordering is
+    /// total, so the sort is deterministic regardless of heap-internal
+    /// layout — without consuming the allocation.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Neighbor>) {
+        out.clear();
+        out.extend(self.heap.iter().copied());
+        out.sort_unstable();
+        self.heap.clear();
+    }
 }
 
 /// Merge per-shard top-k lists into the global top-k.
@@ -141,16 +171,37 @@ impl KnnHeap {
 /// distance*, but which of the tied boundary ids survive is then
 /// unspecified rather than unsharded-identical.
 pub fn merge_sorted_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut scratch = crate::scratch::SearchScratch::new();
+    let mut out = Vec::new();
+    merge_sorted_topk_with(lists, k, &mut scratch, &mut out);
+    out
+}
+
+/// Scratch-reusing form of [`merge_sorted_topk`]: the cursor heap, position
+/// table and result heap live in `scratch` and the merged top-k is written
+/// into `out` (cleared first). Identical results to the allocating form.
+pub fn merge_sorted_topk_with(
+    lists: &[Vec<Neighbor>],
+    k: usize,
+    scratch: &mut crate::scratch::SearchScratch,
+    out: &mut Vec<Neighbor>,
+) {
     // Min-heap of cursors, one per non-empty list, keyed by the current
     // head neighbor (ties broken by list index for a total order).
-    let mut cursors: BinaryHeap<std::cmp::Reverse<(Neighbor, usize)>> = lists
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.is_empty())
-        .map(|(li, l)| std::cmp::Reverse((l[0], li)))
-        .collect();
-    let mut positions = vec![0usize; lists.len()];
-    let mut heap = KnnHeap::new(k);
+    let cursors = &mut scratch.cursors;
+    cursors.clear();
+    cursors.extend(
+        lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_empty())
+            .map(|(li, l)| std::cmp::Reverse((l[0], li))),
+    );
+    let positions = &mut scratch.positions;
+    positions.clear();
+    positions.resize(lists.len(), 0);
+    let heap = &mut scratch.heap;
+    heap.reset(k);
     while let Some(std::cmp::Reverse((n, li))) = cursors.pop() {
         if heap.is_full() && n.dist >= heap.radius() {
             break; // no remaining candidate can improve the top-k
@@ -161,7 +212,7 @@ pub fn merge_sorted_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
             cursors.push(std::cmp::Reverse((next, li)));
         }
     }
-    heap.into_sorted()
+    heap.drain_sorted_into(out);
 }
 
 #[cfg(test)]

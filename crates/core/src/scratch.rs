@@ -1,0 +1,188 @@
+//! Reusable per-thread search state: [`SearchScratch`] and the epoch-based
+//! [`VisitedSet`].
+//!
+//! The paper's central economy argument is that candidate checks must be
+//! cheap; per-query heap allocation (fresh candidate vectors, zeroed visited
+//! arrays, new result heaps) works against it. A [`SearchScratch`] owns every
+//! buffer a `search` needs, so a serving thread allocates on its first few
+//! queries only — afterwards each buffer is reused at its high-water
+//! capacity and the steady-state query path performs no heap allocation
+//! beyond the caller-owned result vector.
+//!
+//! One scratch serves *every* index type in the workspace: the fields are a
+//! union of what the methods need (ScanCount counters for NAPP, Footrule
+//! accumulators for the MI-file, packed query words for binarized
+//! permutations, a frontier heap for graph traversals, per-shard result
+//! lists for the sharded reduce). A scratch must not be shared across
+//! threads (each worker owns one); it may be freely reused across queries,
+//! k values, and different indices — every `search_into` implementation
+//! resets the fields it uses.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::neighbor::{KnnHeap, Neighbor};
+
+/// Epoch-based visited-id set over dense `u32` ids.
+///
+/// `reset` is `O(1)` (an epoch bump) instead of the `O(n)` zeroing of a
+/// fresh `vec![false; n]`, and the backing array is reused across queries.
+/// Epoch wrap-around (one full `u32` of resets) triggers a single real
+/// zeroing pass, so stale marks can never alias a live epoch.
+#[derive(Debug, Default, Clone)]
+pub struct VisitedSet {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedSet {
+    /// Create an empty set; `reset` sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start a new query over ids `0..n`: previous marks are invalidated
+    /// without touching memory (except on epoch wrap or growth).
+    pub fn reset(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.marks.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Mark `id` visited; returns `true` when it was not yet visited this
+    /// epoch (i.e. the caller should process it).
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let mark = &mut self.marks[id as usize];
+        if *mark == self.epoch {
+            false
+        } else {
+            *mark = self.epoch;
+            true
+        }
+    }
+
+    /// Whether `id` was visited this epoch.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.marks[id as usize] == self.epoch
+    }
+}
+
+/// Reusable buffers for one search thread.
+///
+/// All fields are public by design: `search_into` implementations across
+/// the index crates pick the buffers they need and reset them on entry, so
+/// a single scratch can serve heterogeneous indices back to back. The
+/// equivalence contract — results after reuse are identical to a fresh
+/// scratch, distance-tie ordering included — is pinned by
+/// `scratch_equivalence` proptests and the cross-method integration tests.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Bounded result collector, reset per query via [`KnnHeap::reset`].
+    pub heap: KnnHeap,
+    /// Visited-id set for graph traversals and candidate dedup.
+    pub visited: VisitedSet,
+    /// Best-first expansion queue for graph searches.
+    pub frontier: BinaryHeap<Reverse<Neighbor>>,
+    /// Output block of the batched distance kernels.
+    pub dists: Vec<f32>,
+    /// Candidate id list (PP-index collection, LSH probing, refine input).
+    pub ids: Vec<u32>,
+    /// Ids whose accumulator was touched (MI-file sparse reset).
+    pub touched: Vec<u32>,
+    /// The query's closest-pivot ids / permutation prefix.
+    pub pivot_ids: Vec<u32>,
+    /// The query's `(pivot, position)` pairs (MI-file).
+    pub pivot_pos: Vec<(u32, u16)>,
+    /// Query rank vector (permutation induction).
+    pub ranks: Vec<u32>,
+    /// `(distance, pivot)` ordering buffer for permutation induction.
+    pub order: Vec<(f32, u32)>,
+    /// ScanCount counters, one per data point (NAPP).
+    pub counters: Vec<u8>,
+    /// Footrule-estimate accumulators, one per data point (MI-file).
+    pub acc: Vec<u32>,
+    /// `(permutation distance, id)` scan buffer (brute-force filtering).
+    pub scored_u64: Vec<(u64, u32)>,
+    /// `(small score, id)` scan buffer (Hamming filtering, ScanCount).
+    pub scored_u32: Vec<(u32, u32)>,
+    /// Packed binarized query permutation.
+    pub qwords: Vec<u64>,
+    /// Per-shard result lists (sharded reduce).
+    pub lists: Vec<Vec<Neighbor>>,
+    /// Cursor heap of the k-way merge.
+    pub cursors: BinaryHeap<Reverse<(Neighbor, usize)>>,
+    /// Per-list positions of the k-way merge.
+    pub positions: Vec<usize>,
+    /// Tree-walk path buffer (PP-index prefix descent).
+    pub path: Vec<u32>,
+    /// Generic neighbor buffer (intermediate results).
+    pub neighbors: Vec<Neighbor>,
+}
+
+impl SearchScratch {
+    /// Create an empty scratch; buffers grow to their steady-state sizes
+    /// over the first queries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all cached state (an explicit "as good as fresh" point; reuse
+    /// without reset is equally correct, this just releases memory).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visited_set_inserts_once_per_epoch() {
+        let mut v = VisitedSet::new();
+        v.reset(4);
+        assert!(v.insert(2));
+        assert!(!v.insert(2));
+        assert!(v.contains(2));
+        assert!(!v.contains(0));
+        v.reset(4);
+        assert!(!v.contains(2), "reset invalidates marks");
+        assert!(v.insert(2));
+    }
+
+    #[test]
+    fn visited_set_grows_and_survives_epoch_wrap() {
+        let mut v = VisitedSet::new();
+        v.reset(2);
+        v.insert(1);
+        v.reset(10);
+        assert!(!v.contains(1));
+        assert!(v.insert(9));
+        // Force the wrap path.
+        v.epoch = u32::MAX;
+        v.reset(10);
+        assert_eq!(v.epoch, 1);
+        assert!(!v.contains(9));
+        assert!(v.insert(9));
+    }
+
+    #[test]
+    fn scratch_reset_clears_buffers() {
+        let mut s = SearchScratch::new();
+        s.ids.push(7);
+        s.dists.push(1.0);
+        s.heap.reset(3);
+        s.heap.push(0, 1.0);
+        s.reset();
+        assert!(s.ids.is_empty());
+        assert!(s.dists.is_empty());
+        assert!(s.heap.is_empty());
+    }
+}

@@ -8,6 +8,18 @@
 //! SQFD.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+
+/// Number of candidates a batched scoring call processes at once.
+///
+/// 64 rows keep the gathered reference block and the distance output block
+/// comfortably inside L1 while amortizing per-call overhead; the serving
+/// helpers ([`score_all`], [`score_ids`]) and the index leaf/refine scans
+/// all chunk by this width.
+pub const BATCH_WIDTH: usize = 64;
 
 /// A dissimilarity function over points of type `P`.
 ///
@@ -20,6 +32,27 @@ pub trait Space<P: ?Sized>: Send + Sync {
     /// Must be non-negative and zero for identical arguments; no other
     /// axioms (symmetry, triangle inequality) are assumed.
     fn distance(&self, x: &P, y: &P) -> f32;
+
+    /// Score a contiguous block of data points against one query in a
+    /// single call: `out[i]` receives `distance(xs[i], y)`.
+    ///
+    /// **Accuracy contract:** implementations must return exactly the
+    /// values the scalar [`distance`](Self::distance) returns for each
+    /// point — bitwise identical, which every override in this workspace
+    /// achieves by keeping the per-point arithmetic order unchanged. An
+    /// implementation that cannot (e.g. an FMA-contracted kernel) must
+    /// document its ≤ 1-ulp deviation; the `kernel_equivalence` suite in
+    /// `permsearch_spaces` pins the contract. Counting wrappers count one
+    /// evaluation **per point scored**, not per kernel call.
+    ///
+    /// The default loops over `distance`; dense spaces override it with
+    /// chunked kernels that keep several accumulator chains in flight.
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.distance(x, y);
+        }
+    }
 
     /// Whether `distance(x, y) == distance(y, x)` for all points.
     ///
@@ -39,6 +72,9 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for &S {
     fn distance(&self, x: &P, y: &P) -> f32 {
         (**self).distance(x, y)
     }
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        (**self).distance_block(xs, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -47,15 +83,145 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for &S {
     }
 }
 
-impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for std::sync::Arc<S> {
+impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for Arc<S> {
     fn distance(&self, x: &P, y: &P) -> f32 {
         (**self).distance(x, y)
+    }
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        (**self).distance_block(xs, y, out)
     }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+}
+
+/// Score every point of a contiguous slice against `query` in
+/// [`BATCH_WIDTH`] blocks, invoking `f(index, dist)` in increasing index
+/// order. The shared engine under [`score_all`] (dataset scans) and the
+/// permutation crates' pivot scoring; `dists` is the reused kernel output
+/// buffer (grown once, then allocation-free).
+pub fn score_slice<P, S: Space<P> + ?Sized>(
+    space: &S,
+    points: &[P],
+    query: &P,
+    dists: &mut Vec<f32>,
+    mut f: impl FnMut(u32, f32),
+) {
+    if dists.len() < BATCH_WIDTH {
+        dists.resize(BATCH_WIDTH, 0.0);
+    }
+    let mut id = 0u32;
+    for chunk in points.chunks(BATCH_WIDTH) {
+        let mut refs: [&P; BATCH_WIDTH] = [query; BATCH_WIDTH];
+        for (slot, p) in refs.iter_mut().zip(chunk) {
+            *slot = p;
+        }
+        space.distance_block(&refs[..chunk.len()], query, &mut dists[..chunk.len()]);
+        for &d in &dists[..chunk.len()] {
+            f(id, d);
+            id += 1;
+        }
+    }
+}
+
+/// Score every point of `data` against `query` in [`BATCH_WIDTH`] blocks,
+/// invoking `f(id, dist)` in increasing id order — the batched form of the
+/// exhaustive scan.
+pub fn score_all<P, S: Space<P> + ?Sized>(
+    space: &S,
+    data: &Dataset<P>,
+    query: &P,
+    dists: &mut Vec<f32>,
+    f: impl FnMut(u32, f32),
+) {
+    score_slice(space, data.points(), query, dists, f)
+}
+
+/// Score the data points named by `ids` against `query` in [`BATCH_WIDTH`]
+/// blocks, invoking `f(id, dist)` in input order — the batched form of the
+/// filter-and-refine candidate check. Allocation-free after `dists` reaches
+/// [`BATCH_WIDTH`].
+pub fn score_ids<P, S: Space<P> + ?Sized>(
+    space: &S,
+    data: &Dataset<P>,
+    query: &P,
+    ids: &[u32],
+    dists: &mut Vec<f32>,
+    mut f: impl FnMut(u32, f32),
+) {
+    if dists.len() < BATCH_WIDTH {
+        dists.resize(BATCH_WIDTH, 0.0);
+    }
+    for chunk in ids.chunks(BATCH_WIDTH) {
+        let mut refs: [&P; BATCH_WIDTH] = [query; BATCH_WIDTH];
+        for (slot, &id) in refs.iter_mut().zip(chunk) {
+            *slot = data.get(id);
+        }
+        space.distance_block(&refs[..chunk.len()], query, &mut dists[..chunk.len()]);
+        for (&id, &d) in chunk.iter().zip(dists.iter()) {
+            f(id, d);
+        }
+    }
+}
+
+/// A thread-safe distance-evaluation counter around a [`Space`].
+///
+/// Unlike [`SpaceStats`] (whose `Cell` counter keeps it `!Sync`, so it can
+/// never satisfy the `Space` supertraits), `CountedSpace` counts with a
+/// shared atomic and therefore *is* a `Space`: indexes can be built over it
+/// directly and every distance their construction and searches evaluate is
+/// counted — batched kernel calls count **one per point scored**. Clones
+/// share the counter, so one tally can span an index plus its refine stage.
+#[derive(Debug, Clone)]
+pub struct CountedSpace<S> {
+    inner: S,
+    count: Arc<AtomicU64>,
+}
+
+impl<S> CountedSpace<S> {
+    /// Wrap `inner` with a fresh shared counter at zero.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Distance evaluations since construction or the last
+    /// [`reset`](Self::reset), across all clones.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Reset the shared counter to zero.
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    /// Borrow the wrapped space.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
+    fn distance(&self, x: &P, y: &P) -> f32 {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.distance(x, y)
+    }
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        // One count per point scored — the batched-counting contract.
+        self.count.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        self.inner.distance_block(xs, y, out)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 
@@ -108,6 +274,11 @@ where
         self.count.set(self.count.get() + 1);
         self.inner.distance(x, y)
     }
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        // One count per point scored, not per kernel call.
+        self.count.set(self.count.get() + xs.len() as u64);
+        self.inner.distance_block(xs, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
     }
@@ -135,12 +306,24 @@ impl<S> SpaceStats<S> {
         self.count.set(self.count.get() + 1);
         self.inner.distance(x, y)
     }
+
+    /// Batched companion of [`distance_counted`](Self::distance_counted):
+    /// scores the block with the inner space's kernel and counts **one
+    /// evaluation per point scored** (`xs.len()`), not one per kernel call.
+    pub fn distance_block_counted<P: ?Sized>(&self, xs: &[&P], y: &P, out: &mut [f32])
+    where
+        S: Space<P>,
+    {
+        self.count.set(self.count.get() + xs.len() as u64);
+        self.inner.distance_block(xs, y, out)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    #[derive(Clone)]
     struct Abs;
     impl Space<f32> for Abs {
         fn distance(&self, x: &f32, y: &f32) -> f32 {
@@ -165,6 +348,65 @@ mod tests {
         let s = std::sync::Arc::new(Abs);
         assert_eq!(s.distance(&1.0, &4.0), 3.0);
         assert_eq!(s.name(), "abs");
+    }
+
+    #[test]
+    fn default_distance_block_matches_scalar() {
+        let s = Abs;
+        let xs = [1.0f32, 4.0, -2.0, 0.5];
+        let refs: Vec<&f32> = xs.iter().collect();
+        let mut out = vec![0.0f32; 4];
+        s.distance_block(&refs, &1.0, &mut out);
+        for (x, d) in xs.iter().zip(&out) {
+            assert_eq!(*d, s.distance(x, &1.0));
+        }
+    }
+
+    #[test]
+    fn counted_space_counts_scalar_and_batched_per_point() {
+        let s = CountedSpace::new(Abs);
+        let _ = s.distance(&0.0, &1.0);
+        let xs = [1.0f32, 2.0, 3.0];
+        let refs: Vec<&f32> = xs.iter().collect();
+        let mut out = vec![0.0f32; 3];
+        s.distance_block(&refs, &0.0, &mut out);
+        assert_eq!(s.count(), 4, "3 batched points + 1 scalar");
+        let clone = s.clone();
+        let _ = clone.distance(&0.0, &1.0);
+        assert_eq!(s.count(), 5, "clones share the counter");
+        assert!(s.is_symmetric());
+        assert_eq!(s.name(), "abs");
+        assert_eq!(s.inner().distance(&0.0, &2.0), 2.0);
+        s.reset();
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn stats_counts_batched_evaluations_per_point() {
+        let s = SpaceStats::new(Abs);
+        let xs = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let refs: Vec<&f32> = xs.iter().collect();
+        let mut out = vec![0.0f32; 5];
+        s.distance_block_counted(&refs, &0.0, &mut out);
+        assert_eq!(s.count(), 5, "one count per point scored");
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn score_all_and_score_ids_visit_in_order() {
+        let data = Dataset::new((0..150).map(|i| i as f32).collect::<Vec<_>>());
+        let mut dists = Vec::new();
+        let mut seen = Vec::new();
+        score_all(&Abs, &data, &2.0, &mut dists, |id, d| seen.push((id, d)));
+        assert_eq!(seen.len(), 150);
+        assert_eq!(seen[0], (0, 2.0));
+        assert!(seen.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        let ids = [5u32, 149, 0];
+        let mut picked = Vec::new();
+        score_ids(&Abs, &data, &2.0, &ids, &mut dists, |id, d| {
+            picked.push((id, d))
+        });
+        assert_eq!(picked, vec![(5, 3.0), (149, 147.0), (0, 2.0)]);
     }
 
     #[test]

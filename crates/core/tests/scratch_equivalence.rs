@@ -1,0 +1,140 @@
+//! Scratch-reuse equivalence, pinned by property tests: a reused
+//! [`KnnHeap`], a reused merge scratch and a reused [`VisitedSet`] must
+//! behave exactly like freshly allocated ones — including the ordering of
+//! distance ties, which the serving layer's unsharded-equivalence depends
+//! on.
+
+use proptest::prelude::*;
+
+use permsearch_core::{
+    merge_sorted_topk, merge_sorted_topk_with, KnnHeap, Neighbor, SearchScratch, VisitedSet,
+};
+
+/// A random push sequence: ids with deliberately colliding distances so
+/// ties are common (distances quantized to steps of 0.25).
+fn pushes() -> impl Strategy<Value = Vec<(u32, f32)>> {
+    proptest::collection::vec((0u32..40, 0u32..16), 0..60).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(id, q)| (id, q as f32 * 0.25))
+            .collect()
+    })
+}
+
+/// Sorted per-shard lists derived from a push set: sorted ascending by
+/// `(distance, id)`, the order `KnnHeap::into_sorted` produces.
+fn sorted_lists() -> impl Strategy<Value = Vec<Vec<Neighbor>>> {
+    proptest::collection::vec(pushes(), 0..5).prop_map(|lists| {
+        lists
+            .into_iter()
+            .map(|mut l| {
+                l.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                l.dedup_by_key(|p| p.0);
+                l.into_iter().map(|(id, d)| Neighbor::new(id, d)).collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A heap that previously served another query and was `reset` must
+    /// collect exactly what a fresh heap collects — same ids, same
+    /// distances, same tie order.
+    #[test]
+    fn reused_heap_equals_fresh_heap(
+        prior in pushes(),
+        seq in pushes(),
+        k in 1usize..12,
+        prior_k in 1usize..12,
+    ) {
+        let mut fresh = KnnHeap::new(k);
+        for &(id, d) in &seq {
+            fresh.push(id, d);
+        }
+
+        let mut reused = KnnHeap::new(prior_k);
+        for &(id, d) in &prior {
+            reused.push(id, d);
+        }
+        reused.reset(k);
+        let mut accepted_fresh = Vec::new();
+        let mut accepted_reused = Vec::new();
+        let mut fresh2 = KnnHeap::new(k);
+        for &(id, d) in &seq {
+            accepted_fresh.push(fresh2.push(id, d));
+            accepted_reused.push(reused.push(id, d));
+        }
+        // Identical accept/reject decisions along the way...
+        prop_assert_eq!(accepted_fresh, accepted_reused);
+        // ...and identical final contents, tie order included.
+        let mut out = Vec::new();
+        reused.drain_sorted_into(&mut out);
+        prop_assert_eq!(&out, &fresh.into_sorted());
+        // A drained heap is empty and reusable again.
+        prop_assert!(reused.is_empty());
+    }
+
+    /// `drain_sorted_into` must equal `into_sorted` on the same contents,
+    /// and leave the heap reusable with untouched capacity semantics.
+    #[test]
+    fn drain_sorted_equals_into_sorted(seq in pushes(), k in 1usize..12) {
+        let mut a = KnnHeap::new(k);
+        let mut b = KnnHeap::new(k);
+        for &(id, d) in &seq {
+            a.push(id, d);
+            b.push(id, d);
+        }
+        let mut drained = vec![Neighbor::new(9, 9.0)]; // stale content is cleared
+        a.drain_sorted_into(&mut drained);
+        prop_assert_eq!(drained, b.into_sorted());
+    }
+
+    /// The scratch-backed k-way merge must equal the allocating merge —
+    /// which is itself pinned against a sequential reference — even when
+    /// the scratch is dirty from arbitrary earlier merges.
+    #[test]
+    fn merge_with_reused_scratch_matches(
+        warmup in sorted_lists(),
+        lists in sorted_lists(),
+        k in 1usize..10,
+    ) {
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        // Dirty the scratch with an unrelated merge.
+        merge_sorted_topk_with(&warmup, k, &mut scratch, &mut out);
+
+        merge_sorted_topk_with(&lists, k, &mut scratch, &mut out);
+        let reference = merge_sorted_topk(&lists, k);
+        prop_assert_eq!(&out, &reference);
+
+        // Sequential-scan reference: offering every candidate in ascending
+        // (distance, id) order to one heap is the unsharded semantics.
+        let mut all: Vec<Neighbor> = lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut heap = KnnHeap::new(k);
+        for n in &all {
+            heap.push(n.id, n.dist);
+        }
+        prop_assert_eq!(reference, heap.into_sorted());
+    }
+
+    /// Epoch resets must behave like a freshly zeroed visited array.
+    #[test]
+    fn visited_set_reuse_equals_fresh(rounds in proptest::collection::vec(
+        proptest::collection::vec(0u32..64, 0..40), 1..6)
+    ) {
+        let mut reused = VisitedSet::new();
+        for ids in &rounds {
+            reused.reset(64);
+            let mut fresh = [false; 64];
+            for &id in ids {
+                let first_fresh = !std::mem::replace(&mut fresh[id as usize], true);
+                prop_assert_eq!(reused.insert(id), first_fresh);
+            }
+            for id in 0..64u32 {
+                prop_assert_eq!(reused.contains(id), fresh[id as usize]);
+            }
+        }
+    }
+}

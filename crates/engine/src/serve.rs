@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use permsearch_core::{Neighbor, SearchIndex};
+use permsearch_core::{Neighbor, SearchIndex, SearchScratch};
 use permsearch_eval::{mean, GoldStandard};
 use serde::Serialize;
 
@@ -140,9 +140,14 @@ fn serve_slice<P, I>(
 ) where
     I: SearchIndex<P> + ?Sized,
 {
+    // One scratch per worker: after the first few queries grow its buffers
+    // to their high-water sizes, the steady-state serving loop performs no
+    // per-query heap allocation beyond the per-query result vector (which
+    // is the output, written in place).
+    let mut scratch = SearchScratch::new();
     for (i, q) in queries.iter().enumerate() {
         let start = Instant::now();
-        results[i] = index.search(q, k);
+        index.search_into(q, k, &mut scratch, &mut results[i]);
         latencies[i] = start.elapsed().as_secs_f64();
     }
 }

@@ -15,7 +15,9 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{merge_sorted_topk, BoxedSearchIndex, Dataset, Neighbor, SearchIndex};
+use permsearch_core::{
+    merge_sorted_topk_with, BoxedSearchIndex, Dataset, Neighbor, SearchIndex, SearchScratch,
+};
 
 /// One shard: a type-erased index over a contiguous slice of the dataset
 /// plus the offset mapping its local ids back to global ids.
@@ -134,18 +136,37 @@ impl<P> ShardedIndex<P> {
 impl<P> SearchIndex<P> for ShardedIndex<P> {
     /// Per-shard top-k searches followed by the k-way heap merge.
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
-        let lists: Vec<Vec<Neighbor>> = self
-            .shards
-            .iter()
-            .map(|shard| {
-                let mut local = shard.index.search(query, k);
-                for n in &mut local {
-                    n.id += shard.base;
-                }
-                local
-            })
-            .collect();
-        merge_sorted_topk(&lists, k)
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: each shard's `search_into` runs with the shared
+    /// scratch writing into a per-shard list reused across queries, and the
+    /// reduce step is the scratch-backed k-way merge — the same candidate
+    /// order as the allocating path, so the global `(distance, id)` tie
+    /// behavior is unchanged.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        // Take the list buffers out of the scratch so shard searches can
+        // borrow the scratch mutably; they go back after the merge.
+        let mut lists = std::mem::take(&mut scratch.lists);
+        if lists.len() < self.shards.len() {
+            lists.resize_with(self.shards.len(), Vec::new);
+        }
+        for (shard, local) in self.shards.iter().zip(lists.iter_mut()) {
+            shard.index.search_into(query, k, scratch, local);
+            for n in local.iter_mut() {
+                n.id += shard.base;
+            }
+        }
+        merge_sorted_topk_with(&lists[..self.shards.len()], k, scratch, out);
+        scratch.lists = lists;
     }
 
     fn len(&self) -> usize {

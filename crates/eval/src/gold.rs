@@ -106,8 +106,11 @@ fn gold_slice<P, S: Space<P>>(
     k: usize,
     neighbors: &mut [Vec<Neighbor>],
 ) {
+    // Per-worker scratch: the batched exhaustive scan reuses its heap and
+    // kernel buffers across the worker's whole query slice.
+    let mut scratch = permsearch_core::SearchScratch::new();
     for (i, q) in queries.iter().enumerate() {
-        neighbors[i] = exact.search(q, k);
+        exact.search_into(q, k, &mut scratch, &mut neighbors[i]);
     }
 }
 

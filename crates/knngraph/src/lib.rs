@@ -24,5 +24,5 @@ pub mod search;
 pub mod sw;
 
 pub use nndescent::{nndescent, NnDescentGraph, NnDescentParams};
-pub use search::greedy_search;
+pub use search::{greedy_search, greedy_search_with};
 pub use sw::{SwGraph, SwGraphParams};

@@ -297,6 +297,27 @@ where
         )
     }
 
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut permsearch_core::SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        crate::search::greedy_search_with(
+            &self.data,
+            &self.space,
+            &self.adjacency,
+            query,
+            k,
+            self.params.search_attempts,
+            self.params.search_ef,
+            self.seed ^ 0x4e4e_0000,
+            scratch,
+            out,
+        );
+    }
+
     fn len(&self) -> usize {
         self.data.len()
     }

@@ -8,12 +8,11 @@
 //! local minimum, at a linear cost in search time.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, KnnHeap, Neighbor, Space};
+use permsearch_core::{Dataset, Neighbor, SearchScratch, Space};
 
 /// Best-first k-NN search over `adjacency`.
 ///
@@ -32,37 +31,78 @@ pub fn greedy_search<P, S: Space<P>>(
     ef: usize,
     seed: u64,
 ) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    greedy_search_with(
+        data,
+        space,
+        adjacency,
+        query,
+        k,
+        attempts,
+        ef,
+        seed,
+        &mut SearchScratch::new(),
+        &mut out,
+    );
+    out
+}
+
+/// Scratch-reusing form of [`greedy_search`]: the result pool, frontier
+/// heap and visited set are reused across queries (the visited set resets
+/// in `O(1)` via an epoch bump instead of zeroing `n` booleans). Distances
+/// along the traversal stay scalar by design — each expansion depends on
+/// the previous one's result, so there is no candidate block to batch —
+/// and the traversal, including every tie decision, is identical to the
+/// allocating form.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_search_with<P, S: Space<P>>(
+    data: &Dataset<P>,
+    space: &S,
+    adjacency: &[Vec<u32>],
+    query: &P,
+    k: usize,
+    attempts: usize,
+    ef: usize,
+    seed: u64,
+    scratch: &mut SearchScratch,
+    out: &mut Vec<Neighbor>,
+) {
+    out.clear();
     let n = data.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let ef = ef.max(k);
     let mut rng = seeded_rng(seed);
     // Pool of the ef best results across all attempts; the final answer is
     // its k best.
-    let mut pool = KnnHeap::new(ef);
-    let mut visited = vec![false; n];
+    scratch.heap.reset(ef);
+    scratch.visited.reset(n);
+    let SearchScratch {
+        heap: pool,
+        visited,
+        frontier: candidates,
+        ..
+    } = scratch;
 
     for _ in 0..attempts.max(1) {
         let entry = rng.gen_range(0..n) as u32;
-        if visited[entry as usize] {
+        if !visited.insert(entry) {
             continue;
         }
-        visited[entry as usize] = true;
         let d = space.distance(data.get(entry), query);
         pool.push(entry, d);
         // Min-heap of candidates to expand.
-        let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
+        candidates.clear();
         candidates.push(Reverse(Neighbor::new(entry, d)));
         while let Some(Reverse(current)) = candidates.pop() {
             if pool.is_full() && current.dist > pool.radius() {
                 break;
             }
             for &nb in &adjacency[current.id as usize] {
-                if visited[nb as usize] {
+                if !visited.insert(nb) {
                     continue;
                 }
-                visited[nb as usize] = true;
                 let d = space.distance(data.get(nb), query);
                 // Enqueue for expansion only if it could improve the pool.
                 if !pool.is_full() || d < pool.radius() {
@@ -72,9 +112,8 @@ pub fn greedy_search<P, S: Space<P>>(
             }
         }
     }
-    let mut res = pool.into_sorted();
-    res.truncate(k);
-    res
+    pool.drain_sorted_into(out);
+    out.truncate(k);
 }
 
 #[cfg(test)]

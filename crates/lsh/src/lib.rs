@@ -23,7 +23,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
+use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, SearchIndex, SearchScratch, Space};
 use permsearch_spaces::L2;
 
 /// Multi-probe LSH parameters.
@@ -123,19 +123,23 @@ struct Table {
 }
 
 impl Table {
-    /// Raw (un-floored) hash values `(a_j · v + b_j) / W`.
-    fn raw(&self, v: &[f32], dim: usize, w: f32) -> Vec<f32> {
-        self.a
-            .chunks(dim)
-            .zip(&self.b)
-            .map(|(row, &b)| {
-                let mut acc = 0.0f32;
-                for i in 0..dim {
-                    acc += row[i] * v[i];
-                }
-                (acc + b) / w
-            })
-            .collect()
+    /// Raw (un-floored) hash values `(a_j · v + b_j) / W`, written into
+    /// `out` (resized to `M`). The `M` projections are one flat row-major
+    /// matrix, scored with the batched [`batch::dot_flat`] kernel — whose
+    /// accumulation order matches the original per-row loop exactly, so
+    /// bucket keys are unchanged.
+    fn raw_into(&self, v: &[f32], dim: usize, w: f32, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.b.len(), 0.0);
+        if dim == 0 {
+            // Degenerate zero-dim points hash everything to bucket b/W.
+            permsearch_spaces::batch::dot_flat(&[], 0, &[], out);
+        } else {
+            permsearch_spaces::batch::dot_flat(&self.a, dim, &v[..dim], out);
+        }
+        for (o, &b) in out.iter_mut().zip(&self.b) {
+            *o = (*o + b) / w;
+        }
     }
 }
 
@@ -208,8 +212,9 @@ impl MpLsh {
                 b,
                 buckets: HashMap::new(),
             };
+            let mut raw = Vec::new();
             for (id, p) in data.iter() {
-                let raw = table.raw(p, dim, params.bucket_width);
+                table.raw_into(p, dim, params.bucket_width, &mut raw);
                 let slots: Vec<i32> = raw.iter().map(|r| r.floor() as i32).collect();
                 table
                     .buckets
@@ -403,25 +408,55 @@ impl permsearch_core::Snapshot<Vec<f32>, ()> for MpLsh {
 
 impl SearchIndex<Vec<f32>> for MpLsh {
     fn search(&self, query: &Vec<f32>, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: candidate ids are gathered across all tables and
+    /// probes (deduplicated by the reused epoch visited-set, in the exact
+    /// order the scalar path discovered them), then refined in one batched
+    /// [`score_ids`] pass — identical push order and distances, so results
+    /// match the per-candidate scan bit for bit. The probe-set generation
+    /// itself still allocates a few `T`-bounded vectors per table; those
+    /// are independent of the dataset size.
+    fn search_into(
+        &self,
+        query: &Vec<f32>,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if self.data.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        let mut seen = vec![false; self.data.len()];
+        scratch.heap.reset(k);
+        scratch.visited.reset(self.data.len());
+        let SearchScratch {
+            heap,
+            visited,
+            ids,
+            dists,
+            ..
+        } = scratch;
+        ids.clear();
         for table in &self.tables {
-            let raw = table.raw(query, self.dim, self.params.bucket_width);
-            for key in self.probe_keys(&raw) {
+            table.raw_into(query, self.dim, self.params.bucket_width, dists);
+            for key in self.probe_keys(dists) {
                 if let Some(bucket) = table.buckets.get(&key) {
                     for &id in bucket {
-                        if std::mem::replace(&mut seen[id as usize], true) {
-                            continue;
+                        if visited.insert(id) {
+                            ids.push(id);
                         }
-                        heap.push(id, L2.distance(self.data.get(id), query));
                     }
                 }
             }
         }
-        heap.into_sorted()
+        score_ids(&L2, &self.data, query, ids, dists, |id, d| {
+            heap.push(id, d);
+        });
+        heap.drain_sorted_into(out);
     }
 
     fn len(&self) -> usize {
@@ -526,7 +561,8 @@ mod tests {
     fn probe_sequence_is_unique_and_starts_with_home_bucket() {
         let (data, queries) = world(300);
         let idx = MpLsh::build(data, MpLshParams::default(), 5);
-        let raw = idx.tables[0].raw(&queries[0], idx.dim, idx.params.bucket_width);
+        let mut raw = Vec::new();
+        idx.tables[0].raw_into(&queries[0], idx.dim, idx.params.bucket_width, &mut raw);
         let keys = idx.probe_keys(&raw);
         assert_eq!(keys.len(), idx.params.num_probes);
         let home = bucket_key(&raw.iter().map(|r| r.floor() as i32).collect::<Vec<i32>>());

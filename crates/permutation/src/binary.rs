@@ -105,14 +105,41 @@ impl BinarizedPermutations {
     /// Binarize a query's rank vector with the table's threshold, packed to
     /// the table's row layout.
     pub fn pack_query(&self, ranks: &[u32]) -> Vec<u64> {
+        let mut row = Vec::new();
+        self.pack_query_into(ranks, &mut row);
+        row
+    }
+
+    /// Buffer-reusing form of [`pack_query`](Self::pack_query).
+    pub fn pack_query_into(&self, ranks: &[u32], out: &mut Vec<u64>) {
         assert_eq!(ranks.len(), self.m, "query permutation length mismatch");
-        let mut row = vec![0u64; self.words_per_point];
+        out.clear();
+        out.resize(self.words_per_point, 0);
         for (i, &r) in ranks.iter().enumerate() {
             if r >= self.threshold {
-                row[i / 64] |= 1u64 << (i % 64);
+                out[i / 64] |= 1u64 << (i % 64);
             }
         }
-        row
+    }
+
+    /// Batched filtering scan: the Hamming distance of **every** stored
+    /// binarized permutation to the packed query row, written as
+    /// `(distance, id)` pairs in increasing id order. One pass of the
+    /// flat-word [`permsearch_core::bits::hamming_flat`] kernel over the
+    /// contiguous table; identical values to per-id
+    /// [`hamming_to`](Self::hamming_to).
+    pub fn scan_hamming_into(&self, query_words: &[u64], out: &mut Vec<(u32, u32)>) {
+        debug_assert_eq!(query_words.len(), self.words_per_point);
+        out.clear();
+        out.reserve(self.len());
+        permsearch_core::bits::hamming_flat(
+            &self.words,
+            self.words_per_point,
+            query_words,
+            |id, h| {
+                out.push((h, id));
+            },
+        );
     }
 
     /// Number of stored points.

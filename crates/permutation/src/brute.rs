@@ -21,11 +21,11 @@
 use std::sync::Arc;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
 
 use crate::binary::BinarizedPermutations;
-use crate::perm::{compute_ranks, footrule, spearman_rho, PermutationTable};
-use crate::refine::refine;
+use crate::perm::{compute_ranks_into, PermutationTable};
+use crate::refine::refine_into;
 
 /// Which permutation distance the filter stage uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,31 +94,66 @@ where
     S: Space<P> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: the query permutation is induced with batched
+    /// pivot scoring, the filtering stage is one flat scan over the
+    /// contiguous permutation table, and refinement scores the γ survivors
+    /// in batched blocks — all through reused buffers, with results
+    /// identical to the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         let n = self.data.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let q_ranks = compute_ranks(&self.space, &self.pivots, query);
-        // Filtering: permutation distance to every point.
-        let mut scored: Vec<(u64, u32)> = (0..n as u32)
-            .map(|id| {
-                let d = match self.distance {
-                    PermDistanceKind::SpearmanRho => spearman_rho(self.table.ranks(id), &q_ranks),
-                    PermDistanceKind::Footrule => footrule(self.table.ranks(id), &q_ranks),
-                };
-                (d, id)
-            })
-            .collect();
+        compute_ranks_into(
+            &self.space,
+            &self.pivots,
+            query,
+            &mut scratch.dists,
+            &mut scratch.order,
+            &mut scratch.ranks,
+        );
+        // Filtering: permutation distance to every point, flat scan.
+        match self.distance {
+            PermDistanceKind::SpearmanRho => self
+                .table
+                .scan_rho_into(&scratch.ranks, &mut scratch.scored_u64),
+            PermDistanceKind::Footrule => self
+                .table
+                .scan_footrule_into(&scratch.ranks, &mut scratch.scored_u64),
+        }
         let gamma = self.candidate_budget().max(k).min(n);
-        k_smallest(&mut scored, gamma, |a, b| a.cmp(b));
+        k_smallest(&mut scratch.scored_u64, gamma, |a, b| a.cmp(b));
         // Refinement with the original distance.
-        refine(
+        let SearchScratch {
+            scored_u64,
+            ids,
+            dists,
+            heap,
+            ..
+        } = scratch;
+        refine_into(
             &self.data,
             &self.space,
             query,
-            scored[..gamma].iter().map(|&(_, id)| id),
+            scored_u64[..gamma].iter().map(|&(_, id)| id),
             k,
-        )
+            ids,
+            dists,
+            heap,
+            out,
+        );
     }
 
     fn len(&self) -> usize {
@@ -179,24 +214,58 @@ where
     S: Space<P> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: batched query-permutation induction, one flat
+    /// XOR+popcount pass over the contiguous word table, batched
+    /// refinement. Identical results to the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         let n = self.data.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let q_ranks = compute_ranks(&self.space, &self.pivots, query);
-        let q_words = self.table.pack_query(&q_ranks);
-        let mut scored: Vec<(u32, u32)> = (0..n as u32)
-            .map(|id| (self.table.hamming_to(id, &q_words), id))
-            .collect();
+        compute_ranks_into(
+            &self.space,
+            &self.pivots,
+            query,
+            &mut scratch.dists,
+            &mut scratch.order,
+            &mut scratch.ranks,
+        );
+        self.table
+            .pack_query_into(&scratch.ranks, &mut scratch.qwords);
+        self.table
+            .scan_hamming_into(&scratch.qwords, &mut scratch.scored_u32);
         let gamma = self.candidate_budget().max(k).min(n);
-        k_smallest(&mut scored, gamma, |a, b| a.cmp(b));
-        refine(
+        k_smallest(&mut scratch.scored_u32, gamma, |a, b| a.cmp(b));
+        let SearchScratch {
+            scored_u32,
+            ids,
+            dists,
+            heap,
+            ..
+        } = scratch;
+        refine_into(
             &self.data,
             &self.space,
             query,
-            scored[..gamma].iter().map(|&(_, id)| id),
+            scored_u32[..gamma].iter().map(|&(_, id)| id),
             k,
-        )
+            ids,
+            dists,
+            heap,
+            out,
+        );
     }
 
     fn len(&self) -> usize {

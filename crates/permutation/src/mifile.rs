@@ -21,11 +21,11 @@ use std::sync::Arc;
 use crossbeam::thread;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
 
-use crate::perm::compute_ranks;
+use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
-use crate::refine::refine;
+use crate::refine::refine_into;
 
 /// MI-file tuning parameters.
 #[derive(Debug, Clone)]
@@ -158,17 +158,42 @@ where
     S: Space<P> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: the accumulator array is re-initialized in place
+    /// (same pessimistic `ms · m` start), the touched-id and scored
+    /// buffers are reused, query-permutation induction and refinement are
+    /// batched. Identical results to the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         let n = self.data.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let m = self.params.num_pivots as u32;
         let ms = self.ms();
-        let q_ranks = compute_ranks(&self.space, &self.pivots, query);
+        compute_ranks_into(
+            &self.space,
+            &self.pivots,
+            query,
+            &mut scratch.dists,
+            &mut scratch.order,
+            &mut scratch.ranks,
+        );
 
         // The ms pivots closest to the query, with their query positions.
-        let mut q_pivots: Vec<(u32, u16)> = Vec::with_capacity(ms);
-        for (pivot, &r) in q_ranks.iter().enumerate() {
+        let q_pivots = &mut scratch.pivot_pos;
+        q_pivots.clear();
+        for (pivot, &r) in scratch.ranks.iter().enumerate() {
             if (r as usize) < ms {
                 q_pivots.push((pivot as u32, r as u16));
             }
@@ -178,9 +203,12 @@ where
         // posting subtracts m - |pos_x - pos_q| (paper §2.3). Untouched
         // entries keep the initial value and are never candidates.
         let init = ms as u32 * m;
-        let mut acc = vec![init; n];
-        let mut touched: Vec<u32> = Vec::new();
-        for &(pivot, q_pos) in &q_pivots {
+        let acc = &mut scratch.acc;
+        acc.clear();
+        acc.resize(n, init);
+        let touched = &mut scratch.touched;
+        touched.clear();
+        for &(pivot, q_pos) in q_pivots.iter() {
             let list = &self.postings[pivot as usize];
             let (lo, hi) = match self.params.max_pos_diff {
                 Some(d) => {
@@ -204,16 +232,28 @@ where
         let gamma = (((n as f64) * self.params.gamma).ceil() as usize)
             .max(k)
             .min(touched.len());
-        let mut scored: Vec<(u32, u32)> =
-            touched.iter().map(|&id| (acc[id as usize], id)).collect();
-        k_smallest(&mut scored, gamma, |a, b| a.cmp(b));
-        refine(
+        let scored = &mut scratch.scored_u32;
+        scored.clear();
+        scored.extend(touched.iter().map(|&id| (acc[id as usize], id)));
+        k_smallest(scored, gamma, |a, b| a.cmp(b));
+        let SearchScratch {
+            scored_u32,
+            ids,
+            dists,
+            heap,
+            ..
+        } = scratch;
+        refine_into(
             &self.data,
             &self.space,
             query,
-            scored[..gamma].iter().map(|&(_, id)| id),
+            scored_u32[..gamma].iter().map(|&(_, id)| id),
             k,
-        )
+            ids,
+            dists,
+            heap,
+            out,
+        );
     }
 
     fn len(&self) -> usize {

@@ -19,11 +19,11 @@ use std::sync::Arc;
 
 use crossbeam::thread;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
 
-use crate::perm::compute_ranks;
+use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
-use crate::refine::refine;
+use crate::refine::refine_into;
 
 /// NAPP tuning parameters (paper §3.2 discusses their trade-offs).
 #[derive(Debug, Clone)]
@@ -165,37 +165,88 @@ where
     S: Space<P> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: the ScanCount counter array is reused (its
+    /// re-zeroing *is* the paper's per-query memset, now over retained
+    /// capacity instead of a fresh allocation), candidate pairs collect
+    /// into a reused buffer — counts widened from `u8` to `u32`, which
+    /// preserves the sort order exactly — and refinement is batched.
+    /// Identical results to the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         let n = self.data.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let q_pivots = closest_pivot_ids(&self.space, &self.pivots, query, self.ms());
-        // ScanCount: fresh zeroed counters (the paper's per-query memset).
-        let mut counters = vec![0u8; n];
-        for &p in &q_pivots {
+        compute_ranks_into(
+            &self.space,
+            &self.pivots,
+            query,
+            &mut scratch.dists,
+            &mut scratch.order,
+            &mut scratch.ranks,
+        );
+        let ms = self.ms();
+        let q_pivots = &mut scratch.pivot_ids;
+        q_pivots.clear();
+        q_pivots.resize(ms, u32::MAX);
+        for (pivot, &r) in scratch.ranks.iter().enumerate() {
+            if (r as usize) < ms {
+                q_pivots[r as usize] = pivot as u32;
+            }
+        }
+        // ScanCount: re-zeroed counters (the paper's per-query memset).
+        let counters = &mut scratch.counters;
+        counters.clear();
+        counters.resize(n, 0);
+        for &p in q_pivots.iter() {
             for &id in &self.postings[p as usize] {
                 counters[id as usize] = counters[id as usize].saturating_add(1);
             }
         }
         let t = self.params.min_shared.min(u8::MAX as u32) as u8;
-        let mut candidates: Vec<(u8, u32)> = counters
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c >= t && c > 0)
-            .map(|(id, &c)| (c, id as u32))
-            .collect();
+        let candidates = &mut scratch.scored_u32;
+        candidates.clear();
+        candidates.extend(
+            counters
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= t && c > 0)
+                .map(|(id, &c)| (u32::from(c), id as u32)),
+        );
         if let Some(cap) = self.params.max_candidates {
             // Extra filtering step: most-shared-pivots first.
             candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             candidates.truncate(cap.max(k));
         }
-        refine(
+        let SearchScratch {
+            scored_u32,
+            ids,
+            dists,
+            heap,
+            ..
+        } = scratch;
+        refine_into(
             &self.data,
             &self.space,
             query,
-            candidates.iter().map(|&(_, id)| id),
+            scored_u32.iter().map(|&(_, id)| id),
             k,
-        )
+            ids,
+            dists,
+            heap,
+            out,
+        );
     }
 
     fn len(&self) -> usize {
@@ -222,11 +273,21 @@ mod tests {
     use permsearch_datasets::{DenseGaussianMixture, Generator};
     use permsearch_spaces::L2;
 
-    fn small_world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
-        let gen = DenseGaussianMixture::new(12, 6, 0.15);
-        let data = Arc::new(Dataset::new(gen.generate(800, 21)));
-        let queries = gen.generate(25, 77);
-        (data, queries)
+    /// Shared test fixture: the 800-point world is generated **once** and
+    /// borrowed by every test, instead of each test regenerating and
+    /// re-allocating its own copy (the old per-test `small_world()` plus
+    /// `data.clone()` churn). Tests that need ownership clone the `Arc`,
+    /// which is a refcount bump, never a point copy.
+    type World = (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>);
+
+    fn small_world() -> &'static World {
+        static WORLD: std::sync::OnceLock<World> = std::sync::OnceLock::new();
+        WORLD.get_or_init(|| {
+            let gen = DenseGaussianMixture::new(12, 6, 0.15);
+            let data = Arc::new(Dataset::new(gen.generate(800, 21)));
+            let queries = gen.generate(25, 77);
+            (data, queries)
+        })
     }
 
     fn gold(data: &Dataset<Vec<f32>>, q: &Vec<f32>, k: usize) -> Vec<u32> {
@@ -292,9 +353,9 @@ mod tests {
         };
         let idx = Napp::build(data.clone(), L2, params, 3);
         let mut total = 0.0;
-        for q in &queries {
+        for q in queries {
             let res = idx.search(q, 10);
-            let truth = gold(&data, q, 10);
+            let truth = gold(data, q, 10);
             let hit = truth
                 .iter()
                 .filter(|t| res.iter().any(|n| n.id == **t))

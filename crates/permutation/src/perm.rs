@@ -24,18 +24,39 @@ use permsearch_core::{Dataset, Space};
 /// increasing distance from `point` (left-query convention: the pivot is
 /// the data-side argument). `O(m log m)` per point.
 pub fn compute_ranks<P, S: Space<P>>(space: &S, pivots: &[P], point: &P) -> Vec<u32> {
-    let mut order: Vec<(f32, u32)> = pivots
-        .iter()
-        .enumerate()
-        .map(|(i, pv)| (space.distance(pv, point), i as u32))
-        .collect();
+    let mut dists = Vec::new();
+    let mut order = Vec::new();
+    let mut ranks = Vec::new();
+    compute_ranks_into(space, pivots, point, &mut dists, &mut order, &mut ranks);
+    ranks
+}
+
+/// Scratch-reusing form of [`compute_ranks`]: pivot distances are evaluated
+/// with the batched [`Space::distance_block`] kernel in
+/// [`permsearch_core::BATCH_WIDTH`] blocks (`dists` is the reused kernel
+/// output buffer), the ordering buffer and rank vector are reused, and the
+/// result lands in `ranks`. Distances, tie-breaks and ranks are identical
+/// to the allocating form.
+pub fn compute_ranks_into<P, S: Space<P>>(
+    space: &S,
+    pivots: &[P],
+    point: &P,
+    dists: &mut Vec<f32>,
+    order: &mut Vec<(f32, u32)>,
+    ranks: &mut Vec<u32>,
+) {
+    order.clear();
+    // Pivots are the data-side argument (left-query convention).
+    permsearch_core::score_slice(space, pivots, point, dists, |pivot, d| {
+        order.push((d, pivot));
+    });
     // Sort by distance, breaking ties by the smaller pivot index.
     order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut ranks = vec![0u32; pivots.len()];
+    ranks.clear();
+    ranks.resize(pivots.len(), 0);
     for (rank, &(_, pivot)) in order.iter().enumerate() {
         ranks[pivot as usize] = rank as u32;
     }
-    ranks
 }
 
 /// Invert a rank vector into pivot order: `order[r]` is the id of the pivot
@@ -54,8 +75,8 @@ pub fn ranks_to_order(ranks: &[u32]) -> Vec<u32> {
 pub fn footrule(x: &[u32], y: &[u32]) -> u64 {
     debug_assert_eq!(x.len(), y.len());
     let mut sum = 0u64;
-    for i in 0..x.len() {
-        sum += u64::from(x[i].abs_diff(y[i]));
+    for (a, b) in x.iter().zip(y) {
+        sum += u64::from(a.abs_diff(*b));
     }
     sum
 }
@@ -66,8 +87,8 @@ pub fn footrule(x: &[u32], y: &[u32]) -> u64 {
 pub fn spearman_rho(x: &[u32], y: &[u32]) -> u64 {
     debug_assert_eq!(x.len(), y.len());
     let mut sum = 0u64;
-    for i in 0..x.len() {
-        let d = u64::from(x[i].abs_diff(y[i]));
+    for (a, b) in x.iter().zip(y) {
+        let d = u64::from(a.abs_diff(*b));
         sum += d * d;
     }
     sum
@@ -133,6 +154,37 @@ impl PermutationTable {
     pub fn ranks(&self, id: u32) -> &[u32] {
         let i = id as usize * self.m;
         &self.ranks[i..i + self.m]
+    }
+
+    /// Batched filtering scan: Spearman's rho of **every** stored
+    /// permutation against `q_ranks`, written as `(distance, id)` pairs in
+    /// increasing id order. The table is one flat row-major array, so the
+    /// scan is a single pass over contiguous memory — no per-id slice
+    /// arithmetic — and `out` is reused across queries. Values and order
+    /// are identical to calling [`spearman_rho`] on [`ranks`](Self::ranks)
+    /// per id.
+    pub fn scan_rho_into(&self, q_ranks: &[u32], out: &mut Vec<(u64, u32)>) {
+        assert_eq!(q_ranks.len(), self.m, "query permutation length mismatch");
+        out.clear();
+        out.extend(
+            self.ranks
+                .chunks_exact(self.m)
+                .enumerate()
+                .map(|(id, row)| (spearman_rho(row, q_ranks), id as u32)),
+        );
+    }
+
+    /// Batched filtering scan under the Footrule; see
+    /// [`scan_rho_into`](Self::scan_rho_into).
+    pub fn scan_footrule_into(&self, q_ranks: &[u32], out: &mut Vec<(u64, u32)>) {
+        assert_eq!(q_ranks.len(), self.m, "query permutation length mismatch");
+        out.clear();
+        out.extend(
+            self.ranks
+                .chunks_exact(self.m)
+                .enumerate()
+                .map(|(id, row)| (footrule(row, q_ranks), id as u32)),
+        );
     }
 
     /// Heap footprint in bytes.

@@ -13,11 +13,11 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
 
-use crate::perm::compute_ranks;
+use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
-use crate::refine::refine;
+use crate::refine::refine_into;
 
 /// PP-index tuning parameters.
 #[derive(Debug, Clone)]
@@ -96,9 +96,18 @@ impl<P> Tree<P> {
         self.nodes[cur as usize].ids.push(id);
     }
 
-    /// Collect every id under `node` into `out`.
+    /// Collect every id under `node` into `out` (test-only convenience;
+    /// the query path uses [`collect_with`](Self::collect_with)).
+    #[cfg(test)]
     fn collect(&self, node: u32, out: &mut Vec<u32>) {
-        let mut stack = vec![node];
+        self.collect_with(node, &mut Vec::new(), out);
+    }
+
+    /// Buffer-reusing form of [`collect`](Self::collect): the DFS stack is
+    /// supplied by the caller.
+    fn collect_with(&self, node: u32, stack: &mut Vec<u32>, out: &mut Vec<u32>) {
+        stack.clear();
+        stack.push(node);
         while let Some(n) = stack.pop() {
             let n = &self.nodes[n as usize];
             out.extend_from_slice(&n.ids);
@@ -216,23 +225,84 @@ fn prefix_of<P, S: Space<P>>(space: &S, pivots: &[P], point: &P, l: usize) -> Ve
     prefix
 }
 
+/// Scratch-reusing form of [`prefix_of`]: rank induction goes through the
+/// batched [`compute_ranks_into`] and the prefix lands in `prefix`.
+#[allow(clippy::too_many_arguments)]
+fn prefix_of_into<P, S: Space<P>>(
+    space: &S,
+    pivots: &[P],
+    point: &P,
+    l: usize,
+    dists: &mut Vec<f32>,
+    order: &mut Vec<(f32, u32)>,
+    ranks: &mut Vec<u32>,
+    prefix: &mut Vec<u32>,
+) {
+    compute_ranks_into(space, pivots, point, dists, order, ranks);
+    prefix.clear();
+    prefix.resize(l, u32::MAX);
+    for (pivot, &r) in ranks.iter().enumerate() {
+        if (r as usize) < l {
+            prefix[r as usize] = pivot as u32;
+        }
+    }
+}
+
 impl<P, S> SearchIndex<P> for PpIndex<P, S>
 where
     P: Clone + Sync,
     S: Space<P> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: per-tree prefix induction, tree walk and candidate
+    /// collection all run through reused buffers, and the deduplicated
+    /// candidate union is refined in batched blocks. Identical results to
+    /// the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         let n = self.data.len();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         let gamma = (((n as f64) * self.params.gamma).ceil() as usize).max(k);
-        let mut candidates: Vec<u32> = Vec::new();
+        let SearchScratch {
+            dists,
+            order,
+            ranks,
+            pivot_ids: q_prefix,
+            path,
+            ids: candidates,
+            touched,
+            heap,
+            ..
+        } = scratch;
+        candidates.clear();
         for tree in &self.trees {
-            let q_prefix = prefix_of(&self.space, &tree.pivots, query, self.params.prefix_len);
+            prefix_of_into(
+                &self.space,
+                &tree.pivots,
+                query,
+                self.params.prefix_len,
+                dists,
+                order,
+                ranks,
+                q_prefix,
+            );
             // Walk down the query prefix, remembering the path.
-            let mut path = vec![0u32];
-            for &pivot in &q_prefix {
+            path.clear();
+            path.push(0u32);
+            for &pivot in q_prefix.iter() {
                 match tree.child(*path.last().expect("root"), pivot) {
                     Some(c) => path.push(c),
                     None => break,
@@ -245,11 +315,23 @@ where
             {
                 path.pop();
             }
-            tree.collect(*path.last().expect("root"), &mut candidates);
+            // `touched` doubles as the DFS stack here; refine clears it
+            // again before using it as its dedup buffer.
+            tree.collect_with(*path.last().expect("root"), touched, candidates);
         }
         candidates.sort_unstable();
         candidates.dedup();
-        refine(&self.data, &self.space, query, candidates, k)
+        refine_into(
+            &self.data,
+            &self.space,
+            query,
+            candidates.iter().copied(),
+            k,
+            touched,
+            dists,
+            heap,
+            out,
+        );
     }
 
     fn len(&self) -> usize {

@@ -1,6 +1,6 @@
 //! The refine stage shared by every filter-and-refine method.
 
-use permsearch_core::{Dataset, KnnHeap, Neighbor, Space};
+use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, Space};
 
 /// Compare each candidate id to the query with the original distance and
 /// return the best `k`, sorted by increasing distance.
@@ -16,20 +16,52 @@ pub fn refine<P, S: Space<P>>(
     candidates: impl IntoIterator<Item = u32>,
     k: usize,
 ) -> Vec<Neighbor> {
+    let mut ids = Vec::new();
+    let mut dists = Vec::new();
     let mut heap = KnnHeap::new(k);
+    let mut out = Vec::new();
+    refine_into(
+        data, space, query, candidates, k, &mut ids, &mut dists, &mut heap, &mut out,
+    );
+    out
+}
+
+/// Scratch-reusing, batched form of [`refine`]: candidates pass the same
+/// adjacent-duplicate guard into the reused `ids` buffer, are scored in
+/// [`permsearch_core::BATCH_WIDTH`] blocks via [`Space::distance_block`]
+/// (`dists` is the kernel output buffer), and offered to the reused `heap`
+/// in candidate order — the identical push sequence, so results (tie order
+/// included) match the scalar form exactly. The sorted top-`k` lands in
+/// `out`.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_into<P, S: Space<P>>(
+    data: &Dataset<P>,
+    space: &S,
+    query: &P,
+    candidates: impl IntoIterator<Item = u32>,
+    k: usize,
+    ids: &mut Vec<u32>,
+    dists: &mut Vec<f32>,
+    heap: &mut KnnHeap,
+    out: &mut Vec<Neighbor>,
+) {
+    ids.clear();
+    // Cheap adjacent-duplicate guard; full dedup is the caller's job
+    // when candidate lists interleave.
     let mut last: Option<u32> = None;
     for id in candidates {
-        // Cheap adjacent-duplicate guard; full dedup is the caller's job
-        // when candidate lists interleave.
         if last == Some(id) {
             continue;
         }
         last = Some(id);
-        heap.push(id, space.distance(data.get(id), query));
+        ids.push(id);
     }
-    let mut out = heap.into_sorted();
+    heap.reset(k);
+    score_ids(space, data, query, ids, dists, |id, d| {
+        heap.push(id, d);
+    });
+    heap.drain_sorted_into(out);
     out.dedup_by_key(|n| n.id);
-    out
 }
 
 #[cfg(test)]
@@ -58,5 +90,31 @@ mod tests {
         let data = Dataset::new(vec![vec![0.0f32]]);
         let res = refine(&data, &L2, &vec![0.0f32], std::iter::empty(), 3);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn refine_into_reuses_buffers_identically() {
+        let data = Dataset::new((0..200).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let mut ids = Vec::new();
+        let mut dists = Vec::new();
+        let mut heap = KnnHeap::new(1);
+        let mut out = Vec::new();
+        for qi in 0..20 {
+            let q = vec![qi as f32 * 7.3];
+            let cands: Vec<u32> = (0..200u32).filter(|i| i % 3 == qi % 3).collect();
+            refine_into(
+                &data,
+                &L2,
+                &q,
+                cands.iter().copied(),
+                5,
+                &mut ids,
+                &mut dists,
+                &mut heap,
+                &mut out,
+            );
+            let fresh = refine(&data, &L2, &q, cands.iter().copied(), 5);
+            assert_eq!(out, fresh, "query {qi}");
+        }
     }
 }

@@ -21,19 +21,44 @@ pub struct L2;
 #[inline]
 pub(crate) fn squared_l2(x: &[f32], y: &[f32]) -> f32 {
     debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
+    // `chunks_exact` instead of manual indexing: the compiler proves every
+    // access in-bounds, so the loop vectorizes without checks. The
+    // additions happen in exactly the order of the classic indexed loop —
+    // results are bitwise unchanged.
     let mut acc = [0.0f32; 4];
-    let chunks = x.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    for (a, b) in (&mut cx).zip(&mut cy) {
         for lane in 0..4 {
-            let d = x[i + lane] - y[i + lane];
+            let d = a[lane] - b[lane];
             acc[lane] += d * d;
         }
     }
     let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..x.len() {
-        let d = x[i] - y[i];
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        let d = a - b;
         sum += d * d;
+    }
+    sum
+}
+
+/// Absolute-difference accumulation with the same 4-lane,
+/// `chunks_exact`-addressed layout as [`squared_l2`] (the shared row
+/// kernel of `L1::distance` and the batched L1 kernels).
+#[inline]
+pub(crate) fn l1_sum(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        for lane in 0..4 {
+            acc[lane] += (a[lane] - b[lane]).abs();
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        sum += (a - b).abs();
     }
     sum
 }
@@ -41,6 +66,9 @@ pub(crate) fn squared_l2(x: &[f32], y: &[f32]) -> f32 {
 impl Space<DenseVector> for L2 {
     fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
         squared_l2(x, y).sqrt()
+    }
+    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+        crate::batch::l2_block(xs, y, out)
     }
     fn name(&self) -> &'static str {
         "L2"
@@ -56,23 +84,59 @@ pub struct L1;
 
 impl Space<DenseVector> for L1 {
     fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
-        debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
-        let mut acc = [0.0f32; 4];
-        let chunks = x.len() / 4;
-        for c in 0..chunks {
-            let i = c * 4;
-            for lane in 0..4 {
-                acc[lane] += (x[i + lane] - y[i + lane]).abs();
-            }
-        }
-        let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-        for i in chunks * 4..x.len() {
-            sum += (x[i] - y[i]).abs();
-        }
-        sum
+        l1_sum(x, y)
+    }
+    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+        crate::batch::l1_block(xs, y, out)
     }
     fn name(&self) -> &'static str {
         "L1"
+    }
+}
+
+/// Cosine distance `1 − ⟨x, y⟩ / (|x| |y|)` over dense vectors.
+///
+/// The paper's cosine space is sparse ([`crate::CosineDistance`]); this
+/// dense variant gives dense embedding workloads the same dissimilarity and
+/// serves as the scalar reference of the batched
+/// [`cosine_flat`](crate::batch::cosine_flat) kernel. A zero vector has no
+/// direction: its distance is defined as 1 to any non-zero vector and 0 to
+/// another zero vector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseCosine;
+
+/// Shared row kernel of [`DenseCosine`] and the batched cosine kernels:
+/// one pass accumulating the dot product and both squared norms.
+#[inline]
+pub(crate) fn cosine_row(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len(), "dimension mismatch");
+    let mut dot = 0.0f32;
+    let mut nx = 0.0f32;
+    let mut ny = 0.0f32;
+    for (&a, &b) in x.iter().zip(y) {
+        dot += a * b;
+        nx += a * a;
+        ny += b * b;
+    }
+    if nx == 0.0 || ny == 0.0 {
+        return if nx == ny { 0.0 } else { 1.0 };
+    }
+    // Clamp float noise into the cosine distance's [0, 2] range.
+    (1.0 - dot / (nx.sqrt() * ny.sqrt())).max(0.0)
+}
+
+impl Space<DenseVector> for DenseCosine {
+    fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
+        cosine_row(x, y)
+    }
+    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = cosine_row(x, y);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "cosine-dense"
     }
 }
 
@@ -124,6 +188,49 @@ mod tests {
         let x: Vec<f32> = vec![];
         assert_eq!(L2.distance(&x, &x), 0.0);
         assert_eq!(L1.distance(&x, &x), 0.0);
+        assert_eq!(DenseCosine.distance(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn dense_cosine_basics() {
+        let x = vec![1.0f32, 0.0];
+        let y = vec![0.0f32, 2.0];
+        assert!(
+            (DenseCosine.distance(&x, &y) - 1.0).abs() < 1e-6,
+            "orthogonal"
+        );
+        assert_eq!(DenseCosine.distance(&x, &x), 0.0);
+        let scaled = vec![5.0f32, 0.0];
+        assert_eq!(DenseCosine.distance(&x, &scaled), 0.0, "scale invariant");
+        let opposite = vec![-1.0f32, 0.0];
+        assert!((DenseCosine.distance(&x, &opposite) - 2.0).abs() < 1e-6);
+        // Zero vectors: no direction.
+        let zero = vec![0.0f32, 0.0];
+        assert_eq!(DenseCosine.distance(&zero, &x), 1.0);
+        assert_eq!(DenseCosine.distance(&zero, &zero), 0.0);
+        assert!(DenseCosine.is_symmetric());
+        assert_eq!(DenseCosine.name(), "cosine-dense");
+    }
+
+    #[test]
+    fn chunked_kernels_match_naive_reference_closely() {
+        // The 4-lane kernels reassociate the sum relative to a strict
+        // left-to-right reference, so allow proportional float slack; the
+        // *batched* paths must then match the kernels bitwise, which the
+        // kernel_equivalence suite pins.
+        for dim in [0usize, 1, 3, 4, 5, 8, 17, 127] {
+            let x: Vec<f32> = (0..dim).map(|i| (i as f32).sin()).collect();
+            let y: Vec<f32> = (0..dim).map(|i| 0.1 * i as f32 - 0.5).collect();
+            let mut naive2 = 0.0f32;
+            let mut naive1 = 0.0f32;
+            for i in 0..dim {
+                let d = x[i] - y[i];
+                naive2 += d * d;
+                naive1 += d.abs();
+            }
+            assert!((squared_l2(&x, &y) - naive2).abs() <= 1e-4 * naive2.max(1.0));
+            assert!((l1_sum(&x, &y) - naive1).abs() <= 1e-4 * naive1.max(1.0));
+        }
     }
 }
 

@@ -97,15 +97,32 @@ impl permsearch_core::PointCodec for TopicHistogram {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KlDivergence;
 
+/// Shared row kernel of [`KlDivergence`] and the batched
+/// [`kl_flat`](crate::batch::kl_flat): `KL(x ‖ q)` from x's values/logs and
+/// the query's precomputed logs. Left-query convention — `x` is the data
+/// row; KL is **not** symmetric, so batching right queries requires
+/// swapping roles explicitly.
+#[inline]
+pub(crate) fn kl_row(x_values: &[f32], x_logs: &[f32], q_logs: &[f32]) -> f32 {
+    debug_assert_eq!(x_values.len(), q_logs.len(), "dimension mismatch");
+    let mut sum = 0.0f32;
+    for ((v, l), ql) in x_values.iter().zip(x_logs).zip(q_logs) {
+        sum += v * (l - ql);
+    }
+    // KL is non-negative in exact arithmetic (Gibbs); clamp float noise.
+    sum.max(0.0)
+}
+
 impl Space<TopicHistogram> for KlDivergence {
     fn distance(&self, x: &TopicHistogram, y: &TopicHistogram) -> f32 {
         debug_assert_eq!(x.dim(), y.dim(), "dimension mismatch");
-        let mut sum = 0.0f32;
-        for i in 0..x.values.len() {
-            sum += x.values[i] * (x.logs[i] - y.logs[i]);
+        kl_row(&x.values, &x.logs, &y.logs)
+    }
+    fn distance_block(&self, xs: &[&TopicHistogram], y: &TopicHistogram, out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = kl_row(&x.values, &x.logs, &y.logs);
         }
-        // KL is non-negative in exact arithmetic (Gibbs); clamp float noise.
-        sum.max(0.0)
     }
     fn is_symmetric(&self) -> bool {
         false
@@ -141,16 +158,30 @@ impl Space<TopicHistogram> for ReversedKl {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JsDivergence;
 
+/// Shared row kernel of [`JsDivergence`] and the batched
+/// [`js_flat`](crate::batch::js_flat). Symmetric; the mixed-log term is
+/// recomputed per pair (it defeats precomputation by design).
+#[inline]
+pub(crate) fn js_row(x_values: &[f32], x_logs: &[f32], q_values: &[f32], q_logs: &[f32]) -> f32 {
+    debug_assert_eq!(x_values.len(), q_values.len(), "dimension mismatch");
+    let mut sum = 0.0f32;
+    for (((&xi, &xl), &yi), &yl) in x_values.iter().zip(x_logs).zip(q_values).zip(q_logs) {
+        let m = xi + yi;
+        sum += xi * xl + yi * yl - m * (m * 0.5).ln();
+    }
+    (0.5 * sum).max(0.0)
+}
+
 impl Space<TopicHistogram> for JsDivergence {
     fn distance(&self, x: &TopicHistogram, y: &TopicHistogram) -> f32 {
         debug_assert_eq!(x.dim(), y.dim(), "dimension mismatch");
-        let mut sum = 0.0f32;
-        for i in 0..x.values.len() {
-            let (xi, yi) = (x.values[i], y.values[i]);
-            let m = xi + yi;
-            sum += xi * x.logs[i] + yi * y.logs[i] - m * (m * 0.5).ln();
+        js_row(&x.values, &x.logs, &y.values, &y.logs)
+    }
+    fn distance_block(&self, xs: &[&TopicHistogram], y: &TopicHistogram, out: &mut [f32]) {
+        debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = js_row(&x.values, &x.logs, &y.values, &y.logs);
         }
-        (0.5 * sum).max(0.0)
     }
     fn name(&self) -> &'static str {
         "JS-div"

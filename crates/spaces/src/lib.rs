@@ -15,13 +15,14 @@
 //! Every space implements [`permsearch_core::Space`] with the left-query
 //! convention: `distance(data_point, query)`.
 
+pub mod batch;
 pub mod dense;
 pub mod divergence;
 pub mod levenshtein;
 pub mod sparse;
 pub mod sqfd;
 
-pub use dense::{DenseVector, L1, L2};
+pub use dense::{DenseCosine, DenseVector, L1, L2};
 pub use divergence::{JsDivergence, KlDivergence, TopicHistogram};
 pub use levenshtein::{NormalizedLevenshtein, Sequence};
 pub use sparse::{CosineDistance, SparseVector};

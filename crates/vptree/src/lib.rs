@@ -24,7 +24,7 @@ pub mod tune;
 use std::sync::Arc;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, KnnHeap, Neighbor, SearchIndex, Space};
+use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, SearchIndex, SearchScratch, Space};
 use rand::Rng;
 
 pub use tune::{tune_alphas, TuneResult};
@@ -166,12 +166,19 @@ where
         (self.nodes.len() - 1) as u32
     }
 
-    fn search_node(&self, node: u32, query: &P, heap: &mut KnnHeap) {
+    fn search_node(&self, node: u32, query: &P, heap: &mut KnnHeap, dists: &mut Vec<f32>) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
-                for &id in &self.bucket_ids[*start as usize..*end as usize] {
-                    heap.push(id, self.space.distance(self.data.get(id), query));
-                }
+                // Bucket scan: all points in a bucket sit in one contiguous
+                // chunk of the arena (paper §3.2), so the whole leaf is
+                // scored in batched blocks. Pushes happen in the same id
+                // order as the scalar loop, and the heap radius is only
+                // consulted *between* nodes, so pruning decisions — and
+                // results — are identical.
+                let ids = &self.bucket_ids[*start as usize..*end as usize];
+                score_ids(&self.space, &self.data, query, ids, dists, |id, d| {
+                    heap.push(id, d);
+                });
             }
             Node::Internal {
                 pivot,
@@ -189,9 +196,9 @@ where
                 } else {
                     (*right, *left)
                 };
-                self.search_node(first, query, heap);
+                self.search_node(first, query, heap, dists);
                 if !self.prunes(diff.abs(), diff >= 0.0, heap.radius()) {
-                    self.search_node(second, query, heap);
+                    self.search_node(second, query, heap, dists);
                 }
             }
         }
@@ -372,12 +379,29 @@ where
     S: Space<P>,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        self.search_into(query, k, &mut SearchScratch::new(), &mut out);
+        out
+    }
+
+    /// Scratch pipeline: the result heap is reused and leaf buckets are
+    /// scored in batched blocks; traversal order, pruning decisions and
+    /// results are identical to the allocating path.
+    fn search_into(
+        &self,
+        query: &P,
+        k: usize,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+    ) {
+        out.clear();
         if self.data.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut heap = KnnHeap::new(k);
-        self.search_node(self.root, query, &mut heap);
-        heap.into_sorted()
+        scratch.heap.reset(k);
+        let SearchScratch { heap, dists, .. } = scratch;
+        self.search_node(self.root, query, heap, dists);
+        heap.drain_sorted_into(out);
     }
 
     fn len(&self) -> usize {
