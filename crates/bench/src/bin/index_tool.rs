@@ -127,7 +127,7 @@ fn build(args: &ToolArgs) {
         "[build] generating dense L2 world: n={} (seed {})",
         args.n, args.seed
     );
-    let data = Arc::new(Dataset::new(gen.generate(args.n, args.seed)));
+    let data = Arc::new(Dataset::new_flat(gen.generate(args.n, args.seed)));
     std::fs::create_dir_all(&args.dir)
         .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", args.dir.display())));
     let t = Instant::now();

@@ -176,6 +176,55 @@ fn smoke_floor(world: &str, method: &str) -> f64 {
     }
 }
 
+/// Pinned smoke-mode **dists/query ceilings**, as a fraction of the
+/// indexed-set size `n`; `--smoke` exits non-zero when any cell evaluates
+/// more distances per query than its ceiling allows. This is the cost-side
+/// twin of the recall floors: a change that silently stops *filtering* —
+/// the PP-index root-fallback and the NAPP sparse-cosine cells both used
+/// to scan essentially the whole dataset — trips it even when recall looks
+/// perfect (an unfiltered scan always has perfect recall). Values are the
+/// observed smoke fractions plus a safety margin.
+///
+/// Independent of the per-cell values, **no** cell may exceed `1.05 * n`
+/// (brute force plus a 5% slack for pivot rankings): a filter-and-refine
+/// method costing more distances than brute force is a regression by
+/// definition.
+fn smoke_dists_ceiling(world: &str, method: &str) -> f64 {
+    match (world, method) {
+        (_, "brute-force") => 1.0,
+        // Exact metric pruning on the smoke world prunes little; this
+        // guards against it degrading to a full scan plus overhead.
+        ("sift", "vp-tree") => 1.0,
+        ("sift", "napp") => 0.60,
+        ("sift", "mi-file") => 0.15,
+        ("sift", "pp-index") => 0.55,
+        ("sift", "brute-force filt.") => 0.15,
+        ("sift", "brute-force filt. bin.") => 0.15,
+        ("sift", "kNN-graph (SW)") => 0.35,
+        ("wiki-sparse", "napp") => 0.90,
+        ("wiki-sparse", "mi-file") => 0.50,
+        ("wiki8-kl", "vp-tree") => 0.35,
+        ("wiki8-kl", "napp") => 0.45,
+        ("wiki8-kl", "mi-file") => 0.30,
+        _ => 1.0,
+    }
+}
+
+/// Days since 1970-01-01 to a civil (y, m, d) date (Gregorian; Howard
+/// Hinnant's `civil_from_days`). Enough calendar for a trajectory stamp.
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
 fn main() {
     let mut args = Args::parse();
     if args.smoke {
@@ -245,10 +294,22 @@ fn main() {
                     Box::new(PpIndex::build(
                         data.clone(),
                         space.clone(),
+                        // Prefix shortening pops up a level whenever the
+                        // subtree holds fewer than gamma*n candidates, so
+                        // the tree only *filters* while gamma*n is
+                        // comfortably below the depth-1 subtree size
+                        // ~n/m — prefix shortening otherwise pops to the
+                        // root and collects everything. The old m=32,
+                        // gamma=0.05 fell back to the root on every
+                        // query: 19.9k dists/query on the 20k world, a
+                        // brute scan in disguise. m=16 with gamma=0.02
+                        // keeps even the *smallest* skewed Voronoi cells
+                        // above the budget, so the walk stays at
+                        // depth >= 1; pinned by the smoke dists ceiling.
                         PpIndexParams {
-                            num_pivots: 32,
+                            num_pivots: 16,
                             prefix_len: 4,
-                            gamma: 0.05,
+                            gamma: 0.02,
                             num_trees: 4,
                             threads: 1,
                         },
@@ -315,10 +376,21 @@ fn main() {
                     Box::new(Napp::build(
                         data.clone(),
                         space.clone(),
+                        // Near-orthogonal sparse TF-IDF shares >= 2 of 32
+                        // query pivots with almost every point, so
+                        // min_shared alone barely filtered: ~5.2k
+                        // dists/query on the 5k world (more than brute
+                        // force — the pivot rankings came on top). The
+                        // max_candidates cap is the paper's extra
+                        // filtering step for exactly this case: keep the
+                        // 40% of points sharing the most pivots, which
+                        // bounds the cell at 256 + 0.4n dists/query at
+                        // every world scale (smoke included).
                         NappParams {
                             num_pivots: 256,
                             num_indexed: 32,
                             min_shared: 2,
+                            max_candidates: Some(data.len() * 2 / 5),
                             threads: 1,
                             ..Default::default()
                         },
@@ -429,6 +501,38 @@ fn main() {
     }
     println!("wrote {path} ({} cells)", rows.len());
 
+    // Per-PR trajectory: BENCH_grid.json always holds the *latest* grid;
+    // every run also appends one dated line here, so the perf history of
+    // the repo reads straight out of `bench_results/trajectory.jsonl`.
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days((unix / 86_400) as i64);
+    let mut line = format!(
+        "{{\"date\": \"{y:04}-{m:02}-{d:02}\", \"unix\": {unix}, \"smoke\": {}, \"cells\": [",
+        args.smoke
+    );
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str(&row.to_json());
+    }
+    line.push_str("]}\n");
+    let traj = "bench_results/trajectory.jsonl";
+    let append = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(traj)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    match append {
+        Ok(()) => println!("appended {traj}"),
+        Err(e) => {
+            eprintln!("cannot append {traj}: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if args.smoke {
         let mut failed = false;
         for row in &rows {
@@ -440,12 +544,24 @@ fn main() {
                 );
                 failed = true;
             }
+            // Cost gate: filtering must actually filter. The per-cell
+            // ceiling catches tuning regressions; the global `1.05 * n`
+            // bound catches any method degrading past brute force.
+            let ceiling = (smoke_dists_ceiling(row.world, &row.method) * row.n as f64)
+                .min(1.05 * row.n as f64);
+            if row.dists_per_query > ceiling {
+                eprintln!(
+                    "SMOKE DISTS CEILING VIOLATION: {}/{} {:.1} dists/query > ceiling {:.1} (n = {})",
+                    row.world, row.method, row.dists_per_query, ceiling, row.n
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);
         }
         println!(
-            "smoke: all {} cells at or above their recall floors",
+            "smoke: all {} cells within their recall floors and dists/query ceilings",
             rows.len()
         );
     }

@@ -66,16 +66,30 @@ fn build<G: Generator>(
     (Arc::new(Dataset::new(indexed)), queries)
 }
 
-/// CoPhIR-like world (282-d dense, L2).
-pub fn cophir(args: &Args) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
-    let (n, q) = sizes(args, "cophir");
-    build(&permsearch_datasets::cophir_like(), n, q, args.seed)
+/// Like [`build`] for dense-vector generators, with the indexed points
+/// mirrored into a contiguous [`permsearch_core::FlatVectors`] arena so
+/// every batched scoring path over these worlds runs gather-free.
+fn build_dense<G: Generator<Point = Vec<f32>>>(
+    gen: &G,
+    n: usize,
+    q: usize,
+    seed: u64,
+) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    let all = gen.generate(n + q, seed);
+    let (indexed, queries) = split_points(all, q, seed ^ 0x0005_0017);
+    (Arc::new(Dataset::new_flat(indexed)), queries)
 }
 
-/// SIFT-like world (128-d dense, L2).
+/// CoPhIR-like world (282-d dense, L2; arena-backed).
+pub fn cophir(args: &Args) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    let (n, q) = sizes(args, "cophir");
+    build_dense(&permsearch_datasets::cophir_like(), n, q, args.seed)
+}
+
+/// SIFT-like world (128-d dense, L2; arena-backed).
 pub fn sift(args: &Args) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
     let (n, q) = sizes(args, "sift");
-    build(&permsearch_datasets::sift_like(), n, q, args.seed)
+    build_dense(&permsearch_datasets::sift_like(), n, q, args.seed)
 }
 
 /// ImageNet-like world (feature signatures, SQFD).

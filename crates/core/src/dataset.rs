@@ -1,15 +1,291 @@
-//! In-memory datasets of points addressed by dense `u32` ids.
+//! In-memory datasets of points addressed by dense `u32` ids, plus the
+//! contiguous dense arena ([`FlatVectors`]) behind the gather-free batch
+//! kernels.
+//!
+//! The paper's economy argument is that candidate checks must be cheap,
+//! sequential memory reads — but a `Vec<Vec<f32>>` stores every dense point
+//! as its own heap allocation, so batched scoring must first *gather*
+//! scattered rows before it can stream. [`FlatVectors`] puts all dense rows
+//! back to back in one cache-line-aligned row-major buffer; a [`Dataset`]
+//! built over it (see [`Dataset::new_flat`]) exposes the arena through the
+//! [`DenseStore`] trait, and the dense spaces' `distance_block_flat`
+//! kernels then read rows straight out of the arena — zero gather, no
+//! per-row pointer chase. Sparse, topic, signature and string points keep
+//! the per-point representation (their layouts are ragged by nature); for
+//! them `flat()` is `None` and scoring falls back to the gather path.
 
 use std::ops::Index as StdIndex;
+use std::sync::Arc;
+
+/// `f32` lanes per 64-byte cache line — the arena's alignment unit.
+const LINE_LANES: usize = 16;
+
+/// One cache line of the arena. The wrapper exists solely to give the
+/// backing `Vec` 64-byte alignment; it is never exposed.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct CacheLine([f32; LINE_LANES]);
+
+/// A contiguous, cache-line-aligned, row-major arena of equal-length dense
+/// vectors, addressed by row id.
+///
+/// Row `i` occupies `data[i*dim..(i+1)*dim]` of [`as_slice`](Self::as_slice);
+/// the first row starts on a 64-byte boundary (and so does every row when
+/// `dim` is a multiple of 16). The arena is the storage the paper's
+/// "cheap sequential scan" claim wants: one allocation, hardware-prefetch
+/// friendly, no per-row headers.
+#[derive(Clone)]
+pub struct FlatVectors {
+    buf: Vec<CacheLine>,
+    dim: usize,
+    rows: usize,
+}
+
+impl FlatVectors {
+    /// Build an arena from nested rows. All rows must share one length
+    /// (panics on ragged input — a dense dataset is rectangular by
+    /// definition).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut arena = Self::zeroed(rows.len(), dim);
+        let flat = arena.as_mut_slice();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), dim, "ragged row {i} in a dense arena");
+            flat[i * dim..(i + 1) * dim].copy_from_slice(row);
+        }
+        arena
+    }
+
+    /// Build an arena from an already-flat row-major slice of `rows` rows
+    /// of `dim` values (`values.len()` must equal `rows * dim`).
+    pub fn from_parts(values: &[f32], dim: usize, rows: usize) -> Self {
+        assert_eq!(
+            values.len(),
+            rows.checked_mul(dim).expect("arena size overflows usize"),
+            "flat buffer length does not match rows x dim"
+        );
+        let mut arena = Self::zeroed(rows, dim);
+        arena.as_mut_slice().copy_from_slice(values);
+        arena
+    }
+
+    /// An all-zero arena of the given shape (cache-line padding included).
+    fn zeroed(rows: usize, dim: usize) -> Self {
+        let total = rows.checked_mul(dim).expect("arena size overflows usize");
+        let lines = total.div_ceil(LINE_LANES);
+        Self {
+            buf: vec![CacheLine([0.0; LINE_LANES]); lines],
+            dim,
+            rows,
+        }
+    }
+
+    /// Row length (vector dimensionality).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The whole arena as one row-major slice (`rows * dim` values,
+    /// 64-byte-aligned base pointer).
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `CacheLine` is a `repr(C)` array of initialized `f32`s,
+        // so reinterpreting the buffer as `f32`s is layout-exact; the
+        // logical length `rows * dim` never exceeds the line-padded
+        // allocation, and `Vec::as_ptr` is aligned even when empty.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<f32>(), self.rows * self.dim) }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`, plus exclusive access via `&mut self`.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.buf.as_mut_ptr().cast::<f32>(),
+                self.rows * self.dim,
+            )
+        }
+    }
+
+    /// Row `id` as a slice.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dim;
+        &self.as_slice()[i..i + self.dim]
+    }
+
+    /// Convert back to nested rows (the inverse of
+    /// [`from_rows`](Self::from_rows)).
+    pub fn to_rows(&self) -> Vec<Vec<f32>> {
+        if self.dim == 0 {
+            return vec![Vec::new(); self.rows];
+        }
+        self.as_slice()
+            .chunks(self.dim)
+            .map(<[f32]>::to_vec)
+            .collect()
+    }
+
+    /// Heap footprint in bytes (padding included).
+    pub fn size_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<CacheLine>()
+    }
+}
+
+impl std::fmt::Debug for FlatVectors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatVectors")
+            .field("rows", &self.rows)
+            .field("dim", &self.dim)
+            .finish()
+    }
+}
+
+impl From<Vec<Vec<f32>>> for FlatVectors {
+    fn from(rows: Vec<Vec<f32>>) -> Self {
+        Self::from_rows(&rows)
+    }
+}
+
+/// A shared, sub-range view into a [`FlatVectors`] arena: the handle the
+/// flat scoring paths address rows through.
+///
+/// Views are cheap to clone (an `Arc` bump) and to slice, which is how the
+/// sharded engine hands each shard its contiguous range of the one parent
+/// arena instead of copying floats. Row ids are **view-relative**: `row(0)`
+/// is the first row of the view, matching the dataset ids of the
+/// [`Dataset`] the view backs.
+#[derive(Clone)]
+pub struct FlatAccess {
+    arena: Arc<FlatVectors>,
+    start: usize,
+    len: usize,
+}
+
+impl FlatAccess {
+    /// View over a whole arena.
+    pub fn new(arena: FlatVectors) -> Self {
+        Self::from_arc(Arc::new(arena))
+    }
+
+    /// View over a whole shared arena.
+    pub fn from_arc(arena: Arc<FlatVectors>) -> Self {
+        let len = arena.len();
+        Self {
+            arena,
+            start: 0,
+            len,
+        }
+    }
+
+    /// A sub-view of `len` rows starting at view-relative row `start`,
+    /// sharing the same arena.
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start + len <= self.len,
+            "sub-view {start}..{} outside a view of {} rows",
+            start + len,
+            self.len
+        );
+        Self {
+            arena: Arc::clone(&self.arena),
+            start: self.start + start,
+            len,
+        }
+    }
+
+    /// Row length (vector dimensionality).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.arena.dim()
+    }
+
+    /// Number of rows in this view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// View-relative row `id`.
+    ///
+    /// A hard bound check: an out-of-view id on a sub-range view would
+    /// otherwise still land inside the parent arena and silently return a
+    /// *neighboring shard's* row. This accessor is off the kernel hot
+    /// path (the batch kernels index [`data`](Self::data) directly), so
+    /// the check costs nothing where it matters.
+    #[inline]
+    pub fn row(&self, id: u32) -> &[f32] {
+        assert!((id as usize) < self.len, "row {id} outside the view");
+        self.arena.row((self.start + id as usize) as u32)
+    }
+
+    /// The view's rows as one contiguous row-major slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        let dim = self.arena.dim();
+        &self.arena.as_slice()[self.start * dim..(self.start + self.len) * dim]
+    }
+
+    /// The backing arena (shared across all views of it).
+    pub fn arena(&self) -> &Arc<FlatVectors> {
+        &self.arena
+    }
+}
+
+impl std::fmt::Debug for FlatAccess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatAccess")
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .field("dim", &self.dim())
+            .finish()
+    }
+}
+
+/// Read access to the optional contiguous dense arena behind a point store.
+///
+/// Implemented by [`Dataset`]; scoring helpers ([`score_all`],
+/// [`score_ids`]) consult it together with
+/// [`Space::supports_flat`](crate::Space::supports_flat) to pick the
+/// gather-free path.
+///
+/// [`score_all`]: crate::score_all
+/// [`score_ids`]: crate::score_ids
+pub trait DenseStore {
+    /// The flat row-major view of the store's points, when one exists.
+    fn flat(&self) -> Option<&FlatAccess>;
+}
 
 /// An immutable, in-memory collection of points.
 ///
 /// The paper's setting is main-memory retrieval: "both data and indices are
 /// stored in main memory". Ids are dense indices `0..len`, which is what the
 /// inverted-file methods (NAPP, MI-file) and ScanCount merging rely on.
+///
+/// Dense (`Vec<f32>`) datasets can additionally carry a [`FlatVectors`]
+/// arena mirroring the rows (see [`Dataset::new_flat`]); every batched
+/// scoring path then streams rows from the arena instead of gathering
+/// per-point allocations. The nested points stay the source of truth for
+/// [`get`](Self::get) and the by-reference APIs.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset<P> {
     points: Vec<P>,
+    flat: Option<FlatAccess>,
 }
 
 impl<P> Dataset<P> {
@@ -19,7 +295,7 @@ impl<P> Dataset<P> {
             points.len() <= u32::MAX as usize,
             "dataset exceeds u32 id space"
         );
-        Self { points }
+        Self { points, flat: None }
     }
 
     /// Number of points.
@@ -50,6 +326,61 @@ impl<P> Dataset<P> {
     /// Consume the dataset, returning the point vector.
     pub fn into_points(self) -> Vec<P> {
         self.points
+    }
+
+    /// The flat arena view mirroring this dataset's points, when one was
+    /// attached (dense datasets built via [`Dataset::new_flat`] or
+    /// [`set_flat_view`](Self::set_flat_view)).
+    pub fn flat(&self) -> Option<&FlatAccess> {
+        self.flat.as_ref()
+    }
+
+    /// Attach a flat arena view to this dataset.
+    ///
+    /// **Contract:** `view.row(i)` must hold exactly the values of point
+    /// `i` — the caller vouches for it (the sharded engine uses this to
+    /// hand each shard its sub-range of the parent arena instead of a
+    /// copy). Only the row count is checked here; attaching a mismatched
+    /// view makes flat and gather scoring disagree.
+    pub fn set_flat_view(&mut self, view: FlatAccess) {
+        assert_eq!(
+            view.len(),
+            self.points.len(),
+            "flat view row count does not match the dataset"
+        );
+        self.flat = Some(view);
+    }
+}
+
+impl Dataset<Vec<f32>> {
+    /// Build a dense dataset with a contiguous [`FlatVectors`] arena
+    /// mirroring the rows. All rows must share one length.
+    pub fn new_flat(points: Vec<Vec<f32>>) -> Self {
+        Self::new(points).into_flat()
+    }
+
+    /// Attach a freshly built arena mirroring the current points (no-op if
+    /// one is already attached). Panics on ragged rows.
+    pub fn into_flat(mut self) -> Self {
+        if self.flat.is_none() {
+            self.flat = Some(FlatAccess::new(FlatVectors::from_rows(&self.points)));
+        }
+        self
+    }
+
+    /// Build a dense dataset straight from an arena (nested rows are
+    /// materialized from it; the arena is shared, not copied).
+    pub fn from_arena(arena: FlatVectors) -> Self {
+        let points = arena.to_rows();
+        let mut data = Self::new(points);
+        data.flat = Some(FlatAccess::new(arena));
+        data
+    }
+}
+
+impl<P> DenseStore for Dataset<P> {
+    fn flat(&self) -> Option<&FlatAccess> {
+        self.flat.as_ref()
     }
 }
 
@@ -103,5 +434,98 @@ mod tests {
         let d: Dataset<u8> = Dataset::default();
         assert!(d.is_empty());
         assert_eq!(d.points().len(), 0);
+        assert!(d.flat().is_none());
+    }
+
+    #[test]
+    fn arena_is_cache_line_aligned_and_row_exact() {
+        let rows: Vec<Vec<f32>> = (0..37).map(|i| vec![i as f32; 5]).collect();
+        let arena = FlatVectors::from_rows(&rows);
+        assert_eq!(arena.len(), 37);
+        assert_eq!(arena.dim(), 5);
+        assert_eq!(arena.as_slice().as_ptr() as usize % 64, 0, "aligned base");
+        assert_eq!(arena.as_slice().len(), 37 * 5);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(arena.row(i as u32), row.as_slice());
+        }
+        assert_eq!(arena.to_rows(), rows);
+        assert!(arena.size_bytes() >= 37 * 5 * 4);
+        assert_eq!(arena.size_bytes() % 64, 0, "whole cache lines");
+    }
+
+    #[test]
+    fn arena_from_parts_round_trips() {
+        let flat: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let arena = FlatVectors::from_parts(&flat, 3, 4);
+        assert_eq!(arena.as_slice(), flat.as_slice());
+        assert_eq!(arena.row(2), &[6.0, 7.0, 8.0]);
+        let via_from: FlatVectors = arena.to_rows().into();
+        assert_eq!(via_from.as_slice(), flat.as_slice());
+    }
+
+    #[test]
+    fn empty_and_zero_dim_arenas() {
+        let empty = FlatVectors::from_rows(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.dim(), 0);
+        assert!(empty.as_slice().is_empty());
+        let zero_dim = FlatVectors::from_rows(&[vec![], vec![]]);
+        assert_eq!(zero_dim.len(), 2);
+        assert_eq!(zero_dim.dim(), 0);
+        assert!(zero_dim.row(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_panic() {
+        let _ = FlatVectors::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn views_slice_without_copying() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let view = FlatAccess::new(FlatVectors::from_rows(&rows));
+        assert_eq!(view.len(), 10);
+        let sub = view.slice(4, 3);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.row(0), rows[4].as_slice());
+        assert_eq!(sub.row(2), rows[6].as_slice());
+        assert_eq!(sub.data(), &view.data()[8..14]);
+        let subsub = sub.slice(1, 2);
+        assert_eq!(subsub.row(0), rows[5].as_slice());
+        assert!(
+            Arc::ptr_eq(view.arena(), subsub.arena()),
+            "one shared arena"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a view")]
+    fn oversized_sub_view_panics() {
+        let view = FlatAccess::new(FlatVectors::from_rows(&[vec![0.0f32]]));
+        let _ = view.slice(0, 2);
+    }
+
+    #[test]
+    fn dataset_flat_mirrors_points() {
+        let rows: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32; 3]).collect();
+        let nested = Dataset::new(rows.clone());
+        assert!(nested.flat().is_none());
+        let flat = Dataset::new_flat(rows.clone());
+        let view = flat.flat().expect("arena attached");
+        assert_eq!(view.len(), flat.len());
+        for (id, p) in flat.iter() {
+            assert_eq!(view.row(id), p.as_slice());
+        }
+        let from_arena = Dataset::from_arena(FlatVectors::from_rows(&rows));
+        assert_eq!(from_arena.points(), flat.points());
+        assert!(from_arena.flat().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn mismatched_view_rejected() {
+        let mut d = Dataset::new(vec![vec![0.0f32], vec![1.0]]);
+        d.set_flat_view(FlatAccess::new(FlatVectors::from_rows(&[vec![0.0f32]])));
     }
 }

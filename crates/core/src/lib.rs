@@ -32,7 +32,7 @@ pub mod snapshot;
 pub mod space;
 
 pub use bits::BitVector;
-pub use dataset::Dataset;
+pub use dataset::{Dataset, DenseStore, FlatAccess, FlatVectors};
 pub use exhaustive::ExhaustiveSearch;
 pub use neighbor::{merge_sorted_topk, merge_sorted_topk_with, KnnHeap, Neighbor};
 pub use scratch::{SearchScratch, VisitedSet};

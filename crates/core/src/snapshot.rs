@@ -162,6 +162,14 @@ pub trait PointCodec: Sized {
     fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError>;
     /// Deserialize one point.
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError>;
+    /// Reconstruct a point from one dense arena row, when this point type
+    /// is logically a dense `f32` row. Non-dense types return `None`; the
+    /// flat-block dataset payload (tag 1) is then rejected as corrupt
+    /// instead of being misdecoded.
+    fn from_dense_row(row: Vec<f32>) -> Option<Self> {
+        let _ = row;
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -330,6 +338,9 @@ impl PointCodec for Vec<f32> {
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         read_f32_seq(r)
     }
+    fn from_dense_row(row: Vec<f32>) -> Option<Self> {
+        Some(row)
+    }
 }
 
 impl PointCodec for Vec<u32> {
@@ -360,18 +371,128 @@ impl PointCodec for String {
     }
 }
 
+/// Write a raw little-endian `f32` block without per-element framing,
+/// staging through a bounded byte buffer (one `write_all` per ~8 KiB).
+pub fn write_f32_block<W: Write + ?Sized>(w: &mut W, values: &[f32]) -> Result<(), SnapshotError> {
+    let mut buf = [0u8; 8192];
+    for chunk in values.chunks(buf.len() / 4) {
+        for (slot, v) in buf.chunks_exact_mut(4).zip(chunk) {
+            slot.copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf[..chunk.len() * 4])?;
+    }
+    Ok(())
+}
+
+/// Read `len` raw little-endian `f32`s written by [`write_f32_block`].
+/// Capacity is capped up front, so a corrupt count cannot trigger a huge
+/// allocation.
+pub fn read_f32_block<R: Read + ?Sized>(r: &mut R, len: usize) -> Result<Vec<f32>, SnapshotError> {
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let mut buf = [0u8; 8192];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 4);
+        read_exact(r, &mut buf[..take * 4], "f32 block")?;
+        out.extend(
+            buf[..take * 4]
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Dataset snapshots.
+//
+// Payload layout (store container format version >= 2): a leading tag
+// byte — 0 = length-prefixed per-point sequence (any point type), 1 = one
+// flat dense block (`rows`, `dim`, then `rows * dim` raw little-endian
+// f32s). Arena-backed dense datasets write tag 1, so a warm start is a
+// handful of large sequential reads instead of one framed read per point,
+// and the arena is rebuilt directly from the block. The tag-less v1
+// payload (per-point only) stays readable through `read_snapshot_v1`.
 // ---------------------------------------------------------------------------
 
+/// Payload tag: length-prefixed per-point sequence.
+const DATASET_TAG_POINTS: u8 = 0;
+/// Payload tag: one flat row-major dense block.
+const DATASET_TAG_FLAT: u8 = 1;
+
 impl<P: PointCodec> Dataset<P> {
-    /// Serialize all points, ids implicit in order.
+    /// Serialize the dataset, ids implicit in order. Arena-backed datasets
+    /// emit the flat-block form (tag 1); everything else the per-point
+    /// form (tag 0).
     pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        match self.flat() {
+            Some(flat) => {
+                write_u8(w, DATASET_TAG_FLAT)?;
+                write_len(w, flat.len())?;
+                write_len(w, flat.dim())?;
+                write_f32_block(w, flat.data())
+            }
+            None => {
+                write_u8(w, DATASET_TAG_POINTS)?;
+                write_seq(w, self.points(), |w, p| p.write_point(w))
+            }
+        }
+    }
+
+    /// Reconstruct a dataset written by [`Dataset::write_snapshot`]. A
+    /// flat-block payload (tag 1) reattaches its arena, so the restored
+    /// dataset serves through the gather-free paths immediately.
+    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        match read_u8(r)? {
+            DATASET_TAG_POINTS => Self::read_points(r),
+            DATASET_TAG_FLAT => {
+                let rows = read_len(r)?;
+                let dim = read_len(r)?;
+                if rows > u32::MAX as usize {
+                    return Err(corrupt("dataset exceeds the u32 id space"));
+                }
+                let total = rows
+                    .checked_mul(dim)
+                    .ok_or_else(|| corrupt("flat dataset block size overflows"))?;
+                let values = read_f32_block(r, total)?;
+                let mut points = Vec::with_capacity(rows.min(PREALLOC_CAP));
+                for i in 0..rows {
+                    let row = if dim == 0 {
+                        Vec::new()
+                    } else {
+                        values[i * dim..(i + 1) * dim].to_vec()
+                    };
+                    points.push(
+                        P::from_dense_row(row).ok_or_else(|| {
+                            corrupt("flat dense payload for a non-dense point type")
+                        })?,
+                    );
+                }
+                let arena = crate::dataset::FlatVectors::from_parts(&values, dim, rows);
+                let mut data = Dataset::new(points);
+                data.set_flat_view(crate::dataset::FlatAccess::new(arena));
+                Ok(data)
+            }
+            tag => Err(corrupt(format!("invalid dataset payload tag {tag}"))),
+        }
+    }
+
+    /// Serialize in the v1 (tag-less, per-point) payload layout. This is
+    /// also the **fingerprint encoding**: content identity must not depend
+    /// on whether a dataset happens to carry an arena, and manifests
+    /// written by v1 deployments keep verifying.
+    pub fn write_snapshot_v1<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
         write_seq(w, self.points(), |w, p| p.write_point(w))
     }
 
-    /// Reconstruct a dataset written by [`Dataset::write_snapshot`].
-    pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+    /// Reconstruct a dataset from the v1 (tag-less, per-point) payload
+    /// layout — the read path for store containers of format version 1.
+    pub fn read_snapshot_v1<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
+        Self::read_points(r)
+    }
+
+    fn read_points<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         let points = read_seq(r, |r| P::read_point(r))?;
         if points.len() > u32::MAX as usize {
             return Err(corrupt("dataset exceeds the u32 id space"));
@@ -469,6 +590,58 @@ mod tests {
         strings.write_snapshot(&mut buf).unwrap();
         let back = Dataset::<String>::read_snapshot(&mut buf.as_slice()).unwrap();
         assert_eq!(back.points(), strings.points());
+    }
+
+    #[test]
+    fn flat_dataset_snapshot_round_trips_with_arena() {
+        let rows: Vec<Vec<f32>> = (0..9).map(|i| vec![i as f32, -(i as f32), 0.25]).collect();
+        let data = Dataset::new_flat(rows.clone());
+        let mut buf = Vec::new();
+        data.write_snapshot(&mut buf).unwrap();
+        assert_eq!(buf[0], 1, "arena-backed datasets write the flat tag");
+        let back = Dataset::<Vec<f32>>::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.points(), data.points());
+        let view = back.flat().expect("arena reattached on load");
+        for (id, p) in back.iter() {
+            assert_eq!(view.row(id), p.as_slice());
+        }
+        // v1 encoding of the same dataset stays the per-point layout and
+        // reads back through the legacy entry point.
+        let mut v1 = Vec::new();
+        data.write_snapshot_v1(&mut v1).unwrap();
+        let legacy = Dataset::<Vec<f32>>::read_snapshot_v1(&mut v1.as_slice()).unwrap();
+        assert_eq!(legacy.points(), data.points());
+    }
+
+    #[test]
+    fn flat_payload_rejected_for_non_dense_points() {
+        let data = Dataset::new_flat(vec![vec![1.0f32], vec![2.0]]);
+        let mut buf = Vec::new();
+        data.write_snapshot(&mut buf).unwrap();
+        let err = Dataset::<String>::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn invalid_dataset_tag_is_corrupt() {
+        let buf = [9u8];
+        let err = Dataset::<Vec<f32>>::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn f32_block_round_trips_across_chunk_boundaries() {
+        for len in [0usize, 1, 5, 2048, 2049, 5000] {
+            let values: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let mut buf = Vec::new();
+            write_f32_block(&mut buf, &values).unwrap();
+            assert_eq!(buf.len(), len * 4, "raw block, no framing");
+            let back = read_f32_block(&mut buf.as_slice(), len).unwrap();
+            assert_eq!(back, values);
+        }
+        // Truncation surfaces as a typed error, not a panic.
+        let err = read_f32_block(&mut [0u8; 3].as_slice(), 1).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DenseStore, FlatAccess};
 
 /// Number of candidates a batched scoring call processes at once.
 ///
@@ -54,6 +54,35 @@ pub trait Space<P: ?Sized>: Send + Sync {
         }
     }
 
+    /// Whether this space can score rows straight out of a flat
+    /// [`FlatAccess`] arena view via
+    /// [`distance_block_flat`](Self::distance_block_flat).
+    ///
+    /// Only spaces whose point type is logically a dense `f32` row (L2,
+    /// L1, dense cosine) return `true`; consumers must check this before
+    /// calling the flat kernel.
+    fn supports_flat(&self) -> bool {
+        false
+    }
+
+    /// Score the arena rows named by `ids` (view-relative) against `y` in
+    /// a single gather-free pass: `out[i]` receives the distance of
+    /// `flat.row(ids[i])` to `y`.
+    ///
+    /// Same accuracy contract as [`distance_block`](Self::distance_block):
+    /// results are bitwise identical to the scalar `distance` per row.
+    /// Implementations stream rows out of the arena (with a
+    /// consecutive-run fast path and optional software prefetch); the
+    /// default is only a guard — callers gate on
+    /// [`supports_flat`](Self::supports_flat), so it must never run.
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        let _ = (flat, ids, y, out);
+        unreachable!(
+            "distance_block_flat called on {:?}, which has no flat kernel",
+            self.name()
+        );
+    }
+
     /// Whether `distance(x, y) == distance(y, x)` for all points.
     ///
     /// Non-symmetric spaces (KL-divergence) return `false`; indexes that
@@ -75,6 +104,12 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for &S {
     fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
         (**self).distance_block(xs, y, out)
     }
+    fn supports_flat(&self) -> bool {
+        (**self).supports_flat()
+    }
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        (**self).distance_block_flat(flat, ids, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -89,6 +124,12 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for Arc<S> {
     }
     fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
         (**self).distance_block(xs, y, out)
+    }
+    fn supports_flat(&self) -> bool {
+        (**self).supports_flat()
+    }
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        (**self).distance_block_flat(flat, ids, y, out)
     }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
@@ -130,13 +171,41 @@ pub fn score_slice<P, S: Space<P> + ?Sized>(
 /// Score every point of `data` against `query` in [`BATCH_WIDTH`] blocks,
 /// invoking `f(id, dist)` in increasing id order — the batched form of the
 /// exhaustive scan.
+///
+/// When the dataset carries a flat arena and the space has a flat kernel,
+/// the scan streams rows straight out of the arena (the ids of each block
+/// are consecutive, so the kernels take their contiguous-run fast path);
+/// otherwise it falls back to the gathering [`score_slice`]. Both paths
+/// produce bitwise-identical distances in identical order.
 pub fn score_all<P, S: Space<P> + ?Sized>(
     space: &S,
     data: &Dataset<P>,
     query: &P,
     dists: &mut Vec<f32>,
-    f: impl FnMut(u32, f32),
+    mut f: impl FnMut(u32, f32),
 ) {
+    if let Some(flat) = DenseStore::flat(data) {
+        if space.supports_flat() {
+            if dists.len() < BATCH_WIDTH {
+                dists.resize(BATCH_WIDTH, 0.0);
+            }
+            let n = data.len();
+            let mut idbuf = [0u32; BATCH_WIDTH];
+            let mut id = 0u32;
+            while (id as usize) < n {
+                let take = BATCH_WIDTH.min(n - id as usize);
+                for (off, slot) in idbuf[..take].iter_mut().enumerate() {
+                    *slot = id + off as u32;
+                }
+                space.distance_block_flat(flat, &idbuf[..take], query, &mut dists[..take]);
+                for &d in &dists[..take] {
+                    f(id, d);
+                    id += 1;
+                }
+            }
+            return;
+        }
+    }
     score_slice(space, data.points(), query, dists, f)
 }
 
@@ -144,6 +213,12 @@ pub fn score_all<P, S: Space<P> + ?Sized>(
 /// blocks, invoking `f(id, dist)` in input order — the batched form of the
 /// filter-and-refine candidate check. Allocation-free after `dists` reaches
 /// [`BATCH_WIDTH`].
+///
+/// When the dataset carries a flat arena and the space has a flat kernel,
+/// candidate rows are read straight out of the arena with no gather step;
+/// callers that can pass `ids` in ascending order should (near-sequential
+/// arena reads), but any order is scored correctly and identically to the
+/// gather path.
 pub fn score_ids<P, S: Space<P> + ?Sized>(
     space: &S,
     data: &Dataset<P>,
@@ -154,6 +229,17 @@ pub fn score_ids<P, S: Space<P> + ?Sized>(
 ) {
     if dists.len() < BATCH_WIDTH {
         dists.resize(BATCH_WIDTH, 0.0);
+    }
+    if let Some(flat) = DenseStore::flat(data) {
+        if space.supports_flat() {
+            for chunk in ids.chunks(BATCH_WIDTH) {
+                space.distance_block_flat(flat, chunk, query, &mut dists[..chunk.len()]);
+                for (&id, &d) in chunk.iter().zip(dists.iter()) {
+                    f(id, d);
+                }
+            }
+            return;
+        }
     }
     for chunk in ids.chunks(BATCH_WIDTH) {
         let mut refs: [&P; BATCH_WIDTH] = [query; BATCH_WIDTH];
@@ -217,6 +303,14 @@ impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
         self.count.fetch_add(xs.len() as u64, Ordering::Relaxed);
         self.inner.distance_block(xs, y, out)
     }
+    fn supports_flat(&self) -> bool {
+        self.inner.supports_flat()
+    }
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        // One count per row scored, same as the gather block.
+        self.count.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.inner.distance_block_flat(flat, ids, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
     }
@@ -278,6 +372,14 @@ where
         // One count per point scored, not per kernel call.
         self.count.set(self.count.get() + xs.len() as u64);
         self.inner.distance_block(xs, y, out)
+    }
+    fn supports_flat(&self) -> bool {
+        self.inner.supports_flat()
+    }
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        // One count per row scored, not per kernel call.
+        self.count.set(self.count.get() + ids.len() as u64);
+        self.inner.distance_block_flat(flat, ids, y, out)
     }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()

@@ -46,12 +46,14 @@ where
     /// configured accordingly. When `num_shards` exceeds the number of
     /// points, the extra (empty) shards are simply not created.
     ///
-    /// Each shard owns a *copy* of its slice of the points (the
+    /// Each shard owns a *copy* of its slice of the nested points (the
     /// `SearchIndex` builders all take a whole `Arc<Dataset>`), so while
-    /// the caller's dataset stays alive, point memory is held twice. For
-    /// serving-only deployments, drop the original `Arc` after building;
-    /// removing the copy entirely needs a range-view `Dataset`, which
-    /// would ripple through every index constructor.
+    /// the caller's dataset stays alive, per-point memory is held twice —
+    /// drop the original `Arc` after building for serving-only
+    /// deployments. The flat arena of an arena-backed dense dataset is
+    /// **not** copied: every shard's dataset references its contiguous
+    /// sub-range of the one parent arena, so the gather-free scoring paths
+    /// and the single-allocation float storage survive sharding.
     pub fn build<F>(data: &Arc<Dataset<P>>, num_shards: usize, build_shard: F) -> Self
     where
         F: Fn(usize, Arc<Dataset<P>>) -> BoxedSearchIndex<P> + Sync,
@@ -90,6 +92,12 @@ where
         // (a deployment choice, not a parallelism choice) cannot
         // oversubscribe the machine with concurrent index builds.
         let wave = std::thread::available_parallelism().map_or(1, |c| c.get());
+        // When the parent dataset is arena-backed, each shard receives a
+        // sub-range *view* of the one parent arena (an `Arc` bump, not a
+        // float copy), so the flat scoring paths stay gather-free inside
+        // every shard. Only the nested per-point vector is still copied —
+        // the `SearchIndex` builders take whole owned datasets.
+        let parent_flat = data.flat();
         for (wid, (slot_wave, part_wave)) in slots
             .chunks_mut(wave)
             .zip(points.chunks(chunk * wave))
@@ -104,7 +112,11 @@ where
                     let build_shard = &build_shard;
                     let sid = wid * wave + off;
                     scope.spawn(move |_| {
-                        *slot = Some(build_shard(sid, Arc::new(Dataset::new(part.to_vec()))));
+                        let mut shard_data = Dataset::new(part.to_vec());
+                        if let Some(flat) = parent_flat {
+                            shard_data.set_flat_view(flat.slice(sid * chunk, part.len()));
+                        }
+                        *slot = Some(build_shard(sid, Arc::new(shard_data)));
                     });
                 }
             })

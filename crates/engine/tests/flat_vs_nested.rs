@@ -1,0 +1,139 @@
+//! Flat-vs-nested storage equivalence, pinned bitwise across the registry.
+//!
+//! The contiguous [`FlatVectors`] arena is a pure storage optimization:
+//! for **every** registered dense method, building over
+//! `Dataset::new_flat` (arena-backed, gather-free kernels) must return
+//! exactly the `Neighbor` lists — ids, distances *to the bit*, and
+//! distance-tie order — that building over plain `Dataset::new` (nested
+//! rows, gather path) returns. A divergence here means a flat kernel
+//! changed the arithmetic or a consumer read the wrong arena row.
+//!
+//! The sharded engine is covered too: shards of an arena-backed dataset
+//! are sub-range *views* of the one parent arena, and that sharing must
+//! not change a single result either.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, SearchIndex, SearchScratch};
+use permsearch_datasets::{DenseGaussianMixture, Generator};
+use permsearch_engine::{dense_l2_registry, ShardedIndex};
+use permsearch_spaces::L2;
+
+/// Compare two result lists bitwise: same ids, same distance bits, same
+/// order.
+fn assert_results_identical(
+    a: &[permsearch_core::Neighbor],
+    b: &[permsearch_core::Neighbor],
+    context: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{context}: result lengths diverge");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.id, y.id, "{context}: id at rank {i}");
+        assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{context}: distance bits at rank {i}"
+        );
+    }
+}
+
+/// One world: points plus query set, deterministic in `seed`.
+fn world(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+    let gen = DenseGaussianMixture::new(10, 4, 0.2);
+    (gen.generate(n, seed), gen.generate(12, seed ^ 0x9e37))
+}
+
+#[test]
+fn every_registry_method_is_flat_nested_identical() {
+    let (points, queries) = world(400, 71);
+    let nested = Arc::new(Dataset::new(points.clone()));
+    let flat = Arc::new(Dataset::new_flat(points));
+    assert!(flat.flat().is_some() && nested.flat().is_none());
+    let reg = dense_l2_registry();
+    let names: Vec<String> = reg.names().iter().map(|s| s.to_string()).collect();
+    assert!(names.len() >= 7, "registry lost methods: {names:?}");
+    let mut scratch = SearchScratch::new();
+    let (mut res_nested, mut res_flat) = (Vec::new(), Vec::new());
+    for name in &names {
+        let idx_nested = reg.build(name, nested.clone(), 5).expect("build nested");
+        let idx_flat = reg.build(name, flat.clone(), 5).expect("build flat");
+        for (qi, q) in queries.iter().enumerate() {
+            for k in [1usize, 7, 25] {
+                // One shared scratch across both paths and every method:
+                // reuse must not leak between storage layouts either.
+                idx_nested.search_into(q, k, &mut scratch, &mut res_nested);
+                idx_flat.search_into(q, k, &mut scratch, &mut res_flat);
+                assert_results_identical(&res_nested, &res_flat, &format!("{name} q{qi} k{k}"));
+                // The allocating entry point agrees as well.
+                assert_results_identical(
+                    &idx_flat.search(q, k),
+                    &res_flat,
+                    &format!("{name} q{qi} k{k} (search vs search_into)"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_arena_views_are_flat_nested_identical() {
+    let (points, queries) = world(300, 13);
+    let nested = Arc::new(Dataset::new(points.clone()));
+    let flat = Arc::new(Dataset::new_flat(points));
+    for shards in [1usize, 3, 5] {
+        let build = |data: &Arc<Dataset<Vec<f32>>>| {
+            ShardedIndex::build(data, shards, |_, shard_data| {
+                Box::new(permsearch_core::ExhaustiveSearch::new(shard_data, L2))
+            })
+        };
+        let sharded_nested = build(&nested);
+        let sharded_flat = build(&flat);
+        let mut scratch = SearchScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for q in &queries {
+            sharded_nested.search_into(q, 9, &mut scratch, &mut a);
+            sharded_flat.search_into(q, 9, &mut scratch, &mut b);
+            assert_results_identical(&a, &b, &format!("sharded x{shards}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random world sizes, seeds and k: flat and nested storage return
+    /// bitwise-identical neighbor lists for every registry method.
+    #[test]
+    fn flat_nested_equivalence_holds_across_worlds(
+        n in 40usize..160,
+        seed in 0u64..500,
+        k in 1usize..20,
+    ) {
+        let (points, queries) = world(n, seed);
+        let nested = Arc::new(Dataset::new(points.clone()));
+        let flat = Arc::new(Dataset::new_flat(points));
+        let reg = dense_l2_registry();
+        let mut scratch = SearchScratch::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for name in reg.names() {
+            let idx_nested = reg.build(name, nested.clone(), seed).expect("build");
+            let idx_flat = reg.build(name, flat.clone(), seed).expect("build");
+            for q in queries.iter().take(4) {
+                idx_nested.search_into(q, k, &mut scratch, &mut a);
+                idx_flat.search_into(q, k, &mut scratch, &mut b);
+                prop_assert_eq!(a.len(), b.len(), "{}: lengths", name);
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert_eq!(x.id, y.id, "{}: ids", name);
+                    prop_assert_eq!(
+                        x.dist.to_bits(),
+                        y.dist.to_bits(),
+                        "{}: distance bits",
+                        name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -213,9 +213,19 @@ impl MpLsh {
                 buckets: HashMap::new(),
             };
             let mut raw = Vec::new();
-            for (id, p) in data.iter() {
-                table.raw_into(p, dim, params.bucket_width, &mut raw);
-                let slots: Vec<i32> = raw.iter().map(|r| r.floor() as i32).collect();
+            let mut slots = Vec::new();
+            // Project every data point through the table's hash matrix.
+            // Arena-backed datasets are read as one sequential pass over
+            // the flat rows; the hash values (and so every bucket key) are
+            // identical either way — `raw_into` takes the same row slice.
+            for id in 0..data.len() as u32 {
+                let row: &[f32] = match data.flat() {
+                    Some(flat) => flat.row(id),
+                    None => data.get(id),
+                };
+                table.raw_into(row, dim, params.bucket_width, &mut raw);
+                slots.clear();
+                slots.extend(raw.iter().map(|r| r.floor() as i32));
                 table
                     .buckets
                     .entry(bucket_key(&slots))
@@ -414,12 +424,12 @@ impl SearchIndex<Vec<f32>> for MpLsh {
     }
 
     /// Scratch pipeline: candidate ids are gathered across all tables and
-    /// probes (deduplicated by the reused epoch visited-set, in the exact
-    /// order the scalar path discovered them), then refined in one batched
-    /// [`score_ids`] pass — identical push order and distances, so results
-    /// match the per-candidate scan bit for bit. The probe-set generation
-    /// itself still allocates a few `T`-bounded vectors per table; those
-    /// are independent of the dataset size.
+    /// probes (deduplicated by the reused epoch visited-set), sorted
+    /// ascending for near-sequential arena reads, then refined in one
+    /// batched [`score_ids`] pass — gather-free when the dataset carries a
+    /// flat arena. The probe-set generation itself still allocates a few
+    /// `T`-bounded vectors per table; those are independent of the dataset
+    /// size.
     fn search_into(
         &self,
         query: &Vec<f32>,
@@ -453,6 +463,9 @@ impl SearchIndex<Vec<f32>> for MpLsh {
                 }
             }
         }
+        // Ascending candidate ids: near-sequential reads when the dataset
+        // is arena-backed (the visited-set already deduplicated them).
+        ids.sort_unstable();
         score_ids(&L2, &self.data, query, ids, dists, |id, d| {
             heap.push(id, d);
         });

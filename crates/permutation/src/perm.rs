@@ -94,6 +94,58 @@ pub fn spearman_rho(x: &[u32], y: &[u32]) -> u64 {
     sum
 }
 
+/// Widest permutation length for which the 4-lane `u32` scan kernels
+/// cannot overflow. Per lane the rho sum is at most `(m/4) * (m-1)^2`; at
+/// `m = 2048` that is `512 * 2047^2 = 2_145_387_008`, which fits `u32`
+/// with only ~2x headroom — `m = 2580` is the true ceiling, so do NOT
+/// raise this past it. The paper's largest pivot set is 2048, so the
+/// narrow kernels cover every real configuration; wider tables fall back
+/// to the `u64` rows.
+const LANE_SAFE_M: usize = 2048;
+
+/// Lane-split rho row kernel: four independent `u32` accumulators widened
+/// to `u64` once per row. Integer arithmetic is exact and order-free, so
+/// the result is **identical** to [`spearman_rho`] — the narrower lanes
+/// exist purely so the table scan vectorizes.
+#[inline]
+fn rho_row_lanes(x: &[u32], y: &[u32]) -> u64 {
+    let mut acc = [0u32; 4];
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        for lane in 0..4 {
+            let d = a[lane].abs_diff(b[lane]);
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum: u64 = acc.iter().map(|&v| u64::from(v)).sum();
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        let d = u64::from(a.abs_diff(*b));
+        sum += d * d;
+    }
+    sum
+}
+
+/// Lane-split Footrule row kernel; identical values to [`footrule`], same
+/// overflow bound reasoning as [`rho_row_lanes`] (terms are at most
+/// `m - 1`, so the margin is even wider).
+#[inline]
+fn footrule_row_lanes(x: &[u32], y: &[u32]) -> u64 {
+    let mut acc = [0u32; 4];
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        for lane in 0..4 {
+            acc[lane] += a[lane].abs_diff(b[lane]);
+        }
+    }
+    let mut sum: u64 = acc.iter().map(|&v| u64::from(v)).sum();
+    for (a, b) in cx.remainder().iter().zip(cy.remainder()) {
+        sum += u64::from(a.abs_diff(*b));
+    }
+    sum
+}
+
 /// All permutations of a dataset, stored contiguously (`n × m` flat array)
 /// for cache-friendly brute-force scanning.
 #[derive(Debug, Clone)]
@@ -166,12 +218,21 @@ impl PermutationTable {
     pub fn scan_rho_into(&self, q_ranks: &[u32], out: &mut Vec<(u64, u32)>) {
         assert_eq!(q_ranks.len(), self.m, "query permutation length mismatch");
         out.clear();
-        out.extend(
-            self.ranks
-                .chunks_exact(self.m)
-                .enumerate()
-                .map(|(id, row)| (spearman_rho(row, q_ranks), id as u32)),
-        );
+        if self.m <= LANE_SAFE_M {
+            out.extend(
+                self.ranks
+                    .chunks_exact(self.m)
+                    .enumerate()
+                    .map(|(id, row)| (rho_row_lanes(row, q_ranks), id as u32)),
+            );
+        } else {
+            out.extend(
+                self.ranks
+                    .chunks_exact(self.m)
+                    .enumerate()
+                    .map(|(id, row)| (spearman_rho(row, q_ranks), id as u32)),
+            );
+        }
     }
 
     /// Batched filtering scan under the Footrule; see
@@ -179,12 +240,21 @@ impl PermutationTable {
     pub fn scan_footrule_into(&self, q_ranks: &[u32], out: &mut Vec<(u64, u32)>) {
         assert_eq!(q_ranks.len(), self.m, "query permutation length mismatch");
         out.clear();
-        out.extend(
-            self.ranks
-                .chunks_exact(self.m)
-                .enumerate()
-                .map(|(id, row)| (footrule(row, q_ranks), id as u32)),
-        );
+        if self.m <= LANE_SAFE_M {
+            out.extend(
+                self.ranks
+                    .chunks_exact(self.m)
+                    .enumerate()
+                    .map(|(id, row)| (footrule_row_lanes(row, q_ranks), id as u32)),
+            );
+        } else {
+            out.extend(
+                self.ranks
+                    .chunks_exact(self.m)
+                    .enumerate()
+                    .map(|(id, row)| (footrule(row, q_ranks), id as u32)),
+            );
+        }
     }
 
     /// Heap footprint in bytes.
@@ -370,6 +440,14 @@ mod proptests {
             prop_assert_eq!(footrule(&x, &y), footrule(&y, &x));
             prop_assert!(footrule(&x, &y) <= footrule(&x, &z) + footrule(&z, &y));
             prop_assert_eq!(footrule(&x, &x), 0);
+        }
+
+        #[test]
+        fn lane_kernels_equal_reference_rows(x in rank_vec(23), y in rank_vec(23)) {
+            // The scan kernels must produce the exact reference values —
+            // integer lanes reassociate but never approximate.
+            prop_assert_eq!(rho_row_lanes(&x, &y), spearman_rho(&x, &y));
+            prop_assert_eq!(footrule_row_lanes(&x, &y), footrule(&x, &y));
         }
 
         #[test]

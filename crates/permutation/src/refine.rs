@@ -5,10 +5,14 @@ use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, Space};
 /// Compare each candidate id to the query with the original distance and
 /// return the best `k`, sorted by increasing distance.
 ///
-/// Duplicate candidate ids are tolerated (they cannot displace one another:
-/// a later duplicate fails the strict-improvement test in the heap... but to
-/// keep results clean we deduplicate defensively, which also matches what
-/// ScanCount-based merging produces).
+/// Candidates are sorted ascending and **deduplicated** before scoring:
+/// duplicates (overlapping posting lists, multi-table probes) are never
+/// evaluated twice, and on arena-backed dense datasets the ascending order
+/// makes the refine stage read the flat arena near-sequentially instead of
+/// hopping backward and forward through memory. Refinement treats the
+/// candidate list as a *set*, so sorting changes nothing about which ids
+/// are considered; among equal-distance candidates at the `k` boundary the
+/// smallest ids now win deterministically.
 pub fn refine<P, S: Space<P>>(
     data: &Dataset<P>,
     space: &S,
@@ -26,13 +30,13 @@ pub fn refine<P, S: Space<P>>(
     out
 }
 
-/// Scratch-reusing, batched form of [`refine`]: candidates pass the same
-/// adjacent-duplicate guard into the reused `ids` buffer, are scored in
-/// [`permsearch_core::BATCH_WIDTH`] blocks via [`Space::distance_block`]
-/// (`dists` is the kernel output buffer), and offered to the reused `heap`
-/// in candidate order — the identical push sequence, so results (tie order
-/// included) match the scalar form exactly. The sorted top-`k` lands in
-/// `out`.
+/// Scratch-reusing, batched form of [`refine`]: candidates are collected
+/// into the reused `ids` buffer, sorted ascending and deduplicated, then
+/// scored in [`permsearch_core::BATCH_WIDTH`] blocks — via the gather-free
+/// [`Space::distance_block_flat`] kernels when the dataset carries a flat
+/// arena — and offered to the reused `heap` in ascending id order. The
+/// sorted top-`k` lands in `out`. Results are identical to the allocating
+/// [`refine`] (both paths sort the same way).
 #[allow(clippy::too_many_arguments)]
 pub fn refine_into<P, S: Space<P>>(
     data: &Dataset<P>,
@@ -46,22 +50,17 @@ pub fn refine_into<P, S: Space<P>>(
     out: &mut Vec<Neighbor>,
 ) {
     ids.clear();
-    // Cheap adjacent-duplicate guard; full dedup is the caller's job
-    // when candidate lists interleave.
-    let mut last: Option<u32> = None;
-    for id in candidates {
-        if last == Some(id) {
-            continue;
-        }
-        last = Some(id);
-        ids.push(id);
-    }
+    ids.extend(candidates);
+    // Ascending ids: near-sequential arena reads, and duplicates from
+    // interleaved candidate sources are dropped before they cost a
+    // distance evaluation.
+    ids.sort_unstable();
+    ids.dedup();
     heap.reset(k);
     score_ids(space, data, query, ids, dists, |id, d| {
         heap.push(id, d);
     });
     heap.drain_sorted_into(out);
-    out.dedup_by_key(|n| n.id);
 }
 
 #[cfg(test)]
@@ -83,6 +82,20 @@ mod tests {
         let res = refine(&data, &L2, &vec![0.0f32], [1u32, 1, 1, 0], 5);
         assert_eq!(res.len(), 2);
         assert_eq!(res[0].id, 0);
+    }
+
+    #[test]
+    fn duplicate_candidates_are_scored_once() {
+        use permsearch_core::CountedSpace;
+        let data = Dataset::new((0..50).map(|i| vec![i as f32]).collect::<Vec<_>>());
+        let space = CountedSpace::new(L2);
+        // 3 unique ids submitted 4x each, interleaved (the shape
+        // overlapping posting lists / multi-table probes produce).
+        let cands: Vec<u32> = (0..4).flat_map(|_| [7u32, 3, 40]).collect();
+        let res = refine(&data, &space, &vec![5.0f32], cands, 2);
+        assert_eq!(space.count(), 3, "each unique candidate costs one distance");
+        let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 7]);
     }
 
     #[test]

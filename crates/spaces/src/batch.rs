@@ -1,16 +1,21 @@
 //! Batched distance kernels over contiguous candidate blocks.
 //!
-//! Two families live here:
+//! Three families live here:
 //!
 //! * **Flat row-major kernels** (`*_flat`) — score `out.len()` rows stored
 //!   back to back in one slice (`xs[i*dim..(i+1)*dim]` is row `i`) against a
 //!   single query. One pass over contiguous memory with no per-row pointer
 //!   chasing; this is the layout of the LSH projection matrices and mirrors
 //!   the permutation-table scans in `permsearch_permutation`.
+//! * **Id-addressed flat kernels** (`*_flat_ids`) — score the rows *named
+//!   by an id list* straight out of a flat table: the gather-free refine
+//!   path over a [`permsearch_core::FlatVectors`] arena. Consecutive id
+//!   runs (exhaustive scans) collapse to one `chunks_exact` pass; scattered
+//!   ids get a software prefetch of the next row. These back the
+//!   [`Space::distance_block_flat`] overrides of the dense spaces.
 //! * **Block kernels** (`*_block`) — score a gathered block of point
-//!   references, processing two rows per iteration so the compiler keeps
-//!   twice the accumulator chains in flight. These back the
-//!   [`Space::distance_block`] overrides of the dense spaces.
+//!   references; the fallback when points are not arena-backed. These back
+//!   the [`Space::distance_block`] overrides of the dense spaces.
 //!
 //! **Accuracy policy:** every kernel performs, per row, exactly the same
 //! floating-point operations in exactly the same order as the scalar
@@ -29,7 +34,175 @@
 //! query kernel; wrap with `ReversedKl` and the scalar path, or swap the
 //! roles explicitly.
 
-use crate::dense::{l1_sum, squared_l2};
+use crate::dense::{cosine_row, l1_sum, squared_l2};
+use crate::divergence::{js_row, kl_row};
+
+/// Hint the prefetcher at the row starting at `idx` (no-op off x86_64 and
+/// for out-of-range indices; purely a performance hint either way).
+#[inline(always)]
+fn prefetch_row(xs: &[f32], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < xs.len() {
+        // SAFETY: `idx` is in bounds, and prefetch reads no memory — it
+        // only primes the cache.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                xs.as_ptr().add(idx).cast::<i8>(),
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (xs, idx);
+    }
+}
+
+/// Whether `ids` is a consecutive ascending run (`base, base+1, ...`) — the
+/// shape sequential scans produce, which lets the `*_flat_ids` kernels
+/// degrade to one contiguous `chunks_exact` pass with zero per-row
+/// addressing.
+#[inline]
+fn consecutive_run(ids: &[u32]) -> bool {
+    ids.windows(2).all(|w| w[1] == w[0].wrapping_add(1))
+}
+
+/// Generate an id-addressed companion (`$name_ids`) of a flat kernel: rows
+/// named by view-relative `ids` are read straight out of the row-major
+/// table `xs` — no gather into a reference block — with a contiguous-run
+/// fast path and software prefetch of the next row. Bitwise identical to
+/// the scalar space per row (same shared row kernel).
+macro_rules! flat_ids_kernel {
+    ($(#[$doc:meta])* $name:ident, $row_kernel:expr) => {
+        $(#[$doc])*
+        pub fn $name(xs: &[f32], dim: usize, ids: &[u32], y: &[f32], out: &mut [f32]) {
+            assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+            assert_eq!(y.len(), dim, "query dimension mismatch");
+            if dim == 0 {
+                out.fill(0.0);
+                return;
+            }
+            let row_of = |id: u32| {
+                let i = id as usize * dim;
+                &xs[i..i + dim]
+            };
+            if consecutive_run(ids) && !ids.is_empty() {
+                let start = ids[0] as usize * dim;
+                for (row, o) in xs[start..start + ids.len() * dim]
+                    .chunks_exact(dim)
+                    .zip(out.iter_mut())
+                {
+                    *o = $row_kernel(row, y);
+                }
+                return;
+            }
+            for (i, (&id, o)) in ids.iter().zip(out.iter_mut()).enumerate() {
+                if let Some(&next) = ids.get(i + 1) {
+                    prefetch_row(xs, next as usize * dim);
+                }
+                *o = $row_kernel(row_of(id), y);
+            }
+        }
+    };
+}
+
+flat_ids_kernel!(
+    /// Euclidean distances of the arena rows named by `ids` to `y`.
+    /// Bitwise identical to `L2::distance` per row.
+    l2_flat_ids,
+    |row, y| squared_l2(row, y).sqrt()
+);
+
+flat_ids_kernel!(
+    /// Manhattan distances of the arena rows named by `ids` to `y`.
+    /// Bitwise identical to `L1::distance` per row.
+    l1_flat_ids,
+    l1_sum
+);
+
+flat_ids_kernel!(
+    /// Cosine distances of the arena rows named by `ids` to `y`. Bitwise
+    /// identical to [`crate::dense::DenseCosine`]'s scalar distance.
+    cosine_flat_ids,
+    cosine_row
+);
+
+flat_ids_kernel!(
+    /// Dot products of the arena rows named by `ids` with `y`, accumulated
+    /// strictly left to right (matching [`dot_flat`]).
+    dot_flat_ids,
+    |row: &[f32], y: &[f32]| {
+        let mut acc = 0.0f32;
+        for (&a, &b) in row.iter().zip(y) {
+            acc += a * b;
+        }
+        acc
+    }
+);
+
+/// KL-divergences `KL(row ‖ query)` of the histogram rows named by `ids`
+/// out of the parallel `values`/`logs` tables (see [`kl_flat`] for the
+/// layout and the left-query symmetry caveat). Bitwise identical to
+/// `KlDivergence::distance` per row.
+///
+/// Note: no production path feeds this yet — `TopicHistogram` datasets
+/// carry no arena, so today's divergence scoring gathers. The kernel (and
+/// [`js_flat_ids`]) completes the id-addressed family ahead of a
+/// flat histogram store and is equivalence-pinned alongside the rest in
+/// `kernel_equivalence`.
+pub fn kl_flat_ids(
+    values: &[f32],
+    logs: &[f32],
+    dim: usize,
+    ids: &[u32],
+    q_logs: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+    assert_eq!(values.len(), logs.len(), "values/logs tables diverge");
+    assert_eq!(q_logs.len(), dim, "query dimension mismatch");
+    if dim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (i, (&id, o)) in ids.iter().zip(out.iter_mut()).enumerate() {
+        if let Some(&next) = ids.get(i + 1) {
+            prefetch_row(values, next as usize * dim);
+            prefetch_row(logs, next as usize * dim);
+        }
+        let r = id as usize * dim;
+        *o = kl_row(&values[r..r + dim], &logs[r..r + dim], q_logs);
+    }
+}
+
+/// JS-divergences of the histogram rows named by `ids` to the query
+/// histogram `(q_values, q_logs)`; see [`js_flat`]. Bitwise identical to
+/// `JsDivergence::distance` per row.
+pub fn js_flat_ids(
+    values: &[f32],
+    logs: &[f32],
+    dim: usize,
+    ids: &[u32],
+    q_values: &[f32],
+    q_logs: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+    assert_eq!(values.len(), logs.len(), "values/logs tables diverge");
+    assert_eq!(q_values.len(), dim, "query dimension mismatch");
+    assert_eq!(q_logs.len(), dim, "query dimension mismatch");
+    if dim == 0 {
+        out.fill(0.0);
+        return;
+    }
+    for (i, (&id, o)) in ids.iter().zip(out.iter_mut()).enumerate() {
+        if let Some(&next) = ids.get(i + 1) {
+            prefetch_row(values, next as usize * dim);
+            prefetch_row(logs, next as usize * dim);
+        }
+        let r = id as usize * dim;
+        *o = js_row(&values[r..r + dim], &logs[r..r + dim], q_values, q_logs);
+    }
+}
 
 /// Euclidean distances of `out.len()` flat rows to `y`.
 ///

@@ -7,7 +7,7 @@
 //! across spaces — the property the experiments depend on — are preserved
 //! either way.
 
-use permsearch_core::Space;
+use permsearch_core::{FlatAccess, Space};
 
 /// A dense vector point. All vectors in one dataset must share length.
 pub type DenseVector = Vec<f32>;
@@ -70,6 +70,18 @@ impl Space<DenseVector> for L2 {
     fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
         crate::batch::l2_block(xs, y, out)
     }
+    fn supports_flat(&self) -> bool {
+        true
+    }
+    fn distance_block_flat(
+        &self,
+        flat: &FlatAccess,
+        ids: &[u32],
+        y: &DenseVector,
+        out: &mut [f32],
+    ) {
+        crate::batch::l2_flat_ids(flat.data(), flat.dim(), ids, y, out)
+    }
     fn name(&self) -> &'static str {
         "L2"
     }
@@ -88,6 +100,18 @@ impl Space<DenseVector> for L1 {
     }
     fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
         crate::batch::l1_block(xs, y, out)
+    }
+    fn supports_flat(&self) -> bool {
+        true
+    }
+    fn distance_block_flat(
+        &self,
+        flat: &FlatAccess,
+        ids: &[u32],
+        y: &DenseVector,
+        out: &mut [f32],
+    ) {
+        crate::batch::l1_flat_ids(flat.data(), flat.dim(), ids, y, out)
     }
     fn name(&self) -> &'static str {
         "L1"
@@ -134,6 +158,18 @@ impl Space<DenseVector> for DenseCosine {
         for (x, o) in xs.iter().zip(out.iter_mut()) {
             *o = cosine_row(x, y);
         }
+    }
+    fn supports_flat(&self) -> bool {
+        true
+    }
+    fn distance_block_flat(
+        &self,
+        flat: &FlatAccess,
+        ids: &[u32],
+        y: &DenseVector,
+        out: &mut [f32],
+    ) {
+        crate::batch::cosine_flat_ids(flat.data(), flat.dim(), ids, y, out)
     }
     fn name(&self) -> &'static str {
         "cosine-dense"

@@ -12,7 +12,7 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic  b"PSNP"
-//!      4     2  format version, little-endian u16 (currently 1)
+//!      4     2  format version, little-endian u16 (currently 2)
 //!      6     2  kind length K, little-endian u16
 //!      8     K  kind, UTF-8 (e.g. "dataset", "index:napp", "manifest")
 //!    8+K     8  payload length N, little-endian u64
@@ -50,7 +50,13 @@ pub const MAGIC: [u8; 4] = *b"PSNP";
 
 /// Container format version written by this build; readers accept any
 /// version up to and including it.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// * **v1** — dataset payloads are a tag-less per-point sequence.
+/// * **v2** — dataset payloads start with a tag byte; arena-backed dense
+///   datasets serialize as one flat row-major `f32` block (tag 1), read
+///   back with a handful of large sequential reads and the arena
+///   reattached. Index payloads are unchanged. v1 files remain readable.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Kind tag used for [`Dataset`] snapshots.
 pub const DATASET_KIND: &str = "dataset";
@@ -366,10 +372,15 @@ pub fn save_dataset<P: PointCodec>(path: &Path, data: &Dataset<P>) -> Result<(),
     save_to_file(path, DATASET_KIND, |payload| data.write_snapshot(payload))
 }
 
-/// Streaming FNV-1a fingerprint of a dataset's snapshot encoding, without
+/// Streaming FNV-1a fingerprint of a dataset's **content**, without
 /// materializing the bytes. Deployment manifests embed it so a snapshot
 /// directory can never silently serve a *different* dataset that happens
 /// to have the same point count.
+///
+/// The fingerprint hashes the v1 (per-point) encoding regardless of how
+/// the dataset is stored on disk: content identity must not depend on
+/// whether an arena is attached, and manifests written by v1 deployments
+/// keep verifying against datasets reloaded from v2 flat-block files.
 pub fn fingerprint_dataset<P: PointCodec>(data: &Dataset<P>) -> Result<u64, SnapshotError> {
     struct FnvWriter(u64);
     impl Write for FnvWriter {
@@ -382,15 +393,21 @@ pub fn fingerprint_dataset<P: PointCodec>(data: &Dataset<P>) -> Result<u64, Snap
         }
     }
     let mut w = FnvWriter(FNV_OFFSET);
-    data.write_snapshot(&mut w)?;
+    data.write_snapshot_v1(&mut w)?;
     Ok(w.0)
 }
 
-/// Load a dataset saved by [`save_dataset`].
+/// Load a dataset saved by [`save_dataset`]. Files written by format
+/// version 1 (tag-less per-point payload) are decoded through the legacy
+/// reader; v2 payloads dispatch on their tag byte.
 pub fn load_dataset<P: PointCodec>(path: &Path) -> Result<Dataset<P>, SnapshotError> {
     let container = load_from_file(path, Some(DATASET_KIND))?;
     let mut r = container.payload.as_slice();
-    let data = Dataset::<P>::read_snapshot(&mut r)?;
+    let data = if container.version < 2 {
+        Dataset::<P>::read_snapshot_v1(&mut r)?
+    } else {
+        Dataset::<P>::read_snapshot(&mut r)?
+    };
     if !r.is_empty() {
         return Err(corrupt("trailing bytes after the dataset payload"));
     }
@@ -449,10 +466,62 @@ mod tests {
         let fa = fingerprint_dataset(&a).unwrap();
         assert_eq!(fa, fingerprint_dataset(&a).unwrap());
         assert_ne!(fa, fingerprint_dataset(&b).unwrap());
-        // Equals the hash of the materialized snapshot bytes.
+        // Equals the hash of the materialized v1-encoding bytes, and is
+        // storage-layout independent: the arena-backed twin fingerprints
+        // identically.
         let mut bytes = Vec::new();
-        a.write_snapshot(&mut bytes).unwrap();
+        a.write_snapshot_v1(&mut bytes).unwrap();
         assert_eq!(fa, fnv1a64(&bytes));
+        let flat_twin = Dataset::new_flat(a.points().to_vec());
+        assert_eq!(fa, fingerprint_dataset(&flat_twin).unwrap());
+    }
+
+    #[test]
+    fn dataset_file_round_trips_flat_and_nested() {
+        let dir = std::env::temp_dir().join(format!("psnap-store-ds-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 0.5 * i as f32]).collect();
+        // Arena-backed dataset: flat-block payload, arena reattached.
+        let flat = Dataset::new_flat(rows.clone());
+        let path = dir.join("flat.psnp");
+        save_dataset(&path, &flat).unwrap();
+        let back: Dataset<Vec<f32>> = load_dataset(&path).unwrap();
+        assert_eq!(back.points(), flat.points());
+        assert!(back.flat().is_some(), "arena survives the round trip");
+        // Nested dataset: per-point payload, no arena.
+        let nested = Dataset::new(rows);
+        let path = dir.join("nested.psnp");
+        save_dataset(&path, &nested).unwrap();
+        let back: Dataset<Vec<f32>> = load_dataset(&path).unwrap();
+        assert_eq!(back.points(), nested.points());
+        assert!(back.flat().is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_dataset_containers_remain_readable() {
+        // Hand-assemble a version-1 container: tag-less per-point payload.
+        let data = Dataset::new(vec![vec![1.0f32, 2.0], vec![3.0, 4.0]]);
+        let mut payload = Vec::new();
+        data.write_snapshot_v1(&mut payload).unwrap();
+        let kind = DATASET_KIND.as_bytes();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+        bytes.extend_from_slice(kind);
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let checksum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&checksum.to_le_bytes());
+
+        let dir = std::env::temp_dir().join(format!("psnap-store-v1-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.psnp");
+        fs::write(&path, &bytes).unwrap();
+        let back: Dataset<Vec<f32>> = load_dataset(&path).unwrap();
+        assert_eq!(back.points(), data.points());
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

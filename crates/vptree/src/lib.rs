@@ -125,6 +125,11 @@ where
 
     fn build_node<R: Rng>(&mut self, ids: &mut [u32], _n: usize, rng: &mut R) -> u32 {
         if ids.len() <= self.params.bucket_size {
+            // Ascending ids inside each bucket: the batched leaf scan then
+            // reads a flat arena near-sequentially, and equal-distance ties
+            // at the heap boundary resolve to the smallest ids
+            // deterministically.
+            ids.sort_unstable();
             let start = self.bucket_ids.len() as u32;
             self.bucket_ids.extend_from_slice(ids);
             let end = self.bucket_ids.len() as u32;

@@ -18,7 +18,9 @@ fn main() {
     let gen = permsearch::datasets::sift_like();
     let mut points = gen.generate(20_100, 42);
     let queries = points.split_off(20_000);
-    let data = Arc::new(Dataset::new(points));
+    // Arena-backed dense storage: batched scans read one contiguous
+    // row-major buffer instead of gathering per-point allocations.
+    let data = Arc::new(Dataset::new_flat(points));
     println!("indexed {} vectors, {} queries", data.len(), queries.len());
 
     // 2. Exact baseline.

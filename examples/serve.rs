@@ -19,7 +19,7 @@ fn main() {
     let gen = permsearch::datasets::sift_like();
     let mut points = gen.generate(11_000, 42);
     let batch = points.split_off(10_000);
-    let data = Arc::new(Dataset::new(points));
+    let data = Arc::new(Dataset::new_flat(points));
     let gold = compute_gold(&data, L2, &batch, 10);
     println!(
         "indexed {} vectors; serving a {}-query batch (exact baseline {:.2} ms/query)",

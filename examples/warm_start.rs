@@ -20,7 +20,9 @@ use permsearch::prelude::*;
 fn main() {
     let dir = std::env::temp_dir().join(format!("permsearch-warm-start-{}", std::process::id()));
     let gen = permsearch::datasets::sift_like();
-    let data = Arc::new(Dataset::new(gen.generate(10_000, 42)));
+    // Arena-backed: the dataset snapshot is then one flat f32 block,
+    // so the warm start below reads it back in a few sequential reads.
+    let data = Arc::new(Dataset::new_flat(gen.generate(10_000, 42)));
     let queries = gen.generate(256, 7);
     let registry = dense_l2_registry();
 

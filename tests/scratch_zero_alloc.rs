@@ -1,0 +1,141 @@
+//! Zero steady-state heap allocation on the flat dense query path,
+//! pinned by a counting global allocator.
+//!
+//! `crates/core/tests/scratch_equivalence.rs` pins that scratch *reuse*
+//! returns identical results; this suite pins the other half of the
+//! contract — that reuse actually eliminates allocation. A thread-local
+//! counting wrapper around the system allocator counts every
+//! `alloc`/`alloc_zeroed`/`realloc` on the test thread; after one warm-up
+//! pass over the query set has grown every scratch buffer to its
+//! high-water capacity, a second pass over the same queries through
+//! `search_into` must perform **zero** heap allocations — brute force,
+//! NAPP and VP-tree alike, all over an arena-backed dense dataset so the
+//! gather-free flat kernels are the code under test.
+//!
+//! The counter is thread-local, so concurrently running tests on other
+//! harness threads cannot pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use permsearch_core::{Dataset, SearchIndex, SearchScratch, Space};
+use permsearch_datasets::{DenseGaussianMixture, Generator};
+use permsearch_permutation::{Napp, NappParams};
+use permsearch_spaces::L2;
+use permsearch_vptree::{VpTree, VpTreeParams};
+
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+fn bump() {
+    // `try_with` so allocation during TLS teardown cannot panic.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const K: usize = 10;
+
+fn flat_world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    let gen = DenseGaussianMixture::new(16, 5, 0.2);
+    let data = Arc::new(Dataset::new_flat(gen.generate(1200, 33)));
+    let queries = gen.generate(24, 91);
+    (data, queries)
+}
+
+/// Warm one pass, then assert the second pass over the same queries
+/// allocates nothing.
+fn assert_zero_steady_state<I: SearchIndex<Vec<f32>>>(index: &I, queries: &[Vec<f32>]) {
+    let mut scratch = SearchScratch::new();
+    let mut out = Vec::new();
+    for q in queries {
+        index.search_into(q, K, &mut scratch, &mut out);
+        assert!(out.len() <= K && !out.is_empty());
+    }
+    let before = allocs_on_this_thread();
+    for q in queries {
+        index.search_into(q, K, &mut scratch, &mut out);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "{}: steady-state queries must not touch the allocator",
+        index.name()
+    );
+}
+
+#[test]
+fn brute_force_flat_path_is_allocation_free() {
+    let (data, queries) = flat_world();
+    assert!(
+        data.flat().is_some() && L2.supports_flat(),
+        "flat path active"
+    );
+    let index = permsearch_core::ExhaustiveSearch::new(data, L2);
+    assert_zero_steady_state(&index, &queries);
+}
+
+#[test]
+fn napp_flat_path_is_allocation_free() {
+    let (data, queries) = flat_world();
+    let index = Napp::build(
+        data,
+        L2,
+        NappParams {
+            num_pivots: 64,
+            num_indexed: 8,
+            min_shared: 1,
+            max_candidates: Some(400),
+            threads: 1,
+            ..Default::default()
+        },
+        7,
+    );
+    assert_zero_steady_state(&index, &queries);
+}
+
+#[test]
+fn vptree_flat_path_is_allocation_free() {
+    let (data, queries) = flat_world();
+    let index = VpTree::build(data, L2, VpTreeParams::default(), 7);
+    assert_zero_steady_state(&index, &queries);
+}
+
+/// The counting allocator itself must observe ordinary allocations —
+/// otherwise the three pins above would pass vacuously.
+#[test]
+fn counting_allocator_counts() {
+    let before = allocs_on_this_thread();
+    let v: Vec<u64> = Vec::with_capacity(32);
+    let after = allocs_on_this_thread();
+    assert!(after > before, "allocation went uncounted");
+    drop(v);
+}
