@@ -16,7 +16,7 @@ use std::fs;
 use std::sync::Arc;
 
 use permsearch_bench::{worlds, Args};
-use permsearch_core::{Dataset, Space};
+use permsearch_core::{Dataset, Point, Space};
 use permsearch_eval::projection::{distance_pairs, PairSample};
 use permsearch_eval::Table;
 use permsearch_permutation::randproj::{
@@ -117,8 +117,9 @@ fn panel<P, S, J, F>(
     proj_dist: F,
     seed: u64,
 ) where
-    S: Space<P>,
-    J: Projector<P>,
+    P: Point,
+    S: Space<P::Ref>,
+    J: Projector<P::Ref>,
     F: Fn(&[f32], &[f32]) -> f32,
 {
     let samples = distance_pairs(

@@ -16,7 +16,7 @@ use std::fs;
 use std::sync::Arc;
 
 use permsearch_bench::{worlds, Args};
-use permsearch_core::{Dataset, Space};
+use permsearch_core::{Dataset, Point, Space};
 use permsearch_eval::candidate_fraction_curve;
 use permsearch_eval::Table;
 use permsearch_permutation::randproj::{
@@ -57,8 +57,9 @@ fn run_curve<P, S, J, F>(
     proj_dist: F,
     queries: &[P],
 ) where
-    S: Space<P>,
-    J: Projector<P>,
+    P: Point,
+    S: Space<P::Ref>,
+    J: Projector<P::Ref>,
     F: Fn(&[f32], &[f32]) -> f32,
 {
     let curve = candidate_fraction_curve(data, space, projector, proj_dist, queries, K);

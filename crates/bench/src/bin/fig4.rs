@@ -19,7 +19,7 @@ use std::fs;
 use std::sync::Arc;
 
 use permsearch_bench::{for_each_world, worlds, Args};
-use permsearch_core::{Dataset, SearchIndex, Space};
+use permsearch_core::{Dataset, Point, SearchIndex, Space};
 use permsearch_eval::{compute_gold, evaluate, GoldStandard, Table};
 use permsearch_knngraph::{nndescent, NnDescentParams, SwGraph, SwGraphParams};
 use permsearch_lsh::{MpLsh, MpLshParams};
@@ -121,8 +121,8 @@ fn run_panel<P, S>(
     space: &S,
     args: &Args,
 ) where
-    P: Clone + Send + Sync,
-    S: Space<P> + Clone + Sync,
+    P: Point + Clone,
+    S: Space<P::Ref> + Clone + Sync,
 {
     let cfg = panel_cfg(name);
     let gold = compute_gold(data, space.clone(), queries, 10);

@@ -6,13 +6,19 @@
 //! single-threaded QPS through the zero-allocation `search_into` serving
 //! pipeline, and the number of **distance computations per query** (counted
 //! by [`CountedSpace`] — batched kernels count one per point scored), plus
-//! the index size. Results are written to `bench_results/BENCH_grid.json`
-//! so every later change has a perf trajectory to beat.
+//! the index size, the resident dataset bytes (arena + SQ8 quantized tier
+//! for dense worlds, owned points elsewhere) and the process peak RSS
+//! (`VmHWM`) at the time the cell finished. Results are written to
+//! `bench_results/BENCH_grid.json` so every later change has a perf
+//! trajectory to beat.
 //!
 //! `--smoke` shrinks the worlds to a seconds-scale pass and **exits
 //! non-zero when any cell's recall drops below its pinned floor** — the
 //! CI regression gate for kernel or scratch changes that would silently
-//! degrade quality.
+//! degrade quality. It also fails when the dense world's resident dataset
+//! bytes exceed the pinned post-refactor ceiling (one f32 arena plus one
+//! SQ8 tier plus slack): re-growing a nested `Vec<Vec<f32>>` mirror next
+//! to the arena — the old 2x-residency bug — trips the gate immediately.
 //!
 //! Reading `BENCH_grid.json`: one JSON object per cell. `recall` is the
 //! quality axis; `qps` (and its inverse `query_secs`) the wall-clock axis
@@ -27,7 +33,8 @@ use std::time::Instant;
 
 use permsearch_bench::Args;
 use permsearch_core::{
-    BoxedSearchIndex, CountedSpace, Dataset, ExhaustiveSearch, SearchIndex, SearchScratch, Space,
+    BoxedSearchIndex, CountedSpace, Dataset, ExhaustiveSearch, Point, SearchIndex, SearchScratch,
+    Space,
 };
 use permsearch_eval::{compute_gold, metrics::recall_vs, GoldStandard};
 use permsearch_knngraph::{SwGraph, SwGraphParams};
@@ -35,9 +42,25 @@ use permsearch_permutation::{
     select_pivots, BruteForceBinFilter, BruteForcePermFilter, MiFile, MiFileParams, Napp,
     NappParams, PermDistanceKind, PpIndex, PpIndexParams,
 };
+use permsearch_spaces::PointSize;
 use permsearch_vptree::{Pruner, VpTree, VpTreeParams};
 
 const K: usize = 10;
+
+/// Resident bytes of a dense dataset: the flat f32 arena (or, should the
+/// storage ever regress to nested owned rows, their payload bytes) plus
+/// the SQ8 quantized tier when attached.
+fn dense_dataset_bytes(data: &Dataset<Vec<f32>>) -> usize {
+    let base = data.flat().map_or_else(
+        || {
+            data.iter()
+                .map(|(_, row)| std::mem::size_of_val(row) + std::mem::size_of::<Vec<f32>>())
+                .sum()
+        },
+        |f| f.arena().size_bytes(),
+    );
+    base + data.quantized().map_or(0, |q| q.block().size_bytes())
+}
 
 /// Labelled index constructors of one world.
 type Builders<'a, P> = Vec<(&'static str, Box<dyn Fn() -> BoxedSearchIndex<P> + 'a>)>;
@@ -53,6 +76,12 @@ struct GridRow {
     query_secs: f64,
     dists_per_query: f64,
     index_bytes: usize,
+    /// Resident bytes of the indexed dataset itself: flat f32 arena plus
+    /// SQ8 quantized tier on dense worlds, owned point payloads elsewhere.
+    dataset_bytes: usize,
+    /// Process peak RSS (`VmHWM`) when the cell finished, in bytes
+    /// (0 where `/proc/self/status` is unavailable).
+    rss_peak_bytes: usize,
 }
 
 impl GridRow {
@@ -69,7 +98,8 @@ impl GridRow {
             concat!(
                 "{{\"world\": \"{}\", \"method\": \"{}\", \"n\": {}, ",
                 "\"queries\": {}, \"k\": {}, \"recall\": {}, \"qps\": {}, ",
-                "\"query_secs\": {}, \"dists_per_query\": {}, \"index_bytes\": {}}}"
+                "\"query_secs\": {}, \"dists_per_query\": {}, \"index_bytes\": {}, ",
+                "\"dataset_bytes\": {}, \"rss_peak_bytes\": {}}}"
             ),
             self.world,
             method,
@@ -80,9 +110,27 @@ impl GridRow {
             num(self.qps),
             num(self.query_secs),
             num(self.dists_per_query),
-            self.index_bytes
+            self.index_bytes,
+            self.dataset_bytes,
+            self.rss_peak_bytes
         )
     }
+}
+
+/// Peak resident set size of this process in bytes, from `VmHWM` in
+/// `/proc/self/status`. Returns 0 where that file does not exist (or has
+/// no `VmHWM` line), so grid cells degrade to a null-ish value instead of
+/// failing off-Linux.
+fn peak_rss_bytes() -> usize {
+    let Ok(status) = fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse::<usize>().ok())
+        .map_or(0, |kb| kb * 1024)
 }
 
 /// Serve every query single-threaded through the scratch pipeline,
@@ -93,10 +141,11 @@ fn measure<P, S>(
     queries: &[P],
     gold: &GoldStandard,
     space: &CountedSpace<S>,
+    dataset_bytes: usize,
 ) -> GridRow
 where
-    P: Send + Sync,
-    S: Space<P>,
+    P: Point,
+    S: Space<P::Ref>,
 {
     let mut scratch = SearchScratch::new();
     let mut res = Vec::new();
@@ -127,6 +176,8 @@ where
         query_secs: secs / nq as f64,
         dists_per_query: space.count() as f64 / nq as f64,
         index_bytes: index.index_size_bytes(),
+        dataset_bytes,
+        rss_peak_bytes: peak_rss_bytes(),
     }
 }
 
@@ -138,17 +189,18 @@ fn run_world<P, S>(
     queries: &[P],
     space: &CountedSpace<S>,
     builders: Builders<'_, P>,
+    dataset_bytes: usize,
     rows: &mut Vec<GridRow>,
 ) where
-    P: Send + Sync,
-    S: Space<P> + Clone + Sync,
+    P: Point,
+    S: Space<P::Ref> + Clone + Sync,
 {
     // Gold uses the *uncounted* inner space; serving counts are reset per
     // method anyway, but this keeps build-phase tallies meaningful.
     let gold = compute_gold(data, space.inner().clone(), queries, K);
     for (label, build) in builders {
         let index = build();
-        let row = measure(world, &index, queries, &gold, space);
+        let row = measure(world, &index, queries, &gold, space, dataset_bytes);
         println!(
             "{world:>11} {label:>10}: recall={:.4} qps={:>9.1} dists/q={:>9.1}",
             row.recall, row.qps, row.dists_per_query
@@ -166,6 +218,11 @@ fn smoke_floor(world: &str, method: &str) -> f64 {
         (_, "brute-force") => 0.999,
         ("sift", "vp-tree") => 0.999,
         ("sift", _) => 0.85,
+        // NAPP runs with the max_candidates cap (keep the top-40% sharers):
+        // measured recall 0.894 at smoke and full scale. The old 1.0 came
+        // from the pre-cap unfiltered scan — costlier than brute force —
+        // and is not a number any gate or doc should state anymore.
+        ("wiki-sparse", "napp") => 0.85,
         // Truncated-permutation footrule estimates discriminate poorly on
         // near-orthogonal sparse TF-IDF at smoke scale; the floor guards
         // against regressions, not against the method's intrinsic ceiling.
@@ -233,9 +290,15 @@ fn main() {
     }
     let seed = args.seed;
     let mut rows: Vec<GridRow> = Vec::new();
+    // `(resident dataset bytes, raw f32 payload bytes)` of the dense
+    // world, captured for the smoke-mode residency gate below.
+    let mut dense_resident: Option<(usize, usize)> = None;
 
     if args.wants("sift") {
         let (data, queries) = permsearch_bench::worlds::sift(&args);
+        let dataset_bytes = dense_dataset_bytes(&data);
+        let raw_bytes = data.flat().map_or(0, |f| f.data().len() * 4);
+        dense_resident = Some((dataset_bytes, raw_bytes));
         let space = CountedSpace::new(permsearch_spaces::L2);
         let pivots = select_pivots(&data, 128, seed);
         let builders: Builders<'_, Vec<f32>> = vec![
@@ -355,7 +418,15 @@ fn main() {
                 }),
             ),
         ];
-        run_world("sift", &data, &queries, &space, builders, &mut rows);
+        run_world(
+            "sift",
+            &data,
+            &queries,
+            &space,
+            builders,
+            dataset_bytes,
+            &mut rows,
+        );
     }
 
     if args.wants("wiki-sparse") {
@@ -364,6 +435,7 @@ fn main() {
             sparse_args.n = Some(5_000); // cosine is ~5x L2; keep the grid laptop-scale
         }
         let (data, queries) = permsearch_bench::worlds::wiki_sparse(&sparse_args);
+        let dataset_bytes: usize = data.iter().map(|(_, p)| p.point_size_bytes()).sum();
         let space = CountedSpace::new(permsearch_spaces::CosineDistance);
         let builders: Builders<'_, permsearch_spaces::SparseVector> = vec![
             (
@@ -416,11 +488,20 @@ fn main() {
                 }),
             ),
         ];
-        run_world("wiki-sparse", &data, &queries, &space, builders, &mut rows);
+        run_world(
+            "wiki-sparse",
+            &data,
+            &queries,
+            &space,
+            builders,
+            dataset_bytes,
+            &mut rows,
+        );
     }
 
     if args.wants("wiki8-kl") {
         let (data, queries) = permsearch_bench::worlds::wiki8(&args, "wiki8-kl");
+        let dataset_bytes: usize = data.iter().map(|(_, p)| p.point_size_bytes()).sum();
         let space = CountedSpace::new(permsearch_spaces::KlDivergence);
         let builders: Builders<'_, permsearch_spaces::TopicHistogram> = vec![
             (
@@ -480,7 +561,15 @@ fn main() {
                 }),
             ),
         ];
-        run_world("wiki8-kl", &data, &queries, &space, builders, &mut rows);
+        run_world(
+            "wiki8-kl",
+            &data,
+            &queries,
+            &space,
+            builders,
+            dataset_bytes,
+            &mut rows,
+        );
     }
 
     // Emit the JSON trajectory file.
@@ -535,6 +624,23 @@ fn main() {
 
     if args.smoke {
         let mut failed = false;
+        // Residency gate: the dense world must hold exactly one f32 copy.
+        // The pinned post-refactor ceiling is the raw f32 payload plus the
+        // SQ8 tier (codes = raw/4, per-row norms and per-dim min/scale
+        // tables well under raw/10) plus 64 KiB of fixed slack. Re-growing
+        // a nested `Vec<Vec<f32>>` mirror beside the arena (~2x raw plus
+        // per-row Vec headers) overshoots this by most of a full copy.
+        if let Some((resident, raw)) = dense_resident {
+            let ceiling = raw + raw / 4 + raw / 10 + (64 << 10);
+            if resident > ceiling {
+                eprintln!(
+                    "SMOKE RESIDENCY VIOLATION: dense dataset holds {resident} bytes \
+                     > ceiling {ceiling} (raw f32 payload {raw}); a second dense copy \
+                     is resident"
+                );
+                failed = true;
+            }
+        }
         for row in &rows {
             let floor = smoke_floor(row.world, &row.method);
             if row.recall < floor {

@@ -37,7 +37,7 @@ fn main() {
 
     for_each_world!(args, |name, data, queries, space| {
         let gold = compute_gold(&data, space, &queries, 10);
-        let bytes: usize = data.points().iter().map(PointSize::point_size_bytes).sum();
+        let bytes: usize = data.iter().map(|(_, p)| p.point_size_bytes()).sum();
         table.push_row(vec![
             name.to_string(),
             space.name().to_string(),

@@ -66,9 +66,12 @@ fn build<G: Generator>(
     (Arc::new(Dataset::new(indexed)), queries)
 }
 
-/// Like [`build`] for dense-vector generators, with the indexed points
-/// mirrored into a contiguous [`permsearch_core::FlatVectors`] arena so
-/// every batched scoring path over these worlds runs gather-free.
+/// Like [`build`] for dense-vector generators: the indexed points move
+/// into a contiguous [`permsearch_core::FlatVectors`] arena (the *only*
+/// dense copy — there is no nested mirror) so every batched scoring path
+/// over these worlds runs gather-free, and an SQ8 quantized tier is
+/// attached so large refine candidate lists pre-filter over 4x-smaller
+/// rows before the exact f32 re-rank.
 fn build_dense<G: Generator<Point = Vec<f32>>>(
     gen: &G,
     n: usize,
@@ -77,7 +80,7 @@ fn build_dense<G: Generator<Point = Vec<f32>>>(
 ) -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
     let all = gen.generate(n + q, seed);
     let (indexed, queries) = split_points(all, q, seed ^ 0x0005_0017);
-    (Arc::new(Dataset::new_flat(indexed)), queries)
+    (Arc::new(Dataset::new_flat(indexed).quantize()), queries)
 }
 
 /// CoPhIR-like world (282-d dense, L2; arena-backed).

@@ -6,16 +6,26 @@
 //! sequential memory reads — but a `Vec<Vec<f32>>` stores every dense point
 //! as its own heap allocation, so batched scoring must first *gather*
 //! scattered rows before it can stream. [`FlatVectors`] puts all dense rows
-//! back to back in one cache-line-aligned row-major buffer; a [`Dataset`]
-//! built over it (see [`Dataset::new_flat`]) exposes the arena through the
-//! [`DenseStore`] trait, and the dense spaces' `distance_block_flat`
-//! kernels then read rows straight out of the arena — zero gather, no
-//! per-row pointer chase. Sparse, topic, signature and string points keep
-//! the per-point representation (their layouts are ragged by nature); for
-//! them `flat()` is `None` and scoring falls back to the gather path.
+//! back to back in one cache-line-aligned row-major buffer, and a dense
+//! [`Dataset`] built over it (see [`Dataset::new_flat`]) stores **only**
+//! the arena: [`Dataset::get`] answers with a borrowed row view
+//! (`&[f32]`), the dense spaces' `distance_block_flat` kernels stream rows
+//! straight out of the arena, and no nested `Vec<Vec<f32>>` mirror exists
+//! anywhere — floats are resident exactly once. Sparse, topic, signature
+//! and string points keep the per-point representation (their layouts are
+//! ragged by nature); for them `flat()` is `None` and scoring falls back
+//! to the gather path.
+//!
+//! Arena-backed datasets can additionally carry an SQ8
+//! [`QuantizedVectors`](crate::QuantizedVectors) tier (see
+//! [`Dataset::quantize`]): 4x-smaller rows the filter stages scan before
+//! the exact `f32` refine.
 
 use std::ops::Index as StdIndex;
 use std::sync::Arc;
+
+use crate::point::Point;
+use crate::quant::{QuantizedVectors, QuantizedView};
 
 /// `f32` lanes per 64-byte cache line — the arena's alignment unit.
 const LINE_LANES: usize = 16;
@@ -59,14 +69,22 @@ impl FlatVectors {
     /// Build an arena from an already-flat row-major slice of `rows` rows
     /// of `dim` values (`values.len()` must equal `rows * dim`).
     pub fn from_parts(values: &[f32], dim: usize, rows: usize) -> Self {
-        assert_eq!(
-            values.len(),
-            rows.checked_mul(dim).expect("arena size overflows usize"),
-            "flat buffer length does not match rows x dim"
-        );
+        Self::try_from_parts(values, dim, rows)
+            .expect("flat buffer length does not match rows x dim")
+    }
+
+    /// Fallible form of [`from_parts`](Self::from_parts): `None` when
+    /// `rows * dim` overflows or does not match the buffer length. The
+    /// snapshot readers use this so corrupt headers surface as typed
+    /// errors instead of panics.
+    pub fn try_from_parts(values: &[f32], dim: usize, rows: usize) -> Option<Self> {
+        let total = rows.checked_mul(dim)?;
+        if values.len() != total {
+            return None;
+        }
         let mut arena = Self::zeroed(rows, dim);
         arena.as_mut_slice().copy_from_slice(values);
-        arena
+        Some(arena)
     }
 
     /// An all-zero arena of the given shape (cache-line padding included).
@@ -271,21 +289,40 @@ pub trait DenseStore {
     fn flat(&self) -> Option<&FlatAccess>;
 }
 
+/// How a [`Dataset`] physically stores its points: exactly one of the two
+/// representations, never both.
+#[derive(Debug, Clone)]
+enum Storage<P> {
+    /// One owned value per point — the generic representation.
+    Nested(Vec<P>),
+    /// One contiguous `f32` arena view, rows addressed in place — the
+    /// dense representation. Only constructible for `P = Vec<f32>`.
+    Flat(FlatAccess),
+}
+
 /// An immutable, in-memory collection of points.
 ///
 /// The paper's setting is main-memory retrieval: "both data and indices are
 /// stored in main memory". Ids are dense indices `0..len`, which is what the
 /// inverted-file methods (NAPP, MI-file) and ScanCount merging rely on.
 ///
-/// Dense (`Vec<f32>`) datasets can additionally carry a [`FlatVectors`]
-/// arena mirroring the rows (see [`Dataset::new_flat`]); every batched
-/// scoring path then streams rows from the arena instead of gathering
-/// per-point allocations. The nested points stay the source of truth for
-/// [`get`](Self::get) and the by-reference APIs.
-#[derive(Debug, Clone, Default)]
+/// Dense (`Vec<f32>`) datasets built via [`Dataset::new_flat`],
+/// [`into_flat`](Self::into_flat) or [`from_arena`](Self::from_arena) hold
+/// **only** a [`FlatVectors`] arena view: [`get`](Self::get) returns a
+/// borrowed row straight out of the arena (`&[f32]`), so the floats the
+/// batch kernels stream and the floats `get` answers with are the same
+/// bytes — there is no nested mirror and no way for the two to drift.
+/// Every other construction keeps one owned value per point.
+#[derive(Debug, Clone)]
 pub struct Dataset<P> {
-    points: Vec<P>,
-    flat: Option<FlatAccess>,
+    storage: Storage<P>,
+    quant: Option<QuantizedView>,
+}
+
+impl<P> Default for Dataset<P> {
+    fn default() -> Self {
+        Self::new(Vec::new())
+    }
 }
 
 impl<P> Dataset<P> {
@@ -295,113 +332,221 @@ impl<P> Dataset<P> {
             points.len() <= u32::MAX as usize,
             "dataset exceeds u32 id space"
         );
-        Self { points, flat: None }
+        Self {
+            storage: Storage::Nested(points),
+            quant: None,
+        }
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        match &self.storage {
+            Storage::Nested(points) => points.len(),
+            Storage::Flat(flat) => flat.len(),
+        }
     }
 
     /// True when the dataset holds no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.len() == 0
     }
 
-    /// Access a point by id.
-    pub fn get(&self, id: u32) -> &P {
-        &self.points[id as usize]
-    }
-
-    /// Iterate over `(id, point)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (u32, &P)> {
-        self.points.iter().enumerate().map(|(i, p)| (i as u32, p))
-    }
-
-    /// Borrow the underlying point slice.
-    pub fn points(&self) -> &[P] {
-        &self.points
-    }
-
-    /// Consume the dataset, returning the point vector.
-    pub fn into_points(self) -> Vec<P> {
-        self.points
-    }
-
-    /// The flat arena view mirroring this dataset's points, when one was
-    /// attached (dense datasets built via [`Dataset::new_flat`] or
-    /// [`set_flat_view`](Self::set_flat_view)).
-    pub fn flat(&self) -> Option<&FlatAccess> {
-        self.flat.as_ref()
-    }
-
-    /// Attach a flat arena view to this dataset.
+    /// Borrow the owned point slice of a nested dataset.
     ///
-    /// **Contract:** `view.row(i)` must hold exactly the values of point
-    /// `i` — the caller vouches for it (the sharded engine uses this to
-    /// hand each shard its sub-range of the parent arena instead of a
-    /// copy). Only the row count is checked here; attaching a mismatched
-    /// view makes flat and gather scoring disagree.
-    pub fn set_flat_view(&mut self, view: FlatAccess) {
-        assert_eq!(
-            view.len(),
-            self.points.len(),
-            "flat view row count does not match the dataset"
+    /// Arena-backed dense datasets have no owned points to borrow — their
+    /// rows live only in the arena — so this panics for them; dense code
+    /// paths use [`get`](Self::get), [`iter`](Self::iter) or
+    /// [`flat`](Self::flat) instead.
+    pub fn points(&self) -> &[P] {
+        match &self.storage {
+            Storage::Nested(points) => points,
+            Storage::Flat(_) => {
+                panic!("arena-backed dense dataset stores no owned points; use get()/iter()/flat()")
+            }
+        }
+    }
+
+    /// Consume a nested dataset, returning the point vector. Panics for
+    /// arena-backed datasets (see [`points`](Self::points)).
+    pub fn into_points(self) -> Vec<P> {
+        match self.storage {
+            Storage::Nested(points) => points,
+            Storage::Flat(_) => {
+                panic!("arena-backed dense dataset stores no owned points; use get()/iter()/flat()")
+            }
+        }
+    }
+
+    /// The flat arena view of an arena-backed dense dataset.
+    pub fn flat(&self) -> Option<&FlatAccess> {
+        match &self.storage {
+            Storage::Nested(_) => None,
+            Storage::Flat(flat) => Some(flat),
+        }
+    }
+
+    /// The SQ8 quantized scan tier, when one was built (see
+    /// [`Dataset::quantize`]) or restored from a snapshot.
+    pub fn quantized(&self) -> Option<&QuantizedView> {
+        self.quant.as_ref()
+    }
+
+    /// A contiguous sub-range of `len` points starting at `start`, as its
+    /// own dataset with ids remapped to `0..len`.
+    ///
+    /// For arena-backed datasets this is an `Arc` bump — the sub-dataset
+    /// views its range of the one parent arena (and of the quantized
+    /// block, when present) without copying a single float; this is how
+    /// the sharded engine partitions. Nested datasets clone the range.
+    pub fn subrange(&self, start: usize, len: usize) -> Self
+    where
+        P: Clone,
+    {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "subrange {start}..{} outside a dataset of {} points",
+            start + len,
+            self.len()
         );
-        self.flat = Some(view);
+        let storage = match &self.storage {
+            Storage::Nested(points) => Storage::Nested(points[start..start + len].to_vec()),
+            Storage::Flat(flat) => Storage::Flat(flat.slice(start, len)),
+        };
+        Self {
+            storage,
+            quant: self.quant.as_ref().map(|q| q.slice(start, len)),
+        }
+    }
+}
+
+impl<P: Point> Dataset<P> {
+    /// Access a point by id, in its borrowed form: `&[f32]` straight out
+    /// of the arena for arena-backed dense datasets, `&P` (via
+    /// [`Point::point_ref`]) otherwise.
+    #[inline]
+    pub fn get(&self, id: u32) -> &P::Ref {
+        match &self.storage {
+            Storage::Nested(points) => points[id as usize].point_ref(),
+            Storage::Flat(flat) => P::ref_from_row(flat.row(id)),
+        }
+    }
+
+    /// Iterate over `(id, point)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &P::Ref)> {
+        (0..self.len() as u32).map(move |id| (id, self.get(id)))
+    }
+
+    /// Clone every point into its owned form, regardless of storage. The
+    /// query-set splitters use this; it is the only API that materializes
+    /// owned rows from an arena, and it never attaches them back.
+    pub fn to_owned_points(&self) -> Vec<P> {
+        self.iter().map(|(_, p)| p.to_owned()).collect()
     }
 }
 
 impl Dataset<Vec<f32>> {
-    /// Build a dense dataset with a contiguous [`FlatVectors`] arena
-    /// mirroring the rows. All rows must share one length.
+    /// Build a dense dataset stored as one contiguous [`FlatVectors`]
+    /// arena (the nested input rows are dropped after the copy). All rows
+    /// must share one length.
     pub fn new_flat(points: Vec<Vec<f32>>) -> Self {
-        Self::new(points).into_flat()
+        Self::from_arena(FlatVectors::from_rows(&points))
     }
 
-    /// Attach a freshly built arena mirroring the current points (no-op if
-    /// one is already attached). Panics on ragged rows.
-    pub fn into_flat(mut self) -> Self {
-        if self.flat.is_none() {
-            self.flat = Some(FlatAccess::new(FlatVectors::from_rows(&self.points)));
+    /// Convert to arena-backed storage: nested points are flattened into
+    /// an arena and dropped (no-op if already arena-backed). Panics on
+    /// ragged rows.
+    pub fn into_flat(self) -> Self {
+        match self.storage {
+            Storage::Nested(points) => {
+                let quant = self.quant;
+                let mut data = Self::from_arena(FlatVectors::from_rows(&points));
+                data.quant = quant;
+                data
+            }
+            Storage::Flat(_) => self,
+        }
+    }
+
+    /// Build a dense dataset straight from an arena. The arena is the
+    /// dataset's only storage — `get` answers from the same bytes the
+    /// kernels score.
+    pub fn from_arena(arena: FlatVectors) -> Self {
+        Self::from_flat_view(FlatAccess::new(arena))
+    }
+
+    /// Build a dense dataset over an existing arena view (shared, not
+    /// copied).
+    pub fn from_flat_view(view: FlatAccess) -> Self {
+        assert!(
+            view.len() <= u32::MAX as usize,
+            "dataset exceeds u32 id space"
+        );
+        Self {
+            storage: Storage::Flat(view),
+            quant: None,
+        }
+    }
+
+    /// Vector dimensionality (0 for an empty dataset).
+    pub fn dim(&self) -> usize {
+        match &self.storage {
+            Storage::Nested(points) => points.first().map_or(0, Vec::len),
+            Storage::Flat(flat) => flat.dim(),
+        }
+    }
+
+    /// Build the SQ8 quantized scan tier over an arena-backed dataset:
+    /// filter stages then scan 1-byte codes (4x fewer bytes) and the
+    /// exact refine re-ranks survivors from the `f32` arena. No-op when a
+    /// tier is already attached; panics for nested datasets (the tier
+    /// quantizes the arena, so build the arena first via
+    /// [`new_flat`](Self::new_flat) / [`into_flat`](Self::into_flat)).
+    pub fn quantize(mut self) -> Self {
+        if self.quant.is_none() {
+            let flat = self
+                .flat()
+                .expect("quantize() requires arena-backed storage; call into_flat() first");
+            self.quant = Some(QuantizedView::new(QuantizedVectors::from_flat(
+                flat.data(),
+                flat.dim(),
+                flat.len(),
+            )));
         }
         self
     }
+}
 
-    /// Build a dense dataset straight from an arena (nested rows are
-    /// materialized from it; the arena is shared, not copied).
-    pub fn from_arena(arena: FlatVectors) -> Self {
-        let points = arena.to_rows();
-        let mut data = Self::new(points);
-        data.flat = Some(FlatAccess::new(arena));
-        data
+impl<P> Dataset<P> {
+    /// Attach an already-built quantized view (the snapshot restore path).
+    ///
+    /// **Contract:** `view.row(i)` must encode point `i`; only the row
+    /// count is checked.
+    pub fn set_quantized_view(&mut self, view: QuantizedView) {
+        assert_eq!(
+            view.len(),
+            self.len(),
+            "quantized view row count does not match the dataset"
+        );
+        self.quant = Some(view);
     }
 }
 
 impl<P> DenseStore for Dataset<P> {
     fn flat(&self) -> Option<&FlatAccess> {
-        self.flat.as_ref()
+        Dataset::flat(self)
     }
 }
 
-impl<P> StdIndex<u32> for Dataset<P> {
-    type Output = P;
-    fn index(&self, id: u32) -> &P {
-        &self.points[id as usize]
+impl<P: Point> StdIndex<u32> for Dataset<P> {
+    type Output = P::Ref;
+    fn index(&self, id: u32) -> &P::Ref {
+        self.get(id)
     }
 }
 
 impl<P> From<Vec<P>> for Dataset<P> {
     fn from(points: Vec<P>) -> Self {
         Self::new(points)
-    }
-}
-
-impl<'a, P> IntoIterator for &'a Dataset<P> {
-    type Item = &'a P;
-    type IntoIter = std::slice::Iter<'a, P>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.points.iter()
     }
 }
 
@@ -425,8 +570,7 @@ mod tests {
         let d: Dataset<i32> = vec![1, 2].into();
         let v = d.clone().into_points();
         assert_eq!(v, vec![1, 2]);
-        let collected: Vec<i32> = (&d).into_iter().copied().collect();
-        assert_eq!(collected, vec![1, 2]);
+        assert_eq!(d.to_owned_points(), vec![1, 2]);
     }
 
     #[test]
@@ -435,6 +579,7 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.points().len(), 0);
         assert!(d.flat().is_none());
+        assert!(d.quantized().is_none());
     }
 
     #[test]
@@ -461,6 +606,13 @@ mod tests {
         assert_eq!(arena.row(2), &[6.0, 7.0, 8.0]);
         let via_from: FlatVectors = arena.to_rows().into();
         assert_eq!(via_from.as_slice(), flat.as_slice());
+    }
+
+    #[test]
+    fn bad_arena_shapes_are_rejected_without_panicking() {
+        assert!(FlatVectors::try_from_parts(&[1.0; 5], 2, 3).is_none());
+        assert!(FlatVectors::try_from_parts(&[], usize::MAX, usize::MAX).is_none());
+        assert!(FlatVectors::try_from_parts(&[1.0; 6], 2, 3).is_some());
     }
 
     #[test]
@@ -507,25 +659,126 @@ mod tests {
     }
 
     #[test]
-    fn dataset_flat_mirrors_points() {
+    fn flat_dataset_serves_rows_from_the_arena_only() {
         let rows: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32; 3]).collect();
         let nested = Dataset::new(rows.clone());
         assert!(nested.flat().is_none());
+        assert_eq!(nested.get(3), rows[3].as_slice());
         let flat = Dataset::new_flat(rows.clone());
         let view = flat.flat().expect("arena attached");
         assert_eq!(view.len(), flat.len());
-        for (id, p) in flat.iter() {
-            assert_eq!(view.row(id), p.as_slice());
+        for (id, row) in rows.iter().enumerate() {
+            assert_eq!(flat.get(id as u32), row.as_slice());
+            // `get` answers from the arena bytes themselves, not a copy.
+            assert!(std::ptr::eq(
+                flat.get(id as u32).as_ptr(),
+                view.row(id as u32).as_ptr()
+            ));
         }
         let from_arena = Dataset::from_arena(FlatVectors::from_rows(&rows));
-        assert_eq!(from_arena.points(), flat.points());
+        assert_eq!(from_arena.to_owned_points(), rows);
         assert!(from_arena.flat().is_some());
+        // Converting nested storage drops the nested points.
+        let converted = nested.into_flat();
+        assert!(converted.flat().is_some());
+        assert_eq!(converted.get(3), rows[3].as_slice());
     }
 
     #[test]
-    #[should_panic(expected = "row count")]
-    fn mismatched_view_rejected() {
-        let mut d = Dataset::new(vec![vec![0.0f32], vec![1.0]]);
-        d.set_flat_view(FlatAccess::new(FlatVectors::from_rows(&[vec![0.0f32]])));
+    fn every_construction_path_serves_bitwise_arena_rows() {
+        // Rows with awkward bit patterns (negative zero, subnormals,
+        // values that would change under any f64 round-trip): `get(i)`
+        // must be bit-for-bit the arena row on every way of building a
+        // dense dataset — `new_flat`, `into_flat`, `from_arena` and a
+        // snapshot restore.
+        let rows: Vec<Vec<f32>> = (0..13)
+            .map(|i| {
+                vec![
+                    -0.0,
+                    f32::MIN_POSITIVE / 4.0,
+                    0.1 + i as f32 * 1e-3,
+                    (i as f32).exp(),
+                ]
+            })
+            .collect();
+        let mut snap = Vec::new();
+        Dataset::new_flat(rows.clone())
+            .write_snapshot(&mut snap)
+            .unwrap();
+        let restored = Dataset::<Vec<f32>>::read_snapshot(&mut snap.as_slice()).unwrap();
+        let paths: [(&str, Dataset<Vec<f32>>); 4] = [
+            ("new_flat", Dataset::new_flat(rows.clone())),
+            ("into_flat", Dataset::new(rows.clone()).into_flat()),
+            (
+                "from_arena",
+                Dataset::from_arena(FlatVectors::from_rows(&rows)),
+            ),
+            ("snapshot restore", restored),
+        ];
+        for (path, d) in &paths {
+            let arena = d.flat().expect("{path}: arena attached").arena();
+            for i in 0..rows.len() as u32 {
+                let got: Vec<u32> = d.get(i).iter().map(|x| x.to_bits()).collect();
+                let from_arena: Vec<u32> = arena.row(i).iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = rows[i as usize].iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, from_arena, "{path}: get({i}) != arena row");
+                assert_eq!(got, want, "{path}: row {i} bits drifted from source");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no owned points")]
+    fn flat_dataset_has_no_owned_points() {
+        let d = Dataset::new_flat(vec![vec![1.0f32], vec![2.0]]);
+        let _ = d.points();
+    }
+
+    #[test]
+    fn subrange_views_share_the_arena() {
+        let rows: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 1.0]).collect();
+        let flat = Dataset::new_flat(rows.clone()).quantize();
+        let sub = flat.subrange(3, 4);
+        assert_eq!(sub.len(), 4);
+        assert_eq!(sub.get(0), rows[3].as_slice());
+        assert_eq!(sub.get(3), rows[6].as_slice());
+        assert!(Arc::ptr_eq(
+            flat.flat().unwrap().arena(),
+            sub.flat().unwrap().arena()
+        ));
+        let q = sub.quantized().expect("quantized view sliced along");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.row(0), flat.quantized().unwrap().row(3));
+        // Nested subranges clone the range.
+        let nested = Dataset::new(rows.clone());
+        let nsub = nested.subrange(8, 2);
+        assert_eq!(nsub.len(), 2);
+        assert_eq!(nsub.get(1), rows[9].as_slice());
+        assert!(nsub.quantized().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a dataset")]
+    fn oversized_subrange_panics() {
+        let d = Dataset::new(vec![1i32, 2]);
+        let _ = d.subrange(1, 2);
+    }
+
+    #[test]
+    fn quantize_attaches_a_matching_tier() {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, -2.0 * i as f32]).collect();
+        let data = Dataset::new_flat(rows).quantize();
+        let q = data.quantized().expect("tier built");
+        assert_eq!(q.len(), data.len());
+        assert_eq!(q.dim(), data.dim());
+        // Idempotent.
+        let again = data.clone().quantize();
+        assert_eq!(again.quantized().unwrap().len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena-backed")]
+    fn quantize_requires_an_arena() {
+        let _ = Dataset::new(vec![vec![1.0f32]]).quantize();
     }
 }

@@ -7,15 +7,18 @@
 
 use std::sync::Arc;
 
-use crate::{score_all, Dataset, Neighbor, SearchIndex, SearchScratch, Space};
+use crate::{score_all, Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 /// Exact sequential-scan k-NN search.
+///
+/// Always scans full-precision points — never the SQ8 tier — because it is
+/// the gold standard recall is measured against.
 pub struct ExhaustiveSearch<P, S> {
     data: Arc<Dataset<P>>,
     space: S,
 }
 
-impl<P, S: Space<P>> ExhaustiveSearch<P, S> {
+impl<P: Point, S: Space<P::Ref>> ExhaustiveSearch<P, S> {
     /// Wrap a dataset and space; no index construction is needed.
     pub fn new(data: Arc<Dataset<P>>, space: S) -> Self {
         Self { data, space }
@@ -32,7 +35,7 @@ impl<P, S: Space<P>> ExhaustiveSearch<P, S> {
     }
 }
 
-impl<P, S: Space<P>> SearchIndex<P> for ExhaustiveSearch<P, S> {
+impl<P: Point, S: Space<P::Ref>> SearchIndex<P> for ExhaustiveSearch<P, S> {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
         self.search_into(query, k, &mut SearchScratch::new(), &mut out);
@@ -55,7 +58,7 @@ impl<P, S: Space<P>> SearchIndex<P> for ExhaustiveSearch<P, S> {
         score_all(
             &self.space,
             &self.data,
-            query,
+            query.point_ref(),
             &mut scratch.dists,
             |id, d| {
                 heap.push(id, d);

@@ -26,6 +26,8 @@ pub mod dataset;
 pub mod exhaustive;
 pub mod incsort;
 pub mod neighbor;
+pub mod point;
+pub mod quant;
 pub mod rng;
 pub mod scratch;
 pub mod snapshot;
@@ -35,9 +37,14 @@ pub use bits::BitVector;
 pub use dataset::{Dataset, DenseStore, FlatAccess, FlatVectors};
 pub use exhaustive::ExhaustiveSearch;
 pub use neighbor::{merge_sorted_topk, merge_sorted_topk_with, KnnHeap, Neighbor};
+pub use point::Point;
+pub use quant::{QuantizedVectors, QuantizedView};
 pub use scratch::{SearchScratch, VisitedSet};
 pub use snapshot::{PointCodec, Snapshot, SnapshotError};
-pub use space::{score_all, score_ids, score_slice, CountedSpace, Space, SpaceStats, BATCH_WIDTH};
+pub use space::{
+    score_all, score_ids, score_ids_quantized, score_slice, CountedSpace, Space, SpaceStats,
+    BATCH_WIDTH,
+};
 
 /// A heap-allocated, thread-shareable search index.
 ///

@@ -27,7 +27,9 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-use crate::Dataset;
+use crate::dataset::{Dataset, FlatVectors};
+use crate::point::Point;
+use crate::quant::{QuantizedVectors, QuantizedView};
 
 /// Errors surfaced by snapshot writing, reading, and container framing.
 ///
@@ -157,17 +159,32 @@ pub trait Snapshot<P, S>: Sized {
 
 /// Point-level codec used by [`Dataset`] snapshots and by indices that
 /// store points directly (pivot sets).
-pub trait PointCodec: Sized {
-    /// Serialize one point.
-    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError>;
+///
+/// The encoder is written over the *borrowed* form
+/// ([`Point::Ref`]) so arena-backed dense datasets — which own no
+/// `Vec<f32>` points — serialize straight from borrowed arena rows with
+/// the byte-identical encoding owned points produce.
+pub trait PointCodec: Point {
+    /// Serialize one point given in its borrowed form.
+    fn write_point_ref<W: Write + ?Sized>(p: &Self::Ref, w: &mut W) -> Result<(), SnapshotError>;
+    /// Serialize one owned point (delegates to the borrowed form).
+    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        Self::write_point_ref(self.point_ref(), w)
+    }
     /// Deserialize one point.
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError>;
     /// Reconstruct a point from one dense arena row, when this point type
-    /// is logically a dense `f32` row. Non-dense types return `None`; the
-    /// flat-block dataset payload (tag 1) is then rejected as corrupt
-    /// instead of being misdecoded.
+    /// is logically a dense `f32` row. Non-dense types return `None`.
     fn from_dense_row(row: Vec<f32>) -> Option<Self> {
         let _ = row;
+        None
+    }
+    /// Build a dataset directly over a restored dense arena, when this
+    /// point type is logically a dense `f32` row. Non-dense types return
+    /// `None`; the flat-block dataset payloads (tags 1 and 2) are then
+    /// rejected as corrupt instead of being misdecoded.
+    fn dataset_from_arena(arena: FlatVectors) -> Option<Dataset<Self>> {
+        let _ = arena;
         None
     }
 }
@@ -332,8 +349,8 @@ pub fn read_f32_seq<R: Read + ?Sized>(r: &mut R) -> Result<Vec<f32>, SnapshotErr
 // ---------------------------------------------------------------------------
 
 impl PointCodec for Vec<f32> {
-    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        write_f32_seq(w, self)
+    fn write_point_ref<W: Write + ?Sized>(p: &[f32], w: &mut W) -> Result<(), SnapshotError> {
+        write_f32_seq(w, p)
     }
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         read_f32_seq(r)
@@ -341,11 +358,14 @@ impl PointCodec for Vec<f32> {
     fn from_dense_row(row: Vec<f32>) -> Option<Self> {
         Some(row)
     }
+    fn dataset_from_arena(arena: FlatVectors) -> Option<Dataset<Self>> {
+        Some(Dataset::from_arena(arena))
+    }
 }
 
 impl PointCodec for Vec<u32> {
-    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        write_u32_seq(w, self)
+    fn write_point_ref<W: Write + ?Sized>(p: &Self, w: &mut W) -> Result<(), SnapshotError> {
+        write_u32_seq(w, p)
     }
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         read_u32_seq(r)
@@ -354,8 +374,8 @@ impl PointCodec for Vec<u32> {
 
 /// Byte sequences (the DNA world's `Sequence` alias).
 impl PointCodec for Vec<u8> {
-    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        write_bytes(w, self)
+    fn write_point_ref<W: Write + ?Sized>(p: &Self, w: &mut W) -> Result<(), SnapshotError> {
+        write_bytes(w, p)
     }
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         read_bytes(r)
@@ -363,8 +383,8 @@ impl PointCodec for Vec<u8> {
 }
 
 impl PointCodec for String {
-    fn write_point<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        write_str(w, self)
+    fn write_point_ref<W: Write + ?Sized>(p: &Self, w: &mut W) -> Result<(), SnapshotError> {
+        write_str(w, p)
     }
     fn read_point<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         read_str(r)
@@ -404,36 +424,94 @@ pub fn read_f32_block<R: Read + ?Sized>(r: &mut R, len: usize) -> Result<Vec<f32
     Ok(out)
 }
 
+/// Write a raw byte block without framing (the SQ8 code block; length is
+/// derivable from the header).
+pub fn write_u8_block<W: Write + ?Sized>(w: &mut W, bytes: &[u8]) -> Result<(), SnapshotError> {
+    w.write_all(bytes).map_err(SnapshotError::from)
+}
+
+/// Read `len` raw bytes written by [`write_u8_block`]. Capacity is capped
+/// up front, so a corrupt count cannot trigger a huge allocation.
+pub fn read_u8_block<R: Read + ?Sized>(r: &mut R, len: usize) -> Result<Vec<u8>, SnapshotError> {
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
+    let mut buf = [0u8; 8192];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len());
+        read_exact(r, &mut buf[..take], "u8 block")?;
+        out.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    Ok(out)
+}
+
 // ---------------------------------------------------------------------------
 // Dataset snapshots.
 //
 // Payload layout (store container format version >= 2): a leading tag
 // byte — 0 = length-prefixed per-point sequence (any point type), 1 = one
 // flat dense block (`rows`, `dim`, then `rows * dim` raw little-endian
-// f32s). Arena-backed dense datasets write tag 1, so a warm start is a
-// handful of large sequential reads instead of one framed read per point,
-// and the arena is rebuilt directly from the block. The tag-less v1
-// payload (per-point only) stays readable through `read_snapshot_v1`.
+// f32s), 2 (container version >= 3) = the tag-1 flat block followed by the
+// SQ8 quantized tier (`dim` mins, `dim` scales, `rows` dequantized norms
+// as raw f32s, then `rows * dim` raw code bytes). Arena-backed dense
+// datasets write tag 1 (or 2 when quantized), so a warm start is a handful
+// of large sequential reads instead of one framed read per point, and the
+// arena is rebuilt directly from the block — no per-point `Vec`s are ever
+// materialized. The tag-less v1 payload (per-point only) stays readable
+// through `read_snapshot_v1`.
 // ---------------------------------------------------------------------------
+
+/// Read the shared flat-block header + arena of the tag-1/tag-2 payloads:
+/// `rows`, `dim`, then `rows * dim` raw f32s, every size `checked_mul`-
+/// validated and preallocation capped so corrupt headers surface as typed
+/// errors, never as panics or huge allocations.
+fn read_flat_arena<R: Read + ?Sized>(
+    r: &mut R,
+) -> Result<(FlatVectors, usize, usize), SnapshotError> {
+    let rows = read_len(r)?;
+    let dim = read_len(r)?;
+    if rows > u32::MAX as usize {
+        return Err(corrupt("dataset exceeds the u32 id space"));
+    }
+    let total = rows
+        .checked_mul(dim)
+        .ok_or_else(|| corrupt("flat dataset block size overflows"))?;
+    let values = read_f32_block(r, total)?;
+    let arena = FlatVectors::try_from_parts(&values, dim, rows)
+        .ok_or_else(|| corrupt("flat dataset block shape mismatch"))?;
+    Ok((arena, rows, dim))
+}
 
 /// Payload tag: length-prefixed per-point sequence.
 const DATASET_TAG_POINTS: u8 = 0;
 /// Payload tag: one flat row-major dense block.
 const DATASET_TAG_FLAT: u8 = 1;
+/// Payload tag: flat dense block plus the SQ8 quantized tier.
+const DATASET_TAG_FLAT_QUANT: u8 = 2;
 
 impl<P: PointCodec> Dataset<P> {
     /// Serialize the dataset, ids implicit in order. Arena-backed datasets
-    /// emit the flat-block form (tag 1); everything else the per-point
-    /// form (tag 0).
+    /// emit the flat-block form (tag 1, or tag 2 when a quantized tier is
+    /// attached); everything else the per-point form (tag 0).
     pub fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        match self.flat() {
-            Some(flat) => {
+        match (self.flat(), self.quantized()) {
+            (Some(flat), Some(quant)) => {
+                write_u8(w, DATASET_TAG_FLAT_QUANT)?;
+                write_len(w, flat.len())?;
+                write_len(w, flat.dim())?;
+                write_f32_block(w, flat.data())?;
+                write_f32_block(w, quant.mins())?;
+                write_f32_block(w, quant.scales())?;
+                write_f32_block(w, quant.norms())?;
+                write_u8_block(w, quant.codes())
+            }
+            (Some(flat), None) => {
                 write_u8(w, DATASET_TAG_FLAT)?;
                 write_len(w, flat.len())?;
                 write_len(w, flat.dim())?;
                 write_f32_block(w, flat.data())
             }
-            None => {
+            (None, _) => {
                 write_u8(w, DATASET_TAG_POINTS)?;
                 write_seq(w, self.points(), |w, p| p.write_point(w))
             }
@@ -441,37 +519,31 @@ impl<P: PointCodec> Dataset<P> {
     }
 
     /// Reconstruct a dataset written by [`Dataset::write_snapshot`]. A
-    /// flat-block payload (tag 1) reattaches its arena, so the restored
-    /// dataset serves through the gather-free paths immediately.
+    /// flat-block payload (tag 1 or 2) rebuilds its arena (and quantized
+    /// tier) as the dataset's **only** storage, so the restored dataset
+    /// serves through the gather-free paths immediately and no nested
+    /// mirror exists.
     pub fn read_snapshot<R: Read + ?Sized>(r: &mut R) -> Result<Self, SnapshotError> {
         match read_u8(r)? {
             DATASET_TAG_POINTS => Self::read_points(r),
             DATASET_TAG_FLAT => {
-                let rows = read_len(r)?;
-                let dim = read_len(r)?;
-                if rows > u32::MAX as usize {
-                    return Err(corrupt("dataset exceeds the u32 id space"));
-                }
-                let total = rows
-                    .checked_mul(dim)
-                    .ok_or_else(|| corrupt("flat dataset block size overflows"))?;
-                let values = read_f32_block(r, total)?;
-                let mut points = Vec::with_capacity(rows.min(PREALLOC_CAP));
-                for i in 0..rows {
-                    let row = if dim == 0 {
-                        Vec::new()
-                    } else {
-                        values[i * dim..(i + 1) * dim].to_vec()
-                    };
-                    points.push(
-                        P::from_dense_row(row).ok_or_else(|| {
-                            corrupt("flat dense payload for a non-dense point type")
-                        })?,
-                    );
-                }
-                let arena = crate::dataset::FlatVectors::from_parts(&values, dim, rows);
-                let mut data = Dataset::new(points);
-                data.set_flat_view(crate::dataset::FlatAccess::new(arena));
+                let (arena, _, _) = read_flat_arena(r)?;
+                P::dataset_from_arena(arena)
+                    .ok_or_else(|| corrupt("flat dense payload for a non-dense point type"))
+            }
+            DATASET_TAG_FLAT_QUANT => {
+                let (arena, rows, dim) = read_flat_arena(r)?;
+                let mins = read_f32_block(r, dim)?;
+                let scales = read_f32_block(r, dim)?;
+                let norms = read_f32_block(r, rows)?;
+                // rows * dim was already checked_mul-validated by the
+                // arena read above.
+                let codes = read_u8_block(r, rows * dim)?;
+                let quant = QuantizedVectors::from_parts(mins, scales, norms, codes, dim, rows)
+                    .ok_or_else(|| corrupt("quantized block shape mismatch"))?;
+                let mut data = P::dataset_from_arena(arena)
+                    .ok_or_else(|| corrupt("flat dense payload for a non-dense point type"))?;
+                data.set_quantized_view(QuantizedView::new(quant));
                 Ok(data)
             }
             tag => Err(corrupt(format!("invalid dataset payload tag {tag}"))),
@@ -480,10 +552,15 @@ impl<P: PointCodec> Dataset<P> {
 
     /// Serialize in the v1 (tag-less, per-point) payload layout. This is
     /// also the **fingerprint encoding**: content identity must not depend
-    /// on whether a dataset happens to carry an arena, and manifests
-    /// written by v1 deployments keep verifying.
+    /// on whether a dataset happens to carry an arena or a quantized tier,
+    /// and manifests written by v1 deployments keep verifying. Works from
+    /// any storage (arena-backed datasets encode borrowed rows).
     pub fn write_snapshot_v1<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
-        write_seq(w, self.points(), |w, p| p.write_point(w))
+        write_len(w, self.len())?;
+        for (_, p) in self.iter() {
+            P::write_point_ref(p, w)?;
+        }
+        Ok(())
     }
 
     /// Reconstruct a dataset from the v1 (tag-less, per-point) payload
@@ -600,17 +677,57 @@ mod tests {
         data.write_snapshot(&mut buf).unwrap();
         assert_eq!(buf[0], 1, "arena-backed datasets write the flat tag");
         let back = Dataset::<Vec<f32>>::read_snapshot(&mut buf.as_slice()).unwrap();
-        assert_eq!(back.points(), data.points());
+        assert_eq!(back.to_owned_points(), rows);
         let view = back.flat().expect("arena reattached on load");
-        for (id, p) in back.iter() {
-            assert_eq!(view.row(id), p.as_slice());
+        // Single residency after restore: `get` answers from the arena
+        // bytes themselves (the satellite drift-hazard pin for the
+        // snapshot construction path).
+        for (id, row) in rows.iter().enumerate() {
+            let got = back.get(id as u32);
+            assert_eq!(got, row.as_slice());
+            assert!(std::ptr::eq(got.as_ptr(), view.row(id as u32).as_ptr()));
         }
         // v1 encoding of the same dataset stays the per-point layout and
-        // reads back through the legacy entry point.
+        // reads back through the legacy entry point — and an owned nested
+        // dataset of the same rows produces byte-identical v1 encoding
+        // (the fingerprint is layout-independent).
         let mut v1 = Vec::new();
         data.write_snapshot_v1(&mut v1).unwrap();
+        let mut v1_nested = Vec::new();
+        Dataset::new(rows.clone())
+            .write_snapshot_v1(&mut v1_nested)
+            .unwrap();
+        assert_eq!(v1, v1_nested, "v1 encoding is layout-independent");
         let legacy = Dataset::<Vec<f32>>::read_snapshot_v1(&mut v1.as_slice()).unwrap();
-        assert_eq!(legacy.points(), data.points());
+        assert_eq!(legacy.points(), rows);
+    }
+
+    #[test]
+    fn quantized_dataset_snapshot_round_trips() {
+        let rows: Vec<Vec<f32>> = (0..17)
+            .map(|i| vec![i as f32, 100.0 - i as f32, 0.5])
+            .collect();
+        let data = Dataset::new_flat(rows.clone()).quantize();
+        let mut buf = Vec::new();
+        data.write_snapshot(&mut buf).unwrap();
+        assert_eq!(buf[0], 2, "quantized datasets write the flat+quant tag");
+        let back = Dataset::<Vec<f32>>::read_snapshot(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.to_owned_points(), rows);
+        let q = back.quantized().expect("quantized tier reattached");
+        let orig = data.quantized().unwrap();
+        assert_eq!(q.len(), orig.len());
+        assert_eq!(q.dim(), orig.dim());
+        assert_eq!(q.codes(), orig.codes());
+        assert_eq!(q.mins(), orig.mins());
+        assert_eq!(q.scales(), orig.scales());
+        assert_eq!(q.norms(), orig.norms());
+        // A truncated quantized block is a typed error.
+        let cut = buf.len() - 4;
+        let err = Dataset::<Vec<f32>>::read_snapshot(&mut buf[..cut].as_ref()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+        // Non-dense point types reject the quantized payload too.
+        let err = Dataset::<String>::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
     }
 
     #[test]

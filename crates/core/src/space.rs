@@ -12,6 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::dataset::{Dataset, DenseStore, FlatAccess};
+use crate::point::Point;
+use crate::quant::QuantizedView;
 
 /// Number of candidates a batched scoring call processes at once.
 ///
@@ -83,6 +85,38 @@ pub trait Space<P: ?Sized>: Send + Sync {
         );
     }
 
+    /// Whether this space can score SQ8 rows of a
+    /// [`QuantizedView`] via
+    /// [`distance_block_quantized`](Self::distance_block_quantized).
+    ///
+    /// Only dense spaces whose distance decomposes over per-dimension
+    /// affine dequantization (L2, dense cosine) return `true`; consumers
+    /// must check this before calling the quantized kernel. Spaces that
+    /// return `false` simply bypass the quantized tier — correctness never
+    /// depends on it.
+    fn supports_quantized(&self) -> bool {
+        false
+    }
+
+    /// Score the SQ8 rows named by `ids` (view-relative) against the
+    /// full-precision query `y`: `out[i]` receives an *approximate*
+    /// distance of the dequantized `quant.row(ids[i])` to `y`.
+    ///
+    /// Unlike the flat kernel, the quantized kernel has **no** bitwise
+    /// contract with [`distance`](Self::distance) — quantization is lossy
+    /// by design. It is only ever used as a pre-filter whose survivors are
+    /// re-ranked exactly from the `f32` arena, so the approximation shows
+    /// up as candidate *ordering*, never in reported distances. Callers
+    /// gate on [`supports_quantized`](Self::supports_quantized); the
+    /// default must never run.
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        let _ = (quant, ids, y, out);
+        unreachable!(
+            "distance_block_quantized called on {:?}, which has no quantized kernel",
+            self.name()
+        );
+    }
+
     /// Whether `distance(x, y) == distance(y, x)` for all points.
     ///
     /// Non-symmetric spaces (KL-divergence) return `false`; indexes that
@@ -110,6 +144,12 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for &S {
     fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
         (**self).distance_block_flat(flat, ids, y, out)
     }
+    fn supports_quantized(&self) -> bool {
+        (**self).supports_quantized()
+    }
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        (**self).distance_block_quantized(quant, ids, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -131,6 +171,12 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for Arc<S> {
     fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
         (**self).distance_block_flat(flat, ids, y, out)
     }
+    fn supports_quantized(&self) -> bool {
+        (**self).supports_quantized()
+    }
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        (**self).distance_block_quantized(quant, ids, y, out)
+    }
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
     }
@@ -144,10 +190,10 @@ impl<P: ?Sized, S: Space<P> + ?Sized> Space<P> for Arc<S> {
 /// order. The shared engine under [`score_all`] (dataset scans) and the
 /// permutation crates' pivot scoring; `dists` is the reused kernel output
 /// buffer (grown once, then allocation-free).
-pub fn score_slice<P, S: Space<P> + ?Sized>(
+pub fn score_slice<P: Point, S: Space<P::Ref> + ?Sized>(
     space: &S,
     points: &[P],
-    query: &P,
+    query: &P::Ref,
     dists: &mut Vec<f32>,
     mut f: impl FnMut(u32, f32),
 ) {
@@ -156,9 +202,9 @@ pub fn score_slice<P, S: Space<P> + ?Sized>(
     }
     let mut id = 0u32;
     for chunk in points.chunks(BATCH_WIDTH) {
-        let mut refs: [&P; BATCH_WIDTH] = [query; BATCH_WIDTH];
+        let mut refs: [&P::Ref; BATCH_WIDTH] = [query; BATCH_WIDTH];
         for (slot, p) in refs.iter_mut().zip(chunk) {
-            *slot = p;
+            *slot = p.point_ref();
         }
         space.distance_block(&refs[..chunk.len()], query, &mut dists[..chunk.len()]);
         for &d in &dists[..chunk.len()] {
@@ -177,19 +223,19 @@ pub fn score_slice<P, S: Space<P> + ?Sized>(
 /// are consecutive, so the kernels take their contiguous-run fast path);
 /// otherwise it falls back to the gathering [`score_slice`]. Both paths
 /// produce bitwise-identical distances in identical order.
-pub fn score_all<P, S: Space<P> + ?Sized>(
+pub fn score_all<P: Point, S: Space<P::Ref> + ?Sized>(
     space: &S,
     data: &Dataset<P>,
-    query: &P,
+    query: &P::Ref,
     dists: &mut Vec<f32>,
     mut f: impl FnMut(u32, f32),
 ) {
+    if dists.len() < BATCH_WIDTH {
+        dists.resize(BATCH_WIDTH, 0.0);
+    }
+    let n = data.len();
     if let Some(flat) = DenseStore::flat(data) {
         if space.supports_flat() {
-            if dists.len() < BATCH_WIDTH {
-                dists.resize(BATCH_WIDTH, 0.0);
-            }
-            let n = data.len();
             let mut idbuf = [0u32; BATCH_WIDTH];
             let mut id = 0u32;
             while (id as usize) < n {
@@ -206,7 +252,21 @@ pub fn score_all<P, S: Space<P> + ?Sized>(
             return;
         }
     }
-    score_slice(space, data.points(), query, dists, f)
+    // Gather fallback over ids, which serves both nested storage and the
+    // (unusual) arena-without-flat-kernel combination.
+    let mut id = 0u32;
+    while (id as usize) < n {
+        let take = BATCH_WIDTH.min(n - id as usize);
+        let mut refs: [&P::Ref; BATCH_WIDTH] = [query; BATCH_WIDTH];
+        for (off, slot) in refs[..take].iter_mut().enumerate() {
+            *slot = data.get(id + off as u32);
+        }
+        space.distance_block(&refs[..take], query, &mut dists[..take]);
+        for &d in &dists[..take] {
+            f(id, d);
+            id += 1;
+        }
+    }
 }
 
 /// Score the data points named by `ids` against `query` in [`BATCH_WIDTH`]
@@ -219,10 +279,10 @@ pub fn score_all<P, S: Space<P> + ?Sized>(
 /// callers that can pass `ids` in ascending order should (near-sequential
 /// arena reads), but any order is scored correctly and identically to the
 /// gather path.
-pub fn score_ids<P, S: Space<P> + ?Sized>(
+pub fn score_ids<P: Point, S: Space<P::Ref> + ?Sized>(
     space: &S,
     data: &Dataset<P>,
-    query: &P,
+    query: &P::Ref,
     ids: &[u32],
     dists: &mut Vec<f32>,
     mut f: impl FnMut(u32, f32),
@@ -242,11 +302,34 @@ pub fn score_ids<P, S: Space<P> + ?Sized>(
         }
     }
     for chunk in ids.chunks(BATCH_WIDTH) {
-        let mut refs: [&P; BATCH_WIDTH] = [query; BATCH_WIDTH];
+        let mut refs: [&P::Ref; BATCH_WIDTH] = [query; BATCH_WIDTH];
         for (slot, &id) in refs.iter_mut().zip(chunk) {
             *slot = data.get(id);
         }
         space.distance_block(&refs[..chunk.len()], query, &mut dists[..chunk.len()]);
+        for (&id, &d) in chunk.iter().zip(dists.iter()) {
+            f(id, d);
+        }
+    }
+}
+
+/// Score the SQ8 rows named by `ids` against `query` in [`BATCH_WIDTH`]
+/// blocks, invoking `f(id, approx_dist)` in input order — the quantized
+/// companion of [`score_ids`], used by the refine pre-filter. Callers must
+/// gate on [`Space::supports_quantized`].
+pub fn score_ids_quantized<P: ?Sized, S: Space<P> + ?Sized>(
+    space: &S,
+    quant: &QuantizedView,
+    query: &P,
+    ids: &[u32],
+    dists: &mut Vec<f32>,
+    mut f: impl FnMut(u32, f32),
+) {
+    if dists.len() < BATCH_WIDTH {
+        dists.resize(BATCH_WIDTH, 0.0);
+    }
+    for chunk in ids.chunks(BATCH_WIDTH) {
+        space.distance_block_quantized(quant, chunk, query, &mut dists[..chunk.len()]);
         for (&id, &d) in chunk.iter().zip(dists.iter()) {
             f(id, d);
         }
@@ -310,6 +393,14 @@ impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
         // One count per row scored, same as the gather block.
         self.count.fetch_add(ids.len() as u64, Ordering::Relaxed);
         self.inner.distance_block_flat(flat, ids, y, out)
+    }
+    fn supports_quantized(&self) -> bool {
+        self.inner.supports_quantized()
+    }
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        // Quantized scans are distance work too: one count per row.
+        self.count.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.inner.distance_block_quantized(quant, ids, y, out)
     }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()
@@ -380,6 +471,14 @@ where
         // One count per row scored, not per kernel call.
         self.count.set(self.count.get() + ids.len() as u64);
         self.inner.distance_block_flat(flat, ids, y, out)
+    }
+    fn supports_quantized(&self) -> bool {
+        self.inner.supports_quantized()
+    }
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        // One count per row scored, not per kernel call.
+        self.count.set(self.count.get() + ids.len() as u64);
+        self.inner.distance_block_quantized(quant, ids, y, out)
     }
     fn is_symmetric(&self) -> bool {
         self.inner.is_symmetric()

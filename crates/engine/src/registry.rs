@@ -359,8 +359,8 @@ fn scaled_pivots(n: usize, cap: usize) -> usize {
 /// nesting pools would oversubscribe the machine.
 pub fn standard_registry<P, S>(space: S) -> MethodRegistry<P>
 where
-    P: PointCodec + Clone + Send + Sync + 'static,
-    S: Space<P> + Clone + Send + Sync + 'static,
+    P: PointCodec + Clone + 'static,
+    S: Space<P::Ref> + Clone + Send + Sync + 'static,
 {
     let mut reg = MethodRegistry::new();
     let sp = space.clone();

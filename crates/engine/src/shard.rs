@@ -46,14 +46,14 @@ where
     /// configured accordingly. When `num_shards` exceeds the number of
     /// points, the extra (empty) shards are simply not created.
     ///
-    /// Each shard owns a *copy* of its slice of the nested points (the
-    /// `SearchIndex` builders all take a whole `Arc<Dataset>`), so while
-    /// the caller's dataset stays alive, per-point memory is held twice —
-    /// drop the original `Arc` after building for serving-only
-    /// deployments. The flat arena of an arena-backed dense dataset is
-    /// **not** copied: every shard's dataset references its contiguous
-    /// sub-range of the one parent arena, so the gather-free scoring paths
-    /// and the single-allocation float storage survive sharding.
+    /// Shards are cut with [`Dataset::subrange`]: for an arena-backed
+    /// dense dataset every shard is a contiguous sub-range *view* of the
+    /// one parent arena (and of its SQ8 quantized block, when present) —
+    /// an `Arc` bump, not a float copy — so the gather-free scoring paths,
+    /// the quantized pre-filter, and the single-allocation float storage
+    /// all survive sharding. Only nested (non-arena) datasets clone their
+    /// slice of owned points, because the `SearchIndex` builders take
+    /// whole owned datasets.
     pub fn build<F>(data: &Arc<Dataset<P>>, num_shards: usize, build_shard: F) -> Self
     where
         F: Fn(usize, Arc<Dataset<P>>) -> BoxedSearchIndex<P> + Sync,
@@ -85,37 +85,21 @@ where
         assert!(!data.is_empty(), "cannot shard an empty dataset");
         let n = data.len();
         let chunk = n.div_ceil(num_shards);
-        let points = data.points();
         let mut slots: Vec<Option<Result<BoxedSearchIndex<P>, E>>> = Vec::new();
-        slots.resize_with(points.chunks(chunk).len(), || None);
+        slots.resize_with(n.div_ceil(chunk), || None);
         // Build in waves of at most the core count so a large shard count
         // (a deployment choice, not a parallelism choice) cannot
         // oversubscribe the machine with concurrent index builds.
         let wave = std::thread::available_parallelism().map_or(1, |c| c.get());
-        // When the parent dataset is arena-backed, each shard receives a
-        // sub-range *view* of the one parent arena (an `Arc` bump, not a
-        // float copy), so the flat scoring paths stay gather-free inside
-        // every shard. Only the nested per-point vector is still copied —
-        // the `SearchIndex` builders take whole owned datasets.
-        let parent_flat = data.flat();
-        for (wid, (slot_wave, part_wave)) in slots
-            .chunks_mut(wave)
-            .zip(points.chunks(chunk * wave))
-            .enumerate()
-        {
+        for (wid, slot_wave) in slots.chunks_mut(wave).enumerate() {
             crossbeam::thread::scope(|scope| {
-                for (off, (slot, part)) in slot_wave
-                    .iter_mut()
-                    .zip(part_wave.chunks(chunk))
-                    .enumerate()
-                {
+                for (off, slot) in slot_wave.iter_mut().enumerate() {
                     let build_shard = &build_shard;
+                    let data = &data;
                     let sid = wid * wave + off;
                     scope.spawn(move |_| {
-                        let mut shard_data = Dataset::new(part.to_vec());
-                        if let Some(flat) = parent_flat {
-                            shard_data.set_flat_view(flat.slice(sid * chunk, part.len()));
-                        }
+                        let start = sid * chunk;
+                        let shard_data = data.subrange(start, chunk.min(n - start));
                         *slot = Some(build_shard(sid, Arc::new(shard_data)));
                     });
                 }

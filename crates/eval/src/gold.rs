@@ -3,7 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use permsearch_core::{Dataset, ExhaustiveSearch, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, ExhaustiveSearch, Neighbor, Point, SearchIndex, Space};
 
 /// Exact k-NN answers for a query set, plus the measured single-threaded
 /// brute-force time — the denominator-side baseline of the paper's
@@ -37,8 +37,8 @@ impl GoldStandard {
 /// a bounded query sample, whatever the thread count.
 pub fn compute_gold<P, S>(data: &Arc<Dataset<P>>, space: S, queries: &[P], k: usize) -> GoldStandard
 where
-    P: Send + Sync,
-    S: Space<P> + Sync,
+    P: Point,
+    S: Space<P::Ref> + Sync,
 {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -57,8 +57,8 @@ pub fn compute_gold_with_threads<P, S>(
     threads: usize,
 ) -> GoldStandard
 where
-    P: Send + Sync,
-    S: Space<P> + Sync,
+    P: Point,
+    S: Space<P::Ref> + Sync,
 {
     let exact = ExhaustiveSearch::new(data.clone(), space);
     let nq = queries.len();
@@ -100,7 +100,7 @@ where
 /// (bounded so calibration stays cheap next to gold construction itself).
 const BASELINE_SAMPLE: usize = 32;
 
-fn gold_slice<P, S: Space<P>>(
+fn gold_slice<P: Point, S: Space<P::Ref>>(
     exact: &ExhaustiveSearch<P, S>,
     queries: &[P],
     k: usize,

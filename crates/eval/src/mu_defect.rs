@@ -23,7 +23,7 @@
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, Space};
+use permsearch_core::{Dataset, Point, Space};
 
 /// Empirical µ of `f ∘ d` on a dataset: the maximum over sampled triples
 /// `(q, a, b)` of `|f(d(q,a)) − f(d(q,b))| / f(d(a,b))`.
@@ -40,7 +40,8 @@ pub fn empirical_mu<P, S, F>(
     seed: u64,
 ) -> f64
 where
-    S: Space<P>,
+    P: Point,
+    S: Space<P::Ref>,
     F: Fn(f32) -> f32,
 {
     assert!(data.len() >= 3, "need at least three points");

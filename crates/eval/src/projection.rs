@@ -12,7 +12,7 @@
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, Space};
+use permsearch_core::{Dataset, Point, Space};
 use permsearch_permutation::randproj::Projector;
 
 /// One Figure 2 dot: a pair's distance in the original and the projected
@@ -41,8 +41,9 @@ pub fn distance_pairs<P, S, J, F>(
     seed: u64,
 ) -> Vec<PairSample>
 where
-    S: Space<P>,
-    J: Projector<P>,
+    P: Point,
+    S: Space<P::Ref>,
+    J: Projector<P::Ref>,
     F: Fn(&[f32], &[f32]) -> f32,
 {
     let n = data.len();
@@ -87,8 +88,9 @@ fn make_pair<P, S, J, F>(
     near: bool,
 ) -> PairSample
 where
-    S: Space<P>,
-    J: Projector<P>,
+    P: Point,
+    S: Space<P::Ref>,
+    J: Projector<P::Ref>,
     F: Fn(&[f32], &[f32]) -> f32,
 {
     let original = space.distance(data.get(j), data.get(i));
@@ -113,26 +115,27 @@ pub fn candidate_fraction_curve<P, S, J, F>(
     k: usize,
 ) -> Vec<(f64, f64)>
 where
-    S: Space<P>,
-    J: Projector<P>,
+    P: Point,
+    S: Space<P::Ref>,
+    J: Projector<P::Ref>,
     F: Fn(&[f32], &[f32]) -> f32,
 {
     let n = data.len();
     assert!(n > k, "dataset must exceed k");
-    let projected: Vec<Vec<f32>> = data.points().iter().map(|p| projector.project(p)).collect();
+    let projected: Vec<Vec<f32>> = data.iter().map(|(_, p)| projector.project(p)).collect();
     let mut fractions_at = vec![Vec::with_capacity(queries.len()); k];
 
     for q in queries {
         // Exact truth.
         let mut truth: Vec<(f32, u32)> = data
             .iter()
-            .map(|(id, p)| (space.distance(p, q), id))
+            .map(|(id, p)| (space.distance(p, q.point_ref()), id))
             .collect();
         truth.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
         let truth_ids: Vec<u32> = truth[..k].iter().map(|&(_, id)| id).collect();
 
         // Candidate order by projected distance.
-        let pq = projector.project(q);
+        let pq = projector.project(q.point_ref());
         let mut order: Vec<(f32, u32)> = projected
             .iter()
             .enumerate()
@@ -243,9 +246,9 @@ mod tests {
         // fraction needed for the j-th neighbor is exactly (j+1)/n ...
         // except for ties; allow tiny slack.
         struct Identity;
-        impl Projector<Vec<f32>> for Identity {
-            fn project(&self, p: &Vec<f32>) -> Vec<f32> {
-                p.clone()
+        impl Projector<[f32]> for Identity {
+            fn project(&self, p: &[f32]) -> Vec<f32> {
+                p.to_vec()
             }
             fn dim(&self) -> usize {
                 4

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, SearchIndex, Space};
+use permsearch_core::{Dataset, Point, SearchIndex, Space};
 
 use crate::gold::compute_gold;
 use crate::runner::evaluate;
@@ -53,8 +53,8 @@ pub fn evaluate_splits<P, S, I, B>(
     seed: u64,
 ) -> SplitResult
 where
-    P: Clone + Send + Sync,
-    S: Space<P> + Clone + Sync,
+    P: Point + Clone,
+    S: Space<P::Ref> + Clone + Sync,
     I: SearchIndex<P>,
     B: Fn(Arc<Dataset<P>>, u64) -> I,
 {

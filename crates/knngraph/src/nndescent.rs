@@ -18,7 +18,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use permsearch_core::rng::{sample_distinct, seeded_rng};
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, Space};
 
 use crate::search::greedy_search;
 
@@ -118,7 +118,8 @@ pub fn nndescent<P, S>(
     seed: u64,
 ) -> NnDescentGraph<P, S>
 where
-    S: Space<P>,
+    P: Point,
+    S: Space<P::Ref>,
 {
     assert!(params.k >= 1, "k must be at least 1");
     assert!(params.rho > 0.0 && params.rho <= 1.0);
@@ -281,15 +282,15 @@ impl<P, S> NnDescentGraph<P, S> {
 
 impl<P, S> SearchIndex<P> for NnDescentGraph<P, S>
 where
-    P: Send + Sync,
-    S: Space<P>,
+    P: Point + Send + Sync,
+    S: Space<P::Ref>,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         greedy_search(
             &self.data,
             &self.space,
             &self.adjacency,
-            query,
+            query.point_ref(),
             k,
             self.params.search_attempts,
             self.params.search_ef,
@@ -308,7 +309,7 @@ where
             &self.data,
             &self.space,
             &self.adjacency,
-            query,
+            query.point_ref(),
             k,
             self.params.search_attempts,
             self.params.search_ef,
@@ -431,7 +432,7 @@ mod tests {
             let gen = DenseGaussianMixture::new(4, 1, 0.5);
             let data = Arc::new(Dataset::new(gen.generate(n, 9)));
             let graph = nndescent(data.clone(), L2, NnDescentParams::default(), 1);
-            let res = graph.search(data.get(0), n);
+            let res = graph.search(&data.get(0).to_owned(), n);
             assert!(!res.is_empty());
         }
     }

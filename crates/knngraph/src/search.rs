@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, Neighbor, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchScratch, Space};
 
 /// Best-first k-NN search over `adjacency`.
 ///
@@ -21,11 +21,11 @@ use permsearch_core::{Dataset, Neighbor, SearchScratch, Space};
 ///   are closer than the `ef`-th best seen so far (`ef ≥ k`; larger values
 ///   trade speed for recall).
 #[allow(clippy::too_many_arguments)]
-pub fn greedy_search<P, S: Space<P>>(
+pub fn greedy_search<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
     space: &S,
     adjacency: &[Vec<u32>],
-    query: &P,
+    query: &P::Ref,
     k: usize,
     attempts: usize,
     ef: usize,
@@ -55,11 +55,11 @@ pub fn greedy_search<P, S: Space<P>>(
 /// and the traversal, including every tie decision, is identical to the
 /// allocating form.
 #[allow(clippy::too_many_arguments)]
-pub fn greedy_search_with<P, S: Space<P>>(
+pub fn greedy_search_with<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
     space: &S,
     adjacency: &[Vec<u32>],
-    query: &P,
+    query: &P::Ref,
     k: usize,
     attempts: usize,
     ef: usize,
@@ -138,7 +138,7 @@ mod tests {
                 nb
             })
             .collect();
-        let res = greedy_search(&data, &L2, &adjacency, &vec![6.4f32], 2, 3, 4, 1);
+        let res = greedy_search(&data, &L2, &adjacency, &[6.4f32], 2, 3, 4, 1);
         assert_eq!(res[0].id, 6);
         assert_eq!(res[1].id, 7);
     }
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn empty_graph_returns_nothing() {
         let data: Dataset<Vec<f32>> = Dataset::default();
-        let res = greedy_search(&data, &L2, &[], &vec![0.0f32], 5, 2, 8, 0);
+        let res = greedy_search(&data, &L2, &[], &[0.0f32], 5, 2, 8, 0);
         assert!(res.is_empty());
     }
 
@@ -163,7 +163,7 @@ mod tests {
                 base.filter(|&j| j != i).collect()
             })
             .collect();
-        let res = greedy_search(&data, &L2, &adjacency, &vec![100.02f32], 1, 10, 4, 7);
+        let res = greedy_search(&data, &L2, &adjacency, &[100.02f32], 1, 10, 4, 7);
         assert_eq!(res[0].id, 7, "must find the far component");
     }
 }

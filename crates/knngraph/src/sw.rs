@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, Space};
 
 use crate::search::greedy_search;
 
@@ -50,7 +50,8 @@ pub struct SwGraph<P, S> {
 
 impl<P, S> SwGraph<P, S>
 where
-    S: Space<P>,
+    P: Point,
+    S: Space<P::Ref>,
 {
     /// Build by search-based insertion in id order (the insertion order is
     /// already random for generated data; a dedicated shuffle would only
@@ -187,7 +188,7 @@ where
 /// Best-first search for the neighbors of `query_id` over the nodes
 /// `0..limit` only (the already-inserted prefix).
 #[allow(clippy::too_many_arguments)]
-fn partial_search<P, S: Space<P>>(
+fn partial_search<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
     space: &S,
     adjacency: &[Vec<u32>],
@@ -311,15 +312,15 @@ impl<P, S> permsearch_core::Snapshot<P, S> for SwGraph<P, S> {
 
 impl<P, S> SearchIndex<P> for SwGraph<P, S>
 where
-    P: Send + Sync,
-    S: Space<P>,
+    P: Point + Send + Sync,
+    S: Space<P::Ref>,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         greedy_search(
             &self.data,
             &self.space,
             &self.adjacency,
-            query,
+            query.point_ref(),
             k,
             self.params.search_attempts,
             self.params.search_ef,
@@ -338,7 +339,7 @@ where
             &self.data,
             &self.space,
             &self.adjacency,
-            query,
+            query.point_ref(),
             k,
             self.params.search_attempts,
             self.params.search_ef,
@@ -422,7 +423,7 @@ mod tests {
             let gen = DenseGaussianMixture::new(4, 1, 0.5);
             let data = Arc::new(Dataset::new(gen.generate(n, 9)));
             let graph = SwGraph::build(data.clone(), L2, SwGraphParams::default(), 1);
-            let res = graph.search(data.get(0), n);
+            let res = graph.search(&data.get(0).to_owned(), n);
             assert!(!res.is_empty(), "n={n}");
         }
     }
@@ -468,7 +469,7 @@ mod tests {
             let gen = DenseGaussianMixture::new(4, 1, 0.5);
             let data = Arc::new(Dataset::new(gen.generate(n, 9)));
             let g = SwGraph::build_parallel(data.clone(), L2, SwGraphParams::default(), 1, 4);
-            let res = g.search(data.get(0), n);
+            let res = g.search(&data.get(0).to_owned(), n);
             assert!(!res.is_empty(), "n={n}");
         }
     }
@@ -477,7 +478,7 @@ mod tests {
     fn self_query_finds_itself() {
         let (data, _) = world(400);
         let graph = SwGraph::build(data.clone(), L2, SwGraphParams::default(), 11);
-        let res = graph.search(data.get(123), 1);
+        let res = graph.search(&data.get(123).to_owned(), 1);
         assert_eq!(res[0].dist, 0.0);
     }
 }

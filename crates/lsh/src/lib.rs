@@ -192,7 +192,7 @@ impl MpLsh {
         assert!(params.hashes_per_table >= 1);
         assert!(params.bucket_width > 0.0);
         assert!(params.num_probes >= 1);
-        let dim = data.points().first().map_or(0, Vec::len);
+        let dim = data.dim();
         let mut rng = seeded_rng(seed);
         let mut tables = Vec::with_capacity(params.num_tables);
         for _ in 0..params.num_tables {
@@ -353,7 +353,7 @@ impl permsearch_core::Snapshot<Vec<f32>, ()> for MpLsh {
         use permsearch_core::snapshot::corrupt;
         codec::check_point_count(codec::read_len(r)?, data.len())?;
         let dim = codec::read_len(r)?;
-        let data_dim = data.points().first().map_or(dim, Vec::len);
+        let data_dim = if data.is_empty() { dim } else { data.dim() };
         if dim != data_dim {
             return Err(corrupt(format!(
                 "MPLSH snapshot was written over {dim}-dim points but the supplied dataset holds {data_dim}-dim points"
@@ -602,7 +602,7 @@ mod tests {
     fn self_query_finds_itself() {
         let (data, _) = world(400);
         let idx = MpLsh::build(data.clone(), MpLshParams::default(), 9);
-        let res = idx.search(data.get(7), 1);
+        let res = idx.search(&data.get(7).to_owned(), 1);
         assert_eq!(res[0].id, 7);
         assert_eq!(res[0].dist, 0.0);
     }

@@ -61,7 +61,7 @@ proptest! {
         let bytes = index_to_vec("index:lsh", &fresh).unwrap();
         let loaded: MpLsh =
             index_from_slice(&bytes, "index:lsh", data.clone(), ()).unwrap();
-        let q = data.get(0).clone();
+        let q = data.get(0).to_owned();
         assert_eq!(fresh.search(&q, 5), loaded.search(&q, 5));
     }
 }

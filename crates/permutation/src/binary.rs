@@ -8,7 +8,7 @@
 
 use crossbeam::thread;
 
-use permsearch_core::{BitVector, Dataset, Space};
+use permsearch_core::{BitVector, Dataset, Point, Space};
 
 use crate::perm::compute_ranks;
 
@@ -47,8 +47,8 @@ impl BinarizedPermutations {
         threads: usize,
     ) -> Self
     where
-        P: Sync,
-        S: Space<P> + Sync,
+        P: Point + Sync,
+        S: Space<P::Ref> + Sync,
     {
         let m = pivots.len();
         assert!(m > 0, "at least one pivot required");
@@ -59,13 +59,12 @@ impl BinarizedPermutations {
         if n > 0 {
             let threads = threads.max(1).min(n);
             let chunk = n.div_ceil(threads);
-            let points = data.points();
             thread::scope(|s| {
                 for (t, out) in words.chunks_mut(chunk * wpp).enumerate() {
-                    let start = t * chunk;
+                    let start = (t * chunk) as u32;
                     s.spawn(move |_| {
-                        for (row, point) in out.chunks_mut(wpp).zip(points[start..].iter()) {
-                            let ranks = compute_ranks(space, pivots, point);
+                        for (row, id) in out.chunks_mut(wpp).zip(start..) {
+                            let ranks = compute_ranks(space, pivots, data.get(id));
                             for (i, &r) in ranks.iter().enumerate() {
                                 if r >= threshold {
                                     row[i / 64] |= 1u64 << (i % 64);
@@ -222,7 +221,7 @@ mod tests {
         ];
         let data = Dataset::new(vec![vec![0.5f32, 0.5], vec![3.2, 1.2]]);
         let table = BinarizedPermutations::build(&data, &L2, &pivots, None, 1);
-        let q = table.pack_query(&compute_ranks(&L2, &pivots, &vec![0.6f32, 0.5]));
+        let q = table.pack_query(&compute_ranks(&L2, &pivots, &[0.6f32, 0.5]));
         assert!(table.hamming_to(0, &q) <= table.hamming_to(1, &q));
     }
 

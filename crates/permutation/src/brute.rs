@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 use crate::binary::BinarizedPermutations;
 use crate::perm::{compute_ranks_into, PermutationTable};
@@ -49,8 +49,8 @@ pub struct BruteForcePermFilter<P, S> {
 
 impl<P, S> BruteForcePermFilter<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build the filter: `num_pivots` random pivots (selected by the
     /// caller via [`crate::select_pivots`] — passed in explicitly so
@@ -90,8 +90,8 @@ where
 
 impl<P, S> SearchIndex<P> for BruteForcePermFilter<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -119,7 +119,7 @@ where
         compute_ranks_into(
             &self.space,
             &self.pivots,
-            query,
+            query.point_ref(),
             &mut scratch.dists,
             &mut scratch.order,
             &mut scratch.ranks,
@@ -146,7 +146,7 @@ where
         refine_into(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             scored_u64[..gamma].iter().map(|&(_, id)| id),
             k,
             ids,
@@ -180,8 +180,8 @@ pub struct BruteForceBinFilter<P, S> {
 
 impl<P, S> BruteForceBinFilter<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build with binarization threshold `m / 2` (paper's balanced choice).
     pub fn build(
@@ -210,8 +210,8 @@ where
 
 impl<P, S> SearchIndex<P> for BruteForceBinFilter<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -237,7 +237,7 @@ where
         compute_ranks_into(
             &self.space,
             &self.pivots,
-            query,
+            query.point_ref(),
             &mut scratch.dists,
             &mut scratch.order,
             &mut scratch.ranks,
@@ -258,7 +258,7 @@ where
         refine_into(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             scored_u32[..gamma].iter().map(|&(_, id)| id),
             k,
             ids,
@@ -299,7 +299,7 @@ mod tests {
     }
 
     /// Exact 10-NN by linear scan.
-    fn gold(data: &Dataset<Vec<f32>>, q: &Vec<f32>, k: usize) -> Vec<u32> {
+    fn gold(data: &Dataset<Vec<f32>>, q: &[f32], k: usize) -> Vec<u32> {
         let mut all: Vec<(f32, u32)> = data.iter().map(|(id, p)| (L2.distance(p, q), id)).collect();
         all.sort_by(|a, b| a.0.total_cmp(&b.0));
         all[..k].iter().map(|&(_, id)| id).collect()
@@ -386,7 +386,7 @@ mod tests {
         let mut rng = seeded_rng(0);
         for _ in 0..5 {
             let id = rng.gen_range(0..data.len()) as u32;
-            let res = idx.search(data.get(id), 5);
+            let res = idx.search(&data.get(id).to_owned(), 5);
             assert_eq!(res[0].dist, 0.0);
         }
     }

@@ -14,7 +14,7 @@
 //! answering the same filter-and-refine queries as the static
 //! [`Napp`](crate::Napp).
 
-use permsearch_core::{KnnHeap, Neighbor, SearchIndex, Space};
+use permsearch_core::{KnnHeap, Neighbor, Point, SearchIndex, Space};
 
 use crate::napp::NappParams;
 use crate::perm::compute_ranks;
@@ -35,8 +35,8 @@ pub struct DynamicNapp<P, S> {
 
 impl<P, S> DynamicNapp<P, S>
 where
-    P: Clone,
-    S: Space<P>,
+    P: Point + Clone,
+    S: Space<P::Ref>,
 {
     /// Create an empty index over a fixed pivot set.
     ///
@@ -66,7 +66,7 @@ where
     pub fn insert(&mut self, point: P) -> u32 {
         let id = self.points.len() as u32;
         assert!(id < u32::MAX, "id space exhausted");
-        let ranks = compute_ranks(&self.space, &self.pivots, &point);
+        let ranks = compute_ranks(&self.space, &self.pivots, point.point_ref());
         let mi = self.params.num_indexed;
         for (pivot, &r) in ranks.iter().enumerate() {
             if (r as usize) < mi {
@@ -122,14 +122,14 @@ where
 
 impl<P, S> SearchIndex<P> for DynamicNapp<P, S>
 where
-    P: Clone + Send + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Send + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         if self.live == 0 {
             return Vec::new();
         }
-        let ranks = compute_ranks(&self.space, &self.pivots, query);
+        let ranks = compute_ranks(&self.space, &self.pivots, query.point_ref());
         let ms = self.ms();
         let mut counters = vec![0u8; self.points.len()];
         for (pivot, &r) in ranks.iter().enumerate() {
@@ -144,7 +144,10 @@ where
         for (id, &c) in counters.iter().enumerate() {
             if c >= t && c > 0 {
                 if let Some(point) = &self.points[id] {
-                    heap.push(id as u32, self.space.distance(point, query));
+                    heap.push(
+                        id as u32,
+                        self.space.distance(point.point_ref(), query.point_ref()),
+                    );
                 }
             }
         }

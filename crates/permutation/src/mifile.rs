@@ -21,7 +21,7 @@ use std::sync::Arc;
 use crossbeam::thread;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -77,8 +77,8 @@ pub struct MiFile<P, S> {
 
 impl<P, S> MiFile<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build the index; pivots are sampled from the data with `seed`.
     pub fn build(data: Arc<Dataset<P>>, space: S, params: MiFileParams, seed: u64) -> Self {
@@ -97,15 +97,15 @@ where
         if n > 0 {
             let threads = params.threads.max(1).min(n);
             let chunk = n.div_ceil(threads);
-            let points = data.points();
             let pv = &pivots;
             let sp = &space;
+            let data_ref = &data;
             thread::scope(|s| {
                 for (t, slot) in rows.chunks_mut(chunk).enumerate() {
-                    let start = t * chunk;
+                    let start = (t * chunk) as u32;
                     s.spawn(move |_| {
-                        for (slot, point) in slot.iter_mut().zip(points[start..].iter()) {
-                            let ranks = compute_ranks(sp, pv, point);
+                        for (slot, id) in slot.iter_mut().zip(start..) {
+                            let ranks = compute_ranks(sp, pv, data_ref.get(id));
                             let mut entry = Vec::with_capacity(mi);
                             for (pivot, &r) in ranks.iter().enumerate() {
                                 if (r as usize) < mi {
@@ -154,8 +154,8 @@ where
 
 impl<P, S> SearchIndex<P> for MiFile<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -184,7 +184,7 @@ where
         compute_ranks_into(
             &self.space,
             &self.pivots,
-            query,
+            query.point_ref(),
             &mut scratch.dists,
             &mut scratch.order,
             &mut scratch.ranks,
@@ -246,7 +246,7 @@ where
         refine_into(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             scored_u32[..gamma].iter().map(|&(_, id)| id),
             k,
             ids,

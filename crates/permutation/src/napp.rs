@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crossbeam::thread;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -73,8 +73,8 @@ pub struct Napp<P, S> {
 
 impl<P, S> Napp<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build the index; pivots are sampled from the data with `seed`.
     pub fn build(data: Arc<Dataset<P>>, space: S, params: NappParams, seed: u64) -> Self {
@@ -116,13 +116,12 @@ where
         }
         let threads = params.threads.max(1).min(n);
         let chunk = n.div_ceil(threads);
-        let points = data.points();
         thread::scope(|s| {
             for (t, slot) in out.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
+                let start = (t * chunk) as u32;
                 s.spawn(move |_| {
-                    for (slot, point) in slot.iter_mut().zip(points[start..].iter()) {
-                        *slot = closest_pivot_ids(space, pivots, point, mi);
+                    for (slot, id) in slot.iter_mut().zip(start..) {
+                        *slot = closest_pivot_ids(space, pivots, data.get(id), mi);
                     }
                 });
             }
@@ -148,7 +147,12 @@ where
 
 /// Ids of the `mi` pivots closest to `point` (ranks 0..mi in the induced
 /// permutation).
-fn closest_pivot_ids<P, S: Space<P>>(space: &S, pivots: &[P], point: &P, mi: usize) -> Vec<u32> {
+fn closest_pivot_ids<P: Point, S: Space<P::Ref>>(
+    space: &S,
+    pivots: &[P],
+    point: &P::Ref,
+    mi: usize,
+) -> Vec<u32> {
     let ranks = compute_ranks(space, pivots, point);
     let mut ids = vec![u32::MAX; mi];
     for (pivot, &r) in ranks.iter().enumerate() {
@@ -161,8 +165,8 @@ fn closest_pivot_ids<P, S: Space<P>>(space: &S, pivots: &[P], point: &P, mi: usi
 
 impl<P, S> SearchIndex<P> for Napp<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -191,7 +195,7 @@ where
         compute_ranks_into(
             &self.space,
             &self.pivots,
-            query,
+            query.point_ref(),
             &mut scratch.dists,
             &mut scratch.order,
             &mut scratch.ranks,
@@ -239,7 +243,7 @@ where
         refine_into(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             scored_u32.iter().map(|&(_, id)| id),
             k,
             ids,
@@ -290,7 +294,7 @@ mod tests {
         })
     }
 
-    fn gold(data: &Dataset<Vec<f32>>, q: &Vec<f32>, k: usize) -> Vec<u32> {
+    fn gold(data: &Dataset<Vec<f32>>, q: &[f32], k: usize) -> Vec<u32> {
         let mut all: Vec<(f32, u32)> = data.iter().map(|(id, p)| (L2.distance(p, q), id)).collect();
         all.sort_by(|a, b| a.0.total_cmp(&b.0));
         all[..k].iter().map(|&(_, id)| id).collect()

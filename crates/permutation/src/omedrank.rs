@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use crossbeam::thread;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, Space};
 
 use crate::pivots::select_pivots;
 use crate::refine::refine;
@@ -55,8 +55,8 @@ pub struct OmedRank<P, S> {
 
 impl<P, S> OmedRank<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build the index; voting pivots are sampled from the data with
     /// `seed`.
@@ -82,7 +82,7 @@ where
                         // query role in this ranking.
                         *list = data_ref
                             .iter()
-                            .map(|(id, p)| (space_ref.distance(p, pivot), id))
+                            .map(|(id, p)| (space_ref.distance(p, pivot.point_ref()), id))
                             .collect();
                         list.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                     }
@@ -107,8 +107,8 @@ where
 
 impl<P, S> SearchIndex<P> for OmedRank<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let n = self.data.len();
@@ -128,7 +128,9 @@ where
             .iter()
             .enumerate()
             .map(|(p, list)| {
-                let qd = self.space.distance(query, &self.pivots[p]);
+                let qd = self
+                    .space
+                    .distance(query.point_ref(), self.pivots[p].point_ref());
                 let pos = list.partition_point(|&(d, _)| d < qd);
                 (pos, pos, qd) // (hi, lo, query distance); hi points at next unseen above
             })
@@ -180,7 +182,7 @@ where
                 }
             }
         }
-        refine(&self.data, &self.space, query, candidates, k)
+        refine(&self.data, &self.space, query.point_ref(), candidates, k)
     }
 
     fn len(&self) -> usize {
@@ -271,7 +273,7 @@ mod tests {
             },
             17,
         );
-        let res = idx.search(data.get(42), 3);
+        let res = idx.search(&data.get(42).to_owned(), 3);
         assert_eq!(res[0].id, 42);
         assert_eq!(res[0].dist, 0.0);
     }

@@ -16,14 +16,18 @@
 
 use crossbeam::thread;
 
-use permsearch_core::{Dataset, Space};
+use permsearch_core::{Dataset, Point, Space};
 
 /// Compute the permutation (rank vector) induced by `point`.
 ///
 /// `ranks[i]` is the 0-based rank of pivot `i` among all pivots ordered by
 /// increasing distance from `point` (left-query convention: the pivot is
 /// the data-side argument). `O(m log m)` per point.
-pub fn compute_ranks<P, S: Space<P>>(space: &S, pivots: &[P], point: &P) -> Vec<u32> {
+pub fn compute_ranks<P: Point, S: Space<P::Ref>>(
+    space: &S,
+    pivots: &[P],
+    point: &P::Ref,
+) -> Vec<u32> {
     let mut dists = Vec::new();
     let mut order = Vec::new();
     let mut ranks = Vec::new();
@@ -37,10 +41,10 @@ pub fn compute_ranks<P, S: Space<P>>(space: &S, pivots: &[P], point: &P) -> Vec<
 /// output buffer), the ordering buffer and rank vector are reused, and the
 /// result lands in `ranks`. Distances, tie-breaks and ranks are identical
 /// to the allocating form.
-pub fn compute_ranks_into<P, S: Space<P>>(
+pub fn compute_ranks_into<P: Point, S: Space<P::Ref>>(
     space: &S,
     pivots: &[P],
-    point: &P,
+    point: &P::Ref,
     dists: &mut Vec<f32>,
     order: &mut Vec<(f32, u32)>,
     ranks: &mut Vec<u32>,
@@ -160,8 +164,8 @@ impl PermutationTable {
     /// four).
     pub fn build<P, S>(data: &Dataset<P>, space: &S, pivots: &[P], threads: usize) -> Self
     where
-        P: Sync,
-        S: Space<P> + Sync,
+        P: Point + Sync,
+        S: Space<P::Ref> + Sync,
     {
         let m = pivots.len();
         assert!(m > 0, "at least one pivot required");
@@ -171,13 +175,12 @@ impl PermutationTable {
 
         if n > 0 {
             let chunk = n.div_ceil(threads);
-            let points = data.points();
             thread::scope(|s| {
                 for (t, out) in ranks.chunks_mut(chunk * m).enumerate() {
-                    let start = t * chunk;
+                    let start = (t * chunk) as u32;
                     s.spawn(move |_| {
-                        for (row, point) in out.chunks_mut(m).zip(points[start..].iter()) {
-                            row.copy_from_slice(&compute_ranks(space, pivots, point));
+                        for (row, id) in out.chunks_mut(m).zip(start..) {
+                            row.copy_from_slice(&compute_ranks(space, pivots, data.get(id)));
                         }
                     });
                 }
@@ -369,7 +372,7 @@ mod tests {
     fn tie_break_prefers_smaller_pivot_index() {
         // Two pivots at identical locations: equal distance to any point.
         let pivots = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]];
-        let ranks = compute_ranks(&L2, &pivots, &vec![0.9, 0.9]);
+        let ranks = compute_ranks(&L2, &pivots, &[0.9, 0.9]);
         assert!(ranks[0] < ranks[1], "smaller index wins ties: {ranks:?}");
     }
 

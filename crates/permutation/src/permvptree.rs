@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, Space};
 use permsearch_vptree::{VpTree, VpTreeParams};
 
 use crate::perm::{compute_ranks, PermutationTable, SpearmanRhoSpace};
@@ -55,8 +55,8 @@ pub struct PermVpTree<P, S> {
 
 impl<P, S> PermVpTree<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build: compute all permutations (parallel), then index them in a
     /// metric VP-tree. The tree is exact (Spearman's rho is a squared
@@ -100,20 +100,20 @@ where
 
 impl<P, S> SearchIndex<P> for PermVpTree<P, S>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         if self.data.is_empty() {
             return Vec::new();
         }
-        let q_ranks = compute_ranks(&self.space, &self.pivots, query);
+        let q_ranks = compute_ranks(&self.space, &self.pivots, query.point_ref());
         let gamma = self.candidate_budget().max(k).min(self.data.len());
         let candidates = self.tree.search(&q_ranks, gamma);
         refine(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             candidates.into_iter().map(|n| n.id),
             k,
         )

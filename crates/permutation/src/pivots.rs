@@ -7,16 +7,17 @@
 //! (hundreds to thousands).
 
 use permsearch_core::rng::{sample_distinct, seeded_rng};
-use permsearch_core::Dataset;
+use permsearch_core::{Dataset, Point};
 
-/// Select `m` pivots by sampling distinct data points, cloning them out of
-/// the dataset. Deterministic in `seed`.
+/// Select `m` pivots by sampling distinct data points, copying them out of
+/// the dataset (arena-backed rows are materialized into owned points).
+/// Deterministic in `seed`.
 ///
 /// Panics when `m` exceeds the dataset size.
-pub fn select_pivots<P: Clone>(data: &Dataset<P>, m: usize, seed: u64) -> Vec<P> {
+pub fn select_pivots<P: Point>(data: &Dataset<P>, m: usize, seed: u64) -> Vec<P> {
     let mut rng = seeded_rng(seed);
     let ids = sample_distinct(&mut rng, data.len(), m);
-    ids.into_iter().map(|id| data.get(id).clone()).collect()
+    ids.into_iter().map(|id| data.get(id).to_owned()).collect()
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -137,8 +137,8 @@ pub struct PpIndex<P, S> {
 
 impl<P, S> PpIndex<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     /// Build `num_trees` prefix trees; tree `i` samples its pivots with
     /// `seed + i`.
@@ -188,8 +188,8 @@ fn compute_prefixes<P, S>(
     threads: usize,
 ) -> Vec<Vec<u32>>
 where
-    P: Sync,
-    S: Space<P> + Sync,
+    P: Point + Sync,
+    S: Space<P::Ref> + Sync,
 {
     let n = data.len();
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -198,13 +198,12 @@ where
     }
     let threads = threads.max(1).min(n);
     let chunk = n.div_ceil(threads);
-    let points = data.points();
     crossbeam::thread::scope(|s| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
+            let start = (t * chunk) as u32;
             s.spawn(move |_| {
-                for (slot, point) in slot.iter_mut().zip(points[start..].iter()) {
-                    *slot = prefix_of(space, pivots, point, l);
+                for (slot, id) in slot.iter_mut().zip(start..) {
+                    *slot = prefix_of(space, pivots, data.get(id), l);
                 }
             });
         }
@@ -214,7 +213,12 @@ where
 }
 
 /// The `l` closest pivot ids of `point`, closest first.
-fn prefix_of<P, S: Space<P>>(space: &S, pivots: &[P], point: &P, l: usize) -> Vec<u32> {
+fn prefix_of<P: Point, S: Space<P::Ref>>(
+    space: &S,
+    pivots: &[P],
+    point: &P::Ref,
+    l: usize,
+) -> Vec<u32> {
     let ranks = compute_ranks(space, pivots, point);
     let mut prefix = vec![u32::MAX; l];
     for (pivot, &r) in ranks.iter().enumerate() {
@@ -228,10 +232,10 @@ fn prefix_of<P, S: Space<P>>(space: &S, pivots: &[P], point: &P, l: usize) -> Ve
 /// Scratch-reusing form of [`prefix_of`]: rank induction goes through the
 /// batched [`compute_ranks_into`] and the prefix lands in `prefix`.
 #[allow(clippy::too_many_arguments)]
-fn prefix_of_into<P, S: Space<P>>(
+fn prefix_of_into<P: Point, S: Space<P::Ref>>(
     space: &S,
     pivots: &[P],
-    point: &P,
+    point: &P::Ref,
     l: usize,
     dists: &mut Vec<f32>,
     order: &mut Vec<(f32, u32)>,
@@ -250,8 +254,8 @@ fn prefix_of_into<P, S: Space<P>>(
 
 impl<P, S> SearchIndex<P> for PpIndex<P, S>
 where
-    P: Clone + Sync,
-    S: Space<P> + Sync,
+    P: Point + Clone + Sync,
+    S: Space<P::Ref> + Sync,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -292,7 +296,7 @@ where
             prefix_of_into(
                 &self.space,
                 &tree.pivots,
-                query,
+                query.point_ref(),
                 self.params.prefix_len,
                 dists,
                 order,
@@ -324,7 +328,7 @@ where
         refine_into(
             &self.data,
             &self.space,
-            query,
+            query.point_ref(),
             candidates.iter().copied(),
             k,
             touched,

@@ -16,7 +16,7 @@ use permsearch_core::rng::seeded_rng;
 use permsearch_spaces::SparseVector;
 
 use crate::perm::compute_ranks;
-use permsearch_core::Space;
+use permsearch_core::{Point, Space};
 
 /// Standard-normal sample via the Box–Muller transform (the projection
 /// matrix does not warrant a dependency on a distributions crate).
@@ -62,8 +62,8 @@ impl DenseRandomProjection {
     }
 }
 
-impl Projector<Vec<f32>> for DenseRandomProjection {
-    fn project(&self, p: &Vec<f32>) -> Vec<f32> {
+impl Projector<[f32]> for DenseRandomProjection {
+    fn project(&self, p: &[f32]) -> Vec<f32> {
         assert_eq!(p.len(), self.input_dim, "input dimensionality mismatch");
         let mut out = vec![0.0f32; self.output_dim];
         for (j, row) in self.matrix.chunks(self.input_dim).enumerate() {
@@ -132,7 +132,7 @@ pub struct PermutationProjector<P, S> {
     space: S,
 }
 
-impl<P, S: Space<P>> PermutationProjector<P, S> {
+impl<P: Point, S: Space<P::Ref>> PermutationProjector<P, S> {
     /// Project via permutations over `pivots`.
     pub fn new(pivots: Vec<P>, space: S) -> Self {
         assert!(!pivots.is_empty());
@@ -140,8 +140,8 @@ impl<P, S: Space<P>> PermutationProjector<P, S> {
     }
 }
 
-impl<P, S: Space<P>> Projector<P> for PermutationProjector<P, S> {
-    fn project(&self, p: &P) -> Vec<f32> {
+impl<P: Point, S: Space<P::Ref>> Projector<P::Ref> for PermutationProjector<P, S> {
+    fn project(&self, p: &P::Ref) -> Vec<f32> {
         compute_ranks(&self.space, &self.pivots, p)
             .into_iter()
             .map(|r| r as f32)
@@ -224,7 +224,7 @@ mod tests {
     fn permutation_projector_outputs_rank_vectors() {
         let pivots = vec![vec![0.0f32, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]];
         let proj = PermutationProjector::new(pivots, L2);
-        let v = proj.project(&vec![0.1f32, 0.1]);
+        let v = proj.project(&[0.1f32, 0.1]);
         assert_eq!(proj.dim(), 3);
         let mut sorted = v.clone();
         sorted.sort_by(f32::total_cmp);

@@ -1,6 +1,14 @@
 //! The refine stage shared by every filter-and-refine method.
 
-use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, Space};
+use permsearch_core::{score_ids, score_ids_quantized, Dataset, KnnHeap, Neighbor, Point, Space};
+
+/// Oversampling factor of the SQ8 pre-filter: the quantized scan keeps
+/// `k * QUANT_OVERSAMPLE + QUANT_FLOOR` candidates for exact re-ranking.
+const QUANT_OVERSAMPLE: usize = 4;
+
+/// Additive floor of the SQ8 pre-filter survivor count, so small `k`
+/// still re-ranks a healthy pool.
+const QUANT_FLOOR: usize = 32;
 
 /// Compare each candidate id to the query with the original distance and
 /// return the best `k`, sorted by increasing distance.
@@ -13,10 +21,10 @@ use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, Space};
 /// candidate list as a *set*, so sorting changes nothing about which ids
 /// are considered; among equal-distance candidates at the `k` boundary the
 /// smallest ids now win deterministically.
-pub fn refine<P, S: Space<P>>(
+pub fn refine<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
     space: &S,
-    query: &P,
+    query: &P::Ref,
     candidates: impl IntoIterator<Item = u32>,
     k: usize,
 ) -> Vec<Neighbor> {
@@ -37,11 +45,21 @@ pub fn refine<P, S: Space<P>>(
 /// arena — and offered to the reused `heap` in ascending id order. The
 /// sorted top-`k` lands in `out`. Results are identical to the allocating
 /// [`refine`] (both paths sort the same way).
+///
+/// When the dataset carries an SQ8 quantized tier and the space has a
+/// quantized kernel, large candidate lists are first scanned over the
+/// 4x-smaller quantized rows; only the best `k * QUANT_OVERSAMPLE +
+/// QUANT_FLOOR` survivors are re-ranked with the exact f32 kernels, so the
+/// reported ids and distances still come from full-precision arithmetic.
+/// Candidate lists below **twice** the survivor count skip the pre-filter
+/// entirely: scanning the quantized rows only to keep most of them would
+/// cost more than the exact scan it saves. All buffers are reused; the
+/// pre-filter adds no steady-state allocations.
 #[allow(clippy::too_many_arguments)]
-pub fn refine_into<P, S: Space<P>>(
+pub fn refine_into<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
     space: &S,
-    query: &P,
+    query: &P::Ref,
     candidates: impl IntoIterator<Item = u32>,
     k: usize,
     ids: &mut Vec<u32>,
@@ -56,6 +74,24 @@ pub fn refine_into<P, S: Space<P>>(
     // distance evaluation.
     ids.sort_unstable();
     ids.dedup();
+    let keep = k * QUANT_OVERSAMPLE + QUANT_FLOOR;
+    if let Some(quant) = data.quantized() {
+        // `2 * keep`: the pre-filter pays for itself only when it halves
+        // (at least) the exact-scan volume.
+        if space.supports_quantized() && ids.len() > 2 * keep {
+            // Quantized pre-filter: keep the `keep` best under the SQ8
+            // approximation (the heap and `out` double as the selection
+            // scratch), then fall through to the exact re-rank below.
+            heap.reset(keep);
+            score_ids_quantized(space, quant, query, ids, dists, |id, d| {
+                heap.push(id, d);
+            });
+            heap.drain_sorted_into(out);
+            ids.clear();
+            ids.extend(out.iter().map(|n| n.id));
+            ids.sort_unstable();
+        }
+    }
     heap.reset(k);
     score_ids(space, data, query, ids, dists, |id, d| {
         heap.push(id, d);
@@ -71,7 +107,7 @@ mod tests {
     #[test]
     fn refine_orders_by_original_distance() {
         let data = Dataset::new(vec![vec![0.0f32], vec![10.0], vec![1.0], vec![5.0]]);
-        let res = refine(&data, &L2, &vec![0.2f32], [0u32, 1, 2, 3], 2);
+        let res = refine(&data, &L2, &[0.2f32], [0u32, 1, 2, 3], 2);
         let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![0, 2]);
     }
@@ -79,7 +115,7 @@ mod tests {
     #[test]
     fn refine_tolerates_duplicates_and_short_candidate_lists() {
         let data = Dataset::new(vec![vec![0.0f32], vec![1.0]]);
-        let res = refine(&data, &L2, &vec![0.0f32], [1u32, 1, 1, 0], 5);
+        let res = refine(&data, &L2, &[0.0f32], [1u32, 1, 1, 0], 5);
         assert_eq!(res.len(), 2);
         assert_eq!(res[0].id, 0);
     }
@@ -92,7 +128,7 @@ mod tests {
         // 3 unique ids submitted 4x each, interleaved (the shape
         // overlapping posting lists / multi-table probes produce).
         let cands: Vec<u32> = (0..4).flat_map(|_| [7u32, 3, 40]).collect();
-        let res = refine(&data, &space, &vec![5.0f32], cands, 2);
+        let res = refine(&data, &space, &[5.0f32], cands, 2);
         assert_eq!(space.count(), 3, "each unique candidate costs one distance");
         let ids: Vec<u32> = res.iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![3, 7]);
@@ -101,8 +137,44 @@ mod tests {
     #[test]
     fn refine_with_empty_candidates() {
         let data = Dataset::new(vec![vec![0.0f32]]);
-        let res = refine(&data, &L2, &vec![0.0f32], std::iter::empty(), 3);
+        let res = refine(&data, &L2, &[0.0f32], std::iter::empty(), 3);
         assert!(res.is_empty());
+    }
+
+    #[test]
+    fn quantized_prefilter_rereanks_with_exact_distances() {
+        // Well-separated 1-d points: the SQ8 pre-filter cannot change the
+        // top-k, and the reported distances must be full-precision f32.
+        let rows: Vec<Vec<f32>> = (0..500).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let exact_data = Dataset::new_flat(rows.clone());
+        let quant_data = Dataset::new_flat(rows).quantize();
+        assert!(quant_data.quantized().is_some());
+        let q = vec![123.4f32, -123.4];
+        let cands: Vec<u32> = (0..500u32).collect();
+        let baseline = refine(&exact_data, &L2, &q, cands.iter().copied(), 7);
+        let filtered = refine(&quant_data, &L2, &q, cands.iter().copied(), 7);
+        assert_eq!(
+            baseline, filtered,
+            "pre-filter changed well-separated top-k"
+        );
+        for n in &filtered {
+            let want = L2.distance(exact_data.get(n.id), &q);
+            assert_eq!(n.dist.to_bits(), want.to_bits(), "distance not exact f32");
+        }
+    }
+
+    #[test]
+    fn small_candidate_lists_bypass_the_prefilter() {
+        use permsearch_core::CountedSpace;
+        let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let data = Dataset::new_flat(rows).quantize();
+        let space = CountedSpace::new(L2);
+        // 10 candidates < keep = 2*4+32: the quantized kernel must not run,
+        // so each candidate costs exactly one (exact) distance — a
+        // pre-filter pass would double the tally.
+        let res = refine(&data, &space, &[5.0f32], (0..10u32).collect::<Vec<_>>(), 2);
+        assert_eq!(res[0].id, 5);
+        assert_eq!(space.count(), 10, "pre-filter ran on a tiny list");
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 use crate::dense::{cosine_row, l1_sum, squared_l2};
 use crate::divergence::{js_row, kl_row};
+use permsearch_core::QuantizedView;
 
 /// Hint the prefetcher at the row starting at `idx` (no-op off x86_64 and
 /// for out-of-range indices; purely a performance hint either way).
@@ -325,7 +326,7 @@ pub fn js_flat(
 /// here: the extra accumulator chains defeat the auto-vectorizer. The win
 /// of the block API is the shared, bounds-check-free row kernel plus the
 /// amortized call overhead, not manual interleaving.)
-pub fn l2_block(xs: &[&Vec<f32>], y: &[f32], out: &mut [f32]) {
+pub fn l2_block(xs: &[&[f32]], y: &[f32], out: &mut [f32]) {
     debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
     for (x, o) in xs.iter().zip(out.iter_mut()) {
         *o = squared_l2(x, y).sqrt();
@@ -334,10 +335,87 @@ pub fn l2_block(xs: &[&Vec<f32>], y: &[f32], out: &mut [f32]) {
 
 /// Manhattan distances of a gathered reference block. Bitwise identical to
 /// `L1::distance` per row.
-pub fn l1_block(xs: &[&Vec<f32>], y: &[f32], out: &mut [f32]) {
+pub fn l1_block(xs: &[&[f32]], y: &[f32], out: &mut [f32]) {
     debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
     for (x, o) in xs.iter().zip(out.iter_mut()) {
         *o = l1_sum(x, y);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Asymmetric SQ8 kernels: quantized data rows against a full-precision
+// query. Dequantization (`v̂ = min[d] + scale[d]·q`) is fused into the
+// accumulation — no dequantized row buffer exists. These are *approximate*
+// by design (the only kernels in this module exempt from the bitwise
+// policy): they feed filter stages whose survivors are always re-ranked
+// exactly from the f32 arena, so the approximation can demote candidates
+// but never corrupts a reported distance.
+// ---------------------------------------------------------------------------
+
+/// Approximate Euclidean distances of the SQ8 rows named by `ids` to the
+/// full-precision query `y`.
+pub fn l2_quant_ids(quant: &QuantizedView, ids: &[u32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+    assert_eq!(y.len(), quant.dim(), "query dimension mismatch");
+    let mins = quant.mins();
+    let scales = quant.scales();
+    for (&id, o) in ids.iter().zip(out.iter_mut()) {
+        let row = quant.row(id);
+        let mut acc = 0.0f32;
+        for d in 0..row.len() {
+            let v = mins[d] + scales[d] * f32::from(row[d]);
+            let diff = v - y[d];
+            acc += diff * diff;
+        }
+        *o = acc.sqrt();
+    }
+}
+
+/// Approximate cosine distances of the SQ8 rows named by `ids` to the
+/// full-precision query `y`, using the stored per-row dequantized norms.
+/// Zero-norm conventions match [`crate::dense::DenseCosine`].
+pub fn cosine_quant_ids(quant: &QuantizedView, ids: &[u32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+    assert_eq!(y.len(), quant.dim(), "query dimension mismatch");
+    let mins = quant.mins();
+    let scales = quant.scales();
+    let norms = quant.norms();
+    let ny = y.iter().map(|&b| b * b).sum::<f32>().sqrt();
+    for (&id, o) in ids.iter().zip(out.iter_mut()) {
+        let row = quant.row(id);
+        let mut dot = 0.0f32;
+        for d in 0..row.len() {
+            let v = mins[d] + scales[d] * f32::from(row[d]);
+            dot += v * y[d];
+        }
+        let nx = norms[id as usize];
+        *o = if nx == 0.0 || ny == 0.0 {
+            if nx == ny {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            (1.0 - dot / (nx * ny)).max(0.0)
+        };
+    }
+}
+
+/// Approximate dot products of the SQ8 rows named by `ids` with the
+/// full-precision query `y`.
+pub fn dot_quant_ids(quant: &QuantizedView, ids: &[u32], y: &[f32], out: &mut [f32]) {
+    assert_eq!(ids.len(), out.len(), "ids/output length mismatch");
+    assert_eq!(y.len(), quant.dim(), "query dimension mismatch");
+    let mins = quant.mins();
+    let scales = quant.scales();
+    for (&id, o) in ids.iter().zip(out.iter_mut()) {
+        let row = quant.row(id);
+        let mut acc = 0.0f32;
+        for d in 0..row.len() {
+            let v = mins[d] + scales[d] * f32::from(row[d]);
+            acc += v * y[d];
+        }
+        *o = acc;
     }
 }
 
@@ -407,7 +485,7 @@ mod tests {
     #[test]
     fn block_kernels_handle_odd_lengths_and_empty() {
         let rows = rows();
-        let refs: Vec<&Vec<f32>> = rows.iter().collect();
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
         let q = vec![0.1f32, 0.2, 0.3, 0.4, 0.5];
         let mut out = vec![0.0f32; 3];
         l2_block(&refs, &q, &mut out);
@@ -418,7 +496,7 @@ mod tests {
         for (r, d) in rows.iter().zip(&out) {
             assert_eq!(d.to_bits(), L1.distance(r, &q).to_bits());
         }
-        let empty: [&Vec<f32>; 0] = [];
+        let empty: [&[f32]; 0] = [];
         l2_block(&empty, &q, &mut []);
         l1_block(&empty, &q, &mut []);
     }

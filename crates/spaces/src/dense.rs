@@ -7,9 +7,13 @@
 //! across spaces — the property the experiments depend on — are preserved
 //! either way.
 
-use permsearch_core::{FlatAccess, Space};
+use permsearch_core::{FlatAccess, QuantizedView, Space};
 
 /// A dense vector point. All vectors in one dataset must share length.
+///
+/// The spaces themselves are implemented over the *borrowed* form `[f32]`
+/// (`Space<[f32]>`), so they score borrowed arena rows and owned vectors
+/// alike — `&Vec<f32>` coerces to `&[f32]` at every call site.
 pub type DenseVector = Vec<f32>;
 
 /// The Euclidean distance `sqrt(Σ (x_i - y_i)^2)`.
@@ -63,24 +67,30 @@ pub(crate) fn l1_sum(x: &[f32], y: &[f32]) -> f32 {
     sum
 }
 
-impl Space<DenseVector> for L2 {
-    fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
+impl Space<[f32]> for L2 {
+    fn distance(&self, x: &[f32], y: &[f32]) -> f32 {
         squared_l2(x, y).sqrt()
     }
-    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+    fn distance_block(&self, xs: &[&[f32]], y: &[f32], out: &mut [f32]) {
         crate::batch::l2_block(xs, y, out)
     }
     fn supports_flat(&self) -> bool {
         true
     }
-    fn distance_block_flat(
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &[f32], out: &mut [f32]) {
+        crate::batch::l2_flat_ids(flat.data(), flat.dim(), ids, y, out)
+    }
+    fn supports_quantized(&self) -> bool {
+        true
+    }
+    fn distance_block_quantized(
         &self,
-        flat: &FlatAccess,
+        quant: &QuantizedView,
         ids: &[u32],
-        y: &DenseVector,
+        y: &[f32],
         out: &mut [f32],
     ) {
-        crate::batch::l2_flat_ids(flat.data(), flat.dim(), ids, y, out)
+        crate::batch::l2_quant_ids(quant, ids, y, out)
     }
     fn name(&self) -> &'static str {
         "L2"
@@ -94,25 +104,22 @@ impl Space<DenseVector> for L2 {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct L1;
 
-impl Space<DenseVector> for L1 {
-    fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
+impl Space<[f32]> for L1 {
+    fn distance(&self, x: &[f32], y: &[f32]) -> f32 {
         l1_sum(x, y)
     }
-    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+    fn distance_block(&self, xs: &[&[f32]], y: &[f32], out: &mut [f32]) {
         crate::batch::l1_block(xs, y, out)
     }
     fn supports_flat(&self) -> bool {
         true
     }
-    fn distance_block_flat(
-        &self,
-        flat: &FlatAccess,
-        ids: &[u32],
-        y: &DenseVector,
-        out: &mut [f32],
-    ) {
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &[f32], out: &mut [f32]) {
         crate::batch::l1_flat_ids(flat.data(), flat.dim(), ids, y, out)
     }
+    // No quantized kernel: per-dim SQ8 rounding biases |x̂ - y| upward in a
+    // way that reorders close L1 candidates far more than L2, so L1 filter
+    // stages bypass the quantized tier.
     fn name(&self) -> &'static str {
         "L1"
     }
@@ -149,11 +156,11 @@ pub(crate) fn cosine_row(x: &[f32], y: &[f32]) -> f32 {
     (1.0 - dot / (nx.sqrt() * ny.sqrt())).max(0.0)
 }
 
-impl Space<DenseVector> for DenseCosine {
-    fn distance(&self, x: &DenseVector, y: &DenseVector) -> f32 {
+impl Space<[f32]> for DenseCosine {
+    fn distance(&self, x: &[f32], y: &[f32]) -> f32 {
         cosine_row(x, y)
     }
-    fn distance_block(&self, xs: &[&DenseVector], y: &DenseVector, out: &mut [f32]) {
+    fn distance_block(&self, xs: &[&[f32]], y: &[f32], out: &mut [f32]) {
         debug_assert_eq!(xs.len(), out.len(), "block/output length mismatch");
         for (x, o) in xs.iter().zip(out.iter_mut()) {
             *o = cosine_row(x, y);
@@ -162,14 +169,20 @@ impl Space<DenseVector> for DenseCosine {
     fn supports_flat(&self) -> bool {
         true
     }
-    fn distance_block_flat(
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &[f32], out: &mut [f32]) {
+        crate::batch::cosine_flat_ids(flat.data(), flat.dim(), ids, y, out)
+    }
+    fn supports_quantized(&self) -> bool {
+        true
+    }
+    fn distance_block_quantized(
         &self,
-        flat: &FlatAccess,
+        quant: &QuantizedView,
         ids: &[u32],
-        y: &DenseVector,
+        y: &[f32],
         out: &mut [f32],
     ) {
-        crate::batch::cosine_flat_ids(flat.data(), flat.dim(), ids, y, out)
+        crate::batch::cosine_quant_ids(quant, ids, y, out)
     }
     fn name(&self) -> &'static str {
         "cosine-dense"

@@ -66,14 +66,16 @@ impl PointSize for TopicHistogram {
     }
 }
 
+permsearch_core::impl_self_ref_point!(TopicHistogram);
+
 // Snapshot point codec: only the values travel; the log table is
 // recomputed on load (ln is deterministic, so the histogram is identical).
 impl permsearch_core::PointCodec for TopicHistogram {
-    fn write_point<W: std::io::Write + ?Sized>(
-        &self,
+    fn write_point_ref<W: std::io::Write + ?Sized>(
+        p: &Self,
         w: &mut W,
     ) -> Result<(), permsearch_core::SnapshotError> {
-        permsearch_core::snapshot::write_f32_seq(w, &self.values)
+        permsearch_core::snapshot::write_f32_seq(w, &p.values)
     }
 
     fn read_point<R: std::io::Read + ?Sized>(

@@ -40,3 +40,11 @@ impl PointSize for Vec<f32> {
         std::mem::size_of::<Vec<f32>>() + self.len() * 4
     }
 }
+
+/// Borrowed dense rows (arena-backed datasets): the payload alone — rows
+/// in a flat arena carry no per-row `Vec` header.
+impl PointSize for [f32] {
+    fn point_size_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}

@@ -131,17 +131,19 @@ impl PointSize for SparseVector {
     }
 }
 
+permsearch_core::impl_self_ref_point!(SparseVector);
+
 // Snapshot point codec: indices, values and the precomputed norm travel
 // verbatim, so a reloaded vector is bit-identical (no renormalization).
 impl permsearch_core::PointCodec for SparseVector {
-    fn write_point<W: std::io::Write + ?Sized>(
-        &self,
+    fn write_point_ref<W: std::io::Write + ?Sized>(
+        p: &Self,
         w: &mut W,
     ) -> Result<(), permsearch_core::SnapshotError> {
         use permsearch_core::snapshot as codec;
-        codec::write_u32_seq(w, &self.indices)?;
-        codec::write_f32_seq(w, &self.values)?;
-        codec::write_f32(w, self.norm)
+        codec::write_u32_seq(w, &p.indices)?;
+        codec::write_f32_seq(w, &p.values)?;
+        codec::write_f32(w, p.norm)
     }
 
     fn read_point<R: std::io::Read + ?Sized>(

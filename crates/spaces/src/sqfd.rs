@@ -77,14 +77,16 @@ impl PointSize for Signature {
     }
 }
 
+permsearch_core::impl_self_ref_point!(Signature);
+
 // Snapshot point codec: clusters travel as (7-d centroid, weight) records.
 impl permsearch_core::PointCodec for Signature {
-    fn write_point<W: std::io::Write + ?Sized>(
-        &self,
+    fn write_point_ref<W: std::io::Write + ?Sized>(
+        p: &Self,
         w: &mut W,
     ) -> Result<(), permsearch_core::SnapshotError> {
         use permsearch_core::snapshot as codec;
-        codec::write_seq(w, &self.clusters, |w, c| {
+        codec::write_seq(w, &p.clusters, |w, c| {
             for &x in &c.centroid {
                 codec::write_f32(w, x)?;
             }

@@ -47,8 +47,8 @@ fn rows_and_query() -> impl Strategy<Value = (Vec<Vec<f32>>, Vec<f32>)> {
     })
 }
 
-fn refs(rows: &[Vec<f32>]) -> Vec<&Vec<f32>> {
-    rows.iter().collect()
+fn refs(rows: &[Vec<f32>]) -> Vec<&[f32]> {
+    rows.iter().map(Vec::as_slice).collect()
 }
 
 proptest! {
@@ -277,7 +277,7 @@ proptest! {
             let sub = view.slice(start, rows.len() - start);
             let ids: Vec<u32> = (0..sub.len() as u32).rev().collect(); // non-consecutive
             let mut out = vec![f32::NAN; ids.len()];
-            for space in [&L2 as &dyn Space<Vec<f32>>, &L1, &DenseCosine] {
+            for space in [&L2 as &dyn Space<[f32]>, &L1, &DenseCosine] {
                 prop_assert!(space.supports_flat());
                 space.distance_block_flat(&sub, &ids, &q, &mut out);
                 for (&id, d) in ids.iter().zip(&out) {
@@ -285,6 +285,90 @@ proptest! {
                     prop_assert_eq!(d.to_bits(), space.distance(row, &q).to_bits());
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQ8 asymmetric kernels. These are approximate by design (the documented
+// exemption from the bitwise policy), but still pinned two ways: exactly
+// against a reference loop over the *dequantized* codes, and within the
+// analytic quantization error bound against the exact f32 distance.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quant_kernels_match_dequantized_reference_and_error_bound(
+        (rows, q) in rows_and_query(),
+        split in 0usize..8,
+    ) {
+        use permsearch_core::{QuantizedVectors, QuantizedView};
+        let dim = q.len();
+        let flat = batch::flatten_rows(&rows);
+        let full = QuantizedView::new(QuantizedVectors::from_flat(&flat, dim, rows.len()));
+        // Also exercise a sliced sub-range view with view-relative ids.
+        let start = split.min(rows.len());
+        let view = full.slice(start, rows.len() - start);
+        let ids: Vec<u32> = (0..view.len() as u32).rev().collect();
+        let mut out = vec![f32::NAN; ids.len()];
+
+        batch::l2_quant_ids(&view, &ids, &q, &mut out);
+        // Triangle inequality: |‖x̂−q‖ − ‖x−q‖| ≤ ‖x̂−x‖ ≤ ‖scale/2‖ + eps.
+        let step_bound = view
+            .scales()
+            .iter()
+            .map(|s| (s * 0.5) * (s * 0.5))
+            .sum::<f32>()
+            .sqrt();
+        for (&id, d) in ids.iter().zip(&out) {
+            let codes = view.row(id);
+            let mut acc = 0.0f32;
+            let mut dot = 0.0f32;
+            for dd in 0..dim {
+                let v = view.mins()[dd] + view.scales()[dd] * f32::from(codes[dd]);
+                let diff = v - q[dd];
+                acc += diff * diff;
+                dot += v * q[dd];
+            }
+            prop_assert_eq!(d.to_bits(), acc.sqrt().to_bits(), "dequantized reference");
+            let exact = L2.distance(&rows[start + id as usize], &q);
+            prop_assert!(
+                (d - exact).abs() <= step_bound + 1e-3 * exact.max(1.0),
+                "quant L2 {} vs exact {} beyond bound {}", d, exact, step_bound
+            );
+            let _ = dot;
+        }
+
+        batch::dot_quant_ids(&view, &ids, &q, &mut out);
+        for (&id, d) in ids.iter().zip(&out) {
+            let codes = view.row(id);
+            let mut dot = 0.0f32;
+            for dd in 0..dim {
+                let v = view.mins()[dd] + view.scales()[dd] * f32::from(codes[dd]);
+                dot += v * q[dd];
+            }
+            prop_assert_eq!(d.to_bits(), dot.to_bits());
+        }
+
+        batch::cosine_quant_ids(&view, &ids, &q, &mut out);
+        let ny = q.iter().map(|&b| b * b).sum::<f32>().sqrt();
+        for (&id, d) in ids.iter().zip(&out) {
+            let codes = view.row(id);
+            let mut dot = 0.0f32;
+            for dd in 0..dim {
+                let v = view.mins()[dd] + view.scales()[dd] * f32::from(codes[dd]);
+                dot += v * q[dd];
+            }
+            let nx = view.norms()[id as usize];
+            let expect = if nx == 0.0 || ny == 0.0 {
+                if nx == ny { 0.0 } else { 1.0 }
+            } else {
+                (1.0 - dot / (nx * ny)).max(0.0)
+            };
+            prop_assert_eq!(d.to_bits(), expect.to_bits());
+            prop_assert!((0.0..=2.0 + 1e-6).contains(d), "cosine range");
         }
     }
 }

@@ -12,7 +12,7 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic  b"PSNP"
-//!      4     2  format version, little-endian u16 (currently 2)
+//!      4     2  format version, little-endian u16 (currently 3)
 //!      6     2  kind length K, little-endian u16
 //!      8     K  kind, UTF-8 (e.g. "dataset", "index:napp", "manifest")
 //!    8+K     8  payload length N, little-endian u64
@@ -56,7 +56,12 @@ pub const MAGIC: [u8; 4] = *b"PSNP";
 ///   datasets serialize as one flat row-major `f32` block (tag 1), read
 ///   back with a handful of large sequential reads and the arena
 ///   reattached. Index payloads are unchanged. v1 files remain readable.
-pub const FORMAT_VERSION: u16 = 2;
+/// * **v3** — dense datasets carrying the SQ8 quantized scan tier
+///   serialize it after the flat block (tag 2: per-dim mins and scales,
+///   per-row dequantized norms, then the raw code bytes), and the tier is
+///   reattached on load. Tag-0/tag-1 payloads and index payloads are
+///   unchanged. v1 and v2 files remain readable.
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Kind tag used for [`Dataset`] snapshots.
 pub const DATASET_KIND: &str = "dataset";
@@ -399,7 +404,11 @@ pub fn fingerprint_dataset<P: PointCodec>(data: &Dataset<P>) -> Result<u64, Snap
 
 /// Load a dataset saved by [`save_dataset`]. Files written by format
 /// version 1 (tag-less per-point payload) are decoded through the legacy
-/// reader; v2 payloads dispatch on their tag byte.
+/// reader; v2/v3 payloads dispatch on their tag byte. Corrupt files of
+/// any version surface as typed [`SnapshotError`]s — every length in the
+/// dataset payload readers is `checked_mul`-validated with capped
+/// preallocation, so no input reachable from this function panics or
+/// triggers a huge up-front allocation.
 pub fn load_dataset<P: PointCodec>(path: &Path) -> Result<Dataset<P>, SnapshotError> {
     let container = load_from_file(path, Some(DATASET_KIND))?;
     let mut r = container.payload.as_slice();
@@ -472,7 +481,7 @@ mod tests {
         let mut bytes = Vec::new();
         a.write_snapshot_v1(&mut bytes).unwrap();
         assert_eq!(fa, fnv1a64(&bytes));
-        let flat_twin = Dataset::new_flat(a.points().to_vec());
+        let flat_twin = Dataset::new_flat(a.points().to_vec()).quantize();
         assert_eq!(fa, fingerprint_dataset(&flat_twin).unwrap());
     }
 
@@ -486,7 +495,7 @@ mod tests {
         let path = dir.join("flat.psnp");
         save_dataset(&path, &flat).unwrap();
         let back: Dataset<Vec<f32>> = load_dataset(&path).unwrap();
-        assert_eq!(back.points(), flat.points());
+        assert_eq!(back.to_owned_points(), rows);
         assert!(back.flat().is_some(), "arena survives the round trip");
         // Nested dataset: per-point payload, no arena.
         let nested = Dataset::new(rows);

@@ -8,7 +8,8 @@ use std::sync::Arc;
 use permsearch_core::{Dataset, SearchIndex, Snapshot, SnapshotError};
 use permsearch_spaces::L2;
 use permsearch_store::{
-    expect_kind, index_from_slice, index_to_vec, read_container, FORMAT_VERSION, MAGIC,
+    expect_kind, fnv1a64, index_from_slice, index_to_vec, load_dataset, read_container,
+    save_dataset, DATASET_KIND, FORMAT_VERSION, MAGIC,
 };
 use permsearch_vptree::{VpTree, VpTreeParams};
 
@@ -198,4 +199,184 @@ fn trailing_bytes_after_payload_are_corrupt() {
             .err()
             .expect("trailing bytes must fail");
     assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Dataset readers: corrupt v1/v2/v3 files through `store::load_dataset`.
+//
+// These hand-assemble syntactically valid containers (magic, version, kind,
+// checksum all correct) around hostile *dataset payloads*, so the tests
+// reach the flat/quantized block readers instead of dying at the checksum
+// gate. Contract: no input reachable from `load_dataset` panics or triggers
+// a length-field-driven huge allocation.
+// ---------------------------------------------------------------------------
+
+/// Frame `payload` as a `dataset` container of the given format version
+/// with a correct checksum.
+fn dataset_container(version: u16, payload: &[u8]) -> Vec<u8> {
+    let kind = DATASET_KIND.as_bytes();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&version.to_le_bytes());
+    bytes.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+    bytes.extend_from_slice(kind);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    let checksum = fnv1a64(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("psnap-corrupt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn load_bytes(dir: &TempDir, name: &str, bytes: &[u8]) -> Result<Dataset<Vec<f32>>, SnapshotError> {
+    let path = dir.0.join(name);
+    std::fs::write(&path, bytes).unwrap();
+    load_dataset::<Vec<f32>>(&path)
+}
+
+#[test]
+fn forged_flat_header_dimension_overflow_is_typed_corrupt() {
+    let dir = TempDir::new("overflow");
+    // Tag 1, rows * dim overflowing usize: the reader must hit its
+    // checked_mul, not the allocator.
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(&(u32::MAX as u64).to_le_bytes()); // rows
+    payload.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // dim
+    let err = load_bytes(&dir, "overflow.psnp", &dataset_container(2, &payload)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    assert!(err.to_string().contains("overflow"), "{err}");
+}
+
+#[test]
+fn forged_row_count_beyond_id_space_is_typed_corrupt() {
+    let dir = TempDir::new("idspace");
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(&(u32::MAX as u64 + 1).to_le_bytes()); // rows
+    payload.extend_from_slice(&1u64.to_le_bytes()); // dim
+    let err = load_bytes(&dir, "idspace.psnp", &dataset_container(2, &payload)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    assert!(err.to_string().contains("id space"), "{err}");
+}
+
+#[test]
+fn huge_length_fields_cap_preallocation_and_surface_truncated() {
+    // Forged lengths promising ~2^60 elements must neither pre-reserve that
+    // much memory nor panic — the bounded read loops run out of stream and
+    // report Truncated. Covers the flat block (tag 1) and the per-point
+    // sequence (tag 0).
+    let dir = TempDir::new("hugelen");
+    let mut flat = vec![1u8];
+    flat.extend_from_slice(&1000u64.to_le_bytes()); // rows
+    flat.extend_from_slice(&(1u64 << 50).to_le_bytes()); // dim
+    let err = load_bytes(&dir, "flat.psnp", &dataset_container(2, &flat)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+    let mut nested = vec![0u8];
+    nested.extend_from_slice(&(u64::MAX >> 2).to_le_bytes()); // point count
+    let err = load_bytes(&dir, "nested.psnp", &dataset_container(2, &nested)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+}
+
+#[test]
+fn truncated_flat_block_is_typed_truncated() {
+    let dir = TempDir::new("cutflat");
+    let mut payload = vec![1u8];
+    payload.extend_from_slice(&4u64.to_le_bytes()); // rows
+    payload.extend_from_slice(&3u64.to_le_bytes()); // dim
+    payload.extend_from_slice(&[0u8; 5]); // 5 of the promised 48 bytes
+    let err = load_bytes(&dir, "cutflat.psnp", &dataset_container(2, &payload)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+}
+
+#[test]
+fn truncated_quantized_tier_is_typed_truncated() {
+    let dir = TempDir::new("cutquant");
+    let rows: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32, 1.0 - i as f32]).collect();
+    let data = Dataset::new_flat(rows).quantize();
+    let mut payload = Vec::new();
+    data.write_snapshot(&mut payload).unwrap();
+    assert_eq!(payload[0], 2, "quantized datasets write tag 2");
+    // Cut inside the trailing SQ8 code block.
+    for cut in [payload.len() - 1, payload.len() - 7] {
+        let err = load_bytes(
+            &dir,
+            "cutquant.psnp",
+            &dataset_container(FORMAT_VERSION, &payload[..cut]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated { .. }), "{err:?}");
+    }
+}
+
+#[test]
+fn invalid_dataset_tag_and_trailing_payload_bytes_are_typed_corrupt() {
+    let dir = TempDir::new("dstag");
+    let err = load_bytes(&dir, "badtag.psnp", &dataset_container(2, &[9u8])).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+
+    // A well-formed payload followed by garbage must not be silently
+    // accepted.
+    let data = Dataset::new_flat(vec![vec![1.0f32], vec![2.0]]);
+    let mut payload = Vec::new();
+    data.write_snapshot(&mut payload).unwrap();
+    payload.extend_from_slice(b"junk");
+    let err = load_bytes(&dir, "trail.psnp", &dataset_container(2, &payload)).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err:?}");
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn flipped_dataset_payload_byte_fails_the_checksum_gate() {
+    let dir = TempDir::new("dsflip");
+    let data = Dataset::new_flat((0..20).map(|i| vec![i as f32, 0.5]).collect::<Vec<_>>());
+    let path = dir.0.join("flip.psnp");
+    save_dataset(&path, &data).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = load_dataset::<Vec<f32>>(&path).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn v2_flat_containers_remain_readable_by_the_v3_reader() {
+    // A pre-quantization deployment: version-2 container, tag-1 payload.
+    let dir = TempDir::new("v2compat");
+    let rows: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, -(i as f32)]).collect();
+    let data = Dataset::new_flat(rows.clone());
+    let mut payload = Vec::new();
+    data.write_snapshot(&mut payload).unwrap();
+    assert_eq!(payload[0], 1);
+    let back = load_bytes(&dir, "v2.psnp", &dataset_container(2, &payload)).unwrap();
+    assert_eq!(back.to_owned_points(), rows);
+    assert!(back.flat().is_some(), "arena reattached from a v2 file");
+    assert!(back.quantized().is_none());
+}
+
+#[test]
+fn v1_per_point_containers_remain_readable_by_the_v3_reader() {
+    let dir = TempDir::new("v1compat");
+    let data: Dataset<Vec<f32>> = Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    let mut payload = Vec::new();
+    data.write_snapshot_v1(&mut payload).unwrap();
+    let back = load_bytes(&dir, "v1.psnp", &dataset_container(1, &payload)).unwrap();
+    assert_eq!(back.to_owned_points(), data.to_owned_points());
 }

@@ -24,7 +24,9 @@ pub mod tune;
 use std::sync::Arc;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{
+    score_ids, Dataset, KnnHeap, Neighbor, Point, SearchIndex, SearchScratch, Space,
+};
 use rand::Rng;
 
 pub use tune::{tune_alphas, TuneResult};
@@ -102,7 +104,8 @@ pub struct VpTree<P, S> {
 
 impl<P, S> VpTree<P, S>
 where
-    S: Space<P>,
+    P: Point,
+    S: Space<P::Ref>,
 {
     /// Build the tree over `data`; pivots are chosen uniformly at random
     /// (deterministic in `seed`).
@@ -171,7 +174,7 @@ where
         (self.nodes.len() - 1) as u32
     }
 
-    fn search_node(&self, node: u32, query: &P, heap: &mut KnnHeap, dists: &mut Vec<f32>) {
+    fn search_node(&self, node: u32, query: &P::Ref, heap: &mut KnnHeap, dists: &mut Vec<f32>) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
                 // Bucket scan: all points in a bucket sit in one contiguous
@@ -380,8 +383,8 @@ impl<P, S> permsearch_core::Snapshot<P, S> for VpTree<P, S> {
 
 impl<P, S> SearchIndex<P> for VpTree<P, S>
 where
-    P: Send + Sync,
-    S: Space<P>,
+    P: Point + Send + Sync,
+    S: Space<P::Ref>,
 {
     fn search(&self, query: &P, k: usize) -> Vec<Neighbor> {
         let mut out = Vec::new();
@@ -405,7 +408,7 @@ where
         }
         scratch.heap.reset(k);
         let SearchScratch { heap, dists, .. } = scratch;
-        self.search_node(self.root, query, heap, dists);
+        self.search_node(self.root, query.point_ref(), heap, dists);
         heap.drain_sorted_into(out);
     }
 
@@ -542,7 +545,7 @@ mod tests {
         let (data, _) = dense_world();
         let tree = VpTree::build(data.clone(), L2, VpTreeParams::default(), 3);
         // k = n returns everything exactly once.
-        let res = tree.search(data.get(0), data.len());
+        let res = tree.search(&data.get(0).to_owned(), data.len());
         assert_eq!(res.len(), data.len());
         let mut ids: Vec<u32> = res.iter().map(|n| n.id).collect();
         ids.sort_unstable();
@@ -564,7 +567,7 @@ mod tests {
                 },
                 1,
             );
-            let res = tree.search(data.get(0), n);
+            let res = tree.search(&data.get(0).to_owned(), n);
             assert_eq!(res.len(), n, "n={n}");
             assert_eq!(res[0].id, 0);
         }

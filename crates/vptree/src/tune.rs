@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use permsearch_core::rng::{sample_distinct, seeded_rng};
-use permsearch_core::{Dataset, ExhaustiveSearch, SearchIndex, Space};
+use permsearch_core::{Dataset, ExhaustiveSearch, Point, SearchIndex, Space};
 
 use crate::{Pruner, VpTree, VpTreeParams};
 
@@ -60,8 +60,8 @@ pub fn tune_alphas<P, S>(
     seed: u64,
 ) -> TuneResult
 where
-    P: Clone + Send + Sync,
-    S: Space<P> + Clone,
+    P: Point + Clone + Send + Sync,
+    S: Space<P::Ref> + Clone,
 {
     assert!(target_recall > 0.0 && target_recall <= 1.0);
     let mut rng = seeded_rng(seed);
@@ -69,8 +69,8 @@ where
     let wanted = (sample_size + num_queries).min(total);
     let ids = sample_distinct(&mut rng, total, wanted);
     let (query_ids, sample_ids) = ids.split_at(num_queries.min(wanted / 2));
-    let sample: Vec<P> = sample_ids.iter().map(|&i| data.get(i).clone()).collect();
-    let queries: Vec<P> = query_ids.iter().map(|&i| data.get(i).clone()).collect();
+    let sample: Vec<P> = sample_ids.iter().map(|&i| data.get(i).to_owned()).collect();
+    let queries: Vec<P> = query_ids.iter().map(|&i| data.get(i).to_owned()).collect();
     let sample = Arc::new(Dataset::new(sample));
 
     let exact = ExhaustiveSearch::new(sample.clone(), space.clone());

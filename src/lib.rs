@@ -48,7 +48,7 @@
 //!     dataset.clone(), space, params, 7,
 //! );
 //!
-//! let query = dataset.get(0).clone();
+//! let query = dataset.get(0).to_owned();
 //! let hits = index.search(&query, 10);
 //! assert!(!hits.is_empty());
 //! assert_eq!(hits[0].id, 0); // the point itself is its own 1-NN

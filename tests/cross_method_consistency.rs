@@ -23,7 +23,7 @@ fn world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
     )
 }
 
-fn assert_valid(results: &[Neighbor], data: &Dataset<Vec<f32>>, query: &Vec<f32>, k: usize) {
+fn assert_valid(results: &[Neighbor], data: &Dataset<Vec<f32>>, query: &[f32], k: usize) {
     assert!(results.len() <= k);
     // Sorted by distance.
     assert!(results.windows(2).all(|w| w[0].dist <= w[1].dist));
@@ -422,7 +422,7 @@ fn self_queries_rank_self_first_across_methods() {
     );
     let vp = VpTree::build(data.clone(), L2, VpTreeParams::default(), 2);
     for id in [0u32, 57, 1199] {
-        let q = data.get(id).clone();
+        let q = data.get(id).to_owned();
         assert_eq!(bf.search(&q, 1)[0].dist, 0.0);
         assert_eq!(vp.search(&q, 1)[0].id, id);
     }
