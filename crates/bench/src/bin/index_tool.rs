@@ -17,17 +17,25 @@
 //! ```
 //!
 //! `serve --smoke` additionally computes gold answers and asserts recall,
-//! which is the CI gate for the whole warm-start path.
+//! which is the CI gate for the whole warm-start path. `serve --metrics`
+//! attaches a metrics registry (queries, latency summary, per-stage trace
+//! counters, `CountedSpace`-backed distance totals), prints its Prometheus
+//! text exposition to stderr after the batch, and — under `--smoke` —
+//! re-parses the exposition and asserts the serving families are present.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
-use permsearch_core::Dataset;
+use permsearch_core::{CountedSpace, Dataset};
 use permsearch_datasets::{sift_like, Generator};
-use permsearch_engine::{dense_l2_registry, DeploymentManifest, Engine, ShardedEngine};
+use permsearch_engine::{
+    dense_l2_registry, standard_registry, DeploymentManifest, Engine, MethodRegistry,
+    MetricsRegistry, ShardedEngine, DEFAULT_SAMPLE_EVERY,
+};
 use permsearch_eval::compute_gold;
+use permsearch_lsh::{MpLsh, MpLshParams};
 use permsearch_spaces::L2;
 
 struct ToolArgs {
@@ -40,12 +48,15 @@ struct ToolArgs {
     workers: usize,
     seed: u64,
     smoke: bool,
+    metrics: bool,
+    sample_every: usize,
 }
 
 const USAGE: &str = "usage:
   index_tool build --dir DIR [--method M] [--shards N] [--n N] [--seed S]
   index_tool inspect --dir DIR
-  index_tool serve --from-snapshot DIR [--queries Q] [--k K] [--workers W] [--smoke]";
+  index_tool serve --from-snapshot DIR [--queries Q] [--k K] [--workers W] \\
+             [--smoke] [--metrics] [--sample-every N]";
 
 fn die(msg: &str) -> ! {
     eprintln!("index_tool: {msg}");
@@ -67,6 +78,8 @@ fn parse(args: &[String]) -> (String, ToolArgs) {
         workers: 2,
         seed: 42,
         smoke: false,
+        metrics: false,
+        sample_every: DEFAULT_SAMPLE_EVERY,
     };
     let mut it = args[1..].iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
@@ -85,6 +98,10 @@ fn parse(args: &[String]) -> (String, ToolArgs) {
             "--workers" => parsed.workers = parse_num(flag, &next_value(flag, &mut it)),
             "--seed" => parsed.seed = parse_num(flag, &next_value(flag, &mut it)) as u64,
             "--smoke" => parsed.smoke = true,
+            "--metrics" => parsed.metrics = true,
+            "--sample-every" => {
+                parsed.sample_every = parse_num(flag, &next_value(flag, &mut it));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -216,11 +233,28 @@ fn serve(args: &ToolArgs) {
     let data: Dataset<Vec<f32>> = permsearch_store::load_dataset(&dataset_path(&args.dir))
         .unwrap_or_else(|e| die(&format!("loading dataset snapshot: {e}")));
     let data = Arc::new(data);
-    let registry = dense_l2_registry();
-    let engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
-        .unwrap_or_else(|e| die(&e.to_string()));
-    let load_secs = t.elapsed().as_secs_f64();
     let manifest = DeploymentManifest::load(&args.dir).unwrap_or_else(|e| die(&e.to_string()));
+    let metrics_registry = MetricsRegistry::new();
+    let registry = if args.metrics {
+        // The registry's `permsearch_dists_total` handle IS the counter the
+        // serving space bumps: build the method registry over a
+        // CountedSpace wired to it, so space-level distance totals land in
+        // the exposition with no second tally.
+        let handle = metrics_registry.counter(
+            "permsearch_dists_total",
+            "Distance computations (space-level, counted by CountedSpace).",
+            &[("method", &manifest.method)],
+        );
+        counted_dense_l2_registry(CountedSpace::with_counter(L2, handle))
+    } else {
+        dense_l2_registry()
+    };
+    let mut engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
+        .unwrap_or_else(|e| die(&e.to_string()));
+    if args.metrics {
+        engine.attach_metrics(&metrics_registry, args.sample_every);
+    }
+    let load_secs = t.elapsed().as_secs_f64();
     eprintln!(
         "[serve] warm start: method={} shards={} points={} loaded in {load_secs:.3}s",
         manifest.method,
@@ -237,6 +271,39 @@ fn serve(args: &ToolArgs) {
     let (_, report) = engine.serve_with_report(&queries, args.k, gold.as_ref());
     println!("{}", report.to_json());
 
+    if args.metrics {
+        let text = metrics_registry.render_text();
+        eprint!("{text}");
+        if args.smoke {
+            let families = permsearch_obs::validate_text(&text).unwrap_or_else(|e| {
+                die(&format!("smoke: metrics exposition failed to parse: {e}"))
+            });
+            for required in [
+                "permsearch_queries_total",
+                "permsearch_query_latency_seconds",
+                "permsearch_dists_total",
+                "permsearch_traces_sampled_total",
+                "permsearch_trace_stage_nanos_total",
+                "permsearch_index_points",
+            ] {
+                assert!(
+                    families.iter().any(|f| f == required),
+                    "smoke: exposition is missing family {required} (got {families:?})"
+                );
+            }
+            let metrics = engine.metrics().expect("metrics attached");
+            assert!(
+                metrics.dists_counter().get() > 0,
+                "smoke: CountedSpace-backed dists_total never moved"
+            );
+            println!(
+                "metrics OK: {} families validated, dists_total={}",
+                families.len(),
+                metrics.dists_counter().get()
+            );
+        }
+    }
+
     if args.smoke {
         let recall = report.recall.expect("smoke computes recall");
         assert!(
@@ -249,4 +316,17 @@ fn serve(args: &ToolArgs) {
             args.queries
         );
     }
+}
+
+/// [`dense_l2_registry`] rebuilt over a counted L2: the six space-generic
+/// methods score through `space` (and its registry-wired counter); `lsh`
+/// constructs its own internal L2 and is registered uncounted, exactly as
+/// in the plain dense registry.
+fn counted_dense_l2_registry(space: CountedSpace<L2>) -> MethodRegistry<Vec<f32>> {
+    let mut reg = standard_registry(space);
+    reg.register_snapshot("lsh", (), |data, seed| {
+        let params = MpLshParams::auto(&data, seed);
+        MpLsh::build(data, params, seed)
+    });
+    reg
 }

@@ -34,7 +34,7 @@ use std::time::Instant;
 use permsearch_bench::Args;
 use permsearch_core::{
     BoxedSearchIndex, CountedSpace, Dataset, ExhaustiveSearch, Point, SearchIndex, SearchScratch,
-    Space,
+    Space, StageBreakdown, STAGES,
 };
 use permsearch_eval::{compute_gold, metrics::recall_vs, GoldStandard};
 use permsearch_knngraph::{SwGraph, SwGraphParams};
@@ -82,6 +82,9 @@ struct GridRow {
     /// Process peak RSS (`VmHWM`) when the cell finished, in bytes
     /// (0 where `/proc/self/status` is unavailable).
     rss_peak_bytes: usize,
+    /// Per-stage wall-time/distance breakdown over the traced subset of
+    /// the measured queries (sampled stage tracing, see `measure`).
+    stages: StageBreakdown,
 }
 
 impl GridRow {
@@ -94,12 +97,29 @@ impl GridRow {
             }
         }
         let method = self.method.replace('\\', "\\\\").replace('"', "\\\"");
+        // Stage-timing fields: one `"stage_<name>_nanos"`/`_dists` pair
+        // per pipeline stage, summed over the traced queries, plus the
+        // trace-sample bookkeeping needed to normalize them.
+        let mut stages = String::new();
+        for stage in STAGES {
+            let i = stage as usize;
+            let _ = write!(
+                stages,
+                ", \"stage_{}_nanos\": {}, \"stage_{}_dists\": {}",
+                stage.name(),
+                self.stages.stage_nanos[i],
+                stage.name(),
+                self.stages.stage_dists[i]
+            );
+        }
         format!(
             concat!(
                 "{{\"world\": \"{}\", \"method\": \"{}\", \"n\": {}, ",
                 "\"queries\": {}, \"k\": {}, \"recall\": {}, \"qps\": {}, ",
                 "\"query_secs\": {}, \"dists_per_query\": {}, \"index_bytes\": {}, ",
-                "\"dataset_bytes\": {}, \"rss_peak_bytes\": {}}}"
+                "\"dataset_bytes\": {}, \"rss_peak_bytes\": {}, ",
+                "\"traced_queries\": {}, \"traced_candidates\": {}, ",
+                "\"traced_quant_engaged\": {}{}}}"
             ),
             self.world,
             method,
@@ -112,7 +132,11 @@ impl GridRow {
             num(self.dists_per_query),
             self.index_bytes,
             self.dataset_bytes,
-            self.rss_peak_bytes
+            self.rss_peak_bytes,
+            self.stages.sampled,
+            self.stages.candidates,
+            self.stages.quant_engaged,
+            stages
         )
     }
 }
@@ -156,13 +180,20 @@ where
     space.reset();
     let mut recall = 0.0;
     let mut secs = 0.0;
+    let mut stages = StageBreakdown::default();
+    // Stage tracing samples sparsely enough not to distort the timed
+    // region (clock reads happen inside traced searches only), but densely
+    // enough that smoke-scale query sets still trace a handful of queries.
+    let sample_every = (queries.len() / 8).clamp(1, permsearch_obs::DEFAULT_SAMPLE_EVERY);
     // Per-query clocks around the searches only; recall scoring stays
     // outside the timer, matching `eval::runner::evaluate`'s methodology
     // so grid QPS is comparable to evaluate/serve numbers.
-    for (q, truth) in queries.iter().zip(&gold.neighbors) {
+    for (i, (q, truth)) in queries.iter().zip(&gold.neighbors).enumerate() {
+        scratch.trace.begin(i % sample_every == 0);
         let start = Instant::now();
         index.search_into(q, K, &mut scratch, &mut res);
         secs += start.elapsed().as_secs_f64();
+        stages.absorb(&scratch.trace);
         recall += recall_vs(&res, truth);
     }
     let nq = queries.len().max(1);
@@ -178,6 +209,7 @@ where
         index_bytes: index.index_size_bytes(),
         dataset_bytes,
         rss_peak_bytes: peak_rss_bytes(),
+        stages,
     }
 }
 

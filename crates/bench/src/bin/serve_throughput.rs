@@ -108,10 +108,12 @@ fn main() {
     }
 
     let mut table = Table::new(&[
-        "method", "shards", "workers", "qps", "mean lat", "p50 lat", "p99 lat", "recall",
+        "method", "shards", "workers", "qps", "mean lat", "p50 lat", "p99 lat", "p999 lat",
+        "recall",
     ]);
     let mut csv = String::from(
-        "method,shards,workers,qps,mean_latency_secs,p50_latency_secs,p99_latency_secs,recall\n",
+        "method,shards,workers,qps,mean_latency_secs,p50_latency_secs,p99_latency_secs,\
+         p999_latency_secs,recall\n",
     );
     let mut jsonl = String::new();
     for r in &reports {
@@ -123,10 +125,11 @@ fn main() {
             fmt_secs(r.stats.mean_latency_secs),
             fmt_secs(r.stats.p50_latency_secs),
             fmt_secs(r.stats.p99_latency_secs),
+            fmt_secs(r.stats.p999_latency_secs),
             format!("{:.3}", r.recall.unwrap_or(f64::NAN)),
         ]);
         csv.push_str(&format!(
-            "{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{}\n",
             r.method,
             r.shards,
             r.workers,
@@ -134,6 +137,7 @@ fn main() {
             r.stats.mean_latency_secs,
             r.stats.p50_latency_secs,
             r.stats.p99_latency_secs,
+            r.stats.p999_latency_secs,
             r.recall.unwrap_or(f64::NAN)
         ));
         jsonl.push_str(&r.to_json());

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use permsearch_obs::Stage;
+
 use crate::{score_all, Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
 
 /// Exact sequential-scan k-NN search.
@@ -53,6 +55,12 @@ impl<P: Point, S: Space<P::Ref>> SearchIndex<P> for ExhaustiveSearch<P, S> {
         scratch: &mut SearchScratch,
         out: &mut Vec<Neighbor>,
     ) {
+        // The whole scan is the exact re-rank: attribute it to Refine.
+        let t0 = scratch.trace.start();
+        scratch
+            .trace
+            .add_dists(Stage::Refine, self.data.len() as u64);
+        scratch.trace.add_candidates(self.data.len());
         let heap = &mut scratch.heap;
         heap.reset(k);
         score_all(
@@ -65,6 +73,7 @@ impl<P: Point, S: Space<P::Ref>> SearchIndex<P> for ExhaustiveSearch<P, S> {
             },
         );
         heap.drain_sorted_into(out);
+        scratch.trace.finish(Stage::Refine, t0);
     }
 
     fn len(&self) -> usize {

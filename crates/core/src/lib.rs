@@ -45,6 +45,9 @@ pub use space::{
     score_all, score_ids, score_ids_quantized, score_slice, CountedSpace, Space, SpaceStats,
     BATCH_WIDTH,
 };
+// Tracing vocabulary, re-exported so index crates can stamp stage timings
+// without depending on `permsearch_obs` directly.
+pub use permsearch_obs::{QueryTrace, Stage, StageBreakdown, STAGES, STAGE_COUNT};
 
 /// A heap-allocated, thread-shareable search index.
 ///

@@ -21,6 +21,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use permsearch_obs::QueryTrace;
+
 use crate::neighbor::{KnnHeap, Neighbor};
 
 /// Epoch-based visited-id set over dense `u32` ids.
@@ -124,6 +126,11 @@ pub struct SearchScratch {
     pub path: Vec<u32>,
     /// Generic neighbor buffer (intermediate results).
     pub neighbors: Vec<Neighbor>,
+    /// Sampled per-query stage trace. Disarmed by default (every
+    /// instrumentation call is one predictable branch); serving loops arm
+    /// it for 1-in-N queries via [`permsearch_obs::QueryTrace::begin`].
+    /// Fixed-size inline storage — arming allocates nothing.
+    pub trace: QueryTrace,
 }
 
 impl SearchScratch {

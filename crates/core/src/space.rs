@@ -7,9 +7,9 @@
 //! and the normalized Levenshtein distance alongside the metric `L2` and
 //! SQFD.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use permsearch_obs::Counter;
 
 use crate::dataset::{Dataset, DenseStore, FlatAccess};
 use crate::point::Point;
@@ -338,52 +338,64 @@ pub fn score_ids_quantized<P: ?Sized, S: Space<P> + ?Sized>(
 
 /// A thread-safe distance-evaluation counter around a [`Space`].
 ///
-/// Unlike [`SpaceStats`] (whose `Cell` counter keeps it `!Sync`, so it can
-/// never satisfy the `Space` supertraits), `CountedSpace` counts with a
-/// shared atomic and therefore *is* a `Space`: indexes can be built over it
-/// directly and every distance their construction and searches evaluate is
-/// counted — batched kernel calls count **one per point scored**. Clones
-/// share the counter, so one tally can span an index plus its refine stage.
+/// Counts with a shared [`permsearch_obs::Counter`] and therefore *is* a
+/// `Space`: indexes can be built over it directly and every distance their
+/// construction and searches evaluate is counted — batched kernel calls
+/// count **one per point scored**. Clones share the counter, so one tally
+/// can span an index plus its refine stage.
+///
+/// [`with_counter`](Self::with_counter) lets callers supply the counter
+/// cell — the metrics registry hands its `dists_total` series handle
+/// straight in, so the scraped counter and the bench-side `count()` are the
+/// same atomic word and can never drift.
 #[derive(Debug, Clone)]
 pub struct CountedSpace<S> {
     inner: S,
-    count: Arc<AtomicU64>,
+    count: Arc<Counter>,
 }
 
 impl<S> CountedSpace<S> {
     /// Wrap `inner` with a fresh shared counter at zero.
     pub fn new(inner: S) -> Self {
-        Self {
-            inner,
-            count: Arc::new(AtomicU64::new(0)),
-        }
+        Self::with_counter(inner, Arc::new(Counter::new()))
+    }
+
+    /// Wrap `inner`, counting into a caller-provided cell (typically a
+    /// metrics-registry `dists_total` handle).
+    pub fn with_counter(inner: S, count: Arc<Counter>) -> Self {
+        Self { inner, count }
     }
 
     /// Distance evaluations since construction or the last
     /// [`reset`](Self::reset), across all clones.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.get()
     }
 
     /// Reset the shared counter to zero.
     pub fn reset(&self) {
-        self.count.store(0, Ordering::Relaxed);
+        self.count.reset();
     }
 
     /// Borrow the wrapped space.
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    /// The shared counter cell itself.
+    pub fn counter(&self) -> &Arc<Counter> {
+        &self.count
+    }
 }
 
 impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
     fn distance(&self, x: &P, y: &P) -> f32 {
-        self.count.fetch_add(1, Ordering::Relaxed);
+        self.count.inc();
         self.inner.distance(x, y)
     }
     fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
         // One count per point scored — the batched-counting contract.
-        self.count.fetch_add(xs.len() as u64, Ordering::Relaxed);
+        self.count.add(xs.len() as u64);
         self.inner.distance_block(xs, y, out)
     }
     fn supports_flat(&self) -> bool {
@@ -391,7 +403,7 @@ impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
     }
     fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
         // One count per row scored, same as the gather block.
-        self.count.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.count.add(ids.len() as u64);
         self.inner.distance_block_flat(flat, ids, y, out)
     }
     fn supports_quantized(&self) -> bool {
@@ -399,7 +411,7 @@ impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
     }
     fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
         // Quantized scans are distance work too: one count per row.
-        self.count.fetch_add(ids.len() as u64, Ordering::Relaxed);
+        self.count.add(ids.len() as u64);
         self.inner.distance_block_quantized(quant, ids, y, out)
     }
     fn is_symmetric(&self) -> bool {
@@ -418,11 +430,14 @@ impl<P: ?Sized, S: Space<P>> Space<P> for CountedSpace<S> {
 /// normalized Levenshtein) the distance count is the dominant cost and is
 /// hardware-independent, which makes shape comparisons with the paper robust.
 ///
-/// The counter is a `Cell`, so the wrapper is intentionally `!Sync`; use one
-/// instance per thread.
+/// The counter is a [`permsearch_obs::Counter`] — the same relaxed-atomic
+/// cell [`CountedSpace`] and the metrics registry use — so the wrapper is
+/// `Sync` and the two accounting paths share one arithmetic. Unlike
+/// `CountedSpace` it owns both the space and the counter (no sharing), for
+/// one-shot single-harness tallies.
 pub struct SpaceStats<S> {
     inner: S,
-    count: Cell<u64>,
+    count: Counter,
 }
 
 impl<S> SpaceStats<S> {
@@ -430,7 +445,7 @@ impl<S> SpaceStats<S> {
     pub fn new(inner: S) -> Self {
         Self {
             inner,
-            count: Cell::new(0),
+            count: Counter::new(),
         }
     }
 
@@ -442,69 +457,22 @@ impl<S> SpaceStats<S> {
 
     /// Reset the evaluation counter to zero.
     pub fn reset(&self) {
-        self.count.set(0);
+        self.count.reset();
     }
 
     /// Consume the wrapper, returning the inner space.
     pub fn into_inner(self) -> S {
         self.inner
     }
-}
 
-impl<P: ?Sized, S: Space<P>> Space<P> for SpaceStats<S>
-where
-    SpaceStats<S>: Send + Sync,
-{
-    fn distance(&self, x: &P, y: &P) -> f32 {
-        self.count.set(self.count.get() + 1);
-        self.inner.distance(x, y)
-    }
-    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
-        // One count per point scored, not per kernel call.
-        self.count.set(self.count.get() + xs.len() as u64);
-        self.inner.distance_block(xs, y, out)
-    }
-    fn supports_flat(&self) -> bool {
-        self.inner.supports_flat()
-    }
-    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
-        // One count per row scored, not per kernel call.
-        self.count.set(self.count.get() + ids.len() as u64);
-        self.inner.distance_block_flat(flat, ids, y, out)
-    }
-    fn supports_quantized(&self) -> bool {
-        self.inner.supports_quantized()
-    }
-    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
-        // One count per row scored, not per kernel call.
-        self.count.set(self.count.get() + ids.len() as u64);
-        self.inner.distance_block_quantized(quant, ids, y, out)
-    }
-    fn is_symmetric(&self) -> bool {
-        self.inner.is_symmetric()
-    }
-    fn name(&self) -> &'static str {
-        self.inner.name()
-    }
-}
-
-// SAFETY-free justification: SpaceStats is used strictly single-threaded in
-// the evaluation harness, but the `Space` supertraits demand Send + Sync.
-// `Cell<u64>` is Send; we add Sync manually because concurrent increments
-// would only produce lost counts, never memory unsafety... which is NOT a
-// guarantee Rust lets us hand-wave. Instead of an unsafe impl we simply do
-// not implement Sync: the blanket impl above is gated on
-// `SpaceStats<S>: Send + Sync`, so the wrapper only acts as a `Space` when a
-// sync-safe interior is used. For single-threaded harness code we provide
-// `distance_counted` below as an inherent method that needs no bounds.
-impl<S> SpaceStats<S> {
     /// Evaluate the wrapped distance and bump the counter without requiring
-    /// the `Space` trait bounds (usable single-threaded regardless of `Sync`).
+    /// the full `Space<P>` bound on `Self` (historical inherent-method
+    /// entry point, kept for the single-threaded harness code).
     pub fn distance_counted<P: ?Sized>(&self, x: &P, y: &P) -> f32
     where
         S: Space<P>,
     {
-        self.count.set(self.count.get() + 1);
+        self.count.inc();
         self.inner.distance(x, y)
     }
 
@@ -515,8 +483,42 @@ impl<S> SpaceStats<S> {
     where
         S: Space<P>,
     {
-        self.count.set(self.count.get() + xs.len() as u64);
+        self.count.add(xs.len() as u64);
         self.inner.distance_block(xs, y, out)
+    }
+}
+
+impl<P: ?Sized, S: Space<P>> Space<P> for SpaceStats<S> {
+    fn distance(&self, x: &P, y: &P) -> f32 {
+        self.count.inc();
+        self.inner.distance(x, y)
+    }
+    fn distance_block(&self, xs: &[&P], y: &P, out: &mut [f32]) {
+        // One count per point scored, not per kernel call.
+        self.count.add(xs.len() as u64);
+        self.inner.distance_block(xs, y, out)
+    }
+    fn supports_flat(&self) -> bool {
+        self.inner.supports_flat()
+    }
+    fn distance_block_flat(&self, flat: &FlatAccess, ids: &[u32], y: &P, out: &mut [f32]) {
+        // One count per row scored, not per kernel call.
+        self.count.add(ids.len() as u64);
+        self.inner.distance_block_flat(flat, ids, y, out)
+    }
+    fn supports_quantized(&self) -> bool {
+        self.inner.supports_quantized()
+    }
+    fn distance_block_quantized(&self, quant: &QuantizedView, ids: &[u32], y: &P, out: &mut [f32]) {
+        // One count per row scored, not per kernel call.
+        self.count.add(ids.len() as u64);
+        self.inner.distance_block_quantized(quant, ids, y, out)
+    }
+    fn is_symmetric(&self) -> bool {
+        self.inner.is_symmetric()
+    }
+    fn name(&self) -> &'static str {
+        self.inner.name()
     }
 }
 

@@ -14,8 +14,11 @@ use permsearch_core::snapshot::{self, corrupt};
 use permsearch_core::{Dataset, SearchIndex, SnapshotError};
 use permsearch_eval::GoldStandard;
 
+use permsearch_obs::MetricsRegistry;
+
+use crate::metrics::{set_deployment_gauges, ServeMetrics};
 use crate::registry::{EngineError, MethodRegistry, Provenance};
-use crate::serve::{optional_recall, serve_batch, ServeOutput, ServeReport};
+use crate::serve::{optional_recall, serve_batch_observed, ServeOutput, ServeReport};
 use crate::shard::ShardedIndex;
 
 /// A deployed, batch-serving search engine. Object-safe.
@@ -48,6 +51,7 @@ pub struct ShardedEngine<P> {
     sharded: ShardedIndex<P>,
     method: String,
     workers: usize,
+    metrics: Option<ServeMetrics>,
 }
 
 impl<P> ShardedEngine<P>
@@ -75,6 +79,7 @@ where
             sharded,
             method: method.to_string(),
             workers: workers.max(1),
+            metrics: None,
         })
     }
 
@@ -210,6 +215,7 @@ where
             sharded,
             method: method.to_string(),
             workers: workers.max(1),
+            metrics: None,
         };
         let warm = WarmStart {
             shards_loaded: loaded.into_inner(),
@@ -222,6 +228,39 @@ where
     /// sweeps so one build serves every worker count).
     pub fn set_workers(&mut self, workers: usize) {
         self.workers = workers.max(1);
+    }
+
+    /// Publish this deployment into `registry`: registers every serving
+    /// family under the engine's method label, sets the deployment-shape
+    /// gauges (total points, shard count, per-shard points), and turns on
+    /// 1-in-`sample_every` stage tracing for all subsequent batches.
+    ///
+    /// Registration is the cold path; serving afterwards touches only the
+    /// resolved handles' relaxed atomics. Returns the handle bundle so
+    /// callers can wire [`ServeMetrics::dists_counter`] into a
+    /// [`CountedSpace`](permsearch_core::CountedSpace) — note the space is
+    /// chosen at registry-build time, so distance counting requires
+    /// building the method registry over the counted space with the same
+    /// handle (see `index_tool serve --metrics`).
+    pub fn attach_metrics(
+        &mut self,
+        registry: &MetricsRegistry,
+        sample_every: usize,
+    ) -> &ServeMetrics {
+        let metrics = ServeMetrics::register(registry, &self.method, self.workers, sample_every);
+        set_deployment_gauges(
+            registry,
+            &self.method,
+            SearchIndex::len(&self.sharded),
+            &self.sharded.shard_lens(),
+        );
+        self.metrics.insert(metrics)
+    }
+
+    /// The attached metric handles, when [`attach_metrics`](Self::attach_metrics)
+    /// has been called.
+    pub fn metrics(&self) -> Option<&ServeMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Borrow the underlying sharded index (itself a [`SearchIndex`]).
@@ -346,7 +385,13 @@ where
     P: Send + Sync,
 {
     fn serve(&self, queries: &[P], k: usize) -> ServeOutput {
-        serve_batch(&self.sharded, queries, k, self.workers)
+        serve_batch_observed(
+            &self.sharded,
+            queries,
+            k,
+            self.workers,
+            self.metrics.as_ref(),
+        )
     }
 
     fn method(&self) -> &str {

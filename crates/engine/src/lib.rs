@@ -38,6 +38,7 @@
 //! ```
 
 pub mod engine;
+pub mod metrics;
 pub mod registry;
 pub mod serve;
 pub mod shard;
@@ -45,12 +46,20 @@ pub mod shard;
 pub use engine::{
     manifest_path, shard_path, DeploymentManifest, Engine, ShardedEngine, WarmStart, MANIFEST_KIND,
 };
+pub use metrics::{set_deployment_gauges, ServeMetrics, DEFAULT_SAMPLE_EVERY};
 pub use registry::{
     dense_l2_registry, index_kind, standard_registry, EngineError, MethodBuilder, MethodRegistry,
     Provenance, SnapshotLoader, SnapshotSaver,
 };
-pub use serve::{effective_workers, percentile, serve_batch, ServeOutput, ServeReport, ServeStats};
+pub use serve::{
+    effective_workers, percentile, serve_batch, serve_batch_observed, ServeOutput, ServeReport,
+    ServeStats,
+};
 pub use shard::ShardedIndex;
+
+// Re-exported so engine users reach the registry type without a direct
+// `permsearch-obs` dependency.
+pub use permsearch_obs::MetricsRegistry;
 
 // Re-exported so engine users don't need a direct `permsearch_core`
 // dependency for the one trait the outputs are expressed in.

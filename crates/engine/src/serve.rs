@@ -5,16 +5,30 @@
 //! scoped worker threads, one contiguous slice of the batch per worker —
 //! queries are independent, so parallelism across queries scales without
 //! any synchronization on the hot path. Each worker records per-query wall
-//! latency; the batch summary ([`ServeStats`]) reports throughput (QPS)
-//! plus mean/p50/p99 latency, and [`ServeReport`] adds deployment metadata
-//! and optional recall against a [`GoldStandard`] in a serializable,
-//! JSON-emitting record.
+//! latency into its own shard of a lock-free log-linear histogram
+//! ([`permsearch_obs::ShardedHistogram`]); the batch summary
+//! ([`ServeStats`]) is re-derived from the merged histogram and reports
+//! throughput (QPS) plus mean/p50/p99/p999 latency, and [`ServeReport`]
+//! adds deployment metadata and optional recall against a [`GoldStandard`]
+//! in a serializable, JSON-emitting record.
+//!
+//! [`serve_batch_observed`] additionally publishes into an attached
+//! [`ServeMetrics`] handle bundle: cumulative query/latency families plus
+//! the 1-in-`N` sampled per-query stage traces.
 
 use std::time::Instant;
 
 use permsearch_core::{Neighbor, SearchIndex, SearchScratch};
-use permsearch_eval::{mean, GoldStandard};
+use permsearch_eval::GoldStandard;
+use permsearch_obs::{HistogramSnapshot, ShardedHistogram};
 use serde::Serialize;
+
+use crate::metrics::ServeMetrics;
+
+/// Percentile of an ascending-sorted slice — re-exported from
+/// `permsearch-obs` so the serving and eval layers share one rank
+/// convention (`round(q · (len − 1))`).
+pub use permsearch_obs::percentile;
 
 /// Per-batch serving statistics.
 #[derive(Debug, Clone, Serialize)]
@@ -31,37 +45,50 @@ pub struct ServeStats {
     pub p50_latency_secs: f64,
     /// 99th-percentile per-query latency, in seconds.
     pub p99_latency_secs: f64,
+    /// 99.9th-percentile per-query latency, in seconds.
+    pub p999_latency_secs: f64,
 }
 
 impl ServeStats {
-    /// Summarize a batch from its wall time and per-query latencies.
+    /// Summarize a batch from its wall time and exact per-query latencies
+    /// (seconds). Kept for tests and offline summaries; the serving path
+    /// itself uses [`from_histogram`](Self::from_histogram).
     pub fn from_latencies(batch_secs: f64, latencies: &mut [f64]) -> Self {
         latencies.sort_unstable_by(f64::total_cmp);
         Self {
             queries: latencies.len(),
             batch_secs,
-            qps: if batch_secs > 0.0 {
-                latencies.len() as f64 / batch_secs
-            } else {
-                f64::INFINITY
-            },
-            mean_latency_secs: mean(latencies),
+            qps: Self::qps_of(latencies.len(), batch_secs),
+            mean_latency_secs: permsearch_obs::mean(latencies),
             p50_latency_secs: percentile(latencies, 0.50),
             p99_latency_secs: percentile(latencies, 0.99),
+            p999_latency_secs: percentile(latencies, 0.999),
         }
     }
-}
 
-/// Percentile of an ascending-sorted slice (`q` in `[0, 1]`), taken as the
-/// element at rank `round(q · (len − 1))` — the rounded linear-rank
-/// convention, which is exact at the endpoints and within one rank of the
-/// classic nearest-rank definition in between.
-pub fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+    /// Summarize a batch from the merged per-worker latency histogram.
+    /// The mean is exact (true sum over true count); the percentiles carry
+    /// the histogram's bounded relative error
+    /// ([`permsearch_obs::RELATIVE_ERROR`], conservatively biased upward).
+    pub fn from_histogram(batch_secs: f64, snap: &HistogramSnapshot) -> Self {
+        Self {
+            queries: snap.count() as usize,
+            batch_secs,
+            qps: Self::qps_of(snap.count() as usize, batch_secs),
+            mean_latency_secs: snap.mean_secs(),
+            p50_latency_secs: snap.percentile_secs(0.50),
+            p99_latency_secs: snap.percentile_secs(0.99),
+            p999_latency_secs: snap.percentile_secs(0.999),
+        }
     }
-    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+
+    fn qps_of(queries: usize, batch_secs: f64) -> f64 {
+        if batch_secs > 0.0 {
+            queries as f64 / batch_secs
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// Results plus statistics for one served batch.
@@ -103,41 +130,96 @@ where
     P: Sync,
     I: SearchIndex<P> + Sync + ?Sized,
 {
+    serve_batch_observed(index, queries, k, workers, None)
+}
+
+/// [`serve_batch`] with optional metric publication: when `metrics` is
+/// supplied, every query lands in the registry's cumulative latency
+/// histogram and query counter, batches are counted, and 1-in-`N` queries
+/// run with an armed stage trace that is harvested into the per-stage
+/// counters. The off-sample tracing cost is one branch per query.
+pub fn serve_batch_observed<P, I>(
+    index: &I,
+    queries: &[P],
+    k: usize,
+    workers: usize,
+    metrics: Option<&ServeMetrics>,
+) -> ServeOutput
+where
+    P: Sync,
+    I: SearchIndex<P> + Sync + ?Sized,
+{
     let nq = queries.len();
     let workers = effective_workers(workers, nq);
     let mut results: Vec<Vec<Neighbor>> = Vec::new();
     results.resize_with(nq, Vec::new);
-    let mut latencies = vec![0.0f64; nq];
+    // Per-batch latency histogram, one shard per worker: ServeStats is
+    // derived from it whether or not registry metrics are attached.
+    let hist = ShardedHistogram::new(workers);
     let wall = Instant::now();
     if workers == 1 {
-        serve_slice(index, queries, k, &mut results, &mut latencies);
+        serve_slice(
+            index,
+            queries,
+            k,
+            &mut results,
+            Slice::new(0, 0, &hist, metrics),
+        );
     } else {
         let chunk = nq.div_ceil(workers);
         crossbeam::thread::scope(|scope| {
-            for ((qs, rs), ls) in queries
+            for (w, (qs, rs)) in queries
                 .chunks(chunk)
                 .zip(results.chunks_mut(chunk))
-                .zip(latencies.chunks_mut(chunk))
+                .enumerate()
             {
-                scope.spawn(move |_| serve_slice(index, qs, k, rs, ls));
+                let hist = &hist;
+                scope.spawn(move |_| {
+                    serve_slice(index, qs, k, rs, Slice::new(w, w * chunk, hist, metrics))
+                });
             }
         })
         .expect("serving worker panicked");
     }
     let batch_secs = wall.elapsed().as_secs_f64();
+    if let Some(m) = metrics {
+        m.observe_batch();
+    }
     ServeOutput {
         results,
-        stats: ServeStats::from_latencies(batch_secs, &mut latencies),
+        stats: ServeStats::from_histogram(batch_secs, &hist.snapshot()),
     }
 }
 
-fn serve_slice<P, I>(
-    index: &I,
-    queries: &[P],
-    k: usize,
-    results: &mut [Vec<Neighbor>],
-    latencies: &mut [f64],
-) where
+/// One worker's view of a batch: its ordinal (histogram shard), the batch
+/// offset of its first query (keeps the trace-sampling schedule aligned to
+/// batch positions regardless of the worker count), the per-batch
+/// histogram, and the optional registry handles.
+struct Slice<'a> {
+    worker: usize,
+    offset: usize,
+    hist: &'a ShardedHistogram,
+    metrics: Option<&'a ServeMetrics>,
+}
+
+impl<'a> Slice<'a> {
+    fn new(
+        worker: usize,
+        offset: usize,
+        hist: &'a ShardedHistogram,
+        metrics: Option<&'a ServeMetrics>,
+    ) -> Self {
+        Self {
+            worker,
+            offset,
+            hist,
+            metrics,
+        }
+    }
+}
+
+fn serve_slice<P, I>(index: &I, queries: &[P], k: usize, results: &mut [Vec<Neighbor>], s: Slice)
+where
     I: SearchIndex<P> + ?Sized,
 {
     // One scratch per worker: after the first few queries grow its buffers
@@ -146,9 +228,17 @@ fn serve_slice<P, I>(
     // is the output, written in place).
     let mut scratch = SearchScratch::new();
     for (i, q) in queries.iter().enumerate() {
+        if let Some(m) = s.metrics {
+            scratch.trace.begin(m.should_trace(s.offset + i));
+        }
         let start = Instant::now();
         index.search_into(q, k, &mut scratch, &mut results[i]);
-        latencies[i] = start.elapsed().as_secs_f64();
+        let nanos = start.elapsed().as_nanos() as u64;
+        s.hist.record(s.worker, nanos);
+        if let Some(m) = s.metrics {
+            m.observe_query(s.worker, nanos);
+            m.observe_trace(&scratch.trace);
+        }
     }
 }
 
@@ -198,7 +288,8 @@ impl ServeReport {
                 "{{\"method\": \"{}\", \"num_points\": {}, \"shards\": {}, ",
                 "\"workers\": {}, \"k\": {}, \"queries\": {}, ",
                 "\"batch_secs\": {}, \"qps\": {}, \"mean_latency_secs\": {}, ",
-                "\"p50_latency_secs\": {}, \"p99_latency_secs\": {}, \"recall\": {}}}"
+                "\"p50_latency_secs\": {}, \"p99_latency_secs\": {}, ",
+                "\"p999_latency_secs\": {}, \"recall\": {}}}"
             ),
             method,
             self.num_points,
@@ -211,6 +302,7 @@ impl ServeReport {
             num(s.mean_latency_secs),
             num(s.p50_latency_secs),
             num(s.p99_latency_secs),
+            num(s.p999_latency_secs),
             recall
         )
     }
@@ -249,6 +341,72 @@ mod tests {
         assert_eq!(one.stats.queries, 40);
         assert!(one.stats.qps > 0.0);
         assert!(one.stats.p99_latency_secs >= one.stats.p50_latency_secs);
+        assert!(one.stats.p999_latency_secs >= one.stats.p99_latency_secs);
+    }
+
+    #[test]
+    fn empty_latencies_summarize_to_zero() {
+        let stats = ServeStats::from_latencies(1.0, &mut []);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.qps, 0.0);
+        assert_eq!(stats.mean_latency_secs, 0.0);
+        assert_eq!(stats.p50_latency_secs, 0.0);
+        assert_eq!(stats.p999_latency_secs, 0.0);
+        let from_hist =
+            ServeStats::from_histogram(1.0, &permsearch_obs::LatencyHistogram::new().snapshot());
+        assert_eq!(from_hist.queries, 0);
+        assert_eq!(from_hist.p999_latency_secs, 0.0);
+    }
+
+    #[test]
+    fn histogram_stats_match_exact_within_relative_error() {
+        let hist = ShardedHistogram::new(3);
+        let mut exact: Vec<f64> = Vec::new();
+        for i in 0..500u64 {
+            let nanos = 10_000 + i * i * 13;
+            hist.record(i as usize, nanos);
+            exact.push(nanos as f64 * 1e-9);
+        }
+        exact.sort_unstable_by(f64::total_cmp);
+        let stats = ServeStats::from_histogram(2.0, &hist.snapshot());
+        assert_eq!(stats.queries, 500);
+        assert_eq!(stats.qps, 250.0);
+        for (got, q) in [
+            (stats.p50_latency_secs, 0.5),
+            (stats.p99_latency_secs, 0.99),
+            (stats.p999_latency_secs, 0.999),
+        ] {
+            let want = percentile(&exact, q);
+            assert!(got >= want && got <= want * (1.0 + permsearch_obs::RELATIVE_ERROR));
+        }
+        let mean = permsearch_obs::mean(&exact);
+        assert!(
+            (stats.mean_latency_secs - mean).abs() < 1e-12,
+            "mean is exact"
+        );
+    }
+
+    #[test]
+    fn observed_serving_publishes_and_matches_unobserved() {
+        let (data, queries) = line_world(200);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let registry = permsearch_obs::MetricsRegistry::new();
+        let metrics = crate::metrics::ServeMetrics::register(&registry, "brute-force", 2, 4);
+        let plain = serve_batch(&idx, &queries, 5, 2);
+        let observed = serve_batch_observed(&idx, &queries, 5, 2, Some(&metrics));
+        assert_eq!(plain.results, observed.results);
+        assert_eq!(metrics.queries_total.get(), 40);
+        assert_eq!(metrics.batches_total.get(), 1);
+        // 40 queries at 1-in-4: positions 0,4,... of each slice's global range.
+        assert_eq!(metrics.traces_sampled_total.get(), 10);
+        // Every sampled query's refine stage scanned the whole dataset.
+        assert_eq!(
+            metrics.stage_dists_total[permsearch_core::Stage::Refine as usize].get(),
+            10 * 200
+        );
+        let text = registry.render_text();
+        permsearch_obs::validate_text(&text).expect("serving exposition parses");
+        assert!(text.contains("permsearch_query_latency_seconds_count{method=\"brute-force\"} 40"));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use permsearch_core::{
-    merge_sorted_topk_with, BoxedSearchIndex, Dataset, Neighbor, SearchIndex, SearchScratch,
+    merge_sorted_topk_with, BoxedSearchIndex, Dataset, Neighbor, SearchIndex, SearchScratch, Stage,
 };
 
 /// One shard: a type-erased index over a contiguous slice of the dataset
@@ -127,6 +127,12 @@ impl<P> ShardedIndex<P> {
     pub fn shard_method(&self) -> &'static str {
         self.shards[0].index.name()
     }
+
+    /// Points indexed by each shard, in shard order (feeds the per-shard
+    /// deployment gauges).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.index.len()).collect()
+    }
 }
 
 impl<P> SearchIndex<P> for ShardedIndex<P> {
@@ -161,7 +167,9 @@ impl<P> SearchIndex<P> for ShardedIndex<P> {
                 n.id += shard.base;
             }
         }
+        let t0 = scratch.trace.start();
         merge_sorted_topk_with(&lists[..self.shards.len()], k, scratch, out);
+        scratch.trace.finish(Stage::Merge, t0);
         scratch.lists = lists;
     }
 

@@ -27,6 +27,6 @@ pub use metrics::{mean, recall, recall_vs};
 pub use mu_defect::{empirical_mu, ParadoxSpace};
 pub use projection::{candidate_fraction_curve, distance_pairs, PairSample};
 pub use report::Table;
-pub use runner::{evaluate, MethodResult};
+pub use runner::{evaluate, evaluate_sampled, MethodResult};
 pub use split::split_points;
 pub use splits::{evaluate_splits, SplitResult};

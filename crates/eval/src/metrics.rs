@@ -29,14 +29,10 @@ pub fn recall_vs(result: &[Neighbor], truth: &[Neighbor]) -> f64 {
     found as f64 / truth.len() as f64
 }
 
-/// Arithmetic mean; zero for an empty slice.
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
+/// Arithmetic mean; zero for an empty slice. Re-exported from
+/// `permsearch-obs`, the single home of the summary-statistic helpers
+/// shared by the eval and serving layers.
+pub use permsearch_obs::mean;
 
 #[cfg(test)]
 mod tests {

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use permsearch_core::SearchIndex;
+use permsearch_core::{SearchIndex, StageBreakdown};
 
 use crate::gold::GoldStandard;
 use crate::metrics::recall_vs;
@@ -21,16 +21,25 @@ pub struct MethodResult {
     pub improvement: f64,
     /// Index size in bytes (Table 2).
     pub index_bytes: usize,
+    /// Per-stage timing/distance breakdown aggregated over the sampled
+    /// (traced) queries — see [`evaluate_sampled`]'s `sample_every`.
+    pub stages: StageBreakdown,
 }
 
-/// Run every query against `index`, measure average time and recall, and
-/// relate the time to the gold standard's brute-force baseline.
-pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
+/// [`evaluate`] with every `sample_every`-th query traced: the per-stage
+/// wall-time and distance-count breakdown lands in
+/// [`MethodResult::stages`]. Tracing reads the clock inside the timed
+/// region, so use a sparse rate (or [`evaluate`], which samples the
+/// default 1-in-[`permsearch_obs::DEFAULT_SAMPLE_EVERY`]) when the
+/// aggregate timings matter.
+pub fn evaluate_sampled<P, I: SearchIndex<P> + ?Sized>(
     index: &I,
     queries: &[P],
     gold: &GoldStandard,
+    sample_every: usize,
 ) -> MethodResult {
     assert_eq!(queries.len(), gold.neighbors.len(), "query/gold mismatch");
+    let sample_every = sample_every.max(1);
     // Fold recall per query instead of collecting every result `Vec`, and
     // run the scratch-reusing pipeline with one reused result buffer: the
     // timed hot path performs no per-query heap allocation in steady
@@ -39,10 +48,13 @@ pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
     let mut res = Vec::new();
     let mut search_secs = 0.0;
     let mut recall_sum = 0.0;
-    for (q, truth) in queries.iter().zip(&gold.neighbors) {
+    let mut stages = StageBreakdown::default();
+    for (i, (q, truth)) in queries.iter().zip(&gold.neighbors).enumerate() {
+        scratch.trace.begin(i % sample_every == 0);
         let start = Instant::now();
         index.search_into(q, gold.k, &mut scratch, &mut res);
         search_secs += start.elapsed().as_secs_f64();
+        stages.absorb(&scratch.trace);
         recall_sum += recall_vs(&res, truth);
     }
     let elapsed = search_secs / queries.len().max(1) as f64;
@@ -56,7 +68,20 @@ pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
             f64::INFINITY
         },
         index_bytes: index.index_size_bytes(),
+        stages,
     }
+}
+
+/// Run every query against `index`, measure average time and recall, and
+/// relate the time to the gold standard's brute-force baseline. Traces
+/// 1-in-[`permsearch_obs::DEFAULT_SAMPLE_EVERY`] queries for the stage
+/// breakdown.
+pub fn evaluate<P, I: SearchIndex<P> + ?Sized>(
+    index: &I,
+    queries: &[P],
+    gold: &GoldStandard,
+) -> MethodResult {
+    evaluate_sampled(index, queries, gold, permsearch_obs::DEFAULT_SAMPLE_EVERY)
 }
 
 #[cfg(test)]
@@ -85,5 +110,23 @@ mod tests {
             r.improvement
         );
         assert_eq!(r.name, "brute-force");
+    }
+
+    #[test]
+    fn sampled_evaluation_carries_a_stage_breakdown() {
+        let data = Arc::new(Dataset::new(
+            (0..300).map(|i| vec![i as f32]).collect::<Vec<_>>(),
+        ));
+        let queries: Vec<Vec<f32>> = (0..16).map(|i| vec![i as f32 + 0.4]).collect();
+        let gold = compute_gold(&data, L2, &queries, 3);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let r = evaluate_sampled(&idx, &queries, &gold, 4);
+        assert_eq!(r.stages.sampled, 4);
+        // The exhaustive scan attributes the whole dataset to Refine.
+        assert_eq!(
+            r.stages.stage_dists[permsearch_core::Stage::Refine as usize],
+            4 * 300
+        );
+        assert!(r.stages.stage_nanos[permsearch_core::Stage::Refine as usize] > 0);
     }
 }

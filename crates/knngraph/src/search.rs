@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{Dataset, Neighbor, Point, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchScratch, Space, Stage};
 
 /// Best-first k-NN search over `adjacency`.
 ///
@@ -82,14 +82,21 @@ pub fn greedy_search_with<P: Point, S: Space<P::Ref>>(
         heap: pool,
         visited,
         frontier: candidates,
+        trace,
         ..
     } = scratch;
 
+    // The whole traversal is candidate generation: Filter. Each visited
+    // node costs exactly one scalar distance, so the per-stage distance
+    // tally doubles as the expansion count.
+    let t0 = trace.start();
     for _ in 0..attempts.max(1) {
         let entry = rng.gen_range(0..n) as u32;
         if !visited.insert(entry) {
             continue;
         }
+        trace.add_dists(Stage::Filter, 1);
+        trace.add_candidates(1);
         let d = space.distance(data.get(entry), query);
         pool.push(entry, d);
         // Min-heap of candidates to expand.
@@ -103,6 +110,8 @@ pub fn greedy_search_with<P: Point, S: Space<P::Ref>>(
                 if !visited.insert(nb) {
                     continue;
                 }
+                trace.add_dists(Stage::Filter, 1);
+                trace.add_candidates(1);
                 let d = space.distance(data.get(nb), query);
                 // Enqueue for expansion only if it could improve the pool.
                 if !pool.is_full() || d < pool.radius() {
@@ -112,6 +121,7 @@ pub fn greedy_search_with<P: Point, S: Space<P::Ref>>(
             }
         }
     }
+    trace.finish(Stage::Filter, t0);
     pool.drain_sorted_into(out);
     out.truncate(k);
 }

@@ -23,7 +23,9 @@ use std::sync::Arc;
 use rand::Rng;
 
 use permsearch_core::rng::seeded_rng;
-use permsearch_core::{score_ids, Dataset, KnnHeap, Neighbor, SearchIndex, SearchScratch, Space};
+use permsearch_core::{
+    score_ids, Dataset, KnnHeap, Neighbor, SearchIndex, SearchScratch, Space, Stage,
+};
 use permsearch_spaces::L2;
 
 /// Multi-probe LSH parameters.
@@ -448,8 +450,11 @@ impl SearchIndex<Vec<f32>> for MpLsh {
             visited,
             ids,
             dists,
+            trace,
             ..
         } = scratch;
+        // Bucket gather across tables/probes: Filter.
+        let t0 = trace.start();
         ids.clear();
         for table in &self.tables {
             table.raw_into(query, self.dim, self.params.bucket_width, dists);
@@ -466,10 +471,16 @@ impl SearchIndex<Vec<f32>> for MpLsh {
         // Ascending candidate ids: near-sequential reads when the dataset
         // is arena-backed (the visited-set already deduplicated them).
         ids.sort_unstable();
+        trace.finish(Stage::Filter, t0);
+        trace.add_candidates(ids.len());
+        // Exact scoring of the gathered candidates: Refine.
+        let t0 = trace.start();
+        trace.add_dists(Stage::Refine, ids.len() as u64);
         score_ids(&L2, &self.data, query, ids, dists, |id, d| {
             heap.push(id, d);
         });
         heap.drain_sorted_into(out);
+        trace.finish(Stage::Refine, t0);
     }
 
     fn len(&self) -> usize {

@@ -1,0 +1,126 @@
+//! Lock-free scalar metrics: [`Counter`] and [`Gauge`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// Increments are single relaxed atomic adds — safe from any thread, never
+/// blocking, never allocating — so counters can sit directly on serving
+/// hot paths. Readers observe a value that is exact once the writers
+/// quiesce (relaxed ordering trades read-side freshness guarantees for
+/// write-side cost, the right trade for statistics).
+///
+/// `Counter` is also the **unified distance-computation tally**: both
+/// `CountedSpace` and `SpaceStats` in `permsearch_core` count into one of
+/// these, so the per-query trace counts, the per-batch evaluation counts
+/// and the registry's `dists_total` family can never use different
+/// arithmetic.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (tests and per-batch tallies; exposition never
+    /// resets).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-written-wins instantaneous value (deployment size, worker count,
+/// sampling rate). Signed so it can represent deltas and temperatures-like
+/// quantities; the serving stack only stores non-negative values.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Store `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_adds_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_exact_across_threads() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+}

@@ -1,0 +1,376 @@
+//! Log-linear latency histograms: fixed bucket array, atomic recording,
+//! mergeable snapshots, bounded relative error.
+//!
+//! Values are latencies in integer **nanoseconds**. The bucket layout is
+//! log-linear (the HdrHistogram idea): each power-of-two octave is split
+//! into [`SUB_BUCKETS`] linear sub-buckets, so every bucket's width is at
+//! most `1/SUB_BUCKETS` of its lower bound — percentiles reconstructed
+//! from the histogram land within one bucket, i.e. within **6.25%
+//! relative error** of the exact sorted-array percentile, across the whole
+//! `u64` range with a constant 976-slot array. No per-record allocation,
+//! no resizing, no locks: recording is one relaxed `fetch_add` on a bucket
+//! plus sum/min/max updates.
+//!
+//! [`ShardedHistogram`] gives each serving worker its own histogram shard
+//! (cache-line aligned) so concurrent recorders never contend on a bucket
+//! cache line; shards are merged only on scrape ([`ShardedHistogram::
+//! snapshot`]), which is exact because bucket counts are plain sums.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per power-of-two octave; also the value below which
+/// buckets are exact (width 1).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total buckets covering all of `u64`:
+/// `SUB_BUCKETS` exact low buckets plus `64 - SUB_BITS` octaves of
+/// `SUB_BUCKETS` each.
+pub const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS as usize;
+
+/// Upper bound of the relative reconstruction error: one bucket's width
+/// over its lower bound, `1 / SUB_BUCKETS`.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Bucket index of a value (total order preserving: `v <= w` implies
+/// `index(v) <= index(w)`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let shift = exp - SUB_BITS;
+        // Leading SUB_BITS+1 significant bits, minus the implicit leading
+        // one, gives the linear position inside the octave.
+        let mantissa = (v >> shift) - SUB_BUCKETS;
+        (SUB_BUCKETS + u64::from(shift) * SUB_BUCKETS + mantissa) as usize
+    }
+}
+
+/// Inclusive `[low, high]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    let i = i as u64;
+    if i < SUB_BUCKETS {
+        (i, i)
+    } else {
+        let shift = (i / SUB_BUCKETS - 1) as u32;
+        let low = (SUB_BUCKETS + i % SUB_BUCKETS) << shift;
+        (low, low + ((1u64 << shift) - 1))
+    }
+}
+
+/// A fixed-size, lock-free log-linear histogram of `u64` nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (one fixed allocation of [`NUM_BUCKETS`] slots).
+    pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, AtomicU64::default);
+        Self {
+            buckets,
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency, in nanoseconds. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Accumulate this histogram into a snapshot (exact: bucket counts and
+    /// sums add, min/max combine).
+    pub fn merge_into(&self, snap: &mut HistogramSnapshot) {
+        for (slot, bucket) in snap.buckets.iter_mut().zip(&self.buckets) {
+            let c = bucket.load(Ordering::Relaxed);
+            *slot += c;
+            snap.count += c;
+        }
+        snap.sum += self.sum.load(Ordering::Relaxed);
+        snap.min = snap.min.min(self.min.load(Ordering::Relaxed));
+        snap.max = snap.max.max(self.max.load(Ordering::Relaxed));
+    }
+
+    /// A point-in-time copy of this histogram alone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        self.merge_into(&mut snap);
+        snap
+    }
+}
+
+/// One histogram per serving worker, merged on scrape.
+///
+/// `record(shard, nanos)` touches only that shard's bucket array, so
+/// workers recording concurrently never share a cache line; the padding
+/// wrapper keeps neighboring shards' hot words on distinct lines.
+#[derive(Debug)]
+pub struct ShardedHistogram {
+    shards: Vec<Padded>,
+}
+
+/// Cache-line-aligned histogram wrapper (the histogram's own bucket array
+/// is heap-allocated; alignment keeps the per-shard `sum`/`min`/`max` hot
+/// words from sharing a line with a neighbor's).
+#[derive(Debug)]
+#[repr(align(64))]
+struct Padded(LatencyHistogram);
+
+impl ShardedHistogram {
+    /// `shards` independent histograms (at least one).
+    pub fn new(shards: usize) -> Self {
+        let mut v = Vec::with_capacity(shards.max(1));
+        v.resize_with(shards.max(1), || Padded(LatencyHistogram::new()));
+        Self { shards: v }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Record into shard `shard % num_shards` (callers pass their worker
+    /// ordinal; the modulo makes any ordinal safe).
+    #[inline]
+    pub fn record(&self, shard: usize, nanos: u64) {
+        self.shards[shard % self.shards.len()].0.record(nanos);
+    }
+
+    /// Merge every shard into one snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for s in &self.shards {
+            s.0.merge_into(&mut snap);
+        }
+        snap
+    }
+}
+
+/// A merged, immutable view of one or more histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot ready to merge into.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean in nanoseconds (0 when empty). Exact: derived from the true
+    /// sum, not from bucket midpoints.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty). Exact.
+    pub fn min_nanos(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value. Exact.
+    pub fn max_nanos(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) in nanoseconds, reconstructed
+    /// from the buckets; 0 when empty.
+    ///
+    /// Rank convention matches [`crate::stats::percentile`]: the element at
+    /// rank `round(q · (count − 1))` of the sorted recordings. The
+    /// reconstruction returns the **upper bound** of that element's bucket,
+    /// clamped to the exact recorded max: never below the exact percentile
+    /// and above it by at most [`RELATIVE_ERROR`] — a deliberate
+    /// conservative (pessimistic) bias for tail-latency reporting.
+    pub fn percentile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// [`percentile_nanos`](Self::percentile_nanos) in seconds.
+    pub fn percentile_secs(&self, q: f64) -> f64 {
+        self.percentile_nanos(q) as f64 * 1e-9
+    }
+
+    /// [`mean_nanos`](Self::mean_nanos) in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean_nanos() * 1e-9
+    }
+
+    /// Sum in seconds.
+    pub fn sum_secs(&self) -> f64 {
+        self.sum as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        for v in 0..200_000u64 {
+            let i = bucket_index(v);
+            assert!(i < NUM_BUCKETS, "{v} -> {i}");
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+        }
+        // Monotone across every octave boundary up to the top of u64.
+        for exp in 1..64u32 {
+            let b = 1u64 << exp;
+            let around = [b - 1, b, b + (b >> SUB_BITS), (b - 1).saturating_mul(2)];
+            for w in around.windows(2) {
+                assert!(
+                    bucket_index(w[0]) <= bucket_index(w[1]),
+                    "index not monotone between {} and {}",
+                    w[0],
+                    w[1]
+                );
+            }
+            assert!(bucket_index(b.saturating_mul(2)) < NUM_BUCKETS);
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_line() {
+        let mut expected_low = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert_eq!(low, expected_low, "bucket {i} leaves a gap");
+            assert!(high >= low);
+            // Every value in the range maps back to this bucket.
+            assert_eq!(bucket_index(low), i);
+            assert_eq!(bucket_index(high), i);
+            if high == u64::MAX {
+                assert_eq!(i, NUM_BUCKETS - 1);
+                return;
+            }
+            expected_low = high + 1;
+        }
+        panic!("buckets did not reach u64::MAX");
+    }
+
+    #[test]
+    fn bucket_width_is_within_relative_error() {
+        for i in SUB_BUCKETS as usize..NUM_BUCKETS {
+            let (low, high) = bucket_bounds(i);
+            assert!(
+                (high - low) as f64 <= low as f64 * RELATIVE_ERROR,
+                "bucket {i} [{low}, {high}] too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn records_and_reconstructs_exactly_in_the_linear_range() {
+        let h = LatencyHistogram::new();
+        for v in [3u64, 3, 9, 15, 0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum_nanos(), 30);
+        assert_eq!(s.min_nanos(), 0);
+        assert_eq!(s.max_nanos(), 15);
+        // Linear-range buckets have width 1: percentiles are exact.
+        assert_eq!(s.percentile_nanos(0.0), 0);
+        assert_eq!(s.percentile_nanos(0.5), 3);
+        assert_eq!(s.percentile_nanos(1.0), 15);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.percentile_nanos(0.5), 0);
+        assert_eq!(s.mean_nanos(), 0.0);
+        assert_eq!(s.min_nanos(), 0);
+        assert_eq!(s.max_nanos(), 0);
+    }
+
+    #[test]
+    fn sharded_merge_equals_single_histogram() {
+        let sharded = ShardedHistogram::new(4);
+        let single = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i * 37;
+            sharded.record(i as usize, v);
+            single.record(v);
+        }
+        assert_eq!(sharded.num_shards(), 4);
+        assert_eq!(sharded.snapshot(), single.snapshot());
+    }
+
+    #[test]
+    fn zero_shards_degrades_to_one() {
+        let s = ShardedHistogram::new(0);
+        assert_eq!(s.num_shards(), 1);
+        s.record(17, 42);
+        assert_eq!(s.snapshot().count(), 1);
+    }
+}

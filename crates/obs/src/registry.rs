@@ -1,0 +1,561 @@
+//! The metrics registry: named families, labeled series, exposition.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) is the **cold path**:
+//! it takes a mutex, interns the family and label set, and returns an
+//! `Arc` handle. All subsequent recording goes through that handle's
+//! relaxed atomics — the serving hot path never touches the registry lock.
+//!
+//! Exposition is hand-rolled (the workspace adds no new dependencies):
+//! [`MetricsRegistry::render_text`] emits the Prometheus text format
+//! (counters, gauges, and histograms as `summary` families with
+//! `quantile` labels 0.5 / 0.99 / 0.999 plus `_sum` / `_count`), and
+//! [`MetricsRegistry::render_json`] emits an equivalent JSON document.
+//! [`validate_text`] parses the text form back — the CI smoke step scrapes
+//! `index_tool serve --metrics` and runs it as a gate.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::ShardedHistogram;
+
+/// Quantiles a histogram family exposes in its summary exposition.
+pub const SUMMARY_QUANTILES: [f64; 3] = [0.5, 0.99, 0.999];
+
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<ShardedHistogram>),
+}
+
+struct Family {
+    help: String,
+    kind: &'static str,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+/// A process-wide (or per-tool) registry of metric families.
+///
+/// Cheap to share: wrap in an `Arc` and clone the handle. All methods take
+/// `&self`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let fams = self.families.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("families", &fams.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or register the counter series `name{labels}`. The same
+    /// (name, labels) always returns the same underlying counter.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered with a different type.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, labels, "counter", || {
+            Series::Counter(Arc::new(Counter::new()))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register the gauge series `name{labels}`.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered with a different type.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, labels, "gauge", || {
+            Series::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get or register the histogram series `name{labels}` with `shards`
+    /// per-worker shards (used on first registration only). Exposed as a
+    /// Prometheus `summary`; recorded values are interpreted as
+    /// nanoseconds and exposed in seconds.
+    ///
+    /// # Panics
+    /// If `name` is invalid or already registered with a different type.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        shards: usize,
+    ) -> Arc<ShardedHistogram> {
+        match self.series(name, help, labels, "summary", || {
+            Series::Histogram(Arc::new(ShardedHistogram::new(shards)))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        assert!(valid_metric_name(name), "invalid metric name: {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name: {k:?}");
+        }
+        let key: LabelSet = {
+            let mut v: LabelSet = labels
+                .iter()
+                .map(|(k, val)| (k.to_string(), val.to_string()))
+                .collect();
+            v.sort();
+            v
+        };
+        let mut fams = self.families.lock().unwrap();
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric {name:?} registered with conflicting types"
+        );
+        fam.series.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Render the Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, fam) in fams.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
+            for (labels, series) in &fam.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, None), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, None), g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for q in SUMMARY_QUANTILES {
+                            let _ = writeln!(
+                                out,
+                                "{name}{} {}",
+                                fmt_labels(labels, Some(q)),
+                                fmt_f64(snap.percentile_secs(q))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            fmt_labels(labels, None),
+                            fmt_f64(snap.sum_secs())
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            fmt_labels(labels, None),
+                            snap.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a JSON mirror of the exposition:
+    /// `{"families": [{"name", "type", "help", "series": [{"labels",
+    /// "value"}]}]}`. Histogram series carry an object value with
+    /// `p50`/`p99`/`p999`/`mean` (seconds), `sum` (seconds) and `count`.
+    pub fn render_json(&self) -> String {
+        let fams = self.families.lock().unwrap();
+        let mut out = String::from("{\"families\": [");
+        for (fi, (name, fam)) in fams.iter().enumerate() {
+            if fi > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"type\": \"{}\", \"help\": {}, \"series\": [",
+                json_string(name),
+                fam.kind,
+                json_string(&fam.help)
+            );
+            for (si, (labels, series)) in fam.series.iter().enumerate() {
+                if si > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"labels\": {");
+                for (li, (k, v)) in labels.iter().enumerate() {
+                    if li > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json_string(k), json_string(v));
+                }
+                out.push_str("}, \"value\": ");
+                match series {
+                    Series::Counter(c) => {
+                        let _ = write!(out, "{}", c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = write!(out, "{}", g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let _ = write!(
+                            out,
+                            "{{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \"sum\": {}, \"count\": {}}}",
+                            fmt_f64(snap.percentile_secs(0.5)),
+                            fmt_f64(snap.percentile_secs(0.99)),
+                            fmt_f64(snap.percentile_secs(0.999)),
+                            fmt_f64(snap.mean_secs()),
+                            fmt_f64(snap.sum_secs()),
+                            snap.count()
+                        );
+                    }
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Names of all registered families, sorted.
+    pub fn family_names(&self) -> Vec<String> {
+        self.families.lock().unwrap().keys().cloned().collect()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn fmt_labels(labels: &LabelSet, quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{}\"", fmt_f64(q)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parse a Prometheus text exposition and return the sorted family names
+/// it declares, or a description of the first malformed line.
+///
+/// Checks performed:
+/// * `# HELP <name> …` / `# TYPE <name> <counter|gauge|summary|histogram>`
+///   comment syntax;
+/// * sample lines are `<name>[{k="v",…}] <number>` with valid metric and
+///   label names and a parseable finite value;
+/// * every sample belongs to a family with a preceding `# TYPE` line
+///   (summary `_sum`/`_count` suffixes resolve to their base family).
+pub fn validate_text(text: &str) -> Result<Vec<String>, String> {
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut it = rest.splitn(3, ' ');
+            match it.next() {
+                Some("HELP") => {
+                    let Some(name) = it.next() else {
+                        return err("HELP without metric name");
+                    };
+                    if !valid_metric_name(name) {
+                        return err("invalid metric name in HELP");
+                    }
+                }
+                Some("TYPE") => {
+                    let (Some(name), Some(kind)) = (it.next(), it.next()) else {
+                        return err("TYPE needs a name and a type");
+                    };
+                    if !valid_metric_name(name) {
+                        return err("invalid metric name in TYPE");
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "summary" | "histogram") {
+                        return err("unknown metric type");
+                    }
+                    families.insert(name.to_string(), kind.to_string());
+                }
+                _ => return err("unknown comment directive"),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_and_labels, value) = match line.rsplit_once(' ') {
+            Some(pair) => pair,
+            None => return err("sample line without a value"),
+        };
+        let v: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => return err("unparseable sample value"),
+        };
+        if !f64::is_finite(v) {
+            return err("non-finite sample value");
+        }
+        let name = match name_and_labels.split_once('{') {
+            Some((name, labels)) => {
+                let Some(body) = labels.strip_suffix('}') else {
+                    return err("unterminated label set");
+                };
+                for pair in split_label_pairs(body) {
+                    let Some((k, val)) = pair.split_once('=') else {
+                        return err("label without '='");
+                    };
+                    if !valid_label_name(k) {
+                        return err("invalid label name");
+                    }
+                    if !(val.starts_with('"') && val.ends_with('"') && val.len() >= 2) {
+                        return err("unquoted label value");
+                    }
+                }
+                name
+            }
+            None => name_and_labels,
+        };
+        if !valid_metric_name(name) {
+            return err("invalid metric name in sample");
+        }
+        let base = name
+            .strip_suffix("_sum")
+            .or_else(|| name.strip_suffix("_count"))
+            .or_else(|| name.strip_suffix("_bucket"))
+            .filter(|b| families.contains_key(*b))
+            .unwrap_or(name);
+        if !families.contains_key(base) {
+            return err("sample for a family with no TYPE line");
+        }
+    }
+    Ok(families.into_keys().collect())
+}
+
+/// Split `k1="v1",k2="v2"` at commas that are outside quoted values.
+fn split_label_pairs(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        match c {
+            '\\' if in_quotes => escaped = !escaped,
+            '"' if !escaped => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                out.push(&body[start..i]);
+                start = i + 1;
+                escaped = false;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < body.len() {
+        out.push(&body[start..]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_are_shared_per_label_set() {
+        let r = MetricsRegistry::new();
+        let a = r.counter(
+            "permsearch_queries_total",
+            "Queries.",
+            &[("method", "napp")],
+        );
+        let b = r.counter(
+            "permsearch_queries_total",
+            "Queries.",
+            &[("method", "napp")],
+        );
+        let other = r.counter("permsearch_queries_total", "Queries.", &[("method", "lsh")]);
+        a.add(5);
+        assert_eq!(b.get(), 5);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting types")]
+    fn type_conflicts_panic() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("m_total", "h", &[]);
+        let _ = r.gauge("m_total", "h", &[]);
+    }
+
+    #[test]
+    fn text_exposition_round_trips_through_validator() {
+        let r = MetricsRegistry::new();
+        r.counter(
+            "permsearch_queries_total",
+            "Queries served.",
+            &[("method", "napp")],
+        )
+        .add(12);
+        r.gauge(
+            "permsearch_index_points",
+            "Indexed points.",
+            &[("method", "napp")],
+        )
+        .set(1500);
+        let h = r.histogram(
+            "permsearch_query_latency_seconds",
+            "Per-query latency.",
+            &[("method", "napp")],
+            2,
+        );
+        for i in 0..100 {
+            h.record(0, 1_000 + i * 17);
+        }
+        let text = r.render_text();
+        let names = validate_text(&text).expect("exposition must parse");
+        assert_eq!(
+            names,
+            vec![
+                "permsearch_index_points".to_string(),
+                "permsearch_queries_total".to_string(),
+                "permsearch_query_latency_seconds".to_string(),
+            ]
+        );
+        assert!(text.contains("# TYPE permsearch_query_latency_seconds summary"));
+        assert!(text.contains("quantile=\"0.5\""));
+        assert!(text.contains("quantile=\"0.999\""));
+        assert!(text.contains("permsearch_query_latency_seconds_count{method=\"napp\"} 100"));
+        assert!(text.contains("permsearch_queries_total{method=\"napp\"} 12"));
+    }
+
+    #[test]
+    fn json_exposition_has_expected_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("a_total", "A.", &[("m", "x")]).add(3);
+        r.histogram("lat_seconds", "L.", &[], 1)
+            .record(0, 2_000_000);
+        let json = r.render_json();
+        assert!(json.starts_with("{\"families\": ["));
+        assert!(json.contains("\"name\": \"a_total\""));
+        assert!(json.contains("\"value\": 3"));
+        assert!(json.contains("\"p999\":"));
+        assert!(json.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_text("garbage here now").is_err());
+        assert!(validate_text("# TYPE m bogus").is_err());
+        assert!(
+            validate_text("m_total 1").is_err(),
+            "sample without TYPE must fail"
+        );
+        assert!(validate_text("# TYPE m_total counter\nm_total notanumber").is_err());
+        assert!(validate_text("# TYPE m_total counter\nm_total{k=unquoted} 1").is_err());
+        assert!(validate_text("# TYPE m_total counter\nm_total 1").is_ok());
+    }
+
+    #[test]
+    fn empty_labels_render_without_braces() {
+        let r = MetricsRegistry::new();
+        r.counter("plain_total", "P.", &[]).inc();
+        let text = r.render_text();
+        assert!(text.contains("\nplain_total 1\n"));
+        assert!(validate_text(&text).is_ok());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("esc_total", "E.", &[("m", "we\"ird\\x")]).inc();
+        let text = r.render_text();
+        assert!(text.contains(r#"esc_total{m="we\"ird\\x"} 1"#));
+        assert!(validate_text(&text).is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared scalar statistics helpers.
+//!
+//! These are the single source of truth for the percentile/mean arithmetic
+//! used across the workspace: `permsearch_engine::serve` and
+//! `permsearch_eval` re-export them rather than keeping private copies, and
+//! [`crate::HistogramSnapshot::percentile_nanos`] uses the identical rank
+//! convention so histogram-derived and exact percentiles are comparable
+//! element-for-element.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// The `q`-quantile (`q` in `[0, 1]`) of an already **sorted** slice, using
+/// the nearest-rank convention: the element at index `round(q · (len − 1))`.
+/// `0.0` for an empty slice.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 1.0), 5.0);
+        // round(0.99 * 4) = 4
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+        // round(0.6 * 4) = 2
+        assert_eq!(percentile(&xs, 0.6), 3.0);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -1.0), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 2.0);
+    }
+}

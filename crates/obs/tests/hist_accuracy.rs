@@ -1,0 +1,107 @@
+//! Property tests pinning the log-linear histogram's accuracy contract:
+//! p50/p99/p999 reconstructed from the histogram are never below the exact
+//! sorted-array percentile and exceed it by at most one bucket's relative
+//! width ([`RELATIVE_ERROR`] = 1/16), over adversarial latency
+//! distributions — uniform, log-uniform across 15 orders of magnitude,
+//! bimodal with far-apart modes, near-constant, and heavy-duplicate.
+
+use permsearch_obs::{LatencyHistogram, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over sorted u64s, same rank convention as
+/// both `permsearch_obs::percentile` and `HistogramSnapshot`.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Record `values`, then check every tracked quantile against the exact
+/// answer: `exact <= hist <= exact * (1 + RELATIVE_ERROR)`.
+fn assert_within_one_bucket(mut values: Vec<u64>) {
+    let h = LatencyHistogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    values.sort_unstable();
+    assert_eq!(snap.count(), values.len() as u64);
+    assert_eq!(snap.min_nanos(), values[0]);
+    assert_eq!(snap.max_nanos(), *values.last().unwrap());
+    for q in [0.5, 0.99, 0.999] {
+        let exact = exact_percentile(&values, q);
+        let hist = snap.percentile_nanos(q);
+        assert!(
+            hist >= exact,
+            "p{q}: histogram {hist} below exact {exact} (upper-bound contract)"
+        );
+        assert!(
+            hist as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+            "p{q}: histogram {hist} more than one bucket above exact {exact}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn uniform_latencies(values in proptest::collection::vec(0u64..10_000_000_000, 1..500)) {
+        assert_within_one_bucket(values);
+    }
+
+    #[test]
+    fn log_uniform_latencies(
+        raw in proptest::collection::vec((0u32..50, 0u64..u32::MAX as u64), 1..500),
+    ) {
+        // Spread across ~15 decades: value = 2^exp + (jitter inside the octave).
+        let values = raw
+            .into_iter()
+            .map(|(exp, frac)| (1u64 << exp) + frac % (1u64 << exp.max(1)))
+            .collect();
+        assert_within_one_bucket(values);
+    }
+
+    #[test]
+    fn bimodal_latencies(
+        raw in proptest::collection::vec(
+            (proptest::sample::select(vec![1_000u64, 250_000_000]), 0u64..997),
+            2..400,
+        ),
+    ) {
+        // Fast mode ~1us, slow mode ~250ms: the tail quantiles straddle the gap.
+        let values = raw.into_iter().map(|(mode, jitter)| mode + jitter).collect();
+        assert_within_one_bucket(values);
+    }
+
+    #[test]
+    fn near_constant_latencies(
+        base in 1u64..1_000_000_000,
+        jitter in proptest::collection::vec(0u64..3, 1..300),
+    ) {
+        let values = jitter.into_iter().map(|j| base + j).collect();
+        assert_within_one_bucket(values);
+    }
+
+    #[test]
+    fn heavy_duplicates(
+        v in 0u64..100_000_000,
+        dup in 1usize..200,
+        extra in proptest::collection::vec(0u64..1_000_000_000, 0..20),
+    ) {
+        // One dominant value repeated `dup` times plus a scattering of others:
+        // quantile ranks pile up inside a single bucket.
+        let mut values = vec![v; dup];
+        values.extend(extra);
+        assert_within_one_bucket(values);
+    }
+
+    #[test]
+    fn single_value(v in 0u64..u64::MAX) {
+        let h = LatencyHistogram::new();
+        h.record(v);
+        let s = h.snapshot();
+        // With one recording every quantile is that value's bucket clamped
+        // to the exact max, i.e. exactly v.
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(s.percentile_nanos(q), v);
+        }
+    }
+}

@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space, Stage};
 
 use crate::binary::BinarizedPermutations;
 use crate::perm::{compute_ranks_into, PermutationTable};
@@ -116,6 +116,10 @@ where
         if n == 0 {
             return;
         }
+        let t0 = scratch.trace.start();
+        scratch
+            .trace
+            .add_dists(Stage::Filter, self.pivots.len() as u64);
         compute_ranks_into(
             &self.space,
             &self.pivots,
@@ -135,12 +139,14 @@ where
         }
         let gamma = self.candidate_budget().max(k).min(n);
         k_smallest(&mut scratch.scored_u64, gamma, |a, b| a.cmp(b));
+        scratch.trace.finish(Stage::Filter, t0);
         // Refinement with the original distance.
         let SearchScratch {
             scored_u64,
             ids,
             dists,
             heap,
+            trace,
             ..
         } = scratch;
         refine_into(
@@ -153,6 +159,7 @@ where
             dists,
             heap,
             out,
+            trace,
         );
     }
 
@@ -234,6 +241,10 @@ where
         if n == 0 {
             return;
         }
+        let t0 = scratch.trace.start();
+        scratch
+            .trace
+            .add_dists(Stage::Filter, self.pivots.len() as u64);
         compute_ranks_into(
             &self.space,
             &self.pivots,
@@ -248,11 +259,13 @@ where
             .scan_hamming_into(&scratch.qwords, &mut scratch.scored_u32);
         let gamma = self.candidate_budget().max(k).min(n);
         k_smallest(&mut scratch.scored_u32, gamma, |a, b| a.cmp(b));
+        scratch.trace.finish(Stage::Filter, t0);
         let SearchScratch {
             scored_u32,
             ids,
             dists,
             heap,
+            trace,
             ..
         } = scratch;
         refine_into(
@@ -265,6 +278,7 @@ where
             dists,
             heap,
             out,
+            trace,
         );
     }
 

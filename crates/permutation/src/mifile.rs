@@ -21,7 +21,7 @@ use std::sync::Arc;
 use crossbeam::thread;
 
 use permsearch_core::incsort::k_smallest;
-use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space, Stage};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -181,6 +181,10 @@ where
         }
         let m = self.params.num_pivots as u32;
         let ms = self.ms();
+        let t0 = scratch.trace.start();
+        scratch
+            .trace
+            .add_dists(Stage::Filter, self.pivots.len() as u64);
         compute_ranks_into(
             &self.space,
             &self.pivots,
@@ -236,11 +240,13 @@ where
         scored.clear();
         scored.extend(touched.iter().map(|&id| (acc[id as usize], id)));
         k_smallest(scored, gamma, |a, b| a.cmp(b));
+        scratch.trace.finish(Stage::Filter, t0);
         let SearchScratch {
             scored_u32,
             ids,
             dists,
             heap,
+            trace,
             ..
         } = scratch;
         refine_into(
@@ -253,6 +259,7 @@ where
             dists,
             heap,
             out,
+            trace,
         );
     }
 

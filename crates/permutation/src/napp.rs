@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crossbeam::thread;
 
-use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space, Stage};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -192,6 +192,10 @@ where
         if n == 0 {
             return;
         }
+        let t0 = scratch.trace.start();
+        scratch
+            .trace
+            .add_dists(Stage::Filter, self.pivots.len() as u64);
         compute_ranks_into(
             &self.space,
             &self.pivots,
@@ -233,11 +237,13 @@ where
             candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
             candidates.truncate(cap.max(k));
         }
+        scratch.trace.finish(Stage::Filter, t0);
         let SearchScratch {
             scored_u32,
             ids,
             dists,
             heap,
+            trace,
             ..
         } = scratch;
         refine_into(
@@ -250,6 +256,7 @@ where
             dists,
             heap,
             out,
+            trace,
         );
     }
 

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space};
+use permsearch_core::{Dataset, Neighbor, Point, SearchIndex, SearchScratch, Space, Stage};
 
 use crate::perm::{compute_ranks, compute_ranks_into};
 use crate::pivots::select_pivots;
@@ -289,10 +289,13 @@ where
             ids: candidates,
             touched,
             heap,
+            trace,
             ..
         } = scratch;
+        let t0 = trace.start();
         candidates.clear();
         for tree in &self.trees {
+            trace.add_dists(Stage::Filter, tree.pivots.len() as u64);
             prefix_of_into(
                 &self.space,
                 &tree.pivots,
@@ -325,6 +328,7 @@ where
         }
         candidates.sort_unstable();
         candidates.dedup();
+        trace.finish(Stage::Filter, t0);
         refine_into(
             &self.data,
             &self.space,
@@ -335,6 +339,7 @@ where
             dists,
             heap,
             out,
+            trace,
         );
     }
 

@@ -1,6 +1,8 @@
 //! The refine stage shared by every filter-and-refine method.
 
-use permsearch_core::{score_ids, score_ids_quantized, Dataset, KnnHeap, Neighbor, Point, Space};
+use permsearch_core::{
+    score_ids, score_ids_quantized, Dataset, KnnHeap, Neighbor, Point, QueryTrace, Space, Stage,
+};
 
 /// Oversampling factor of the SQ8 pre-filter: the quantized scan keeps
 /// `k * QUANT_OVERSAMPLE + QUANT_FLOOR` candidates for exact re-ranking.
@@ -32,8 +34,9 @@ pub fn refine<P: Point, S: Space<P::Ref>>(
     let mut dists = Vec::new();
     let mut heap = KnnHeap::new(k);
     let mut out = Vec::new();
+    let mut trace = QueryTrace::new();
     refine_into(
-        data, space, query, candidates, k, &mut ids, &mut dists, &mut heap, &mut out,
+        data, space, query, candidates, k, &mut ids, &mut dists, &mut heap, &mut out, &mut trace,
     );
     out
 }
@@ -66,6 +69,7 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
     dists: &mut Vec<f32>,
     heap: &mut KnnHeap,
     out: &mut Vec<Neighbor>,
+    trace: &mut QueryTrace,
 ) {
     ids.clear();
     ids.extend(candidates);
@@ -74,6 +78,7 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
     // distance evaluation.
     ids.sort_unstable();
     ids.dedup();
+    trace.add_candidates(ids.len());
     let keep = k * QUANT_OVERSAMPLE + QUANT_FLOOR;
     if let Some(quant) = data.quantized() {
         // `2 * keep`: the pre-filter pays for itself only when it halves
@@ -82,6 +87,9 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
             // Quantized pre-filter: keep the `keep` best under the SQ8
             // approximation (the heap and `out` double as the selection
             // scratch), then fall through to the exact re-rank below.
+            let t0 = trace.start();
+            trace.set_quant_engaged();
+            trace.add_dists(Stage::QuantFilter, ids.len() as u64);
             heap.reset(keep);
             score_ids_quantized(space, quant, query, ids, dists, |id, d| {
                 heap.push(id, d);
@@ -90,13 +98,17 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
             ids.clear();
             ids.extend(out.iter().map(|n| n.id));
             ids.sort_unstable();
+            trace.finish(Stage::QuantFilter, t0);
         }
     }
+    let t0 = trace.start();
+    trace.add_dists(Stage::Refine, ids.len() as u64);
     heap.reset(k);
     score_ids(space, data, query, ids, dists, |id, d| {
         heap.push(id, d);
     });
     heap.drain_sorted_into(out);
+    trace.finish(Stage::Refine, t0);
 }
 
 #[cfg(test)]
@@ -184,6 +196,7 @@ mod tests {
         let mut dists = Vec::new();
         let mut heap = KnnHeap::new(1);
         let mut out = Vec::new();
+        let mut trace = permsearch_core::QueryTrace::default();
         for qi in 0..20 {
             let q = vec![qi as f32 * 7.3];
             let cands: Vec<u32> = (0..200u32).filter(|i| i % 3 == qi % 3).collect();
@@ -197,6 +210,7 @@ mod tests {
                 &mut dists,
                 &mut heap,
                 &mut out,
+                &mut trace,
             );
             let fresh = refine(&data, &L2, &q, cands.iter().copied(), 5);
             assert_eq!(out, fresh, "query {qi}");

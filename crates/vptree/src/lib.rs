@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use permsearch_core::rng::seeded_rng;
 use permsearch_core::{
-    score_ids, Dataset, KnnHeap, Neighbor, Point, SearchIndex, SearchScratch, Space,
+    score_ids, Dataset, KnnHeap, Neighbor, Point, QueryTrace, SearchIndex, SearchScratch, Space,
+    Stage,
 };
 use rand::Rng;
 
@@ -174,7 +175,14 @@ where
         (self.nodes.len() - 1) as u32
     }
 
-    fn search_node(&self, node: u32, query: &P::Ref, heap: &mut KnnHeap, dists: &mut Vec<f32>) {
+    fn search_node(
+        &self,
+        node: u32,
+        query: &P::Ref,
+        heap: &mut KnnHeap,
+        dists: &mut Vec<f32>,
+        trace: &mut QueryTrace,
+    ) {
         match &self.nodes[node as usize] {
             Node::Leaf { start, end } => {
                 // Bucket scan: all points in a bucket sit in one contiguous
@@ -184,6 +192,8 @@ where
                 // consulted *between* nodes, so pruning decisions — and
                 // results — are identical.
                 let ids = &self.bucket_ids[*start as usize..*end as usize];
+                trace.add_dists(Stage::Filter, ids.len() as u64);
+                trace.add_candidates(ids.len());
                 score_ids(&self.space, &self.data, query, ids, dists, |id, d| {
                     heap.push(id, d);
                 });
@@ -194,6 +204,7 @@ where
                 left,
                 right,
             } => {
+                trace.add_dists(Stage::Filter, 1);
                 let d = self.space.distance(self.data.get(*pivot), query);
                 heap.push(*pivot, d);
                 let diff = radius - d;
@@ -204,9 +215,9 @@ where
                 } else {
                     (*right, *left)
                 };
-                self.search_node(first, query, heap, dists);
+                self.search_node(first, query, heap, dists, trace);
                 if !self.prunes(diff.abs(), diff >= 0.0, heap.radius()) {
-                    self.search_node(second, query, heap, dists);
+                    self.search_node(second, query, heap, dists, trace);
                 }
             }
         }
@@ -407,8 +418,13 @@ where
             return;
         }
         scratch.heap.reset(k);
-        let SearchScratch { heap, dists, .. } = scratch;
-        self.search_node(self.root, query.point_ref(), heap, dists);
+        let SearchScratch {
+            heap, dists, trace, ..
+        } = scratch;
+        // The whole pruned traversal is candidate generation: Filter.
+        let t0 = trace.start();
+        self.search_node(self.root, query.point_ref(), heap, dists, trace);
+        trace.finish(Stage::Filter, t0);
         heap.drain_sorted_into(out);
     }
 

@@ -129,6 +129,68 @@ fn vptree_flat_path_is_allocation_free() {
     assert_zero_steady_state(&index, &queries);
 }
 
+/// Metrics-enabled serving stays allocation-free in steady state: the
+/// registry handles are resolved once up front, every per-query record is
+/// a relaxed `fetch_add`, and tracing at the default 1-in-64 sample rate
+/// writes only into the scratch's inline trace arrays. One warm pass, then
+/// a full observed pass — latency recording, query counting, trace arming
+/// and harvesting for every query — must not touch the allocator.
+#[test]
+fn observed_serving_is_allocation_free() {
+    use permsearch_engine::{MetricsRegistry, ServeMetrics, DEFAULT_SAMPLE_EVERY};
+
+    let (data, queries) = flat_world();
+    let index = permsearch_core::ExhaustiveSearch::new(data, L2);
+    // Cold path: registration interns names and label sets (allocates).
+    let registry = MetricsRegistry::new();
+    let metrics = ServeMetrics::register(&registry, "brute-force", 1, DEFAULT_SAMPLE_EVERY);
+    let hist = permsearch_obs::ShardedHistogram::new(1);
+
+    // Warm pass with tracing armed on its schedule, so the traced variant
+    // of every buffer reaches its high-water size too.
+    let mut scratch = SearchScratch::new();
+    let mut out = Vec::new();
+    let pass = |scratch: &mut SearchScratch, out: &mut Vec<_>| {
+        for (i, q) in queries.iter().enumerate() {
+            scratch.trace.begin(metrics.should_trace(i));
+            let t0 = std::time::Instant::now();
+            index.search_into(q, K, scratch, out);
+            let nanos = t0.elapsed().as_nanos() as u64;
+            hist.record(0, nanos);
+            metrics.observe_query(0, nanos);
+            metrics.observe_trace(&scratch.trace);
+        }
+        metrics.observe_batch();
+    };
+    pass(&mut scratch, &mut out);
+
+    let before = allocs_on_this_thread();
+    pass(&mut scratch, &mut out);
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "metrics-enabled steady-state serving must not touch the allocator"
+    );
+    // The observed pass really did publish: queries, latencies and traces.
+    assert_eq!(
+        registry
+            .counter("permsearch_queries_total", "", &[("method", "brute-force")])
+            .get(),
+        2 * queries.len() as u64
+    );
+    assert!(
+        registry
+            .counter(
+                "permsearch_traces_sampled_total",
+                "",
+                &[("method", "brute-force")]
+            )
+            .get()
+            >= 2
+    );
+}
+
 /// The counting allocator itself must observe ordinary allocations —
 /// otherwise the three pins above would pass vacuously.
 #[test]
