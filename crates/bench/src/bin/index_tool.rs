@@ -112,6 +112,18 @@ fn parse(args: &[String]) -> (String, ToolArgs) {
     if parsed.dir.as_os_str().is_empty() {
         die("--dir (or --from-snapshot) is required");
     }
+    // Zero-valued shape flags would otherwise surface as engine panics
+    // (shard-count and k asserts deep in worker threads); operator errors
+    // must stay one-line typed exits.
+    if parsed.shards == 0 {
+        die("flag --shards: must be at least 1");
+    }
+    if parsed.n == 0 {
+        die("flag --n: must be at least 1");
+    }
+    if parsed.k == 0 {
+        die("flag --k: must be at least 1");
+    }
     (command.clone(), parsed)
 }
 

@@ -1,0 +1,132 @@
+//! Operator errors must exit `index_tool` with a one-line typed message
+//! on stderr and a nonzero status — never a panic backtrace. Each case
+//! here used to (or could) die inside library asserts; now they are all
+//! caught at the CLI boundary or surfaced as typed snapshot errors.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn index_tool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_index_tool"))
+        .args(args)
+        .output()
+        .expect("spawn index_tool")
+}
+
+/// Run and assert: nonzero exit, the typed `index_tool:` stderr prefix,
+/// the expected message fragment, and no panic/backtrace leakage.
+fn assert_dies_with(args: &[&str], fragment: &str) {
+    let out = index_tool(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "expected failure for {args:?}, got success\nstderr: {stderr}"
+    );
+    assert_ne!(out.status.code(), Some(101), "panic exit for {args:?}");
+    assert!(
+        stderr.contains("index_tool:"),
+        "missing typed prefix for {args:?}\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(fragment),
+        "stderr for {args:?} lacks {fragment:?}\nstderr: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "operator error panicked for {args:?}\nstderr: {stderr}"
+    );
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("index_tool_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a tiny deployment to exercise the snapshot-error paths against.
+fn build_tiny(dir: &Path) {
+    let out = index_tool(&[
+        "build",
+        "--dir",
+        dir.to_str().unwrap(),
+        "--method",
+        "brute",
+        "--shards",
+        "1",
+        "--n",
+        "120",
+    ]);
+    assert!(
+        out.status.success(),
+        "tiny build failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn missing_snapshot_path_is_a_typed_error() {
+    let dir = scratch_dir("missing");
+    // Never created: the dataset load fails with a typed snapshot error.
+    assert_dies_with(
+        &["serve", "--from-snapshot", dir.to_str().unwrap()],
+        "loading dataset snapshot",
+    );
+}
+
+#[test]
+fn kind_mismatch_is_a_typed_error() {
+    let dir = scratch_dir("kind");
+    build_tiny(&dir);
+    // A shard snapshot where the dataset should be: same container
+    // format, wrong kind tag.
+    std::fs::copy(dir.join("shard_0000.psnp"), dir.join("dataset.psnp"))
+        .expect("overwrite dataset with shard snapshot");
+    assert_dies_with(
+        &["serve", "--from-snapshot", dir.to_str().unwrap()],
+        "kind mismatch",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_numeric_flags_are_typed_errors() {
+    assert_dies_with(
+        &["build", "--dir", "/tmp/unused", "--shards", "abc"],
+        "flag --shards: not a number: abc",
+    );
+    assert_dies_with(
+        &["serve", "--from-snapshot", "/tmp/unused", "--workers", "2x"],
+        "flag --workers: not a number: 2x",
+    );
+}
+
+#[test]
+fn zero_shape_flags_are_typed_errors() {
+    // Each of these previously reached a library assert (shard-count,
+    // empty-dataset, k>0) and died with a backtrace.
+    assert_dies_with(
+        &["build", "--dir", "/tmp/unused", "--shards", "0"],
+        "flag --shards: must be at least 1",
+    );
+    assert_dies_with(
+        &["build", "--dir", "/tmp/unused", "--n", "0"],
+        "flag --n: must be at least 1",
+    );
+    assert_dies_with(
+        &["serve", "--from-snapshot", "/tmp/unused", "--k", "0"],
+        "flag --k: must be at least 1",
+    );
+}
+
+#[test]
+fn missing_and_unknown_flags_are_typed_errors() {
+    assert_dies_with(&["serve"], "--dir (or --from-snapshot) is required");
+    assert_dies_with(
+        &["serve", "--from-snapshot", "/tmp/unused", "--bogus"],
+        "unknown flag --bogus",
+    );
+    assert_dies_with(
+        &["frobnicate", "--dir", "/tmp/unused"],
+        "unknown subcommand",
+    );
+}

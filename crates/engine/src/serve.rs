@@ -54,6 +54,9 @@ impl ServeStats {
     /// (seconds). Kept for tests and offline summaries; the serving path
     /// itself uses [`from_histogram`](Self::from_histogram).
     pub fn from_latencies(batch_secs: f64, latencies: &mut [f64]) -> Self {
+        if latencies.is_empty() {
+            return Self::zeroed(batch_secs);
+        }
         latencies.sort_unstable_by(f64::total_cmp);
         Self {
             queries: latencies.len(),
@@ -71,6 +74,9 @@ impl ServeStats {
     /// the histogram's bounded relative error
     /// ([`permsearch_obs::RELATIVE_ERROR`], conservatively biased upward).
     pub fn from_histogram(batch_secs: f64, snap: &HistogramSnapshot) -> Self {
+        if snap.count() == 0 {
+            return Self::zeroed(batch_secs);
+        }
         Self {
             queries: snap.count() as usize,
             batch_secs,
@@ -83,10 +89,30 @@ impl ServeStats {
     }
 
     fn qps_of(queries: usize, batch_secs: f64) -> f64 {
-        if batch_secs > 0.0 {
+        if queries == 0 {
+            // An empty batch has zero throughput even when its wall time
+            // rounds to zero: 0/0 must not become NaN or infinity.
+            0.0
+        } else if batch_secs > 0.0 {
             queries as f64 / batch_secs
         } else {
             f64::INFINITY
+        }
+    }
+
+    /// The summary of a zero-query batch: every rate and percentile is an
+    /// honest zero. Empty batches are reachable from the network path
+    /// (a client may send a query frame with no queries), so the stats
+    /// must stay finite and JSON-serializable.
+    fn zeroed(batch_secs: f64) -> Self {
+        Self {
+            queries: 0,
+            batch_secs,
+            qps: 0.0,
+            mean_latency_secs: 0.0,
+            p50_latency_secs: 0.0,
+            p99_latency_secs: 0.0,
+            p999_latency_secs: 0.0,
         }
     }
 }
@@ -470,5 +496,46 @@ mod tests {
         let out = serve_batch(&idx, &[] as &[Vec<f32>], 3, 4);
         assert!(out.results.is_empty());
         assert_eq!(out.stats.queries, 0);
+    }
+
+    /// Zero-query batches must summarize to honest zeros — not NaN
+    /// percentiles or an infinite 0/0 QPS — through both stat
+    /// constructors and the full serving path.
+    #[test]
+    fn empty_batch_stats_are_zeroed() {
+        let finite_zeros = |stats: &ServeStats| {
+            assert_eq!(stats.queries, 0);
+            assert_eq!(stats.qps, 0.0);
+            assert_eq!(stats.mean_latency_secs, 0.0);
+            assert_eq!(stats.p50_latency_secs, 0.0);
+            assert_eq!(stats.p99_latency_secs, 0.0);
+            assert_eq!(stats.p999_latency_secs, 0.0);
+            assert!(stats.batch_secs.is_finite());
+        };
+
+        finite_zeros(&ServeStats::from_latencies(0.0, &mut []));
+        finite_zeros(&ServeStats::from_latencies(0.25, &mut []));
+
+        let hist = ShardedHistogram::new(2);
+        finite_zeros(&ServeStats::from_histogram(0.0, &hist.snapshot()));
+
+        let (data, _) = line_world(10);
+        let idx = ExhaustiveSearch::new(data, L2);
+        let out = serve_batch(&idx, &[] as &[Vec<f32>], 3, 4);
+        finite_zeros(&out.stats);
+        // The JSON report path must survive the same batch (no bare NaN
+        // tokens, which are invalid JSON).
+        let report = ServeReport {
+            method: "brute".into(),
+            num_points: 10,
+            shards: 1,
+            workers: 1,
+            k: 3,
+            stats: out.stats,
+            recall: None,
+        };
+        let json = report.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"qps\": 0"), "{json}");
     }
 }

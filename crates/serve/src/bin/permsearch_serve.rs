@@ -1,0 +1,144 @@
+//! The serving daemon: warm-start a deployment directory and put the TCP
+//! front door in front of it.
+//!
+//! ```text
+//! # Build snapshots once (index_tool), then serve them:
+//! cargo run -p permsearch-serve --release --bin permsearch-serve -- \
+//!     --from-snapshot DIR --addr 127.0.0.1:7377 \
+//!     [--workers W] [--batch-window-us N] [--max-batch N] [--max-k N] \
+//!     [--sample-every N]
+//! ```
+//!
+//! The process loads dataset + manifest + shard snapshots (zero build
+//! work, exactly the `index_tool serve` warm-start path), binds the
+//! listener, prints one `listening on ADDR` line to stdout as the
+//! readiness signal, and serves until a client sends a shutdown frame
+//! (`loadgen` does on exit) or the process is killed. Metrics are always
+//! attached; clients fetch the exposition with a metrics-request frame.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use permsearch_core::Dataset;
+use permsearch_engine::{
+    DeploymentManifest, Engine, MetricsRegistry, ShardedEngine, DEFAULT_SAMPLE_EVERY,
+};
+use permsearch_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage:
+  permsearch-serve --from-snapshot DIR --addr HOST:PORT [--workers W] \\
+                   [--batch-window-us N] [--max-batch N] [--max-k N] \\
+                   [--sample-every N]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("permsearch-serve: {msg}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+struct Args {
+    dir: PathBuf,
+    addr: String,
+    workers: usize,
+    batch_window_us: u64,
+    max_batch: usize,
+    max_k: usize,
+    sample_every: usize,
+}
+
+fn parse(argv: &[String]) -> Args {
+    let mut args = Args {
+        dir: PathBuf::new(),
+        addr: String::new(),
+        workers: 2,
+        batch_window_us: 500,
+        max_batch: 256,
+        max_k: 1024,
+        sample_every: DEFAULT_SAMPLE_EVERY,
+    };
+    let mut it = argv.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+            .clone()
+    };
+    let parse_num = |flag: &str, value: &str| -> usize {
+        value
+            .parse()
+            .unwrap_or_else(|_| die(&format!("flag {flag}: not a number: {value}")))
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--from-snapshot" => args.dir = next_value(flag, &mut it).into(),
+            "--addr" => args.addr = next_value(flag, &mut it),
+            "--workers" => args.workers = parse_num(flag, &next_value(flag, &mut it)),
+            "--batch-window-us" => {
+                args.batch_window_us = parse_num(flag, &next_value(flag, &mut it)) as u64;
+            }
+            "--max-batch" => args.max_batch = parse_num(flag, &next_value(flag, &mut it)),
+            "--max-k" => args.max_k = parse_num(flag, &next_value(flag, &mut it)),
+            "--sample-every" => args.sample_every = parse_num(flag, &next_value(flag, &mut it)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.dir.as_os_str().is_empty() {
+        die("--from-snapshot is required");
+    }
+    if args.addr.is_empty() {
+        die("--addr is required");
+    }
+    if args.max_batch == 0 {
+        die("--max-batch must be at least 1");
+    }
+    if args.max_k == 0 {
+        die("--max-k must be at least 1");
+    }
+    args
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv);
+
+    let t = Instant::now();
+    let data: Dataset<Vec<f32>> = permsearch_store::load_dataset(&args.dir.join("dataset.psnp"))
+        .unwrap_or_else(|e| die(&format!("loading dataset snapshot: {e}")));
+    let dim = data.dim();
+    let data = Arc::new(data);
+    let manifest = DeploymentManifest::load(&args.dir).unwrap_or_else(|e| die(&e.to_string()));
+    let registry = permsearch_engine::dense_l2_registry();
+    let mut engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
+        .unwrap_or_else(|e| die(&e.to_string()));
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    engine.attach_metrics(&metrics, args.sample_every);
+    eprintln!(
+        "[serve] warm start: method={} shards={} points={} dim={dim} loaded in {:.3}s",
+        manifest.method,
+        engine.num_shards(),
+        engine.len(),
+        t.elapsed().as_secs_f64(),
+    );
+
+    let config = ServerConfig {
+        addr: args.addr.clone(),
+        batch_window: Duration::from_micros(args.batch_window_us),
+        max_batch: args.max_batch,
+        max_k: args.max_k,
+        dim,
+        metrics: Some(Arc::clone(&metrics)),
+    };
+    let engine: Arc<dyn Engine<Vec<f32>>> = Arc::new(engine);
+    let handle = Server::start(engine, config)
+        .unwrap_or_else(|e| die(&format!("binding {}: {e}", args.addr)));
+    // Readiness line: scripts wait for this before connecting.
+    println!("listening on {}", handle.addr());
+    handle.wait();
+    eprintln!("[serve] drained and stopped");
+}

@@ -1,0 +1,112 @@
+//! Blocking protocol client: one frame out, one frame in.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use permsearch_core::Neighbor;
+
+use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, ServerInfo};
+
+/// A connected protocol client. Each request method writes one frame and
+/// blocks for the matching response; a [`Frame::Error`] answer surfaces as
+/// [`ProtocolError::Remote`] and leaves the connection usable.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtocolError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream })
+    }
+
+    /// Connect with retries until `timeout` elapses — the standard way to
+    /// wait out a server that is still binding its listener.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ProtocolError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Send `frame`, read the response; `Error` answers become
+    /// [`ProtocolError::Remote`], a closed stream becomes `Truncated`.
+    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ProtocolError> {
+        write_frame(&mut self.stream, frame)?;
+        match read_frame(&mut self.stream)? {
+            Some(Frame::Error(msg)) => Err(ProtocolError::Remote(msg)),
+            Some(reply) => Ok(reply),
+            None => Err(ProtocolError::Truncated {
+                context: "response frame",
+            }),
+        }
+    }
+
+    /// Serve `queries` (`k` neighbors each) as one request frame. The
+    /// whole slice travels — and is micro-batched server-side — as a unit.
+    pub fn search(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: u32,
+    ) -> Result<Vec<Vec<Neighbor>>, ProtocolError> {
+        let request = Frame::Query {
+            k,
+            queries: queries.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Frame::Results(results) => {
+                if results.len() != queries.len() {
+                    return Err(crate::protocol::corrupt(format!(
+                        "sent {} queries, received {} result lists",
+                        queries.len(),
+                        results.len()
+                    )));
+                }
+                Ok(results)
+            }
+            other => Err(unexpected("results", &other)),
+        }
+    }
+
+    /// Fetch the server's Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ProtocolError> {
+        match self.roundtrip(&Frame::MetricsRequest)? {
+            Frame::MetricsText(text) => Ok(text),
+            other => Err(unexpected("metrics-text", &other)),
+        }
+    }
+
+    /// Liveness/metadata probe.
+    pub fn ping(&mut self) -> Result<ServerInfo, ProtocolError> {
+        match self.roundtrip(&Frame::Ping)? {
+            Frame::Pong(info) => Ok(info),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully; returns once acknowledged.
+    /// The connection is spent afterwards.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::Ack => Ok(()),
+            other => Err(unexpected("ack", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Frame) -> ProtocolError {
+    crate::protocol::corrupt(format!(
+        "expected a {wanted} frame, received {}",
+        got.name()
+    ))
+}

@@ -1,0 +1,38 @@
+//! The TCP front door over the permsearch engine.
+//!
+//! Everything before this crate served in-process slices; this crate puts
+//! a network in front of the same engine without changing what it
+//! computes:
+//!
+//! * [`protocol`] — the length-prefixed, checksummed binary frame format,
+//!   built from the `permsearch_core::snapshot` codec helpers and the
+//!   store container's corruption discipline (magic, version gate,
+//!   FNV-1a checksum, capped preallocation);
+//! * [`server`] — thread-per-connection serving over
+//!   `std::net::TcpListener` with server-side micro-batching: queries
+//!   arriving within a configurable window coalesce into one engine batch,
+//!   so network arrival patterns recover most of the batch efficiency the
+//!   in-process benchmarks measure;
+//! * [`client`] — a blocking protocol client (also the test harness's
+//!   view of the server);
+//! * [`loadgen`] — open-loop Poisson load generation for
+//!   throughput-vs-latency curves that include queueing delay (no
+//!   coordinated omission).
+//!
+//! The `permsearch-serve` binary warm-starts a deployment directory
+//! (dataset + manifest + shard snapshots) and serves it; the `loadgen`
+//! binary drives target-QPS sweeps against it and records
+//! `BENCH_serve_tcp.json`.
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use loadgen::{poisson_schedule, run_open_loop, LoadPoint, OpenLoopConfig};
+pub use protocol::{
+    frame_to_vec, read_frame, write_frame, Frame, ProtocolError, ServerInfo, MAGIC,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerHandle};

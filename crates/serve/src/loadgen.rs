@@ -1,0 +1,216 @@
+//! Open-loop load generation against a running server.
+//!
+//! The generator precomputes a Poisson arrival schedule (exponential
+//! inter-arrival gaps at the target rate) and then **sends on schedule no
+//! matter how the server is doing** — an arrival that finds the server
+//! slow still fires on time, and its recorded latency runs from the
+//! *scheduled* arrival instant to response receipt. That is the open-loop
+//! discipline: unlike closed-loop clients (send, wait, send), it does not
+//! let a slow server throttle its own load, so queueing delay shows up in
+//! the tail percentiles instead of silently vanishing (the
+//! coordinated-omission trap).
+//!
+//! Arrivals are spread round-robin across a fixed pool of connections,
+//! each owned by one sender thread. Per-point results aggregate into a
+//! [`LoadPoint`]; sweeping the target rate traces the deployment's
+//! throughput-vs-latency curve up to saturation.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use permsearch_obs::{mean, percentile};
+use rand::Rng;
+
+use crate::client::Client;
+use crate::protocol::ProtocolError;
+
+/// One measured point of a throughput-vs-latency curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// The rate the schedule was drawn at (queries per second).
+    pub target_qps: f64,
+    /// Arrivals in the schedule.
+    pub offered: u64,
+    /// Requests that completed with results.
+    pub completed: u64,
+    /// Requests that failed (transport or server error).
+    pub errors: u64,
+    /// Completed queries divided by the wall time from first scheduled
+    /// arrival to last response.
+    pub achieved_qps: f64,
+    /// Mean of the open-loop latencies, seconds.
+    pub mean_latency_secs: f64,
+    /// Median open-loop latency, seconds.
+    pub p50_latency_secs: f64,
+    /// 99th-percentile open-loop latency, seconds.
+    pub p99_latency_secs: f64,
+    /// 99.9th-percentile open-loop latency, seconds.
+    pub p999_latency_secs: f64,
+}
+
+/// Configuration for one open-loop measurement point.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Server address.
+    pub addr: String,
+    /// Target arrival rate, queries per second (must be positive).
+    pub qps: f64,
+    /// Measurement length: arrivals are scheduled inside this window.
+    pub duration: Duration,
+    /// Client connections (and sender threads).
+    pub connections: usize,
+    /// Neighbors requested per query.
+    pub k: u32,
+    /// Seed for the arrival-schedule draw.
+    pub seed: u64,
+}
+
+/// Draw a Poisson arrival schedule: exponential gaps at rate `qps`,
+/// clipped to `duration`. Offsets are seconds from the run start.
+pub fn poisson_schedule(qps: f64, duration: Duration, seed: u64) -> Vec<f64> {
+    assert!(qps > 0.0, "target qps must be positive");
+    let mut rng = permsearch_core::rng::seeded_rng(seed);
+    let horizon = duration.as_secs_f64();
+    let mut arrivals = Vec::with_capacity((qps * horizon) as usize + 16);
+    let mut t = 0.0_f64;
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // 1 - u is in (0, 1], so the log is finite and the gap
+        // non-negative.
+        t += -(1.0 - u).ln() / qps;
+        if t >= horizon {
+            return arrivals;
+        }
+        arrivals.push(t);
+    }
+}
+
+/// Run one open-loop point: `config.qps` Poisson arrivals for
+/// `config.duration`, each a single-query request drawn round-robin from
+/// `queries`. Returns the aggregated [`LoadPoint`].
+///
+/// Errors only if no connection can be established at all; per-request
+/// failures are counted in [`LoadPoint::errors`].
+pub fn run_open_loop(
+    config: &OpenLoopConfig,
+    queries: &[Vec<f32>],
+) -> Result<LoadPoint, ProtocolError> {
+    assert!(!queries.is_empty(), "need at least one query to send");
+    let connections = config.connections.max(1);
+    let schedule = poisson_schedule(config.qps, config.duration, config.seed);
+    let offered = schedule.len() as u64;
+
+    // Connect up front so a dead server is one typed error, not
+    // `connections` threads' worth of per-request noise.
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        clients.push(Client::connect_retry(
+            config.addr.as_str(),
+            Duration::from_secs(5),
+        )?);
+    }
+
+    let (tx, rx) = mpsc::channel::<(Vec<f64>, u64)>();
+    let start = Instant::now() + Duration::from_millis(20);
+    thread::scope(|scope| {
+        for (c, mut client) in clients.into_iter().enumerate() {
+            let tx = tx.clone();
+            let schedule = &schedule;
+            let k = config.k;
+            scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut errors = 0u64;
+                let mut dead = false;
+                for (i, &offset) in schedule.iter().enumerate() {
+                    if i % connections != c {
+                        continue;
+                    }
+                    let scheduled = start + Duration::from_secs_f64(offset);
+                    if let Some(gap) = scheduled.checked_duration_since(Instant::now()) {
+                        thread::sleep(gap);
+                    }
+                    if dead {
+                        // Connection lost and not recoverable: the rest of
+                        // this thread's arrivals are failures, not skipped
+                        // load.
+                        errors += 1;
+                        continue;
+                    }
+                    let query = std::slice::from_ref(&queries[i % queries.len()]);
+                    match client.search(query, k) {
+                        Ok(_) => {
+                            // Open-loop latency: scheduled arrival to
+                            // response, queueing delay included.
+                            latencies.push(scheduled.elapsed().as_secs_f64());
+                        }
+                        Err(ProtocolError::Remote(_)) => errors += 1,
+                        Err(_) => {
+                            errors += 1;
+                            match Client::connect(config.addr.as_str()) {
+                                Ok(fresh) => client = fresh,
+                                Err(_) => dead = true,
+                            }
+                        }
+                    }
+                }
+                let _ = tx.send((latencies, errors));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for (lats, errs) in rx {
+        latencies.extend(lats);
+        errors += errs;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let completed = latencies.len() as u64;
+    Ok(LoadPoint {
+        target_qps: config.qps,
+        offered,
+        completed,
+        errors,
+        achieved_qps: if completed == 0 {
+            0.0
+        } else {
+            completed as f64 / elapsed
+        },
+        mean_latency_secs: mean(&latencies),
+        p50_latency_secs: percentile(&latencies, 0.50),
+        p99_latency_secs: percentile(&latencies, 0.99),
+        p999_latency_secs: percentile(&latencies, 0.999),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_sorted_positive_and_reproducible() {
+        let a = poisson_schedule(500.0, Duration::from_millis(400), 7);
+        let b = poisson_schedule(500.0, Duration::from_millis(400), 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| (0.0..0.4).contains(&t)));
+        // ~200 expected arrivals; a factor-of-3 band catches rate bugs
+        // without flaking on draw variance.
+        assert!(a.len() > 60 && a.len() < 600, "{} arrivals", a.len());
+        let c = poisson_schedule(500.0, Duration::from_millis(400), 8);
+        assert_ne!(a, c, "seed must matter");
+    }
+
+    #[test]
+    fn schedule_rate_tracks_target() {
+        let arrivals = poisson_schedule(2_000.0, Duration::from_secs(2), 42);
+        let rate = arrivals.len() as f64 / 2.0;
+        assert!(
+            (rate - 2_000.0).abs() < 200.0,
+            "empirical rate {rate} too far from 2000"
+        );
+    }
+}

@@ -1,0 +1,642 @@
+//! The wire protocol: length-prefixed, checksummed binary frames.
+//!
+//! Every message on a connection is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     4  magic  b"PSRV"
+//!      4     2  protocol version, little-endian u16 (currently 1)
+//!      6     1  frame type tag (see [`Frame`])
+//!      7     8  payload length N, little-endian u64
+//!     15     N  payload (the core snapshot codec's flat byte stream)
+//!   15+N     8  FNV-1a 64 checksum of all preceding bytes
+//! ```
+//!
+//! The framing deliberately mirrors the `permsearch-store` snapshot
+//! container — same magic-plus-version discipline, same trailing FNV-1a
+//! checksum ([`permsearch_store::fnv1a64`]), and the payloads are encoded
+//! with the same `permsearch_core::snapshot` codec helpers — so the two
+//! binary formats in the workspace share one set of readers' safety rules:
+//!
+//! * a frame longer than [`MAX_FRAME_BYTES`] is refused from the length
+//!   prefix alone ([`ProtocolError::FrameTooLarge`]) before any payload
+//!   byte is read or allocated;
+//! * even under the cap, payload buffers grow through bounded-chunk reads
+//!   (capped preallocation), so a lying length prefix exhausts the stream
+//!   and surfaces [`ProtocolError::Truncated`] — it never reaches the
+//!   allocator with a huge request;
+//! * the checksum is verified before the payload is decoded, so a flipped
+//!   byte is [`ProtocolError::ChecksumMismatch`], not garbage results;
+//! * a frame from a future protocol version is refused
+//!   ([`ProtocolError::UnsupportedVersion`]), never misparsed.
+//!
+//! A peer closing its socket *between* frames is a clean end of stream
+//! ([`read_frame`] returns `Ok(None)`); closing *inside* a frame is a
+//! typed [`ProtocolError::Truncated`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use permsearch_core::snapshot::{
+    read_f32, read_f32_seq, read_len, read_str, read_u32, write_f32, write_f32_seq, write_len,
+    write_str, write_u32,
+};
+use permsearch_core::{Neighbor, SnapshotError};
+use permsearch_store::fnv1a64;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"PSRV";
+
+/// Protocol version written by this build; readers accept only `<=` it.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on a frame's payload length. A length prefix beyond this is
+/// refused before any allocation — the wire-level twin of the snapshot
+/// readers' capped-prealloc discipline.
+pub const MAX_FRAME_BYTES: u64 = 64 << 20;
+
+/// Bytes of header before the payload: magic + version + type + length.
+const HEADER_BYTES: usize = 4 + 2 + 1 + 8;
+
+/// Errors surfaced by frame encoding, decoding, and transport.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// An underlying socket/transport failure.
+    Io(io::Error),
+    /// The stream does not start with the frame magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The frame was written by a newer protocol version.
+    UnsupportedVersion {
+        /// Version tag found in the frame header.
+        found: u16,
+        /// Highest version this build speaks.
+        supported: u16,
+    },
+    /// The frame type tag is not one this build knows.
+    UnknownFrameType(u8),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// Length the header claimed.
+        len: u64,
+        /// The enforced cap.
+        cap: u64,
+    },
+    /// The frame checksum does not match the bytes received.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        stored: u64,
+        /// Checksum recomputed over the bytes actually read.
+        computed: u64,
+    },
+    /// The stream ended in the middle of a frame.
+    Truncated {
+        /// What was being read when the stream ran out.
+        context: &'static str,
+    },
+    /// A decoded value violates the frame's structural invariants.
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        context: String,
+    },
+    /// The peer answered with an [`Frame::Error`] frame (client side).
+    Remote(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::BadMagic { found } => {
+                write!(f, "not a permsearch frame (magic bytes {found:?})")
+            }
+            ProtocolError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "protocol version {found} is newer than the supported version {supported}"
+            ),
+            ProtocolError::UnknownFrameType(tag) => write!(f, "unknown frame type {tag}"),
+            ProtocolError::FrameTooLarge { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds the {cap}-byte cap")
+            }
+            ProtocolError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ProtocolError::Truncated { context } => {
+                write!(f, "stream ended while reading {context}")
+            }
+            ProtocolError::Corrupt { context } => write!(f, "corrupt frame: {context}"),
+            ProtocolError::Remote(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context: "stream" }
+        } else {
+            ProtocolError::Io(e)
+        }
+    }
+}
+
+impl From<SnapshotError> for ProtocolError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(e) => ProtocolError::from(e),
+            SnapshotError::Truncated { context } => ProtocolError::Truncated { context },
+            other => ProtocolError::Corrupt {
+                context: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Shorthand constructor for [`ProtocolError::Corrupt`].
+pub fn corrupt(context: impl Into<String>) -> ProtocolError {
+    ProtocolError::Corrupt {
+        context: context.into(),
+    }
+}
+
+/// Deployment metadata answered to a [`Frame::Ping`]; load generators use
+/// it for labeling and readiness checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Registry method deployed on every shard.
+    pub method: String,
+    /// Total indexed points.
+    pub points: u64,
+    /// Index shards in the deployment.
+    pub shards: u32,
+    /// Dense dimensionality queries must match.
+    pub dim: u32,
+}
+
+/// One protocol message. The numeric tags are the wire encoding and must
+/// never be reused for a different meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: serve `queries`, `k` neighbors each.
+    Query {
+        /// Neighbors requested per query.
+        k: u32,
+        /// The query batch (may be empty: zero queries, zero results).
+        queries: Vec<Vec<f32>>,
+    },
+    /// Server → client: per-query neighbor lists, in request order.
+    Results(Vec<Vec<Neighbor>>),
+    /// Client → server: request the metrics exposition.
+    MetricsRequest,
+    /// Server → client: the Prometheus text exposition.
+    MetricsText(String),
+    /// Server → client: the request failed; the connection stays usable
+    /// unless the transport itself is broken.
+    Error(String),
+    /// Client → server: liveness/metadata probe.
+    Ping,
+    /// Server → client: answer to [`Frame::Ping`].
+    Pong(ServerInfo),
+    /// Client → server: begin graceful shutdown (drain, then close).
+    Shutdown,
+    /// Server → client: shutdown acknowledged.
+    Ack,
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Query { .. } => 1,
+            Frame::Results(_) => 2,
+            Frame::MetricsRequest => 3,
+            Frame::MetricsText(_) => 4,
+            Frame::Error(_) => 5,
+            Frame::Ping => 6,
+            Frame::Pong(_) => 7,
+            Frame::Shutdown => 8,
+            Frame::Ack => 9,
+        }
+    }
+
+    /// Human-readable tag name, for error messages and metrics labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Query { .. } => "query",
+            Frame::Results(_) => "results",
+            Frame::MetricsRequest => "metrics-request",
+            Frame::MetricsText(_) => "metrics-text",
+            Frame::Error(_) => "error",
+            Frame::Ping => "ping",
+            Frame::Pong(_) => "pong",
+            Frame::Shutdown => "shutdown",
+            Frame::Ack => "ack",
+        }
+    }
+
+    fn write_payload(&self, w: &mut Vec<u8>) -> Result<(), SnapshotError> {
+        match self {
+            Frame::Query { k, queries } => {
+                write_u32(w, *k)?;
+                write_len(w, queries.len())?;
+                for q in queries {
+                    write_f32_seq(w, q)?;
+                }
+                Ok(())
+            }
+            Frame::Results(results) => {
+                write_len(w, results.len())?;
+                for neighbors in results {
+                    write_len(w, neighbors.len())?;
+                    for n in neighbors {
+                        write_u32(w, n.id)?;
+                        write_f32(w, n.dist)?;
+                    }
+                }
+                Ok(())
+            }
+            Frame::MetricsText(text) | Frame::Error(text) => write_str(w, text),
+            Frame::Pong(info) => {
+                write_str(w, &info.method)?;
+                write_len(w, info.points as usize)?;
+                write_u32(w, info.shards)?;
+                write_u32(w, info.dim)
+            }
+            Frame::MetricsRequest | Frame::Ping | Frame::Shutdown | Frame::Ack => Ok(()),
+        }
+    }
+
+    fn read_payload(tag: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        let r = &mut &payload[..];
+        let frame = match tag {
+            1 => {
+                let k = read_u32(r)?;
+                let nq = read_len(r)?;
+                // Capped prealloc: the frame-size cap bounds `nq * dim`,
+                // but the count itself is still only trusted as far as the
+                // bytes actually present.
+                let mut queries = Vec::with_capacity(nq.min(1 << 16));
+                for _ in 0..nq {
+                    queries.push(read_f32_seq(r)?);
+                }
+                Frame::Query { k, queries }
+            }
+            2 => {
+                let n = read_len(r)?;
+                let mut results = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let m = read_len(r)?;
+                    let mut neighbors = Vec::with_capacity(m.min(1 << 16));
+                    for _ in 0..m {
+                        let id = read_u32(r)?;
+                        let dist = read_f32(r)?;
+                        neighbors.push(Neighbor::new(id, dist));
+                    }
+                    results.push(neighbors);
+                }
+                Frame::Results(results)
+            }
+            3 => Frame::MetricsRequest,
+            4 => Frame::MetricsText(read_str(r)?),
+            5 => Frame::Error(read_str(r)?),
+            6 => Frame::Ping,
+            7 => Frame::Pong(ServerInfo {
+                method: read_str(r)?,
+                points: read_len(r)? as u64,
+                shards: read_u32(r)?,
+                dim: read_u32(r)?,
+            }),
+            8 => Frame::Shutdown,
+            9 => Frame::Ack,
+            other => return Err(ProtocolError::UnknownFrameType(other)),
+        };
+        if !r.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the {} payload",
+                r.len(),
+                frame.name()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Serialize one frame into a byte vector (header + payload + checksum).
+pub fn frame_to_vec(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
+    let mut payload = Vec::new();
+    frame.write_payload(&mut payload)?;
+    if payload.len() as u64 > MAX_FRAME_BYTES {
+        return Err(ProtocolError::FrameTooLarge {
+            len: payload.len() as u64,
+            cap: MAX_FRAME_BYTES,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.push(frame.tag());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Write one frame to `w` and flush it.
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
+    let bytes = frame_to_vec(frame)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn read_exact<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), ProtocolError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtocolError::Truncated { context }
+        } else {
+            ProtocolError::Io(e)
+        }
+    })
+}
+
+/// Read one frame from `r`. A clean end of stream before the first magic
+/// byte returns `Ok(None)` (the peer closed between frames); any other
+/// short read is [`ProtocolError::Truncated`]. The checksum is verified
+/// before the payload is decoded.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Frame>, ProtocolError> {
+    // First magic byte decides "closed" vs "truncated".
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(e.into()),
+    }
+    let mut magic = [first[0], 0, 0, 0];
+    read_exact(r, &mut magic[1..], "frame magic")?;
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic { found: magic });
+    }
+    let mut head = [0u8; HEADER_BYTES - 4];
+    read_exact(r, &mut head, "frame header")?;
+    let version = u16::from_le_bytes([head[0], head[1]]);
+    if version > PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let tag = head[2];
+    let payload_len = u64::from_le_bytes(head[3..11].try_into().expect("8 header bytes"));
+    if payload_len > MAX_FRAME_BYTES {
+        // Refused from the prefix alone: no payload byte is read, nothing
+        // is allocated — the oversized-frame OOM guard.
+        return Err(ProtocolError::FrameTooLarge {
+            len: payload_len,
+            cap: MAX_FRAME_BYTES,
+        });
+    }
+    let payload_len = payload_len as usize;
+    let mut checksum = fnv1a64(&magic);
+    checksum = fnv_update(checksum, &head);
+    // Bounded-chunk payload read with capped preallocation: a lying length
+    // under the cap still cannot trigger a huge up-front allocation.
+    let mut payload = Vec::with_capacity(payload_len.min(1 << 20));
+    let mut chunk = [0u8; 8192];
+    let mut remaining = payload_len;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        read_exact(r, &mut chunk[..take], "frame payload")?;
+        checksum = fnv_update(checksum, &chunk[..take]);
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    let mut stored = [0u8; 8];
+    read_exact(r, &mut stored, "frame checksum")?;
+    let stored = u64::from_le_bytes(stored);
+    if stored != checksum {
+        return Err(ProtocolError::ChecksumMismatch {
+            stored,
+            computed: checksum,
+        });
+    }
+    Frame::read_payload(tag, &payload).map(Some)
+}
+
+/// Continue a running FNV-1a 64 hash over `bytes` (the store crate exposes
+/// only the one-shot hash; the update step is the same fold).
+fn fnv_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) -> Frame {
+        let bytes = frame_to_vec(&frame).unwrap();
+        read_frame(&mut bytes.as_slice()).unwrap().unwrap()
+    }
+
+    #[test]
+    fn all_frame_types_round_trip() {
+        let frames = vec![
+            Frame::Query {
+                k: 10,
+                queries: vec![vec![1.0, -2.5], vec![], vec![f32::MIN_POSITIVE]],
+            },
+            Frame::Query {
+                k: 1,
+                queries: Vec::new(),
+            },
+            Frame::Results(vec![
+                vec![Neighbor::new(3, 0.5), Neighbor::new(7, 0.5)],
+                Vec::new(),
+            ]),
+            Frame::MetricsRequest,
+            Frame::MetricsText("# HELP x y\n".into()),
+            Frame::Error("no such thing".into()),
+            Frame::Ping,
+            Frame::Pong(ServerInfo {
+                method: "napp".into(),
+                points: 20_000,
+                shards: 4,
+                dim: 128,
+            }),
+            Frame::Shutdown,
+            Frame::Ack,
+        ];
+        for frame in frames {
+            assert_eq!(round_trip(frame.clone()), frame, "{}", frame.name());
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_is_truncated() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let bytes = frame_to_vec(&Frame::Ping).unwrap();
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = frame_to_vec(&Frame::Ping).unwrap();
+        bytes[0] = b'E';
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::BadMagic { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let mut bytes = frame_to_vec(&Frame::Ping).unwrap();
+        bytes[4..6].copy_from_slice(&(PROTOCOL_VERSION + 1).to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtocolError::UnsupportedVersion {
+                    found,
+                    supported: PROTOCOL_VERSION,
+                } if found == PROTOCOL_VERSION + 1
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_without_allocation() {
+        let mut bytes = frame_to_vec(&Frame::Ping).unwrap();
+        bytes[7..15].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ProtocolError::FrameTooLarge {
+                    len: u64::MAX,
+                    cap: MAX_FRAME_BYTES,
+                }
+            ),
+            "{err:?}"
+        );
+        // A lying length *under* the cap hits the capped-prealloc read
+        // loop and surfaces as truncation, not as a giant allocation.
+        bytes[7..15].copy_from_slice(&(MAX_FRAME_BYTES - 1).to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn flipped_byte_is_checksum_mismatch() {
+        let mut bytes = frame_to_vec(&Frame::Error("boom".into())).unwrap();
+        let mid = HEADER_BYTES + 2;
+        bytes[mid] ^= 0x40;
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_typed() {
+        let mut bytes = frame_to_vec(&Frame::Ping).unwrap();
+        bytes[6] = 0xEE;
+        // Patch the checksum so the tag error (checked after verification)
+        // is what surfaces.
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        let at = body_len;
+        bytes[at..].copy_from_slice(&checksum.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::UnknownFrameType(0xEE)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_corrupt() {
+        // Hand-build a Ping frame with a non-empty payload.
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.push(6);
+        out.extend_from_slice(&3u64.to_le_bytes());
+        out.extend_from_slice(&b"junk"[..3]);
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        let err = read_frame(&mut out.as_slice()).unwrap_err();
+        assert!(matches!(err, ProtocolError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let cases: Vec<(ProtocolError, &str)> = vec![
+            (ProtocolError::BadMagic { found: *b"HTTP" }, "magic"),
+            (
+                ProtocolError::UnsupportedVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "version 9",
+            ),
+            (ProtocolError::UnknownFrameType(200), "200"),
+            (
+                ProtocolError::FrameTooLarge {
+                    len: 1 << 40,
+                    cap: MAX_FRAME_BYTES,
+                },
+                "cap",
+            ),
+            (
+                ProtocolError::ChecksumMismatch {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum",
+            ),
+            (
+                ProtocolError::Truncated {
+                    context: "frame header",
+                },
+                "frame header",
+            ),
+            (corrupt("bad tag"), "bad tag"),
+            (
+                ProtocolError::Remote("k must be positive".into()),
+                "k must be",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Thread-per-connection TCP server with server-side micro-batching.
+//!
+//! One accept thread hands each connection to its own thread; connection
+//! threads decode [`Frame::Query`] requests and enqueue them on a single
+//! batcher thread, which coalesces every query that arrives within
+//! [`ServerConfig::batch_window`] (or until [`ServerConfig::max_batch`]
+//! queries are pending) into **one** [`Engine::serve`] call. The engine's
+//! own worker pool then fans the coalesced batch out across shards, so a
+//! trickle of single-query connections still amortizes thread wake-ups and
+//! per-batch bookkeeping the way the in-process `serve_batch` benchmarks
+//! do.
+//!
+//! Batching across requests with different `k` serves the batch at the
+//! maximum requested `k` and truncates per request afterwards — results
+//! are sorted ascending, so the `k`-prefix of a top-`k_max` list *is* the
+//! exact top-`k` answer; coalescing never changes anyone's results.
+//!
+//! Shutdown ([`ServerHandle::shutdown`] or a client [`Frame::Shutdown`])
+//! is graceful: the acceptor stops taking connections, connection threads
+//! close at their next frame boundary, and the batcher drains every
+//! already-queued request before exiting, so no accepted query is dropped.
+//!
+//! A malformed frame (bad magic, checksum mismatch, oversized length
+//! prefix, truncation) poisons only its own connection: the thread answers
+//! with a best-effort [`Frame::Error`] and closes, while every other
+//! connection — and the acceptor — keeps serving.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use permsearch_core::Neighbor;
+use permsearch_engine::Engine;
+use permsearch_obs::{Counter, Gauge, MetricsRegistry};
+
+use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, ServerInfo};
+
+/// How long an idle connection waits between checks of the shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read timeout once a frame has started arriving: a peer that stalls
+/// mid-frame for this long is treated as disconnected (typed
+/// [`ProtocolError::Truncated`]), freeing the thread.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Serving configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7377` (port `0` picks a free port;
+    /// read the bound address back from [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Micro-batching window: after the first query of a batch arrives,
+    /// wait at most this long for more before serving.
+    pub batch_window: Duration,
+    /// Serve a batch as soon as this many queries are pending, even inside
+    /// the window.
+    pub max_batch: usize,
+    /// Largest `k` a request may ask for.
+    pub max_k: usize,
+    /// Dense dimensionality queries must match (from the deployment).
+    pub dim: usize,
+    /// Registry for the TCP-level metric families and the `/metrics`
+    /// exposition; `None` disables both (metrics requests get a typed
+    /// error).
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl ServerConfig {
+    /// Defaults tuned for loopback serving: 500 µs window, 256-query
+    /// batches, `k` capped at 1024, no metrics registry.
+    pub fn new(addr: impl Into<String>, dim: usize) -> Self {
+        Self {
+            addr: addr.into(),
+            batch_window: Duration::from_micros(500),
+            max_batch: 256,
+            max_k: 1024,
+            dim,
+            metrics: None,
+        }
+    }
+}
+
+/// TCP-level metric families, labeled by deployment method. Registered
+/// once at startup; the per-request path touches only relaxed atomics.
+struct TcpMetrics {
+    connections_total: Arc<Counter>,
+    connections_open_gauge: Arc<Gauge>,
+    /// Backing count for the open-connections gauge (the obs gauge is
+    /// set-only, so the server keeps the authoritative counter).
+    connections_open: AtomicI64,
+    requests_total: Arc<Counter>,
+    queries_total: Arc<Counter>,
+    batches_total: Arc<Counter>,
+    batched_queries_total: Arc<Counter>,
+    protocol_errors_total: Arc<Counter>,
+}
+
+impl TcpMetrics {
+    fn register(registry: &MetricsRegistry, method: &str) -> Self {
+        let m: &[(&str, &str)] = &[("method", method)];
+        Self {
+            connections_total: registry.counter(
+                "permsearch_tcp_connections_total",
+                "TCP connections accepted.",
+                m,
+            ),
+            connections_open_gauge: registry.gauge(
+                "permsearch_tcp_connections_open",
+                "TCP connections currently open.",
+                m,
+            ),
+            connections_open: AtomicI64::new(0),
+            requests_total: registry.counter(
+                "permsearch_tcp_requests_total",
+                "Protocol requests handled (all frame types).",
+                m,
+            ),
+            queries_total: registry.counter(
+                "permsearch_tcp_queries_total",
+                "Queries received over TCP.",
+                m,
+            ),
+            batches_total: registry.counter(
+                "permsearch_tcp_batches_total",
+                "Coalesced micro-batches served.",
+                m,
+            ),
+            batched_queries_total: registry.counter(
+                "permsearch_tcp_batched_queries_total",
+                "Queries served through coalesced micro-batches.",
+                m,
+            ),
+            protocol_errors_total: registry.counter(
+                "permsearch_tcp_protocol_errors_total",
+                "Malformed or rejected frames.",
+                m,
+            ),
+        }
+    }
+
+    fn connection_opened(&self) {
+        self.connections_total.inc();
+        let open = self.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.connections_open_gauge.set(open);
+    }
+
+    fn connection_closed(&self) {
+        let open = self.connections_open.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.connections_open_gauge.set(open);
+    }
+}
+
+/// One enqueued query request: the batch it carries, the `k` it asked
+/// for, and the channel its connection thread blocks on.
+struct Pending {
+    queries: Vec<Vec<f32>>,
+    k: usize,
+    reply: SyncSender<Vec<Vec<Neighbor>>>,
+}
+
+/// State shared by the acceptor, connection threads and the batcher.
+struct Shared {
+    engine: Arc<dyn Engine<Vec<f32>>>,
+    info: ServerInfo,
+    config: ServerConfig,
+    metrics: Option<TcpMetrics>,
+    shutdown: AtomicBool,
+}
+
+/// The running server. Construct with [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr` and start serving `engine`. Returns once the
+    /// listener is bound and the acceptor/batcher threads are running.
+    pub fn start(
+        engine: Arc<dyn Engine<Vec<f32>>>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let info = ServerInfo {
+            method: engine.method().to_string(),
+            points: engine.len() as u64,
+            shards: engine.num_shards() as u32,
+            dim: config.dim as u32,
+        };
+        let metrics = config
+            .metrics
+            .as_ref()
+            .map(|r| TcpMetrics::register(r, &info.method));
+        let shared = Arc::new(Shared {
+            engine,
+            info,
+            config,
+            metrics,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (queue, batcher_rx) = mpsc::channel::<Pending>();
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("psrv-batcher".into())
+                .spawn(move || batcher_loop(&shared, &batcher_rx))?
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("psrv-accept".into())
+                .spawn(move || accept_loop(&shared, &listener, queue, batcher))?
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor,
+        })
+    }
+}
+
+/// Handle to a running [`Server`]: its bound address plus shutdown/join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Request graceful shutdown without waiting for it to finish.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the server exits: every connection closed, every
+    /// accepted query answered, the batcher drained.
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+    }
+
+    /// Graceful shutdown: [`request_shutdown`](Self::request_shutdown)
+    /// then [`wait`](Self::wait).
+    pub fn shutdown(self) {
+        self.request_shutdown();
+        self.wait();
+    }
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    queue: Sender<Pending>,
+    batcher: JoinHandle<()>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Some(m) = &shared.metrics {
+                    m.connection_opened();
+                }
+                let conn_shared = Arc::clone(shared);
+                let queue = queue.clone();
+                let spawned = thread::Builder::new()
+                    .name("psrv-conn".into())
+                    .spawn(move || {
+                        connection_loop(&conn_shared, stream, &queue);
+                        if let Some(m) = &conn_shared.metrics {
+                            m.connection_closed();
+                        }
+                    });
+                match spawned {
+                    Ok(handle) => conns.push(handle),
+                    Err(_) => {
+                        if let Some(m) = &shared.metrics {
+                            m.connection_closed();
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conns.retain(|h| !h.is_finished());
+                thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Listener-level failure: stop accepting, drain what exists.
+            Err(_) => break,
+        }
+    }
+    // Drain: connection threads notice the flag at their next frame
+    // boundary; only after they (and our queue clone) are gone does the
+    // batcher's receiver disconnect, so every enqueued query is served.
+    for handle in conns {
+        let _ = handle.join();
+    }
+    drop(queue);
+    let _ = batcher.join();
+}
+
+fn batcher_loop(shared: &Arc<Shared>, rx: &Receiver<Pending>) {
+    while let Ok(first) = rx.recv() {
+        let deadline = Instant::now() + shared.config.batch_window;
+        let mut pending = vec![first];
+        let mut total: usize = pending[0].queries.len();
+        while total < shared.config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(p) => {
+                    total += p.queries.len();
+                    pending.push(p);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        serve_coalesced(shared, pending);
+    }
+    // Receiver disconnected: all senders gone, nothing left to drain.
+}
+
+/// Serve one coalesced batch and route each request's slice of the
+/// results back to its connection thread.
+fn serve_coalesced(shared: &Shared, pending: Vec<Pending>) {
+    let k_max = pending.iter().map(|p| p.k).max().unwrap_or(1).max(1);
+    let flat: Vec<Vec<f32>> = pending
+        .iter()
+        .flat_map(|p| p.queries.iter().cloned())
+        .collect();
+    if let Some(m) = &shared.metrics {
+        m.batches_total.inc();
+        m.batched_queries_total.add(flat.len() as u64);
+    }
+    let output = shared.engine.serve(&flat, k_max);
+    debug_assert_eq!(output.results.len(), flat.len());
+    let mut results = output.results.into_iter();
+    for p in pending {
+        let mut slice: Vec<Vec<Neighbor>> = results.by_ref().take(p.queries.len()).collect();
+        // Exact per-request k: ascending order makes the prefix of a
+        // top-k_max list the top-k answer.
+        for r in &mut slice {
+            r.truncate(p.k);
+        }
+        // A send only fails when the connection died mid-request; the
+        // batch is still correct for everyone else.
+        let _ = p.reply.send(slice);
+    }
+}
+
+/// Why a connection thread stopped reading.
+enum ConnExit {
+    /// Peer closed, fatal protocol error, or transport failure.
+    Close,
+    /// Server-wide shutdown observed while idle.
+    Drain,
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &Sender<Pending>) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    loop {
+        match wait_for_frame(shared, &mut stream) {
+            Ok(Some(frame)) => {
+                if let Some(m) = &shared.metrics {
+                    m.requests_total.inc();
+                }
+                match handle_frame(shared, &mut stream, queue, frame) {
+                    Ok(true) => {}
+                    Ok(false) => return,
+                    Err(_) => return,
+                }
+            }
+            Ok(None) => return,
+            Err(ConnExit::Close) => return,
+            Err(ConnExit::Drain) => return,
+        }
+    }
+}
+
+/// Block until a full frame arrives, the peer closes (`Ok(None)`), or the
+/// server shuts down while the connection is idle. Malformed frames are
+/// answered with a best-effort [`Frame::Error`] before closing — the
+/// stream cannot be resynchronized after framing is lost.
+fn wait_for_frame(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Frame>, ConnExit> {
+    // Idle phase: peek with a short timeout so shutdown is observed at
+    // frame boundaries without tearing down mid-request state.
+    let mut first = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ConnExit::Drain);
+        }
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ConnExit::Close),
+        }
+    }
+    // Frame phase: bytes are pending; a peer that stalls longer than
+    // FRAME_READ_TIMEOUT mid-frame counts as disconnected.
+    let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+    match read_frame(stream) {
+        Ok(frame) => Ok(frame),
+        Err(err) => {
+            if let Some(m) = &shared.metrics {
+                m.protocol_errors_total.inc();
+            }
+            let msg = match &err {
+                ProtocolError::Io(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    "stream stalled mid-frame".to_string()
+                }
+                other => other.to_string(),
+            };
+            let _ = write_frame(stream, &Frame::Error(msg));
+            let _ = stream.flush();
+            Err(ConnExit::Close)
+        }
+    }
+}
+
+/// Dispatch one decoded frame. `Ok(true)` keeps the connection open,
+/// `Ok(false)` closes it cleanly; `Err` is a transport failure on the
+/// write path.
+fn handle_frame(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    queue: &Sender<Pending>,
+    frame: Frame,
+) -> Result<bool, ProtocolError> {
+    match frame {
+        Frame::Query { k, queries } => {
+            if let Some(m) = &shared.metrics {
+                m.queries_total.add(queries.len() as u64);
+            }
+            if let Err(msg) = validate_query(shared, k, &queries) {
+                if let Some(m) = &shared.metrics {
+                    m.protocol_errors_total.inc();
+                }
+                write_frame(stream, &Frame::Error(msg))?;
+                return Ok(true);
+            }
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let pending = Pending {
+                queries,
+                k: k as usize,
+                reply: reply_tx,
+            };
+            if queue.send(pending).is_err() {
+                write_frame(stream, &Frame::Error("server is shutting down".into()))?;
+                return Ok(false);
+            }
+            match reply_rx.recv() {
+                Ok(results) => {
+                    write_frame(stream, &Frame::Results(results))?;
+                    Ok(true)
+                }
+                Err(_) => {
+                    write_frame(stream, &Frame::Error("server is shutting down".into()))?;
+                    Ok(false)
+                }
+            }
+        }
+        Frame::Ping => {
+            write_frame(stream, &Frame::Pong(shared.info.clone()))?;
+            Ok(true)
+        }
+        Frame::MetricsRequest => {
+            let reply = match &shared.config.metrics {
+                Some(registry) => Frame::MetricsText(registry.render_text()),
+                None => Frame::Error("metrics exposition is not enabled on this server".into()),
+            };
+            write_frame(stream, &reply)?;
+            Ok(true)
+        }
+        Frame::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            write_frame(stream, &Frame::Ack)?;
+            Ok(false)
+        }
+        // Server-to-client frame types arriving at the server are a
+        // protocol misuse; answer typed and keep the connection (framing
+        // is intact).
+        other => {
+            if let Some(m) = &shared.metrics {
+                m.protocol_errors_total.inc();
+            }
+            write_frame(
+                stream,
+                &Frame::Error(format!(
+                    "unexpected {} frame: clients send query, ping, metrics-request or shutdown",
+                    other.name()
+                )),
+            )?;
+            Ok(true)
+        }
+    }
+}
+
+fn validate_query(shared: &Shared, k: u32, queries: &[Vec<f32>]) -> Result<(), String> {
+    if k == 0 {
+        return Err("k must be at least 1".into());
+    }
+    if k as usize > shared.config.max_k {
+        return Err(format!(
+            "k {} exceeds the server cap of {}",
+            k, shared.config.max_k
+        ));
+    }
+    let dim = shared.config.dim;
+    for (i, q) in queries.iter().enumerate() {
+        if q.len() != dim {
+            return Err(format!(
+                "query {i} has dimension {}, deployment expects {dim}",
+                q.len()
+            ));
+        }
+        if let Some(bad) = q.iter().find(|v| !v.is_finite()) {
+            return Err(format!("query {i} contains a non-finite component {bad}"));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,353 @@
+//! Loopback integration tests: protocol robustness against a live server.
+//!
+//! The recurring shape: poison one connection with a malformed stream,
+//! assert the typed error, then prove the server still answers a fresh,
+//! well-formed connection — one bad client must never take serving down.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use permsearch_core::Dataset;
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_engine::{dense_l2_registry, Engine, MetricsRegistry, ShardedEngine};
+use permsearch_serve::{
+    frame_to_vec, read_frame, write_frame, Client, Frame, ProtocolError, Server, ServerConfig,
+    ServerHandle, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+
+const N: usize = 400;
+const SEED: u64 = 42;
+
+struct World {
+    engine: Arc<ShardedEngine<Vec<f32>>>,
+    registry: Arc<MetricsRegistry>,
+    handle: ServerHandle,
+    addr: String,
+    queries: Vec<Vec<f32>>,
+}
+
+/// Build a small exact deployment in memory and serve it on a free port.
+fn start_world() -> World {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new_flat(gen.generate(N, SEED)));
+    let dim = data.dim();
+    let queries = gen.generate(64, SEED ^ 0x0051_C0DE);
+    let registry = dense_l2_registry();
+    // Brute force: exact and deterministic, so parity checks are strict.
+    let mut engine = ShardedEngine::from_registry(&registry, "brute", &data, 2, 2, SEED)
+        .expect("build tiny engine");
+    let metrics = Arc::new(MetricsRegistry::new());
+    engine.attach_metrics(&metrics, 8);
+    let engine = Arc::new(engine);
+    let mut config = ServerConfig::new("127.0.0.1:0", dim);
+    config.batch_window = Duration::from_micros(200);
+    config.metrics = Some(Arc::clone(&metrics));
+    let handle = Server::start(Arc::clone(&engine) as Arc<dyn Engine<Vec<f32>>>, config)
+        .expect("bind loopback server");
+    let addr = handle.addr().to_string();
+    World {
+        engine,
+        registry: metrics,
+        handle,
+        addr,
+        queries,
+    }
+}
+
+/// Prove the server still serves: fresh connection, correct results.
+fn assert_still_serving(world: &World) {
+    let mut client = Client::connect(world.addr.as_str()).expect("fresh connection");
+    let got = client
+        .search(&world.queries[..4], 3)
+        .expect("serve after poison");
+    let want = world.engine.serve(&world.queries[..4], 3);
+    assert_eq!(got, want.results, "post-poison results diverged");
+}
+
+/// Send raw bytes on a new connection and collect the server's reply
+/// frames until it closes the stream.
+fn send_raw(addr: &str, bytes: &[u8]) -> Result<Option<Frame>, ProtocolError> {
+    let mut stream = TcpStream::connect(addr).expect("connect raw");
+    stream.write_all(bytes).expect("write raw bytes");
+    // Half-close so a server waiting for more of a frame sees EOF now
+    // instead of a 5s stall.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    read_frame(&mut stream)
+}
+
+fn expect_remote_error(reply: Result<Option<Frame>, ProtocolError>, fragment: &str) {
+    match reply {
+        Ok(Some(Frame::Error(msg))) => assert!(
+            msg.contains(fragment),
+            "error {msg:?} lacks fragment {fragment:?}"
+        ),
+        other => panic!("expected an error frame containing {fragment:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn wire_results_match_in_process_serving() {
+    let world = start_world();
+    let mut client = Client::connect(world.addr.as_str()).expect("connect");
+
+    let info = client.ping().expect("ping");
+    assert_eq!(info.method, "brute");
+    assert_eq!(info.points as usize, N);
+    assert_eq!(info.shards, 2);
+
+    let got = client.search(&world.queries, 5).expect("serve batch");
+    let want = world.engine.serve(&world.queries, 5);
+    assert_eq!(got.len(), want.results.len());
+    for (g, w) in got.iter().zip(&want.results) {
+        assert_eq!(g.len(), w.len());
+        for (gn, wn) in g.iter().zip(w) {
+            assert_eq!(gn.id, wn.id);
+            assert_eq!(gn.dist.to_bits(), wn.dist.to_bits(), "distance bits");
+        }
+    }
+    world.handle.shutdown();
+}
+
+#[test]
+fn empty_batch_over_the_wire_returns_zero_results() {
+    let world = start_world();
+    let mut client = Client::connect(world.addr.as_str()).expect("connect");
+    let results = client.search(&[], 5).expect("empty batch");
+    assert!(results.is_empty());
+    // Same connection keeps serving afterwards.
+    client.ping().expect("ping after empty batch");
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn bad_magic_is_typed_and_server_survives() {
+    let world = start_world();
+    expect_remote_error(
+        send_raw(&world.addr, b"GET /metrics HTTP/1.1\r\n\r\n"),
+        "not a permsearch frame",
+    );
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn future_version_is_typed_and_server_survives() {
+    let world = start_world();
+    let mut bytes = frame_to_vec(&Frame::Ping).expect("encode ping");
+    bytes[4..6].copy_from_slice(&(PROTOCOL_VERSION + 3).to_le_bytes());
+    expect_remote_error(
+        send_raw(&world.addr, &bytes),
+        "newer than the supported version",
+    );
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_and_server_survives() {
+    let world = start_world();
+    // A length prefix claiming ~16 EiB: the capped-prealloc guard must
+    // refuse from the header alone (allocating would OOM the test).
+    let mut bytes = frame_to_vec(&Frame::Ping).expect("encode ping");
+    bytes[7..15].copy_from_slice(&u64::MAX.to_le_bytes());
+    expect_remote_error(
+        send_raw(&world.addr, &bytes),
+        &format!("exceeds the {MAX_FRAME_BYTES}-byte cap"),
+    );
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn checksum_mismatch_is_typed_and_server_survives() {
+    let world = start_world();
+    let mut bytes = frame_to_vec(&Frame::Query {
+        k: 3,
+        queries: vec![world.queries[0].clone()],
+    })
+    .expect("encode query");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    expect_remote_error(send_raw(&world.addr, &bytes), "checksum mismatch");
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn mid_stream_disconnect_is_truncation_and_server_survives() {
+    let world = start_world();
+    let bytes = frame_to_vec(&Frame::Query {
+        k: 3,
+        queries: world.queries[..8].to_vec(),
+    })
+    .expect("encode query");
+    // Send two thirds of the frame, then disconnect the write side.
+    expect_remote_error(
+        send_raw(&world.addr, &bytes[..bytes.len() * 2 / 3]),
+        "stream ended",
+    );
+    assert_still_serving(&world);
+    world.handle.shutdown();
+}
+
+#[test]
+fn invalid_queries_are_remote_errors_and_connection_survives() {
+    let world = start_world();
+    let mut client = Client::connect(world.addr.as_str()).expect("connect");
+
+    match client.search(&world.queries[..1], 0) {
+        Err(ProtocolError::Remote(msg)) => assert!(msg.contains("k must be at least 1"), "{msg}"),
+        other => panic!("k=0 should be a remote error, got {other:?}"),
+    }
+    match client.search(&[vec![1.0, 2.0]], 3) {
+        Err(ProtocolError::Remote(msg)) => assert!(msg.contains("dimension"), "{msg}"),
+        other => panic!("wrong dim should be a remote error, got {other:?}"),
+    }
+    match client.search(&[vec![f32::NAN; world.queries[0].len()]], 3) {
+        Err(ProtocolError::Remote(msg)) => assert!(msg.contains("non-finite"), "{msg}"),
+        other => panic!("NaN query should be a remote error, got {other:?}"),
+    }
+
+    // The connection itself is still healthy after three rejections.
+    let got = client
+        .search(&world.queries[..2], 3)
+        .expect("serve after rejects");
+    assert_eq!(got.len(), 2);
+    world.handle.shutdown();
+}
+
+#[test]
+fn unexpected_frame_type_keeps_the_connection() {
+    let world = start_world();
+    let mut stream = TcpStream::connect(&world.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // A server-to-client frame type sent at the server: typed rejection,
+    // but framing is intact so the connection survives...
+    write_frame(&mut stream, &Frame::Ack).expect("send ack");
+    match read_frame(&mut stream).expect("read reply") {
+        Some(Frame::Error(msg)) => assert!(msg.contains("unexpected ack frame"), "{msg}"),
+        other => panic!("expected error frame, got {other:?}"),
+    }
+    // ...and the very same connection then serves a ping.
+    write_frame(&mut stream, &Frame::Ping).expect("send ping");
+    match read_frame(&mut stream).expect("read pong") {
+        Some(Frame::Pong(info)) => assert_eq!(info.method, "brute"),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    world.handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_with_different_k_each_get_their_own_k() {
+    let world = start_world();
+    let mut threads = Vec::new();
+    for (i, k) in [1usize, 3, 7, 5].into_iter().enumerate() {
+        let addr = world.addr.clone();
+        let queries = world.queries[i * 8..(i + 1) * 8].to_vec();
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr.as_str()).expect("connect");
+            let results = client.search(&queries, k as u32).expect("serve");
+            (k, queries, results)
+        }));
+    }
+    for t in threads {
+        let (k, queries, results) = t.join().expect("client thread");
+        let want = world.engine.serve(&queries, k);
+        // Micro-batching coalesces different-k requests at k_max and
+        // truncates per request: every client still sees exactly its own
+        // top-k, bit-identical to an uncoalesced serve.
+        assert_eq!(results, want.results, "k={k} diverged under coalescing");
+    }
+
+    // The TCP batch counters moved, and every query went through the
+    // coalesced path.
+    let text = world.registry.render_text();
+    let families = permsearch_obs::validate_text(&text).expect("exposition parses");
+    assert!(families.iter().any(|f| f == "permsearch_tcp_batches_total"));
+    let batched: u64 = parse_counter(&text, "permsearch_tcp_batched_queries_total");
+    assert_eq!(batched, 32, "all 4x8 queries served through the batcher");
+    world.handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_answers_in_flight_then_closes() {
+    let world = start_world();
+    let mut client = Client::connect(world.addr.as_str()).expect("connect");
+    let got = client.search(&world.queries[..4], 3).expect("serve");
+    assert_eq!(got.len(), 4);
+    client.shutdown_server().expect("shutdown acknowledged");
+    world.handle.wait();
+    // The listener is gone: a fresh connection must fail (immediately or
+    // after the OS drains the backlog — either way, no served query).
+    let mut refused = false;
+    for _ in 0..50 {
+        match TcpStream::connect(&world.addr) {
+            Err(_) => {
+                refused = true;
+                break;
+            }
+            Ok(mut s) => {
+                // Accept backlog leftovers: the socket may connect but
+                // nothing serves it — a ping times out or errors.
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                let ping = frame_to_vec(&Frame::Ping).expect("encode");
+                if s.write_all(&ping).is_err() {
+                    refused = true;
+                    break;
+                }
+                let mut buf = [0u8; 1];
+                match s.read(&mut buf) {
+                    Ok(0) | Err(_) => {
+                        refused = true;
+                        break;
+                    }
+                    Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+        }
+    }
+    assert!(refused, "server kept serving after graceful shutdown");
+}
+
+#[test]
+fn metrics_exposition_reparses_with_tcp_families() {
+    let world = start_world();
+    let mut client = Client::connect(world.addr.as_str()).expect("connect");
+    client.search(&world.queries[..4], 3).expect("serve");
+    let text = client.metrics_text().expect("metrics over the wire");
+    let families = permsearch_obs::validate_text(&text).expect("exposition parses");
+    for required in [
+        "permsearch_tcp_connections_total",
+        "permsearch_tcp_connections_open",
+        "permsearch_tcp_requests_total",
+        "permsearch_tcp_queries_total",
+        "permsearch_tcp_batches_total",
+        "permsearch_tcp_batched_queries_total",
+        "permsearch_queries_total",
+    ] {
+        assert!(
+            families.iter().any(|f| f == required),
+            "missing family {required} in {families:?}"
+        );
+    }
+    world.handle.shutdown();
+}
+
+/// Sum every sample of a counter family in a text exposition.
+fn parse_counter(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with(family) && !l.starts_with('#'))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.parse::<u64>().ok())
+        .sum()
+}

@@ -261,8 +261,11 @@ pub fn save_to_file(
         std::process::id(),
         TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
-    fs::write(&tmp, &bytes)?;
-    if let Err(e) = fs::rename(&tmp, path) {
+    // One cleanup path for every failure mode after the temp file may
+    // exist: a partial write (disk full, I/O error) must not leak the
+    // temp file any more than a failed rename does.
+    let result = fs::write(&tmp, &bytes).and_then(|()| fs::rename(&tmp, path));
+    if let Err(e) = result {
         let _ = fs::remove_file(&tmp);
         return Err(e.into());
     }

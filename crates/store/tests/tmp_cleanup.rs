@@ -1,0 +1,114 @@
+//! A failed `save_to_file` must not leak its pid+counter temp file: the
+//! writer either renames a complete container into place or leaves the
+//! directory exactly as it found it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use permsearch_core::snapshot::{corrupt, write_u32};
+use permsearch_store::save_to_file;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psnp_tmp_cleanup_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Every file under `dir` (recursively) whose name carries the writer's
+/// `.tmp.` infix.
+fn stray_tmp_files(dir: &Path) -> Vec<PathBuf> {
+    let mut strays = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("read scratch dir").flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp."))
+            {
+                strays.push(path);
+            }
+        }
+    }
+    strays
+}
+
+#[test]
+fn failed_rename_removes_the_temp_file() {
+    let dir = temp_dir("rename");
+    // The destination is an existing directory: the temp file writes
+    // fine, the rename into place fails.
+    let target = dir.join("snapshot.psnp");
+    fs::create_dir(&target).expect("create blocking dir");
+
+    let result = save_to_file(&target, "test", |w| write_u32(w, 7));
+    assert!(result.is_err(), "rename onto a directory must fail");
+    assert_eq!(
+        stray_tmp_files(&dir),
+        Vec::<PathBuf>::new(),
+        "failed rename leaked its temp file"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_temp_write_leaves_no_strays() {
+    let dir = temp_dir("write");
+    // The "directory" component of the path is a plain file, so creating
+    // the temp file itself fails with NotADirectory — the earliest write
+    // failure the OS can hand us.
+    let blocker = dir.join("blocker.psnp");
+    fs::write(&blocker, b"not a directory").expect("create blocking file");
+    let target = blocker.join("snapshot.psnp");
+
+    let result = save_to_file(&target, "test", |w| write_u32(w, 7));
+    assert!(result.is_err(), "writing under a file must fail");
+    assert_eq!(
+        stray_tmp_files(&dir),
+        Vec::<PathBuf>::new(),
+        "failed temp write leaked a file"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failing_payload_closure_leaves_no_strays() {
+    let dir = temp_dir("payload");
+    let target = dir.join("snapshot.psnp");
+
+    let result = save_to_file(&target, "test", |w| {
+        write_u32(w, 7)?;
+        Err(corrupt("payload construction failed"))
+    });
+    assert!(result.is_err());
+    assert!(!target.exists(), "failed save must not create the target");
+    assert_eq!(
+        stray_tmp_files(&dir),
+        Vec::<PathBuf>::new(),
+        "failed payload closure leaked a file"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn successful_save_leaves_only_the_target() {
+    let dir = temp_dir("ok");
+    let target = dir.join("snapshot.psnp");
+
+    save_to_file(&target, "test", |w| write_u32(w, 7)).expect("save succeeds");
+    assert!(target.is_file());
+    assert_eq!(
+        stray_tmp_files(&dir),
+        Vec::<PathBuf>::new(),
+        "successful save left its temp file behind"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

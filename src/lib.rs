@@ -24,7 +24,11 @@
 //!   reports); see `examples/serve.rs` for an end-to-end tour;
 //! * [`store`] — versioned, checksummed snapshot persistence: any built
 //!   index saves to disk and reloads without rebuilding, which is how the
-//!   engine warm-starts (`examples/warm_start.rs`).
+//!   engine warm-starts (`examples/warm_start.rs`);
+//! * [`serve`] — the TCP front door: a length-prefixed checksummed frame
+//!   protocol, a thread-per-connection server that micro-batches
+//!   concurrent queries into single engine batches, a blocking client,
+//!   and open-loop Poisson load generation.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +72,7 @@ pub use permsearch_eval as eval;
 pub use permsearch_knngraph as knngraph;
 pub use permsearch_lsh as lsh;
 pub use permsearch_permutation as permutation;
+pub use permsearch_serve as serve;
 pub use permsearch_spaces as spaces;
 pub use permsearch_store as store;
 pub use permsearch_vptree as vptree;
