@@ -25,6 +25,7 @@ pub mod bits;
 pub mod dataset;
 pub mod exhaustive;
 pub mod incsort;
+pub mod mutable;
 pub mod neighbor;
 pub mod point;
 pub mod quant;
@@ -36,6 +37,7 @@ pub mod space;
 pub use bits::BitVector;
 pub use dataset::{Dataset, DenseStore, FlatAccess, FlatVectors};
 pub use exhaustive::ExhaustiveSearch;
+pub use mutable::{BoxedMutableIndex, MutableIndex};
 pub use neighbor::{merge_sorted_topk, merge_sorted_topk_with, KnnHeap, Neighbor};
 pub use point::Point;
 pub use quant::{QuantizedVectors, QuantizedView};

@@ -1,0 +1,124 @@
+//! The mutation interface: [`MutableIndex`] extends [`SearchIndex`] with
+//! insert/remove/compact, turning a one-shot index into one the serving
+//! layer can keep alive under churn.
+//!
+//! The paper (§3.5) argues inverted-file permutation methods are
+//! "database friendly" precisely because mutation is cheap: inserting a
+//! point appends its id to the posting lists of its closest pivots, and
+//! removal tombstones the point and leaves garbage entries behind until a
+//! `compact` sweep drops them. This trait captures that contract without
+//! naming any concrete method, so the engine's generational delta shard
+//! works with any registered mutable index.
+//!
+//! ## Id discipline
+//!
+//! Local ids are positional: [`MutableIndex::insert`] assigns
+//! `0, 1, 2, ...` in call order and ids are never reused, so
+//! [`MutableIndex::slot_len`] (ids handed out so far) only grows while
+//! [`MutableIndex::live_len`] tracks the points that still answer
+//! queries. Callers that compose several indices (the generational
+//! engine) remap local ids to a global namespace outside the trait.
+//!
+//! ## Search contract
+//!
+//! A mutable index is a [`SearchIndex`] at every instant: `search` /
+//! `search_into` see exactly the live points, and `compact` must not
+//! change any query's result list (distances and tie order included) —
+//! the churn-equivalence suite pins this per method.
+
+use std::io::Write;
+
+use crate::snapshot::SnapshotError;
+use crate::SearchIndex;
+
+/// A heap-allocated, thread-shareable mutable index.
+///
+/// Like [`BoxedSearchIndex`](crate::BoxedSearchIndex) this is the
+/// type-erased form the serving layer stores: the delta shard and every
+/// frozen generation segment are `BoxedMutableIndex` values.
+pub type BoxedMutableIndex<P> = Box<dyn MutableIndex<P> + Send + Sync>;
+
+/// A [`SearchIndex`] that supports in-place insertion, removal and
+/// garbage compaction.
+///
+/// Object-safe: the engine stores deltas as [`BoxedMutableIndex`].
+pub trait MutableIndex<P>: SearchIndex<P> {
+    /// Insert `point`, returning its new local id. Ids are positional
+    /// (`slot_len()` before the call) and never reused.
+    fn insert(&mut self, point: P) -> u32;
+
+    /// Remove the point with local id `id`. Returns `true` when the id
+    /// named a live point (now removed); `false` for ids that are out of
+    /// range or already removed — double-removes are not an error and
+    /// must not disturb the live/garbage accounting.
+    fn remove(&mut self, id: u32) -> bool;
+
+    /// Drop the garbage entries left behind by removals. Must be a pure
+    /// space reclamation: no query result may change across a `compact`
+    /// call, and local ids of live points are preserved.
+    fn compact(&mut self);
+
+    /// Number of live (inserted and not removed) points. Equals
+    /// [`SearchIndex::len`].
+    fn live_len(&self) -> usize;
+
+    /// Number of garbage posting/structure entries awaiting `compact`.
+    /// Exact, not an estimate: compaction triggers key off this.
+    fn garbage_len(&self) -> usize;
+
+    /// Total ids assigned so far (the next insert returns this value).
+    /// `slot_len() - live_len()` points are removed but still occupy
+    /// their id slots.
+    fn slot_len(&self) -> usize;
+
+    /// The live points with their local ids, ascending by id. Used by
+    /// generational compaction to rebuild a dense segment from
+    /// survivors; allocation here is fine (never on the query path).
+    fn live_entries(&self) -> Vec<(u32, P)>;
+
+    /// A fresh, empty index with the *same* configuration (pivots,
+    /// parameters, space) as `self`. The engine seals a full delta and
+    /// swaps in `empty_like()` so new writes keep landing in an
+    /// identically-configured shard — identical configuration is what
+    /// makes per-segment candidate sets unite to the unsegmented one.
+    fn empty_like(&self) -> BoxedMutableIndex<P>;
+
+    /// Serialize the index (self-contained: parameters, pivots, points,
+    /// structure) to `w` in the snapshot codec. Object-safe counterpart
+    /// of [`Snapshot::write_snapshot`](crate::Snapshot::write_snapshot)
+    /// used when compaction snapshots a freshly built segment.
+    fn write_snapshot_dyn(&self, w: &mut dyn Write) -> Result<(), SnapshotError>;
+}
+
+// Boxed mutable indices are mutable indices too, mirroring the
+// `SearchIndex` blanket impl, so generic helpers accept a
+// `BoxedMutableIndex` without unwrapping it.
+impl<P, I: MutableIndex<P> + ?Sized> MutableIndex<P> for Box<I> {
+    fn insert(&mut self, point: P) -> u32 {
+        (**self).insert(point)
+    }
+    fn remove(&mut self, id: u32) -> bool {
+        (**self).remove(id)
+    }
+    fn compact(&mut self) {
+        (**self).compact()
+    }
+    fn live_len(&self) -> usize {
+        (**self).live_len()
+    }
+    fn garbage_len(&self) -> usize {
+        (**self).garbage_len()
+    }
+    fn slot_len(&self) -> usize {
+        (**self).slot_len()
+    }
+    fn live_entries(&self) -> Vec<(u32, P)> {
+        (**self).live_entries()
+    }
+    fn empty_like(&self) -> BoxedMutableIndex<P> {
+        (**self).empty_like()
+    }
+    fn write_snapshot_dyn(&self, w: &mut dyn Write) -> Result<(), SnapshotError> {
+        (**self).write_snapshot_dyn(w)
+    }
+}

@@ -118,6 +118,12 @@ pub struct SearchScratch {
     pub qwords: Vec<u64>,
     /// Per-shard result lists (sharded reduce).
     pub lists: Vec<Vec<Neighbor>>,
+    /// Per-source result lists of the generational merge (base shards +
+    /// frozen segments + delta). Separate from `lists` because the base
+    /// engine's own sharded reduce uses `lists` *inside* one generational
+    /// query — sharing the buffer would drop and reallocate the inner
+    /// lists every query.
+    pub gen_lists: Vec<Vec<Neighbor>>,
     /// Cursor heap of the k-way merge.
     pub cursors: BinaryHeap<Reverse<(Neighbor, usize)>>,
     /// Per-list positions of the k-way merge.

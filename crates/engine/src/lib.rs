@@ -39,6 +39,7 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod mutable;
 pub mod registry;
 pub mod serve;
 pub mod shard;
@@ -47,9 +48,14 @@ pub use engine::{
     manifest_path, shard_path, DeploymentManifest, Engine, ShardedEngine, WarmStart, MANIFEST_KIND,
 };
 pub use metrics::{set_deployment_gauges, ServeMetrics, DEFAULT_SAMPLE_EVERY};
+pub use mutable::{
+    folded_segment_path, journal_path, mutation_kind, segment_kind, CompactionConfig,
+    CompactorHandle, FlushInfo, MutableEngine, MutableServing, MutableWarmStart, MutationMetrics,
+    OP_INSERT, OP_REMOVE,
+};
 pub use registry::{
     dense_l2_registry, index_kind, standard_registry, EngineError, MethodBuilder, MethodRegistry,
-    Provenance, SnapshotLoader, SnapshotSaver,
+    MutableBuilder, Provenance, SnapshotLoader, SnapshotSaver,
 };
 pub use serve::{
     effective_workers, percentile, serve_batch, serve_batch_observed, ServeOutput, ServeReport,

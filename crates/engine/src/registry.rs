@@ -26,12 +26,14 @@ use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-use permsearch_core::{BoxedSearchIndex, Dataset, PointCodec, Snapshot, SnapshotError, Space};
+use permsearch_core::{
+    BoxedMutableIndex, BoxedSearchIndex, Dataset, Point, PointCodec, Snapshot, SnapshotError, Space,
+};
 use permsearch_knngraph::{SwGraph, SwGraphParams};
 use permsearch_lsh::{MpLsh, MpLshParams};
 use permsearch_permutation::{
-    select_pivots, BruteForcePermFilter, MiFile, MiFileParams, Napp, NappParams, PermDistanceKind,
-    PpIndex, PpIndexParams,
+    select_pivots, BruteForcePermFilter, DynamicNapp, MiFile, MiFileParams, Napp, NappParams,
+    PermDistanceKind, PpIndex, PpIndexParams,
 };
 use permsearch_spaces::L2;
 use permsearch_vptree::{VpTree, VpTreeParams};
@@ -68,6 +70,21 @@ pub enum EngineError {
         /// The underlying snapshot failure.
         source: SnapshotError,
     },
+    /// The method is registered but has no mutable builder (it was never
+    /// added with [`MethodRegistry::register_mutable`]).
+    MutationUnsupported {
+        /// The method that cannot serve as a mutable delta.
+        method: String,
+        /// Methods that do support mutation, for the error message.
+        mutable_capable: Vec<String>,
+    },
+    /// Mutation-journal I/O or framing failed while opening or replaying.
+    Journal {
+        /// The delta method whose journal failed.
+        method: String,
+        /// The underlying journal failure.
+        source: permsearch_store::JournalError,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +109,20 @@ impl fmt::Display for EngineError {
             EngineError::Snapshot { method, source } => {
                 write!(f, "snapshot failure for method {method:?}: {source}")
             }
+            EngineError::MutationUnsupported {
+                method,
+                mutable_capable,
+            } => write!(
+                f,
+                "method {method:?} has no mutable builder; mutation-capable methods: {}",
+                mutable_capable.join(", ")
+            ),
+            EngineError::Journal { method, source } => {
+                write!(
+                    f,
+                    "mutation journal failure for method {method:?}: {source}"
+                )
+            }
         }
     }
 }
@@ -100,6 +131,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Snapshot { source, .. } => Some(source),
+            EngineError::Journal { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -125,9 +157,21 @@ pub type SnapshotLoader<P> = Arc<
         + Sync,
 >;
 
+/// Builder closure for mutable (delta) indices: `(bootstrap data, seed) ->
+/// empty index`. Unlike [`MethodBuilder`] the returned index holds **no
+/// points** — `data` is configuration material only (pivot sampling), so
+/// the same `(data, seed)` pair always yields an identically-configured
+/// index regardless of what is later inserted. That determinism is what
+/// lets the generational engine's compaction rebuild a segment through
+/// [`MutableIndex::empty_like`](permsearch_core::MutableIndex::empty_like)
+/// and stay bitwise-equivalent to a never-compacted replay.
+pub type MutableBuilder<P> =
+    Arc<dyn Fn(Arc<Dataset<P>>, u64) -> BoxedMutableIndex<P> + Send + Sync>;
+
 struct MethodEntry<P> {
     builder: MethodBuilder<P>,
     snapshot: Option<(SnapshotSaver<P>, SnapshotLoader<P>)>,
+    mutable: Option<MutableBuilder<P>>,
 }
 
 /// How [`MethodRegistry::build_or_load`] obtained an index.
@@ -171,6 +215,7 @@ impl<P> MethodRegistry<P> {
             MethodEntry {
                 builder: Arc::new(builder),
                 snapshot: None,
+                mutable: None,
             },
         );
     }
@@ -212,8 +257,46 @@ impl<P> MethodRegistry<P> {
             MethodEntry {
                 builder: Arc::new(plain),
                 snapshot: Some((Arc::new(saver), Arc::new(loader))),
+                mutable: None,
             },
         );
+    }
+
+    /// Attach a mutable (delta) builder to `name`. When the name is not
+    /// yet registered, a plain searchable builder is derived from the
+    /// mutable one — build empty, insert every dataset point in id order
+    /// — so a mutable-only method still serves as a normal index.
+    /// Existing plain/snapshot registrations under the same name are kept
+    /// (the standard setup registers `dynamic-napp` both ways).
+    pub fn register_mutable<F>(&mut self, name: &str, builder: F)
+    where
+        P: Point,
+        F: Fn(Arc<Dataset<P>>, u64) -> BoxedMutableIndex<P> + Send + Sync + 'static,
+    {
+        let builder: MutableBuilder<P> = Arc::new(builder);
+        match self.builders.get_mut(name) {
+            Some(entry) => entry.mutable = Some(builder),
+            None => {
+                let plain = {
+                    let builder = builder.clone();
+                    move |data: Arc<Dataset<P>>, seed: u64| {
+                        let mut index = builder(data.clone(), seed);
+                        for (_, p) in data.iter() {
+                            index.insert(<P::Ref as ToOwned>::to_owned(p));
+                        }
+                        Box::new(index) as BoxedSearchIndex<P>
+                    }
+                };
+                self.builders.insert(
+                    name.to_string(),
+                    MethodEntry {
+                        builder: Arc::new(plain),
+                        snapshot: None,
+                        mutable: Some(builder),
+                    },
+                );
+            }
+        }
     }
 
     /// Registered method names, sorted.
@@ -235,6 +318,20 @@ impl<P> MethodRegistry<P> {
         self.builders
             .get(name)
             .is_some_and(|e| e.snapshot.is_some())
+    }
+
+    /// Registered method names with a mutable builder, sorted.
+    pub fn mutable_names(&self) -> Vec<&str> {
+        self.builders
+            .iter()
+            .filter(|(_, e)| e.mutable.is_some())
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Whether `name` can build a mutable (delta) index.
+    pub fn supports_mutation(&self, name: &str) -> bool {
+        self.builders.get(name).is_some_and(|e| e.mutable.is_some())
     }
 
     fn unknown(&self, name: &str) -> EngineError {
@@ -280,6 +377,24 @@ impl<P> MethodRegistry<P> {
         seed: u64,
     ) -> Result<BoxedSearchIndex<P>, EngineError> {
         Ok(self.get(name)?(data, seed))
+    }
+
+    /// Build an **empty** mutable index configured from `data` with the
+    /// named method (see [`MutableBuilder`] for the determinism contract),
+    /// distinguishing "no such method" from "method cannot mutate".
+    pub fn build_mutable(
+        &self,
+        name: &str,
+        data: Arc<Dataset<P>>,
+        seed: u64,
+    ) -> Result<BoxedMutableIndex<P>, EngineError> {
+        match &self.entry(name)?.mutable {
+            Some(build) => Ok(build(data, seed)),
+            None => Err(EngineError::MutationUnsupported {
+                method: name.to_string(),
+                mutable_capable: self.mutable_names().iter().map(|s| s.to_string()).collect(),
+            }),
+        }
     }
 
     /// Strictly restore the named method's index from the snapshot at
@@ -417,10 +532,46 @@ where
         VpTree::build(data, sp.clone(), VpTreeParams::default(), seed)
     });
     let sp = space.clone();
-    reg.register_snapshot("sw-graph", space, move |data, seed| {
+    reg.register_snapshot("sw-graph", space.clone(), move |data, seed| {
         SwGraph::build(data, sp.clone(), SwGraphParams::default(), seed)
     });
+    // "dynamic-napp" registers twice over one shared config derivation:
+    // as a snapshot-capable searchable method (empty + insert-all, so it
+    // can serve as an ordinary frozen shard) and as the mutable delta
+    // builder of the generational engine.
+    let sp = space.clone();
+    reg.register_snapshot("dynamic-napp", space.clone(), move |data, seed| {
+        let mut idx = empty_dynamic_napp(&data, sp.clone(), seed);
+        for (_, p) in data.iter() {
+            DynamicNapp::insert(&mut idx, <P::Ref as ToOwned>::to_owned(p));
+        }
+        idx
+    });
+    let sp = space;
+    reg.register_mutable("dynamic-napp", move |data, seed| {
+        Box::new(empty_dynamic_napp(&data, sp.clone(), seed))
+    });
     reg
+}
+
+/// The one config derivation behind both `dynamic-napp` registrations:
+/// identical `(data, seed)` must mean identical pivots and parameters, or
+/// the plain and mutable builds would disagree on candidate sets.
+fn empty_dynamic_napp<P, S>(data: &Dataset<P>, space: S, seed: u64) -> DynamicNapp<P, S>
+where
+    P: PointCodec + Clone,
+    S: Space<P::Ref>,
+{
+    let m = scaled_pivots(data.len(), 512);
+    let pivots = select_pivots(data, m, seed);
+    let params = NappParams {
+        num_pivots: m,
+        num_indexed: 32.min(m),
+        min_shared: 2,
+        threads: 1,
+        ..Default::default()
+    };
+    DynamicNapp::new(space, pivots, params)
 }
 
 /// [`standard_registry`] over L2 plus `"lsh"` (multi-probe LSH exists only
@@ -438,7 +589,7 @@ pub fn dense_l2_registry() -> MethodRegistry<Vec<f32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use permsearch_core::SearchIndex;
+    use permsearch_core::{MutableIndex, SearchIndex};
 
     fn tiny_dense(n: usize) -> Arc<Dataset<Vec<f32>>> {
         Arc::new(Dataset::new(
@@ -457,10 +608,21 @@ mod tests {
         let reg = dense_l2_registry();
         assert_eq!(
             reg.names(),
-            vec!["brute", "lsh", "mifile", "napp", "ppindex", "sw-graph", "vptree"]
+            vec![
+                "brute",
+                "dynamic-napp",
+                "lsh",
+                "mifile",
+                "napp",
+                "ppindex",
+                "sw-graph",
+                "vptree"
+            ]
         );
         // Every paper method is snapshot-capable.
         assert_eq!(reg.snapshot_capable_names(), reg.names());
+        // Only the dynamic method can build a mutable delta.
+        assert_eq!(reg.mutable_names(), vec!["dynamic-napp"]);
     }
 
     #[test]
@@ -519,11 +681,45 @@ mod tests {
             "{msg}"
         );
         for name in [
-            "brute", "lsh", "mifile", "napp", "ppindex", "sw-graph", "vptree",
+            "brute",
+            "dynamic-napp",
+            "lsh",
+            "mifile",
+            "napp",
+            "ppindex",
+            "sw-graph",
+            "vptree",
         ] {
             assert!(msg.contains(name), "{msg} missing {name}");
         }
         assert!(!msg.contains("exact,"), "{msg}");
+    }
+
+    #[test]
+    fn mutable_builder_starts_empty_and_matches_plain_build() {
+        let data = tiny_dense(48);
+        let reg = dense_l2_registry();
+        assert!(reg.supports_mutation("dynamic-napp"));
+        assert!(!reg.supports_mutation("napp"));
+        let mut delta = reg.build_mutable("dynamic-napp", data.clone(), 7).unwrap();
+        assert_eq!(delta.live_len(), 0, "mutable builder must start empty");
+        for (_, p) in data.iter() {
+            delta.insert(p.to_owned());
+        }
+        // Same (data, seed) => same pivots => the filled delta answers
+        // exactly like the plain registry build.
+        let plain = reg.build("dynamic-napp", data.clone(), 7).unwrap();
+        for q in [vec![5.0f32, 1.0], vec![40.0, 3.0]] {
+            assert_eq!(delta.search(&q, 5), plain.search(&q, 5));
+        }
+        // A snapshot-only method refuses with the capable set named.
+        let err = reg.build_mutable("napp", data, 7).err().expect("must fail");
+        let msg = err.to_string();
+        assert!(
+            matches!(err, EngineError::MutationUnsupported { .. }),
+            "{msg}"
+        );
+        assert!(msg.contains("dynamic-napp"), "{msg}");
     }
 
     #[test]

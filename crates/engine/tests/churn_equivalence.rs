@@ -1,0 +1,219 @@
+//! Churn equivalence: a mutable engine that compacts mid-stream must be
+//! *bitwise* indistinguishable — same ids, same distance bits, same
+//! resolution of distance ties — from a fresh engine that received the
+//! same operation log and never compacted. Points come from a small grid
+//! so exact distance ties occur in almost every case, and the oracle is
+//! rebuilt from scratch per case, so the property pins the whole
+//! generational machinery (delta remap, segment id maps, tombstone
+//! masking, fold order) against the simplest possible semantics.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use permsearch_core::{Dataset, Neighbor, SearchIndex};
+use permsearch_engine::{dense_l2_registry, Engine, MethodRegistry, MutableEngine};
+
+/// Tie-prone base data: coordinates on a 7-wide integer grid.
+fn grid(n: usize) -> Arc<Dataset<Vec<f32>>> {
+    Arc::new(Dataset::new(
+        (0..n)
+            .map(|i| vec![(i % 7) as f32, (i / 7) as f32])
+            .collect::<Vec<_>>(),
+    ))
+}
+
+fn queries() -> Vec<Vec<f32>> {
+    (0..10)
+        .map(|i| vec![(i % 5) as f32 + 0.25, (i / 5) as f32 + 0.5])
+        .collect()
+}
+
+fn build(
+    registry: &MethodRegistry<Vec<f32>>,
+    data: &Arc<Dataset<Vec<f32>>>,
+) -> MutableEngine<Vec<f32>> {
+    MutableEngine::from_registry(registry, "napp", "dynamic-napp", data, 2, 2, 42).unwrap()
+}
+
+fn all_results(e: &MutableEngine<Vec<f32>>, k: usize) -> Vec<Vec<Neighbor>> {
+    queries().iter().map(|q| e.search(q, k)).collect()
+}
+
+/// Compare two engines bitwise over the full query set for several k.
+fn assert_parity(live: &MutableEngine<Vec<f32>>, oracle: &MutableEngine<Vec<f32>>, at: &str) {
+    for k in [1usize, 3, 9] {
+        let got = all_results(live, k);
+        let want = all_results(oracle, k);
+        assert_eq!(got, want, "{at}: k={k} diverged from the oracle");
+        // `Neighbor: PartialEq` compares f32s; re-check the bits so a
+        // -0.0/0.0 confusion cannot slip through the equality above.
+        for (g, w) in got.iter().flatten().zip(want.iter().flatten()) {
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "{at}: distance bits");
+        }
+    }
+}
+
+/// One churn operation, drawn by proptest. Selectors are reduced against
+/// the evolving id space inside the interpreter loop, so the same drawn
+/// log is meaningful for any base size.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert the grid point this selector names (duplicates of base
+    /// points included, so reinsert-after-remove happens naturally).
+    Insert(u8),
+    /// Remove `selector % next_id` (may double-remove: both engines must
+    /// agree it reports `false`).
+    Remove(u32),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    // The vendored proptest has no one-of combinator: draw a tagged
+    // triple and let the tag decide which op the other fields feed.
+    proptest::collection::vec(
+        (0u8..2, 0u8..49, 0u32..9973).prop_map(|(tag, point_sel, id_sel)| {
+            if tag == 0 {
+                Op::Insert(point_sel)
+            } else {
+                Op::Remove(id_sel)
+            }
+        }),
+        12..48,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole property: replay a random op log into a live engine
+    /// (compacting every few ops) and into a never-compacted oracle;
+    /// after *every* compaction, and at the end, results are bitwise
+    /// equal for several k.
+    #[test]
+    fn compacting_engine_matches_rebuilt_oracle_bitwise(
+        base_n in 25usize..70,
+        ops in ops_strategy(),
+        compact_every in 3usize..9,
+    ) {
+        let registry = dense_l2_registry();
+        let data = grid(base_n);
+        let live = build(&registry, &data);
+        let oracle = build(&registry, &data);
+
+        let mut next_id = base_n as u32;
+        let mut compactions = 0u32;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(sel) => {
+                    let p = vec![(sel % 7) as f32 + 0.5, (sel / 7) as f32 + 0.5];
+                    let a = live.insert(p.clone());
+                    let b = oracle.insert(p);
+                    prop_assert_eq!(a, b, "op {}: id assignment diverged", i);
+                    prop_assert_eq!(a, next_id);
+                    next_id += 1;
+                }
+                Op::Remove(sel) => {
+                    let victim = sel % next_id;
+                    let a = live.remove(victim);
+                    let b = oracle.remove(victim);
+                    prop_assert_eq!(a, b, "op {}: remove outcome diverged", i);
+                }
+            }
+            if (i + 1) % compact_every == 0 {
+                live.force_compact();
+                compactions += 1;
+                assert_parity(&live, &oracle, &format!("after compaction {compactions}"));
+            }
+        }
+        live.force_compact();
+        prop_assert_eq!(oracle.generation(), 0);
+        assert_parity(&live, &oracle, "after the final compaction");
+    }
+}
+
+/// Edge: every inserted point removed again. The fold over an all-dead
+/// delta must produce no segment, and serving must equal the untouched
+/// baseline bitwise — before and after the compaction.
+#[test]
+fn insert_all_then_remove_all_returns_to_baseline() {
+    let registry = dense_l2_registry();
+    let data = grid(60);
+    let e = build(&registry, &data);
+    let baseline = all_results(&e, 7);
+    let ids: Vec<u32> = (0..30)
+        .map(|i| e.insert(vec![(i % 5) as f32 + 0.5, (i / 5) as f32 + 0.5]))
+        .collect();
+    for id in ids.iter().rev() {
+        assert!(e.remove(*id));
+    }
+    assert_eq!(Engine::len(&e), 60);
+    assert_eq!(all_results(&e, 7), baseline, "masked inserts leaked");
+    e.force_compact();
+    assert_eq!(
+        e.frozen_segments(),
+        0,
+        "all-dead fold must drop the segment"
+    );
+    assert_eq!(all_results(&e, 7), baseline, "post-fold results diverged");
+}
+
+/// Edge: everything deleted — base included. Serving drains to empty
+/// result lists (never a panic, never a stale id), compaction holds
+/// there, and the oracle agrees at every step.
+#[test]
+fn deleting_every_point_serves_empty_results() {
+    let registry = dense_l2_registry();
+    let data = grid(40);
+    let live = build(&registry, &data);
+    let oracle = build(&registry, &data);
+    for e in [&live, &oracle] {
+        for i in 0..8 {
+            e.insert(vec![i as f32 * 0.4, 1.1]);
+        }
+        for id in 0..48u32 {
+            assert!(e.remove(id), "id {id} was live");
+        }
+    }
+    live.force_compact();
+    assert_eq!(Engine::len(&live), 0);
+    for q in &queries() {
+        assert!(live.search(q, 5).is_empty(), "empty engine served a result");
+    }
+    assert_parity(&live, &oracle, "all-deleted");
+
+    // The engine is not dead: inserts resume with fresh ids and serve.
+    let id = live.insert(vec![3.0, 3.0]);
+    assert_eq!(id, 48, "ids are never reused after mass deletion");
+    let res = live.search(&vec![3.0f32, 3.0], 2);
+    assert_eq!(res.len(), 1, "one live point serves one neighbor");
+    assert_eq!(res[0].id, 48);
+}
+
+/// Edge: remove a point, reinsert identical coordinates (new id), repeat
+/// across a compaction. The old id must stay dead, the new id must serve,
+/// and distance ties between the duplicates and the base grid must
+/// resolve identically in both engines.
+#[test]
+fn reinserting_an_identical_point_gets_a_fresh_id_and_stays_parity() {
+    let registry = dense_l2_registry();
+    let data = grid(50);
+    let live = build(&registry, &data);
+    let oracle = build(&registry, &data);
+    let point = vec![2.0f32, 3.0]; // duplicates base point id 23
+    for e in [&live, &oracle] {
+        assert!(e.remove(23));
+        let a = e.insert(point.clone());
+        assert_eq!(a, 50);
+        assert!(e.remove(50));
+        assert_eq!(e.insert(point.clone()), 51);
+    }
+    live.force_compact();
+    assert_parity(&live, &oracle, "after reinsert churn");
+    let res = live.search(&point, 3);
+    assert_eq!(res[0].dist, 0.0);
+    assert_eq!(res[0].id, 51, "the live duplicate serves, under id order");
+    assert!(
+        res.iter().all(|n| n.id != 23 && n.id != 50),
+        "dead duplicates must stay dead: {res:?}"
+    );
+}

@@ -22,6 +22,7 @@ use permsearch_core::{Dataset, PointCodec, Snapshot, SnapshotError};
 
 use crate::binary::BinarizedPermutations;
 use crate::brute::{BruteForceBinFilter, BruteForcePermFilter, PermDistanceKind};
+use crate::dynamic::DynamicNapp;
 use crate::mifile::{MiFile, MiFileParams, Posting};
 use crate::napp::{Napp, NappParams};
 use crate::perm::PermutationTable;
@@ -438,6 +439,148 @@ impl<P: PointCodec, S> Snapshot<P, S> for BruteForceBinFilter<P, S> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic NAPP
+// ---------------------------------------------------------------------------
+
+/// Unlike the static indices above, [`DynamicNapp`] owns its point
+/// storage, so the payload is *self-contained*: parameters, pivots, the
+/// tombstoned point slots and the posting lists all travel in the
+/// snapshot and the `data` argument is only a cross-check. When `data`
+/// is non-empty its length must equal the live point count (the
+/// registry's per-shard load path); an empty dataset loads the snapshot
+/// purely from its own bytes (the engine's frozen-segment path, where no
+/// dataset exists).
+///
+/// The reader re-derives `live`, `garbage` and the per-id entry counts
+/// from the decoded structure instead of trusting stored counters, and
+/// rejects any posting list that is not strictly increasing — which is
+/// also how a duplicated id would manifest.
+impl<P: PointCodec + Clone, S> Snapshot<P, S> for DynamicNapp<P, S> {
+    fn write_snapshot<W: Write + ?Sized>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        write_len(w, self.points.len())?;
+        write_len(w, self.params.num_pivots)?;
+        write_len(w, self.params.num_indexed)?;
+        write_len(w, self.params.num_query_pivots)?;
+        write_u32(w, self.params.min_shared)?;
+        write_opt_len(w, self.params.max_candidates)?;
+        write_len(w, self.params.threads)?;
+        write_pivots(w, &self.pivots)?;
+        for slot in &self.points {
+            match slot {
+                Some(p) => {
+                    write_u8(w, 1)?;
+                    p.write_point(w)?;
+                }
+                None => write_u8(w, 0)?,
+            }
+        }
+        write_seq(w, &self.postings, |w, list| write_u32_seq(w, list))
+    }
+
+    fn read_snapshot<R: Read + ?Sized>(
+        r: &mut R,
+        data: Arc<Dataset<P>>,
+        space: S,
+    ) -> Result<Self, SnapshotError> {
+        let slots = read_len(r)?;
+        let params = NappParams {
+            num_pivots: read_len(r)?,
+            num_indexed: read_len(r)?,
+            num_query_pivots: read_len(r)?,
+            min_shared: read_u32(r)?,
+            max_candidates: read_opt_len(r)?,
+            threads: read_len(r)?,
+        };
+        if params.num_pivots == 0 {
+            return Err(corrupt("dynamic NAPP snapshot with zero pivots"));
+        }
+        if params.num_indexed == 0
+            || params.num_indexed > params.num_pivots
+            || params.num_indexed > u16::MAX as usize
+        {
+            return Err(corrupt(format!(
+                "dynamic NAPP num_indexed {} outside 1..={}",
+                params.num_indexed,
+                params.num_pivots.min(u16::MAX as usize)
+            )));
+        }
+        let pivots = read_pivots(r, params.num_pivots)?;
+        let mut points: Vec<Option<P>> = Vec::with_capacity(slots.min(1 << 16));
+        for _ in 0..slots {
+            points.push(match read_u8(r)? {
+                0 => None,
+                1 => Some(P::read_point(r)?),
+                tag => {
+                    return Err(corrupt(format!(
+                        "dynamic NAPP point slot tag {tag} (expected 0 or 1)"
+                    )))
+                }
+            });
+        }
+        let live = points.iter().filter(|slot| slot.is_some()).count();
+        if !data.is_empty() && live != data.len() {
+            return Err(corrupt(format!(
+                "dynamic NAPP snapshot holds {live} live points, dataset has {}",
+                data.len()
+            )));
+        }
+        let postings: Vec<Vec<u32>> = read_seq(r, |r| read_u32_seq(r))?;
+        if postings.len() != params.num_pivots {
+            return Err(corrupt(format!(
+                "dynamic NAPP snapshot has {} posting lists for {} pivots",
+                postings.len(),
+                params.num_pivots
+            )));
+        }
+        // Re-derive the accounting instead of trusting stored counters:
+        // entry counts per id (validating strict monotonicity, which also
+        // rules out duplicate ids) and the garbage total over dead slots.
+        let mut indexed = vec![0u16; slots];
+        for list in &postings {
+            let mut prev: Option<u32> = None;
+            for &id in list {
+                if (id as usize) >= slots {
+                    return Err(corrupt(format!(
+                        "dynamic NAPP posting id {id} out of range for {slots} slots"
+                    )));
+                }
+                if prev.is_some() && prev >= Some(id) {
+                    return Err(corrupt(format!(
+                        "dynamic NAPP posting list not strictly increasing at id {id}"
+                    )));
+                }
+                prev = Some(id);
+                if indexed[id as usize] as usize >= params.num_indexed {
+                    return Err(corrupt(format!(
+                        "dynamic NAPP id {id} appears in more than num_indexed={} lists",
+                        params.num_indexed
+                    )));
+                }
+                indexed[id as usize] += 1;
+            }
+        }
+        let mut garbage = 0usize;
+        for (id, slot) in points.iter().enumerate() {
+            if slot.is_none() {
+                // Dead slots follow remove() semantics: their entries are
+                // already charged to garbage and their count is zeroed.
+                garbage += std::mem::take(&mut indexed[id]) as usize;
+            }
+        }
+        Ok(DynamicNapp {
+            space,
+            pivots,
+            points,
+            live,
+            postings,
+            indexed,
+            garbage,
+            params,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +643,77 @@ mod tests {
             back.search(&vec![2.5, 3.5, 1.5], 7),
             idx.search(&vec![2.5, 3.5, 1.5], 7)
         );
+    }
+
+    fn churned_dynamic() -> DynamicNapp<Vec<f32>, L2> {
+        let data = world();
+        let pivots = select_pivots(&data, 16, 5);
+        let mut idx = DynamicNapp::new(
+            L2,
+            pivots,
+            NappParams {
+                num_pivots: 16,
+                num_indexed: 4,
+                min_shared: 1,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        for (_, p) in data.iter() {
+            idx.insert(p.to_owned());
+        }
+        for id in [7u32, 31, 64, 90] {
+            assert!(idx.remove(id));
+        }
+        idx
+    }
+
+    #[test]
+    fn dynamic_napp_snapshot_round_trips_bitwise_with_tombstones() {
+        let idx = churned_dynamic();
+        let mut buf = Vec::new();
+        idx.write_snapshot(&mut buf).unwrap();
+        // Self-contained load: empty dataset, everything from the bytes.
+        let empty: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::new(Vec::new()));
+        let back =
+            DynamicNapp::<Vec<f32>, L2>::read_snapshot(&mut buf.as_slice(), empty, L2).unwrap();
+        assert_eq!(back.live_len(), idx.live_len());
+        assert_eq!(back.garbage_len(), idx.garbage_len());
+        for q in [vec![1.0f32, 2.0, 3.0], vec![9.0, 0.5, 4.0]] {
+            assert_eq!(back.search(&q, 10), idx.search(&q, 10));
+        }
+    }
+
+    #[test]
+    fn dynamic_napp_snapshot_rejects_duplicate_posting_ids() {
+        let mut idx = churned_dynamic();
+        // Smuggle a duplicate into one posting list, then serialize.
+        let list = idx
+            .postings
+            .iter_mut()
+            .find(|l| !l.is_empty())
+            .expect("some non-empty list");
+        let dup = *list.last().unwrap();
+        list.push(dup);
+        let mut buf = Vec::new();
+        idx.write_snapshot(&mut buf).unwrap();
+        let empty: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::new(Vec::new()));
+        let err = DynamicNapp::<Vec<f32>, L2>::read_snapshot(&mut buf.as_slice(), empty, L2)
+            .err()
+            .expect("duplicate posting id must be rejected");
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn dynamic_napp_snapshot_cross_checks_nonempty_dataset() {
+        let idx = churned_dynamic();
+        let mut buf = Vec::new();
+        idx.write_snapshot(&mut buf).unwrap();
+        let wrong: Arc<Dataset<Vec<f32>>> = Arc::new(Dataset::new(vec![vec![0.0f32; 3]; 9]));
+        let err = DynamicNapp::<Vec<f32>, L2>::read_snapshot(&mut buf.as_slice(), wrong, L2)
+            .err()
+            .expect("live-count mismatch must fail");
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "{err}");
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! End-to-end churn smoke: drive seeded mutations at a live mutable
+//! server over TCP while mirroring the exact same operation stream into
+//! a local never-compacted oracle engine, and require bitwise parity.
+//!
+//! ```text
+//! # Serve a deployment mutably, then churn it:
+//! permsearch-serve --from-snapshot DIR --addr 127.0.0.1:7377 --mutable dynamic-napp &
+//! cargo run -p permsearch-serve --bin churn_smoke -- \
+//!     --addr 127.0.0.1:7377 --from-snapshot DIR [--rounds N] [--seed S] [--shutdown]
+//! ```
+//!
+//! Both sides start from the same deployment directory: the server
+//! warm-starts its base from the snapshots, the oracle rebuilds the same
+//! base from the dataset with the manifest's method, shard count and
+//! seed (bit-identical by the deployment determinism the snapshot tests
+//! pin). Each round inserts a few points, deletes a few ids, and
+//! compares assigned ids, delete outcomes, and full top-k answers; every
+//! third round flushes, so the server compacts generations mid-stream
+//! while the oracle never does — the parity check crosses the whole
+//! seal/fold/swap cycle plus the wire. Any divergence exits non-zero.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use permsearch_core::Dataset;
+use permsearch_engine::{DeploymentManifest, Engine, MutableEngine, MutableServing};
+use permsearch_serve::Client;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+const USAGE: &str = "usage:
+  churn_smoke --addr HOST:PORT --from-snapshot DIR [--rounds N] \\
+              [--seed S] [--delta-method M] [--shutdown]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("churn_smoke: {msg}");
+    eprintln!("{USAGE}");
+    exit(2)
+}
+
+struct Args {
+    addr: String,
+    dir: PathBuf,
+    rounds: usize,
+    seed: u64,
+    delta_method: String,
+    shutdown: bool,
+}
+
+fn parse(argv: &[String]) -> Args {
+    let mut args = Args {
+        addr: String::new(),
+        dir: PathBuf::new(),
+        rounds: 10,
+        seed: 7,
+        delta_method: "dynamic-napp".into(),
+        shutdown: false,
+    };
+    let mut it = argv.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
+        it.next()
+            .unwrap_or_else(|| die(&format!("flag {flag} needs a value")))
+            .clone()
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => args.addr = next_value(flag, &mut it),
+            "--from-snapshot" => args.dir = next_value(flag, &mut it).into(),
+            "--rounds" => {
+                args.rounds = next_value(flag, &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("--rounds: not a number"));
+            }
+            "--seed" => {
+                args.seed = next_value(flag, &mut it)
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed: not a number"));
+            }
+            "--delta-method" => args.delta_method = next_value(flag, &mut it),
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.addr.is_empty() {
+        die("--addr is required");
+    }
+    if args.dir.as_os_str().is_empty() {
+        die("--from-snapshot is required");
+    }
+    if args.rounds == 0 {
+        die("--rounds must be at least 1");
+    }
+    args
+}
+
+fn random_point(rng: &mut SmallRng, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|_| (rng.gen_range(0u32..2000) as f32) * 0.1)
+        .collect()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse(&argv);
+
+    // The oracle: same dataset, same base method/shards/seed as the
+    // deployment the server warm-started, plus the same delta method.
+    let data: Dataset<Vec<f32>> = permsearch_store::load_dataset(&args.dir.join("dataset.psnp"))
+        .unwrap_or_else(|e| die(&format!("loading dataset snapshot: {e}")));
+    let dim = data.dim();
+    let base_len = data.len();
+    let data = Arc::new(data);
+    let manifest = DeploymentManifest::load(&args.dir).unwrap_or_else(|e| die(&e.to_string()));
+    let registry = permsearch_engine::dense_l2_registry();
+    let oracle = MutableEngine::from_registry(
+        &registry,
+        &manifest.method,
+        &args.delta_method,
+        &data,
+        manifest.num_shards,
+        2,
+        manifest.seed,
+    )
+    .unwrap_or_else(|e| die(&e.to_string()));
+
+    let mut client = Client::connect_retry(args.addr.as_str(), Duration::from_secs(10))
+        .unwrap_or_else(|e| die(&format!("connecting to {}: {e}", args.addr)));
+    let info = client.ping().unwrap_or_else(|e| die(&format!("ping: {e}")));
+    if info.dim as usize != dim {
+        die(&format!(
+            "server dim {} does not match dataset dim {dim}",
+            info.dim
+        ));
+    }
+    if info.points as usize != base_len {
+        die(&format!(
+            "server serves {} points but the dataset has {base_len}: \
+             the journal is not empty, so oracle parity cannot hold — \
+             point --from-snapshot at a fresh deployment",
+            info.points
+        ));
+    }
+
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let mut next_id = base_len as u32;
+    let (mut inserts, mut deletes) = (0usize, 0usize);
+    let mut last_generation = 0u64;
+    for round in 0..args.rounds {
+        let batch: Vec<Vec<f32>> = (0..rng.gen_range(1usize..=6))
+            .map(|_| random_point(&mut rng, dim))
+            .collect();
+        let ids = client
+            .insert(&batch)
+            .unwrap_or_else(|e| die(&format!("round {round}: insert: {e}")));
+        let oracle_ids = oracle.insert_points(batch.clone());
+        if ids != oracle_ids {
+            eprintln!("churn_smoke: round {round}: id divergence {ids:?} vs {oracle_ids:?}");
+            exit(1);
+        }
+        inserts += ids.len();
+        next_id += ids.len() as u32;
+
+        let victims: Vec<u32> = (0..rng.gen_range(1usize..=3))
+            .map(|_| rng.gen_range(0u32..next_id))
+            .collect();
+        let flags = client
+            .delete(&victims)
+            .unwrap_or_else(|e| die(&format!("round {round}: delete: {e}")));
+        let oracle_flags = oracle.remove_ids(&victims);
+        if flags != oracle_flags {
+            eprintln!(
+                "churn_smoke: round {round}: delete divergence {flags:?} vs {oracle_flags:?} \
+                 for ids {victims:?}"
+            );
+            exit(1);
+        }
+        deletes += flags.iter().filter(|f| **f).count();
+
+        if round % 3 == 2 {
+            let (generation, live) = client
+                .flush()
+                .unwrap_or_else(|e| die(&format!("round {round}: flush: {e}")));
+            if live as usize != Engine::len(&oracle) {
+                eprintln!(
+                    "churn_smoke: round {round}: live divergence {live} vs {}",
+                    Engine::len(&oracle)
+                );
+                exit(1);
+            }
+            last_generation = generation;
+        }
+
+        let queries: Vec<Vec<f32>> = (0..8).map(|_| random_point(&mut rng, dim)).collect();
+        for k in [1usize, 10] {
+            let got = client
+                .search(&queries, k as u32)
+                .unwrap_or_else(|e| die(&format!("round {round}: search: {e}")));
+            let want = oracle.serve(&queries, k);
+            if got != want.results {
+                eprintln!(
+                    "churn_smoke: round {round}: k={k} results diverged from the oracle \
+                     after {inserts} inserts / {deletes} deletes (generation {last_generation})"
+                );
+                exit(1);
+            }
+        }
+    }
+
+    if last_generation == 0 {
+        eprintln!("churn_smoke: server never compacted — flush cadence broken");
+        exit(1);
+    }
+    println!(
+        "churn smoke OK: {} rounds, {inserts} inserts, {deletes} deletes, \
+         server generation {last_generation}, bitwise parity with the local oracle",
+        args.rounds
+    );
+    if args.shutdown {
+        client
+            .shutdown_server()
+            .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+    }
+}

@@ -15,6 +15,12 @@
 //! readiness signal, and serves until a client sends a shutdown frame
 //! (`loadgen` does on exit) or the process is killed. Metrics are always
 //! attached; clients fetch the exposition with a metrics-request frame.
+//!
+//! With `--mutable DELTA_METHOD` the deployment additionally accepts
+//! insert/delete/flush frames: the base warm-starts as usual, the
+//! mutation journal in the same directory is replayed on top of it, and
+//! a background compactor folds the delta once it crosses
+//! `--compact-min-slots` live slots.
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -23,14 +29,16 @@ use std::time::{Duration, Instant};
 
 use permsearch_core::Dataset;
 use permsearch_engine::{
-    DeploymentManifest, Engine, MetricsRegistry, ShardedEngine, DEFAULT_SAMPLE_EVERY,
+    CompactionConfig, DeploymentManifest, Engine, MetricsRegistry, MutableEngine, ShardedEngine,
+    DEFAULT_SAMPLE_EVERY,
 };
 use permsearch_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage:
   permsearch-serve --from-snapshot DIR --addr HOST:PORT [--workers W] \\
                    [--batch-window-us N] [--max-batch N] [--max-k N] \\
-                   [--sample-every N]";
+                   [--sample-every N] [--mutable DELTA_METHOD] \\
+                   [--compact-min-slots N]";
 
 fn die(msg: &str) -> ! {
     eprintln!("permsearch-serve: {msg}");
@@ -46,6 +54,8 @@ struct Args {
     max_batch: usize,
     max_k: usize,
     sample_every: usize,
+    mutable: Option<String>,
+    compact_min_slots: usize,
 }
 
 fn parse(argv: &[String]) -> Args {
@@ -57,6 +67,8 @@ fn parse(argv: &[String]) -> Args {
         max_batch: 256,
         max_k: 1024,
         sample_every: DEFAULT_SAMPLE_EVERY,
+        mutable: None,
+        compact_min_slots: CompactionConfig::default().min_delta_slots,
     };
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
@@ -80,6 +92,10 @@ fn parse(argv: &[String]) -> Args {
             "--max-batch" => args.max_batch = parse_num(flag, &next_value(flag, &mut it)),
             "--max-k" => args.max_k = parse_num(flag, &next_value(flag, &mut it)),
             "--sample-every" => args.sample_every = parse_num(flag, &next_value(flag, &mut it)),
+            "--mutable" => args.mutable = Some(next_value(flag, &mut it)),
+            "--compact-min-slots" => {
+                args.compact_min_slots = parse_num(flag, &next_value(flag, &mut it));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -113,18 +129,7 @@ fn main() {
     let data = Arc::new(data);
     let manifest = DeploymentManifest::load(&args.dir).unwrap_or_else(|e| die(&e.to_string()));
     let registry = permsearch_engine::dense_l2_registry();
-    let mut engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
-        .unwrap_or_else(|e| die(&e.to_string()));
-
     let metrics = Arc::new(MetricsRegistry::new());
-    engine.attach_metrics(&metrics, args.sample_every);
-    eprintln!(
-        "[serve] warm start: method={} shards={} points={} dim={dim} loaded in {:.3}s",
-        manifest.method,
-        engine.num_shards(),
-        engine.len(),
-        t.elapsed().as_secs_f64(),
-    );
 
     let config = ServerConfig {
         addr: args.addr.clone(),
@@ -134,9 +139,52 @@ fn main() {
         dim,
         metrics: Some(Arc::clone(&metrics)),
     };
-    let engine: Arc<dyn Engine<Vec<f32>>> = Arc::new(engine);
-    let handle = Server::start(engine, config)
-        .unwrap_or_else(|e| die(&format!("binding {}: {e}", args.addr)));
+
+    // Compactor handle must outlive serving (dropping it stops the
+    // thread), hence declared out here.
+    let _compactor;
+    let handle = if let Some(delta_method) = &args.mutable {
+        let (mut engine, warm) = MutableEngine::open(
+            &registry,
+            &manifest.method,
+            delta_method,
+            &data,
+            manifest.num_shards,
+            args.workers,
+            manifest.seed,
+            &args.dir,
+        )
+        .unwrap_or_else(|e| die(&e.to_string()));
+        engine.attach_metrics(&metrics, args.sample_every);
+        eprintln!(
+            "[serve] mutable warm start: method={} shards={} points={} dim={dim} \
+             journal_records={} loaded in {:.3}s",
+            engine.method(),
+            engine.num_shards(),
+            engine.len(),
+            warm.journal_records,
+            t.elapsed().as_secs_f64(),
+        );
+        let engine = Arc::new(engine);
+        _compactor = engine.spawn_compactor(CompactionConfig {
+            min_delta_slots: args.compact_min_slots,
+            ..CompactionConfig::default()
+        });
+        Server::start_mutable(Arc::clone(&engine), config)
+    } else {
+        let mut engine = ShardedEngine::from_snapshots(&registry, &data, args.workers, &args.dir)
+            .unwrap_or_else(|e| die(&e.to_string()));
+        engine.attach_metrics(&metrics, args.sample_every);
+        eprintln!(
+            "[serve] warm start: method={} shards={} points={} dim={dim} loaded in {:.3}s",
+            manifest.method,
+            engine.num_shards(),
+            engine.len(),
+            t.elapsed().as_secs_f64(),
+        );
+        Server::start(Arc::new(engine), config)
+    }
+    .unwrap_or_else(|e| die(&format!("binding {}: {e}", args.addr)));
     // Readiness line: scripts wait for this before connecting.
     println!("listening on {}", handle.addr());
     handle.wait();

@@ -94,6 +94,56 @@ impl Client {
         }
     }
 
+    /// Insert `points` into a mutable deployment; returns the assigned
+    /// global ids in request order. Read-only servers answer
+    /// [`ProtocolError::Remote`].
+    pub fn insert(&mut self, points: &[Vec<f32>]) -> Result<Vec<u32>, ProtocolError> {
+        let request = Frame::Insert {
+            points: points.to_vec(),
+        };
+        match self.roundtrip(&request)? {
+            Frame::Inserted(ids) => {
+                if ids.len() != points.len() {
+                    return Err(crate::protocol::corrupt(format!(
+                        "sent {} points, received {} assigned ids",
+                        points.len(),
+                        ids.len()
+                    )));
+                }
+                Ok(ids)
+            }
+            other => Err(unexpected("inserted", &other)),
+        }
+    }
+
+    /// Remove `ids` from a mutable deployment; `true` per id that named a
+    /// live point (unknown or double-removed ids report `false`).
+    pub fn delete(&mut self, ids: &[u32]) -> Result<Vec<bool>, ProtocolError> {
+        let request = Frame::Delete { ids: ids.to_vec() };
+        match self.roundtrip(&request)? {
+            Frame::Deleted(flags) => {
+                if flags.len() != ids.len() {
+                    return Err(crate::protocol::corrupt(format!(
+                        "sent {} ids, received {} outcomes",
+                        ids.len(),
+                        flags.len()
+                    )));
+                }
+                Ok(flags)
+            }
+            other => Err(unexpected("deleted", &other)),
+        }
+    }
+
+    /// Sync the server's mutation journal and force a compaction; returns
+    /// `(generation, live points)` after the cycle.
+    pub fn flush(&mut self) -> Result<(u64, u64), ProtocolError> {
+        match self.roundtrip(&Frame::Flush)? {
+            Frame::Flushed { generation, live } => Ok((generation, live)),
+            other => Err(unexpected("flushed", &other)),
+        }
+    }
+
     /// Ask the server to shut down gracefully; returns once acknowledged.
     /// The connection is spent afterwards.
     pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {

@@ -214,6 +214,35 @@ pub enum Frame {
     Shutdown,
     /// Server → client: shutdown acknowledged.
     Ack,
+    /// Client → server: insert `points` into a mutable deployment. Only
+    /// meaningful on servers started with a mutable engine; others answer
+    /// [`Frame::Error`].
+    Insert {
+        /// Dense points to insert, in assignment order.
+        points: Vec<Vec<f32>>,
+    },
+    /// Server → client: global ids assigned to an [`Frame::Insert`]
+    /// batch, in request order.
+    Inserted(Vec<u32>),
+    /// Client → server: tombstone `ids` in a mutable deployment.
+    Delete {
+        /// Global point ids to remove.
+        ids: Vec<u32>,
+    },
+    /// Server → client: per-id outcome of a [`Frame::Delete`] batch —
+    /// `true` where the id was live and is now removed, `false` where it
+    /// was unknown or already removed.
+    Deleted(Vec<bool>),
+    /// Client → server: sync the mutation journal and force a compaction.
+    Flush,
+    /// Server → client: answer to [`Frame::Flush`] — the generation after
+    /// compaction and the live point count.
+    Flushed {
+        /// Compaction generation counter after the flush.
+        generation: u64,
+        /// Live (non-tombstoned) points served.
+        live: u64,
+    },
 }
 
 impl Frame {
@@ -228,6 +257,12 @@ impl Frame {
             Frame::Pong(_) => 7,
             Frame::Shutdown => 8,
             Frame::Ack => 9,
+            Frame::Insert { .. } => 10,
+            Frame::Inserted(_) => 11,
+            Frame::Delete { .. } => 12,
+            Frame::Deleted(_) => 13,
+            Frame::Flush => 14,
+            Frame::Flushed { .. } => 15,
         }
     }
 
@@ -243,6 +278,12 @@ impl Frame {
             Frame::Pong(_) => "pong",
             Frame::Shutdown => "shutdown",
             Frame::Ack => "ack",
+            Frame::Insert { .. } => "insert",
+            Frame::Inserted(_) => "inserted",
+            Frame::Delete { .. } => "delete",
+            Frame::Deleted(_) => "deleted",
+            Frame::Flush => "flush",
+            Frame::Flushed { .. } => "flushed",
         }
     }
 
@@ -274,7 +315,41 @@ impl Frame {
                 write_u32(w, info.shards)?;
                 write_u32(w, info.dim)
             }
-            Frame::MetricsRequest | Frame::Ping | Frame::Shutdown | Frame::Ack => Ok(()),
+            Frame::Insert { points } => {
+                write_len(w, points.len())?;
+                for p in points {
+                    write_f32_seq(w, p)?;
+                }
+                Ok(())
+            }
+            Frame::Inserted(ids) => {
+                write_len(w, ids.len())?;
+                for id in ids {
+                    write_u32(w, *id)?;
+                }
+                Ok(())
+            }
+            Frame::Delete { ids } => {
+                write_len(w, ids.len())?;
+                for id in ids {
+                    write_u32(w, *id)?;
+                }
+                Ok(())
+            }
+            Frame::Deleted(flags) => {
+                write_len(w, flags.len())?;
+                for flag in flags {
+                    w.push(u8::from(*flag));
+                }
+                Ok(())
+            }
+            Frame::Flushed { generation, live } => {
+                write_len(w, *generation as usize)?;
+                write_len(w, *live as usize)
+            }
+            Frame::MetricsRequest | Frame::Ping | Frame::Shutdown | Frame::Ack | Frame::Flush => {
+                Ok(())
+            }
         }
     }
 
@@ -320,6 +395,43 @@ impl Frame {
             }),
             8 => Frame::Shutdown,
             9 => Frame::Ack,
+            10 => {
+                let n = read_len(r)?;
+                let mut points = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    points.push(read_f32_seq(r)?);
+                }
+                Frame::Insert { points }
+            }
+            11 => {
+                let n = read_len(r)?;
+                let mut ids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    ids.push(read_u32(r)?);
+                }
+                Frame::Inserted(ids)
+            }
+            12 => {
+                let n = read_len(r)?;
+                let mut ids = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    ids.push(read_u32(r)?);
+                }
+                Frame::Delete { ids }
+            }
+            13 => {
+                let n = read_len(r)?;
+                let mut flags = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    flags.push(read_bool(r)?);
+                }
+                Frame::Deleted(flags)
+            }
+            14 => Frame::Flush,
+            15 => Frame::Flushed {
+                generation: read_len(r)? as u64,
+                live: read_len(r)? as u64,
+            },
             other => return Err(ProtocolError::UnknownFrameType(other)),
         };
         if !r.is_empty() {
@@ -330,6 +442,23 @@ impl Frame {
             )));
         }
         Ok(frame)
+    }
+}
+
+/// One strict boolean byte: `0` or `1`, anything else is corruption (the
+/// core codec has no bool primitive; the deleted-flags payload defines
+/// this encoding).
+fn read_bool(r: &mut &[u8]) -> Result<bool, ProtocolError> {
+    let (&byte, rest) = r.split_first().ok_or(ProtocolError::Truncated {
+        context: "deleted flag",
+    })?;
+    *r = rest;
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(corrupt(format!(
+            "deleted flag byte {other} is neither 0 nor 1"
+        ))),
     }
 }
 
@@ -486,10 +615,42 @@ mod tests {
             }),
             Frame::Shutdown,
             Frame::Ack,
+            Frame::Insert {
+                points: vec![vec![0.25, -1.5, 3.0], vec![]],
+            },
+            Frame::Insert { points: Vec::new() },
+            Frame::Inserted(vec![0, 7, u32::MAX]),
+            Frame::Delete {
+                ids: vec![3, 3, 9000],
+            },
+            Frame::Delete { ids: Vec::new() },
+            Frame::Deleted(vec![true, false, true]),
+            Frame::Deleted(Vec::new()),
+            Frame::Flush,
+            Frame::Flushed {
+                generation: 17,
+                live: 123_456,
+            },
         ];
         for frame in frames {
             assert_eq!(round_trip(frame.clone()), frame, "{}", frame.name());
         }
+    }
+
+    #[test]
+    fn deleted_flag_bytes_are_strict() {
+        let mut bytes = frame_to_vec(&Frame::Deleted(vec![true])).unwrap();
+        // The single flag byte sits at the end of the payload.
+        let flag_at = bytes.len() - 8 - 1;
+        bytes[flag_at] = 2;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, ProtocolError::Corrupt { context } if context.contains("neither")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -15,6 +15,14 @@
 //! are sorted ascending, so the `k`-prefix of a top-`k_max` list *is* the
 //! exact top-`k` answer; coalescing never changes anyone's results.
 //!
+//! A server started with [`Server::start_mutable`] additionally accepts
+//! [`Frame::Insert`], [`Frame::Delete`] and [`Frame::Flush`]: mutations
+//! run inline on their connection thread against the engine's
+//! [`MutableServing`] surface (never coalesced — each reply carries its
+//! own assigned ids), while queries keep flowing through the batcher and
+//! observe every acknowledged write. Read-only servers answer mutation
+//! frames with a typed [`Frame::Error`].
+//!
 //! Shutdown ([`ServerHandle::shutdown`] or a client [`Frame::Shutdown`])
 //! is graceful: the acceptor stops taking connections, connection threads
 //! close at their next frame boundary, and the batcher drains every
@@ -34,7 +42,7 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use permsearch_core::Neighbor;
-use permsearch_engine::Engine;
+use permsearch_engine::{Engine, MutableServing};
 use permsearch_obs::{Counter, Gauge, MetricsRegistry};
 
 use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, ServerInfo};
@@ -99,6 +107,7 @@ struct TcpMetrics {
     queries_total: Arc<Counter>,
     batches_total: Arc<Counter>,
     batched_queries_total: Arc<Counter>,
+    mutations_total: Arc<Counter>,
     protocol_errors_total: Arc<Counter>,
 }
 
@@ -137,6 +146,11 @@ impl TcpMetrics {
                 "Queries served through coalesced micro-batches.",
                 m,
             ),
+            mutations_total: registry.counter(
+                "permsearch_tcp_mutations_total",
+                "Insert, delete, and flush frames handled.",
+                m,
+            ),
             protocol_errors_total: registry.counter(
                 "permsearch_tcp_protocol_errors_total",
                 "Malformed or rejected frames.",
@@ -168,6 +182,10 @@ struct Pending {
 /// State shared by the acceptor, connection threads and the batcher.
 struct Shared {
     engine: Arc<dyn Engine<Vec<f32>>>,
+    /// The same engine through its mutation surface, when the deployment
+    /// accepts writes ([`Server::start_mutable`]); `None` on read-only
+    /// servers, whose insert/delete/flush frames answer a typed error.
+    mutable: Option<Arc<dyn MutableServing<Vec<f32>>>>,
     info: ServerInfo,
     config: ServerConfig,
     metrics: Option<TcpMetrics>,
@@ -180,8 +198,30 @@ pub struct Server;
 impl Server {
     /// Bind `config.addr` and start serving `engine`. Returns once the
     /// listener is bound and the acceptor/batcher threads are running.
+    /// Insert/delete/flush frames answer a typed error; use
+    /// [`Server::start_mutable`] for a deployment that accepts writes.
     pub fn start(
         engine: Arc<dyn Engine<Vec<f32>>>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        Self::start_inner(engine, None, config)
+    }
+
+    /// Like [`Server::start`], but over a mutable deployment: the same
+    /// engine serves queries through its [`Engine`] surface and
+    /// insert/delete/flush frames through [`MutableServing`]. One `Arc`
+    /// coerced twice — queries and mutations always see one state.
+    pub fn start_mutable<M>(engine: Arc<M>, config: ServerConfig) -> io::Result<ServerHandle>
+    where
+        M: MutableServing<Vec<f32>> + 'static,
+    {
+        let mutable: Arc<dyn MutableServing<Vec<f32>>> = Arc::clone(&engine) as _;
+        Self::start_inner(engine, Some(mutable), config)
+    }
+
+    fn start_inner(
+        engine: Arc<dyn Engine<Vec<f32>>>,
+        mutable: Option<Arc<dyn MutableServing<Vec<f32>>>>,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -199,6 +239,7 @@ impl Server {
             .map(|r| TcpMetrics::register(r, &info.method));
         let shared = Arc::new(Shared {
             engine,
+            mutable,
             info,
             config,
             metrics,
@@ -497,6 +538,49 @@ fn handle_frame(
             write_frame(stream, &Frame::Ack)?;
             Ok(false)
         }
+        // Mutations run inline on the connection thread — they hold the
+        // engine's write lock only briefly and must not be coalesced
+        // (each frame's reply carries its own assigned ids / outcomes).
+        Frame::Insert { points } => {
+            let reply = match require_mutable(shared) {
+                Err(msg) => Frame::Error(msg),
+                Ok(engine) => match validate_points(shared, &points) {
+                    Err(msg) => {
+                        if let Some(m) = &shared.metrics {
+                            m.protocol_errors_total.inc();
+                        }
+                        Frame::Error(msg)
+                    }
+                    Ok(()) => Frame::Inserted(engine.insert_points(points)),
+                },
+            };
+            write_frame(stream, &reply)?;
+            Ok(true)
+        }
+        Frame::Delete { ids } => {
+            let reply = match require_mutable(shared) {
+                Err(msg) => Frame::Error(msg),
+                // Unknown or already-removed ids report `false` per id;
+                // there is nothing to validate up front.
+                Ok(engine) => Frame::Deleted(engine.remove_ids(&ids)),
+            };
+            write_frame(stream, &reply)?;
+            Ok(true)
+        }
+        Frame::Flush => {
+            let reply = match require_mutable(shared) {
+                Err(msg) => Frame::Error(msg),
+                Ok(engine) => {
+                    let info = engine.flush();
+                    Frame::Flushed {
+                        generation: info.generation,
+                        live: info.live as u64,
+                    }
+                }
+            };
+            write_frame(stream, &reply)?;
+            Ok(true)
+        }
         // Server-to-client frame types arriving at the server are a
         // protocol misuse; answer typed and keep the connection (framing
         // is intact).
@@ -507,13 +591,47 @@ fn handle_frame(
             write_frame(
                 stream,
                 &Frame::Error(format!(
-                    "unexpected {} frame: clients send query, ping, metrics-request or shutdown",
+                    "unexpected {} frame: clients send query, insert, delete, flush, ping, \
+                     metrics-request or shutdown",
                     other.name()
                 )),
             )?;
             Ok(true)
         }
     }
+}
+
+/// The mutation surface, or the typed refusal read-only servers answer.
+fn require_mutable(shared: &Shared) -> Result<&Arc<dyn MutableServing<Vec<f32>>>, String> {
+    match &shared.mutable {
+        Some(engine) => {
+            if let Some(m) = &shared.metrics {
+                m.mutations_total.inc();
+            }
+            Ok(engine)
+        }
+        None => Err("this deployment is read-only: mutation frames need a mutable server".into()),
+    }
+}
+
+/// Insert points obey the same shape rules as queries: deployment
+/// dimensionality and finite components.
+fn validate_points(shared: &Shared, points: &[Vec<f32>]) -> Result<(), String> {
+    let dim = shared.config.dim;
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(format!(
+                "insert point {i} has dimension {}, deployment expects {dim}",
+                p.len()
+            ));
+        }
+        if let Some(bad) = p.iter().find(|v| !v.is_finite()) {
+            return Err(format!(
+                "insert point {i} contains a non-finite component {bad}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn validate_query(shared: &Shared, k: u32, queries: &[Vec<f32>]) -> Result<(), String> {

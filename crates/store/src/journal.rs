@@ -1,0 +1,463 @@
+//! Append-only operation journal: the durability half of live mutation.
+//!
+//! A journal is the write-ahead record of an engine's mutations: each
+//! insert/remove appends one checksummed record, and warm start replays
+//! the whole file on top of the immutable shard snapshots to reproduce
+//! the live state. The file format follows the snapshot container
+//! discipline — magic, version gate, per-record FNV-1a checksums, capped
+//! preallocation, typed errors — but differs in one structural way: a
+//! container is one sealed payload, a journal is an unbounded sequence
+//! of records that grows in place. Hence a distinct magic (`PSJL`).
+//!
+//! ```text
+//! header:  "PSJL" | u16 version | u16 kind_len | kind | u64 fnv(header)
+//! record:  u8 op | u32 payload_len | payload | u64 fnv(op|len|payload)
+//! ```
+//!
+//! The payload is opaque at this layer: the engine defines the op codes
+//! and payload encodings (journals are *semantically* owned by their
+//! writer; the store crate only guarantees framing integrity). `kind`
+//! names the semantic owner, exactly like container kinds, so replaying
+//! a journal into the wrong subsystem fails typed instead of decoding
+//! garbage.
+//!
+//! ## Crash and corruption policy
+//!
+//! Two failure shapes are deliberately distinguished:
+//!
+//! * **Torn tail** — the file ends *mid-record* (crash during append).
+//!   [`read_journal`] refuses with [`JournalError::TornTail`], which
+//!   carries the clean-prefix geometry; [`recover_journal`] replays the
+//!   clean prefix and truncates the tail so appending can resume. This
+//!   is the expected crash artifact: appends can tear, bits do not flip.
+//! * **Checksum mismatch on a complete record** — bytes were altered.
+//!   Never auto-recovered: both readers refuse with
+//!   [`JournalError::ChecksumMismatch`]. Truncating would silently drop
+//!   acknowledged operations on evidence of corruption, not of a crash.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::fnv1a64;
+
+/// Journal file magic: `PSJL` ("permsearch journal").
+pub const JOURNAL_MAGIC: [u8; 4] = *b"PSJL";
+
+/// Newest journal format version this build writes and reads.
+pub const JOURNAL_VERSION: u16 = 1;
+
+/// Hard cap on one record's payload. A journal record is one mutation
+/// (one point, one id batch) — far below this; the cap keeps a corrupt
+/// length from driving a huge allocation or a multi-GiB skip.
+pub const MAX_RECORD_BYTES: usize = 1 << 20;
+
+/// Initial-capacity cap for payload reads: a corrupt length hits EOF,
+/// not the allocator.
+const PREALLOC_CAP: usize = 1 << 16;
+
+/// One framed journal record: an op tag and an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Writer-defined operation code.
+    pub op: u8,
+    /// Writer-defined payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Typed journal failures. Everything the reader can hit is enumerated;
+/// no journal API panics on bad bytes.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the journal magic.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// Written by a newer format version.
+    UnsupportedVersion {
+        /// Version tag found in the header.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// The journal belongs to a different subsystem.
+    KindMismatch {
+        /// The kind the caller expected.
+        expected: String,
+        /// The kind recorded in the header.
+        found: String,
+    },
+    /// The header checksum does not match its stored value.
+    HeaderChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum recomputed over the header bytes.
+        computed: u64,
+    },
+    /// A *complete* record failed its checksum: bytes were altered.
+    /// Never auto-recovered.
+    ChecksumMismatch {
+        /// Zero-based index of the failing record.
+        record: usize,
+        /// Checksum stored after the record.
+        stored: u64,
+        /// Checksum recomputed over the record bytes.
+        computed: u64,
+    },
+    /// A record's payload length exceeds [`MAX_RECORD_BYTES`].
+    RecordTooLarge {
+        /// Zero-based index of the failing record.
+        record: usize,
+        /// The declared payload length.
+        len: usize,
+    },
+    /// The file ends mid-record: the classic crash-during-append tear.
+    /// `valid_bytes` is the clean-prefix length (header + complete
+    /// records); [`recover_journal`] truncates to it and replays.
+    TornTail {
+        /// Complete records before the tear.
+        valid_records: usize,
+        /// Bytes of clean prefix (a valid truncation point).
+        valid_bytes: u64,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadMagic { found } => {
+                write!(f, "not a permsearch journal (magic bytes {found:?})")
+            }
+            JournalError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "journal version {found} is newer than the supported version {supported}"
+            ),
+            JournalError::KindMismatch { expected, found } => write!(
+                f,
+                "journal kind mismatch: expected {expected:?}, found {found:?}"
+            ),
+            JournalError::HeaderChecksumMismatch { stored, computed } => write!(
+                f,
+                "journal header checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            JournalError::ChecksumMismatch {
+                record,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "journal record {record} checksum mismatch: stored {stored:#018x}, \
+                 computed {computed:#018x} (corruption, not a torn append — refusing)"
+            ),
+            JournalError::RecordTooLarge { record, len } => write!(
+                f,
+                "journal record {record} declares a {len}-byte payload (cap {MAX_RECORD_BYTES})"
+            ),
+            JournalError::TornTail {
+                valid_records,
+                valid_bytes,
+            } => write!(
+                f,
+                "journal ends mid-record after {valid_records} complete records \
+                 ({valid_bytes} clean bytes); recover_journal truncates the torn tail"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+fn header_bytes(kind: &str) -> Vec<u8> {
+    let mut h = Vec::with_capacity(4 + 2 + 2 + kind.len());
+    h.extend_from_slice(&JOURNAL_MAGIC);
+    h.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    h.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+    h.extend_from_slice(kind.as_bytes());
+    h
+}
+
+/// An open journal positioned for appending. Create with
+/// [`create_journal`] or reopen with [`recover_journal`] /
+/// [`read_journal`]-then-[`append_journal`].
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    bytes: u64,
+    records: u64,
+}
+
+impl JournalWriter {
+    /// Append one record and flush it to the OS. Durability against
+    /// power loss additionally needs [`sync`](Self::sync); the engine
+    /// syncs on flush frames and on clean shutdown.
+    pub fn append(&mut self, op: u8, payload: &[u8]) -> Result<(), JournalError> {
+        assert!(
+            payload.len() <= MAX_RECORD_BYTES,
+            "journal payload exceeds MAX_RECORD_BYTES"
+        );
+        let mut frame = Vec::with_capacity(1 + 4 + payload.len() + 8);
+        frame.push(op);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let checksum = fnv1a64(&frame);
+        frame.extend_from_slice(&checksum.to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.bytes += frame.len() as u64;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// `fsync` the journal file.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Bytes in the journal (header + records appended or replayed).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Records in the journal (appended or replayed through this handle's
+    /// opening read).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+}
+
+/// Create a fresh journal at `path` (truncating any existing file) with
+/// the given `kind`, returning a writer positioned after the header.
+pub fn create_journal(path: &Path, kind: &str) -> Result<JournalWriter, JournalError> {
+    assert!(kind.len() <= u16::MAX as usize, "kind string too long");
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let header = header_bytes(kind);
+    w.write_all(&header)?;
+    w.write_all(&fnv1a64(&header).to_le_bytes())?;
+    w.flush()?;
+    Ok(JournalWriter {
+        bytes: header.len() as u64 + 8,
+        records: 0,
+        file: w,
+    })
+}
+
+struct JournalScan {
+    records: Vec<JournalRecord>,
+    bytes: u64,
+}
+
+fn read_exact_or_tear<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    clean: &JournalScan,
+) -> Result<bool, JournalError> {
+    // Returns Ok(false) on clean EOF at offset 0 into `buf`, the torn
+    // error if EOF lands mid-buffer, Ok(true) when fully read.
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(JournalError::TornTail {
+                    valid_records: clean.records.len(),
+                    valid_bytes: clean.bytes,
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+fn scan_journal(path: &Path, kind: &str) -> Result<JournalScan, JournalError> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+
+    // Header. Any tear inside the header leaves zero clean records; a
+    // journal too short for its own header is torn at byte 0.
+    let mut clean = JournalScan {
+        records: Vec::new(),
+        bytes: 0,
+    };
+    let mut magic = [0u8; 4];
+    if !read_exact_or_tear(&mut r, &mut magic, &clean)? {
+        return Err(JournalError::TornTail {
+            valid_records: 0,
+            valid_bytes: 0,
+        });
+    }
+    if magic != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic { found: magic });
+    }
+    let mut u16buf = [0u8; 2];
+    if !read_exact_or_tear(&mut r, &mut u16buf, &clean)? {
+        return Err(JournalError::TornTail {
+            valid_records: 0,
+            valid_bytes: 0,
+        });
+    }
+    let version = u16::from_le_bytes(u16buf);
+    if version > JOURNAL_VERSION {
+        return Err(JournalError::UnsupportedVersion {
+            found: version,
+            supported: JOURNAL_VERSION,
+        });
+    }
+    if !read_exact_or_tear(&mut r, &mut u16buf, &clean)? {
+        return Err(JournalError::TornTail {
+            valid_records: 0,
+            valid_bytes: 0,
+        });
+    }
+    let kind_len = u16::from_le_bytes(u16buf) as usize;
+    let mut kind_bytes = vec![0u8; kind_len];
+    if !read_exact_or_tear(&mut r, &mut kind_bytes, &clean)? {
+        return Err(JournalError::TornTail {
+            valid_records: 0,
+            valid_bytes: 0,
+        });
+    }
+    let found_kind = String::from_utf8_lossy(&kind_bytes).into_owned();
+    let mut stored = [0u8; 8];
+    if !read_exact_or_tear(&mut r, &mut stored, &clean)? {
+        return Err(JournalError::TornTail {
+            valid_records: 0,
+            valid_bytes: 0,
+        });
+    }
+    let header = header_bytes(&found_kind);
+    let computed = fnv1a64(&header);
+    let stored = u64::from_le_bytes(stored);
+    if stored != computed {
+        return Err(JournalError::HeaderChecksumMismatch { stored, computed });
+    }
+    if found_kind != kind {
+        return Err(JournalError::KindMismatch {
+            expected: kind.to_string(),
+            found: found_kind,
+        });
+    }
+    clean.bytes = header.len() as u64 + 8;
+
+    // Records until EOF.
+    loop {
+        let mut op = [0u8; 1];
+        if !read_exact_or_tear(&mut r, &mut op, &clean)? {
+            return Ok(clean); // clean EOF on a record boundary
+        }
+        let mut len_buf = [0u8; 4];
+        if !read_exact_or_tear(&mut r, &mut len_buf, &clean)? {
+            return Err(JournalError::TornTail {
+                valid_records: clean.records.len(),
+                valid_bytes: clean.bytes,
+            });
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_RECORD_BYTES {
+            return Err(JournalError::RecordTooLarge {
+                record: clean.records.len(),
+                len,
+            });
+        }
+        let mut payload = Vec::with_capacity(len.min(PREALLOC_CAP));
+        let mut remaining = len;
+        let mut chunk = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(chunk.len());
+            if !read_exact_or_tear(&mut r, &mut chunk[..take], &clean)? {
+                return Err(JournalError::TornTail {
+                    valid_records: clean.records.len(),
+                    valid_bytes: clean.bytes,
+                });
+            }
+            payload.extend_from_slice(&chunk[..take]);
+            remaining -= take;
+        }
+        let mut checksum_buf = [0u8; 8];
+        if !read_exact_or_tear(&mut r, &mut checksum_buf, &clean)? {
+            return Err(JournalError::TornTail {
+                valid_records: clean.records.len(),
+                valid_bytes: clean.bytes,
+            });
+        }
+        let stored = u64::from_le_bytes(checksum_buf);
+        let mut frame = Vec::with_capacity(1 + 4 + payload.len());
+        frame.push(op[0]);
+        frame.extend_from_slice(&len_buf);
+        frame.extend_from_slice(&payload);
+        let computed = fnv1a64(&frame);
+        if stored != computed {
+            return Err(JournalError::ChecksumMismatch {
+                record: clean.records.len(),
+                stored,
+                computed,
+            });
+        }
+        clean.bytes += (1 + 4 + len + 8) as u64;
+        clean.records.push(JournalRecord { op: op[0], payload });
+    }
+}
+
+/// Read every record of the journal at `path`, strictly: any torn tail
+/// or corruption refuses with a typed [`JournalError`]. This is the
+/// integrity check; warm starts that want crash recovery use
+/// [`recover_journal`].
+pub fn read_journal(path: &Path, kind: &str) -> Result<Vec<JournalRecord>, JournalError> {
+    scan_journal(path, kind).map(|scan| scan.records)
+}
+
+/// Read the journal, recovering from a torn tail: the clean prefix is
+/// returned, the file is truncated to it, and subsequent appends resume
+/// from the truncation point. Checksum-mismatch corruption on a
+/// *complete* record is still refused — only the crash-during-append
+/// shape is repaired.
+pub fn recover_journal(path: &Path, kind: &str) -> Result<Vec<JournalRecord>, JournalError> {
+    match scan_journal(path, kind) {
+        Ok(scan) => Ok(scan.records),
+        Err(JournalError::TornTail { valid_bytes, .. }) if valid_bytes > 0 => {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(valid_bytes)?;
+            file.sync_data()?;
+            // Rescan the now-clean file rather than trusting one pass.
+            scan_journal(path, kind).map(|scan| scan.records)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Open the journal at `path` for appending, first recovering/validating
+/// it with [`recover_journal`]. Returns the replayable records and a
+/// writer positioned at the end.
+pub fn append_journal(
+    path: &Path,
+    kind: &str,
+) -> Result<(Vec<JournalRecord>, JournalWriter), JournalError> {
+    let records = recover_journal(path, kind)?;
+    let file = OpenOptions::new().write(true).open(path)?;
+    let mut file = BufWriter::new(file);
+    let bytes = file.get_ref().metadata()?.len();
+    file.seek(SeekFrom::End(0))?;
+    let writer = JournalWriter {
+        file,
+        bytes,
+        records: records.len() as u64,
+    };
+    Ok((records, writer))
+}

@@ -45,6 +45,13 @@ use std::sync::Arc;
 use permsearch_core::snapshot::corrupt;
 use permsearch_core::{Dataset, PointCodec, Snapshot, SnapshotError};
 
+pub mod journal;
+
+pub use journal::{
+    append_journal, create_journal, read_journal, recover_journal, JournalError, JournalRecord,
+    JournalWriter, JOURNAL_MAGIC, JOURNAL_VERSION, MAX_RECORD_BYTES,
+};
+
 /// First four bytes of every snapshot file.
 pub const MAGIC: [u8; 4] = *b"PSNP";
 
