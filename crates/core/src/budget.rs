@@ -1,0 +1,280 @@
+//! Per-query deadline/budget propagation.
+//!
+//! Serving under overload needs a way for an individual query to stop
+//! burning distance computations once its caller no longer cares about the
+//! answer. A [`QueryBudget`] rides in [`SearchScratch`](crate::SearchScratch)
+//! and is consulted at coarse stage boundaries — per shard of the sharded
+//! reduce, per refinement stage, per source of the generational merge —
+//! never inside the distance kernels, so a disabled budget costs one
+//! predictable branch per boundary and a query with no deadline computes
+//! bit-identical results to a build without budgets at all.
+//!
+//! Two limit kinds:
+//!
+//! * a **wall-clock deadline** ([`QueryBudget::set_deadline`]) — what the
+//!   serving path arms from the Query frame's `deadline_micros`;
+//! * a **logical check budget** ([`QueryBudget::set_checks`]) — expires
+//!   after a fixed number of boundary checks, making expiry fully
+//!   deterministic for tests: no sleeps, no clock reads, no flakiness.
+//!
+//! Once expired the budget **latches**: every later [`checkpoint`]
+//! returns `false` without touching the clock, and the cut is visible via
+//! [`was_cut`] so the serving layer can mark the answer partial instead of
+//! silently returning a truncated list.
+//!
+//! [`checkpoint`]: QueryBudget::checkpoint
+//! [`was_cut`]: QueryBudget::was_cut
+
+use std::time::{Duration, Instant};
+
+/// What bounds the query, if anything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum Limit {
+    /// Unlimited: every checkpoint passes. The common case — kept as the
+    /// first branch of [`QueryBudget::checkpoint`]'s match so disabled
+    /// budgets cost one predictable branch.
+    #[default]
+    None,
+    /// Expire once `Instant::now()` reaches the deadline.
+    At(Instant),
+    /// Expire after this many more checkpoints pass (deterministic).
+    Checks(u64),
+}
+
+/// A per-query computation budget with a latched expiry flag and an
+/// orthogonal degraded-mode marker.
+///
+/// Lives in [`SearchScratch`](crate::SearchScratch); serving loops call
+/// [`clear`](Self::clear) + one of the `set_*` arms before each query and
+/// harvest [`was_cut`](Self::was_cut) / [`is_degraded`](Self::is_degraded)
+/// after.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    limit: Limit,
+    cut: bool,
+    degraded: bool,
+}
+
+impl QueryBudget {
+    /// An unlimited, non-degraded budget (what `Default` yields).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Reset to unlimited and clear both the cut latch and the degraded
+    /// flag. Serving loops call this once per query before arming.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Arm a wall-clock deadline. A deadline already in the past expires
+    /// the query at its first checkpoint, not retroactively.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.limit = Limit::At(deadline);
+        self.cut = false;
+    }
+
+    /// Arm a logical budget: the next `checks` checkpoints pass, the one
+    /// after cuts. `set_checks(0)` expires at the first checkpoint.
+    pub fn set_checks(&mut self, checks: u64) {
+        self.limit = Limit::Checks(checks);
+        self.cut = false;
+    }
+
+    /// Mark (or unmark) the query as served in degraded mode. Orthogonal
+    /// to expiry: degradation tightens candidate budgets up front, expiry
+    /// cuts the query mid-flight.
+    pub fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
+    /// Whether the query is flagged for degraded-mode refinement.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Whether no limit is armed (checkpoints are free passes).
+    pub fn is_unlimited(&self) -> bool {
+        self.limit == Limit::None
+    }
+
+    /// Stage-boundary check: `true` means keep working, `false` means the
+    /// budget is spent and the caller should stop and return what it has.
+    ///
+    /// Unlimited budgets take a single branch; expired budgets latch and
+    /// never read the clock again.
+    #[inline]
+    pub fn checkpoint(&mut self) -> bool {
+        match self.limit {
+            Limit::None => true,
+            _ => self.checkpoint_limited(),
+        }
+    }
+
+    #[cold]
+    fn checkpoint_limited(&mut self) -> bool {
+        if self.cut {
+            return false;
+        }
+        match &mut self.limit {
+            Limit::None => {}
+            Limit::At(deadline) => {
+                if Instant::now() >= *deadline {
+                    self.cut = true;
+                }
+            }
+            Limit::Checks(remaining) => {
+                if *remaining == 0 {
+                    self.cut = true;
+                } else {
+                    *remaining -= 1;
+                }
+            }
+        }
+        !self.cut
+    }
+
+    /// Force the budget to expire at its next checkpoint, regardless of
+    /// the armed limit (including `None`). This is how the stage-stall
+    /// failpoints simulate a slow stage without sleeping: the "slow" stage
+    /// consumes the whole budget, and the next boundary cuts the query.
+    pub fn force_expire(&mut self) {
+        self.limit = Limit::Checks(0);
+    }
+
+    /// Whether a checkpoint ever cut this query (latched until
+    /// [`clear`](Self::clear)).
+    pub fn was_cut(&self) -> bool {
+        self.cut
+    }
+}
+
+/// Absolute deadline `micros` microseconds after `now`, or `None` when the
+/// sum overflows the platform's `Instant` range — callers treat overflow
+/// as "effectively unlimited" rather than panicking on a hostile or
+/// nonsensical wire value.
+pub fn deadline_after(now: Instant, micros: u64) -> Option<Instant> {
+    now.checked_add(Duration::from_micros(micros))
+}
+
+/// Microseconds from `now` until `deadline`, saturating at zero when the
+/// deadline has passed and at `u64::MAX` far in the future. Never panics.
+pub fn remaining_micros(now: Instant, deadline: Instant) -> u64 {
+    let micros = deadline.saturating_duration_since(now).as_micros();
+    micros.min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited_and_never_cuts() {
+        let mut b = QueryBudget::default();
+        assert!(b.is_unlimited());
+        for _ in 0..1_000 {
+            assert!(b.checkpoint());
+        }
+        assert!(!b.was_cut());
+        assert!(!b.is_degraded());
+    }
+
+    #[test]
+    fn checks_budget_counts_down_then_latches() {
+        let mut b = QueryBudget::default();
+        b.set_checks(3);
+        assert!(!b.is_unlimited());
+        assert!(b.checkpoint());
+        assert!(b.checkpoint());
+        assert!(b.checkpoint());
+        assert!(!b.checkpoint(), "fourth checkpoint must cut");
+        assert!(b.was_cut());
+        assert!(!b.checkpoint(), "cut latches");
+    }
+
+    #[test]
+    fn zero_checks_cuts_immediately() {
+        let mut b = QueryBudget::default();
+        b.set_checks(0);
+        assert!(!b.checkpoint());
+        assert!(b.was_cut());
+    }
+
+    #[test]
+    fn past_deadline_cuts_at_first_checkpoint() {
+        let mut b = QueryBudget::default();
+        let now = Instant::now();
+        b.set_deadline(now);
+        assert!(!b.was_cut(), "arming alone must not cut");
+        assert!(!b.checkpoint());
+        assert!(b.was_cut());
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let mut b = QueryBudget::default();
+        let far = deadline_after(Instant::now(), 3_600_000_000).expect("an hour from now fits");
+        b.set_deadline(far);
+        for _ in 0..100 {
+            assert!(b.checkpoint());
+        }
+        assert!(!b.was_cut());
+    }
+
+    #[test]
+    fn force_expire_overrides_any_limit() {
+        let mut b = QueryBudget::default();
+        assert!(b.checkpoint());
+        b.force_expire();
+        assert!(!b.checkpoint(), "forced expiry cuts an unlimited budget");
+        assert!(b.was_cut());
+
+        let mut b = QueryBudget::default();
+        let far = deadline_after(Instant::now(), 3_600_000_000).unwrap();
+        b.set_deadline(far);
+        b.force_expire();
+        assert!(!b.checkpoint(), "forced expiry cuts a generous deadline");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = QueryBudget::default();
+        b.set_checks(0);
+        b.set_degraded(true);
+        assert!(!b.checkpoint());
+        b.clear();
+        assert!(b.is_unlimited());
+        assert!(!b.was_cut());
+        assert!(!b.is_degraded());
+        assert!(b.checkpoint());
+    }
+
+    #[test]
+    fn degraded_flag_is_orthogonal_to_expiry() {
+        let mut b = QueryBudget::default();
+        b.set_degraded(true);
+        assert!(b.is_degraded());
+        assert!(b.checkpoint(), "degradation alone never cuts");
+        assert!(!b.was_cut());
+    }
+
+    #[test]
+    fn remaining_micros_saturates_at_zero() {
+        let now = Instant::now();
+        assert_eq!(remaining_micros(now, now), 0);
+        let later = now + Duration::from_micros(1_500);
+        assert_eq!(remaining_micros(later, now), 0, "past deadline is zero");
+        let r = remaining_micros(now, later);
+        assert_eq!(r, 1_500);
+    }
+
+    #[test]
+    fn deadline_after_huge_micros_is_none_or_far() {
+        // Either the platform absorbs it (None never observed on 64-bit
+        // Linux only at u64::MAX) or we get a deadline; both are fine —
+        // the contract is simply "no panic".
+        let now = Instant::now();
+        let _ = deadline_after(now, u64::MAX);
+        let _ = deadline_after(now, 0);
+    }
+}

@@ -55,6 +55,12 @@ impl<P: Point, S: Space<P::Ref>> SearchIndex<P> for ExhaustiveSearch<P, S> {
         scratch: &mut SearchScratch,
         out: &mut Vec<Neighbor>,
     ) {
+        // Budget boundary: the scan is all-or-nothing, so an expired
+        // query returns empty instead of paying for the whole dataset.
+        if !scratch.budget.checkpoint() {
+            out.clear();
+            return;
+        }
         // The whole scan is the exact re-rank: attribute it to Refine.
         let t0 = scratch.trace.start();
         scratch

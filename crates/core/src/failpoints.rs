@@ -1,0 +1,283 @@
+//! Deterministic fault injection for robustness tests.
+//!
+//! A **failpoint** is a named site in production code that can be armed by
+//! a test to misbehave on purpose: stall a serving stage (by consuming the
+//! query's [`budget`](crate::budget)), panic inside per-query work, fail a
+//! journal write. Sites consult [`fire`] and decide locally what "failing"
+//! means — the harness only answers *whether* this hit triggers, which
+//! keeps every failure deterministic and every site's semantics next to
+//! the code it breaks.
+//!
+//! Triggering is counted (`skip` passes, then `take` fires) or sampled
+//! through a [`seeded_rng`](crate::rng::seeded_rng), so a fault schedule
+//! is exactly reproducible: no wall clock, no thread timing, no sleeps.
+//!
+//! Disarmed cost: one relaxed atomic load per site. When nothing is armed
+//! anywhere in the process — the only state production ever runs in —
+//! [`fire`] returns without touching the registry lock. The whole module
+//! is additionally feature-gated (`failpoints`, on by default so the test
+//! suite exercises the fault paths); with the feature off, [`fire`] is a
+//! `const false` and the sites compile to nothing.
+//!
+//! Global state caveat: failpoints are process-wide. Tests that arm them
+//! must live in their own integration-test binaries (or serialize on a
+//! lock) so concurrent tests in the same process don't observe each
+//! other's faults.
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    use crate::rng::seeded_rng;
+
+    /// Number of currently armed failpoints — the [`fire`] fast path.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    fn registry() -> &'static Mutex<HashMap<String, Point>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    struct Point {
+        skip: u64,
+        take: u64,
+        sampler: Option<(SmallRng, f64)>,
+        hits: u64,
+    }
+
+    /// When an armed failpoint triggers.
+    #[derive(Debug, Clone)]
+    pub struct FailConfig {
+        skip: u64,
+        take: u64,
+        sampler: Option<(u64, f64)>,
+    }
+
+    impl FailConfig {
+        /// Fire on the next `n` evaluations, then go quiet.
+        pub fn times(n: u64) -> Self {
+            Self {
+                skip: 0,
+                take: n,
+                sampler: None,
+            }
+        }
+
+        /// Fire exactly once.
+        pub fn once() -> Self {
+            Self::times(1)
+        }
+
+        /// Let the first `skip` evaluations pass before firing.
+        pub fn after(mut self, skip: u64) -> Self {
+            self.skip = skip;
+            self
+        }
+
+        /// Fire each evaluation independently with probability `p`, drawn
+        /// from a [`seeded_rng`] — the schedule is a pure function of the
+        /// seed and the evaluation sequence.
+        pub fn sampled(seed: u64, p: f64) -> Self {
+            Self {
+                skip: 0,
+                take: u64::MAX,
+                sampler: Some((seed, p)),
+            }
+        }
+    }
+
+    /// Arm `name` with `config`, replacing any previous arming.
+    pub fn arm(name: &str, config: FailConfig) {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        let point = Point {
+            skip: config.skip,
+            take: config.take,
+            sampler: config.sampler.map(|(seed, p)| (seeded_rng(seed), p)),
+            hits: 0,
+        };
+        if map.insert(name.to_string(), point).is_none() {
+            ARMED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Disarm `name`; unarmed names are a no-op.
+    pub fn disarm(name: &str) {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        if map.remove(name).is_some() {
+            ARMED.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Disarm everything (test teardown).
+    pub fn disarm_all() {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        let n = map.len();
+        map.clear();
+        ARMED.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// How many times `name` has fired since it was last armed.
+    pub fn hits(name: &str) -> u64 {
+        let map = registry().lock().expect("failpoint registry poisoned");
+        map.get(name).map_or(0, |p| p.hits)
+    }
+
+    /// Evaluate the failpoint `name`: `true` means this hit triggers and
+    /// the site should fail however it fails.
+    #[inline]
+    pub fn fire(name: &str) -> bool {
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        fire_slow(name)
+    }
+
+    #[cold]
+    fn fire_slow(name: &str) -> bool {
+        let mut map = registry().lock().expect("failpoint registry poisoned");
+        let Some(point) = map.get_mut(name) else {
+            return false;
+        };
+        if let Some((rng, p)) = &mut point.sampler {
+            if !rng.gen_bool(*p) {
+                return false;
+            }
+        }
+        if point.skip > 0 {
+            point.skip -= 1;
+            return false;
+        }
+        if point.take == 0 {
+            return false;
+        }
+        point.take -= 1;
+        point.hits += 1;
+        true
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use enabled::{arm, disarm, disarm_all, fire, hits, FailConfig};
+
+#[cfg(not(feature = "failpoints"))]
+mod disabled {
+    /// Stub accepted by the no-op [`arm`](super::arm).
+    #[derive(Debug, Clone)]
+    pub struct FailConfig;
+
+    impl FailConfig {
+        pub fn times(_n: u64) -> Self {
+            Self
+        }
+        pub fn once() -> Self {
+            Self
+        }
+        pub fn after(self, _skip: u64) -> Self {
+            self
+        }
+        pub fn sampled(_seed: u64, _p: f64) -> Self {
+            Self
+        }
+    }
+
+    pub fn arm(_name: &str, _config: FailConfig) {}
+    pub fn disarm(_name: &str) {}
+    pub fn disarm_all() {}
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+
+    /// With the feature off every site is a constant branch the optimizer
+    /// deletes.
+    #[inline(always)]
+    pub fn fire(_name: &str) -> bool {
+        false
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+pub use disabled::{arm, disarm, disarm_all, fire, hits, FailConfig};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Failpoints are process-global; serialize the tests in this module.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK.get_or_init(|| Mutex::new(()));
+        lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let _guard = serial();
+        disarm_all();
+        assert!(!fire("nope"));
+        assert_eq!(hits("nope"), 0);
+    }
+
+    #[test]
+    fn counted_arming_skips_then_takes() {
+        let _guard = serial();
+        disarm_all();
+        arm("fp_counted", FailConfig::times(2).after(1));
+        assert!(!fire("fp_counted"), "first evaluation is skipped");
+        assert!(fire("fp_counted"));
+        assert!(fire("fp_counted"));
+        assert!(!fire("fp_counted"), "take budget exhausted");
+        assert_eq!(hits("fp_counted"), 2);
+        disarm_all();
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _guard = serial();
+        disarm_all();
+        arm("fp_once", FailConfig::once());
+        assert!(fire("fp_once"));
+        assert!(!fire("fp_once"));
+        assert_eq!(hits("fp_once"), 1);
+        disarm_all();
+    }
+
+    #[test]
+    fn sampled_arming_is_deterministic_per_seed() {
+        let _guard = serial();
+        disarm_all();
+        let run = |seed: u64| -> Vec<bool> {
+            arm("fp_sampled", FailConfig::sampled(seed, 0.5));
+            let fired = (0..64).map(|_| fire("fp_sampled")).collect();
+            disarm("fp_sampled");
+            fired
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.iter().any(|&f| f), "p=0.5 over 64 draws fires");
+        assert!(a.iter().any(|&f| !f), "p=0.5 over 64 draws also passes");
+        disarm_all();
+    }
+
+    #[test]
+    fn disarm_restores_the_fast_path() {
+        let _guard = serial();
+        disarm_all();
+        arm("fp_gone", FailConfig::times(u64::MAX));
+        assert!(fire("fp_gone"));
+        disarm("fp_gone");
+        assert!(!fire("fp_gone"));
+        // Re-arming after disarm starts a fresh hit count.
+        arm("fp_gone", FailConfig::once());
+        assert_eq!(hits("fp_gone"), 0);
+        disarm_all();
+    }
+}

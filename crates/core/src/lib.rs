@@ -22,8 +22,10 @@
 //! [`Space::distance`], the query is the second.
 
 pub mod bits;
+pub mod budget;
 pub mod dataset;
 pub mod exhaustive;
+pub mod failpoints;
 pub mod incsort;
 pub mod mutable;
 pub mod neighbor;
@@ -35,6 +37,7 @@ pub mod snapshot;
 pub mod space;
 
 pub use bits::BitVector;
+pub use budget::{deadline_after, remaining_micros, QueryBudget};
 pub use dataset::{Dataset, DenseStore, FlatAccess, FlatVectors};
 pub use exhaustive::ExhaustiveSearch;
 pub use mutable::{BoxedMutableIndex, MutableIndex};

@@ -23,6 +23,7 @@ use std::collections::BinaryHeap;
 
 use permsearch_obs::QueryTrace;
 
+use crate::budget::QueryBudget;
 use crate::neighbor::{KnnHeap, Neighbor};
 
 /// Epoch-based visited-id set over dense `u32` ids.
@@ -137,6 +138,11 @@ pub struct SearchScratch {
     /// it for 1-in-N queries via [`permsearch_obs::QueryTrace::begin`].
     /// Fixed-size inline storage — arming allocates nothing.
     pub trace: QueryTrace,
+    /// Per-query deadline/budget, consulted at stage boundaries (per
+    /// shard, per refinement stage, per generational source). Unlimited by
+    /// default — a query that never arms it behaves bit-identically to a
+    /// build without budgets. Serving loops `clear` + arm it per query.
+    pub budget: QueryBudget,
 }
 
 impl SearchScratch {

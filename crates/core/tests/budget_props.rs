@@ -1,0 +1,115 @@
+//! Property tests for deadline/budget arithmetic.
+//!
+//! The serving path trusts this arithmetic with hostile wire values
+//! (`deadline_micros` is attacker-controlled), so the properties are
+//! about totality and monotonicity: nothing panics or overflows for any
+//! input, a longer budget never does less work, and an unarmed budget is
+//! indistinguishable from no budget at all.
+
+use std::time::{Duration, Instant};
+
+use permsearch_core::{deadline_after, remaining_micros, QueryBudget};
+use proptest::prelude::*;
+
+/// Count how many of `attempts` checkpoints pass on a fresh budget armed
+/// with `checks`.
+fn passed(checks: u64, attempts: u64) -> u64 {
+    let mut b = QueryBudget::default();
+    b.set_checks(checks);
+    (0..attempts).filter(|_| b.checkpoint()).count() as u64
+}
+
+proptest! {
+    /// A checks budget passes exactly `min(checks, attempts)` boundaries:
+    /// no off-by-one, no underflow near zero, no overflow near u64::MAX.
+    #[test]
+    fn checks_budget_passes_exactly_min(checks in 0u64..10_000, attempts in 0u64..10_000) {
+        prop_assert_eq!(passed(checks, attempts), checks.min(attempts));
+    }
+
+    /// Monotonicity: a query granted a longer budget passes at least as
+    /// many stage boundaries — it can never do *less* work, so it can
+    /// never return fewer results than a shorter-budget run of the same
+    /// pipeline.
+    #[test]
+    fn longer_budget_never_passes_fewer_checkpoints(
+        a in 0u64..5_000,
+        extra in 0u64..5_000,
+        attempts in 0u64..10_000,
+    ) {
+        prop_assert!(passed(a + extra, attempts) >= passed(a, attempts));
+    }
+
+    /// The cut latches: once a checkpoint fails, every later checkpoint
+    /// fails and `was_cut` stays set, for any arming.
+    #[test]
+    fn expiry_latches(checks in 0u64..100, tail in 1u64..100) {
+        let mut b = QueryBudget::default();
+        b.set_checks(checks);
+        for _ in 0..checks {
+            prop_assert!(b.checkpoint());
+        }
+        for _ in 0..tail {
+            prop_assert!(!b.checkpoint());
+            prop_assert!(b.was_cut());
+        }
+    }
+
+    /// `deadline_after` is total: any `micros` — including u64::MAX, the
+    /// worst a hostile Query frame can carry — yields `Some(instant)` or
+    /// a clean `None`, never a panic.
+    #[test]
+    fn deadline_after_is_total(micros in any::<u64>()) {
+        let now = Instant::now();
+        if let Some(deadline) = deadline_after(now, micros) {
+            prop_assert!(deadline >= now);
+        }
+    }
+
+    /// `remaining_micros` saturates instead of panicking, and round-trips
+    /// a deadline to within the clock reads involved: never *more* time
+    /// than was granted.
+    #[test]
+    fn remaining_micros_round_trips_under_grant(micros in 0u64..(1u64 << 40)) {
+        let now = Instant::now();
+        let deadline = deadline_after(now, micros).expect("within Instant range");
+        let r = remaining_micros(now, deadline);
+        prop_assert!(r <= micros);
+        // Drift from Duration's nanosecond truncation is sub-microsecond.
+        prop_assert!(micros - r <= 1);
+    }
+
+    /// A deadline at or before `now` has zero remaining — saturation, not
+    /// underflow.
+    #[test]
+    fn remaining_micros_saturates_at_zero(back in 0u64..1_000_000) {
+        let later = Instant::now() + Duration::from_micros(back);
+        prop_assert_eq!(remaining_micros(later, later), 0);
+        let earlier = later - Duration::from_micros(back);
+        prop_assert_eq!(remaining_micros(later, earlier), 0);
+    }
+
+    /// Monotone in the deadline: pushing the deadline out never shrinks
+    /// the remaining time.
+    #[test]
+    fn remaining_micros_monotone_in_deadline(a in 0u64..(1u64 << 40), extra in 0u64..(1u64 << 20)) {
+        let now = Instant::now();
+        let d1 = deadline_after(now, a).expect("within range");
+        let d2 = deadline_after(now, a + extra).expect("within range");
+        prop_assert!(remaining_micros(now, d2) >= remaining_micros(now, d1));
+    }
+
+    /// An unarmed (cleared) budget passes any number of checkpoints — the
+    /// disabled path can never cut a query.
+    #[test]
+    fn cleared_budget_never_cuts(attempts in 0u64..10_000, checks in 0u64..100) {
+        let mut b = QueryBudget::default();
+        b.set_checks(checks);
+        b.clear();
+        prop_assert!(b.is_unlimited());
+        for _ in 0..attempts {
+            prop_assert!(b.checkpoint());
+        }
+        prop_assert!(!b.was_cut());
+    }
+}

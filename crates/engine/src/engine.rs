@@ -18,7 +18,7 @@ use permsearch_obs::MetricsRegistry;
 
 use crate::metrics::{set_deployment_gauges, ServeMetrics};
 use crate::registry::{EngineError, MethodRegistry, Provenance};
-use crate::serve::{optional_recall, serve_batch_observed, ServeOutput, ServeReport};
+use crate::serve::{optional_recall, serve_batch_opts, ServeOptions, ServeOutput, ServeReport};
 use crate::shard::ShardedIndex;
 
 /// A deployed, batch-serving search engine. Object-safe.
@@ -26,6 +26,16 @@ pub trait Engine<P>: Send + Sync {
     /// Serve one query batch, returning the global top-`k` per query plus
     /// batch statistics.
     fn serve(&self, queries: &[P], k: usize) -> ServeOutput;
+
+    /// Serve one query batch under [`ServeOptions`] — degraded-mode
+    /// refinement and per-query deadlines. Default-option calls are
+    /// bit-identical to [`serve`](Self::serve); the default trait impl
+    /// ignores the options entirely so existing engines stay correct
+    /// (never degraded, never cut).
+    fn serve_opts(&self, queries: &[P], k: usize, options: &ServeOptions) -> ServeOutput {
+        let _ = options;
+        self.serve(queries, k)
+    }
 
     /// Registry name of the deployed method.
     fn method(&self) -> &str;
@@ -385,12 +395,17 @@ where
     P: Send + Sync,
 {
     fn serve(&self, queries: &[P], k: usize) -> ServeOutput {
-        serve_batch_observed(
+        self.serve_opts(queries, k, &ServeOptions::default())
+    }
+
+    fn serve_opts(&self, queries: &[P], k: usize, options: &ServeOptions) -> ServeOutput {
+        serve_batch_opts(
             &self.sharded,
             queries,
             k,
             self.workers,
             self.metrics.as_ref(),
+            options,
         )
     }
 

@@ -50,16 +50,16 @@ pub use engine::{
 pub use metrics::{set_deployment_gauges, ServeMetrics, DEFAULT_SAMPLE_EVERY};
 pub use mutable::{
     folded_segment_path, journal_path, mutation_kind, segment_kind, CompactionConfig,
-    CompactorHandle, FlushInfo, MutableEngine, MutableServing, MutableWarmStart, MutationMetrics,
-    OP_INSERT, OP_REMOVE,
+    CompactorHandle, FlushInfo, MutableEngine, MutableServing, MutableWarmStart, MutationError,
+    MutationMetrics, OP_INSERT, OP_REMOVE,
 };
 pub use registry::{
     dense_l2_registry, index_kind, standard_registry, EngineError, MethodBuilder, MethodRegistry,
     MutableBuilder, Provenance, SnapshotLoader, SnapshotSaver,
 };
 pub use serve::{
-    effective_workers, percentile, serve_batch, serve_batch_observed, ServeOutput, ServeReport,
-    ServeStats,
+    effective_workers, percentile, serve_batch, serve_batch_observed, serve_batch_opts,
+    QueryOutcome, ServeOptions, ServeOutput, ServeReport, ServeStats,
 };
 pub use shard::ShardedIndex;
 

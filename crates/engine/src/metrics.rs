@@ -23,6 +23,9 @@
 //! | `permsearch_trace_stage_dists_total` | counter | summed stage distance computations over sampled queries |
 //! | `permsearch_trace_candidates_total` | counter | summed candidate-list sizes over sampled queries |
 //! | `permsearch_trace_quant_engaged_total` | counter | sampled queries where the SQ8 pre-filter engaged |
+//! | `permsearch_queries_degraded_total` | counter | queries served in degraded mode (pressure-tightened refinement) |
+//! | `permsearch_queries_partial_total` | counter | queries cut by their deadline (partial results returned) |
+//! | `permsearch_query_panics_total` | counter | queries whose per-query work panicked (isolated; empty result returned) |
 //! | `permsearch_index_points` | gauge | points indexed by the deployment |
 //! | `permsearch_index_shards` | gauge | index shards in the deployment |
 
@@ -51,6 +54,9 @@ pub struct ServeMetrics {
     pub(crate) stage_dists_total: [Arc<Counter>; STAGE_COUNT],
     pub(crate) candidates_total: Arc<Counter>,
     pub(crate) quant_engaged_total: Arc<Counter>,
+    pub(crate) degraded_total: Arc<Counter>,
+    pub(crate) partial_total: Arc<Counter>,
+    pub(crate) panics_total: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -106,6 +112,21 @@ impl ServeMetrics {
                 "Sampled queries where the SQ8 quantized pre-filter engaged.",
                 m,
             ),
+            degraded_total: registry.counter(
+                "permsearch_queries_degraded_total",
+                "Queries served in degraded mode (pressure-tightened refinement).",
+                m,
+            ),
+            partial_total: registry.counter(
+                "permsearch_queries_partial_total",
+                "Queries cut by their deadline; partial results were returned.",
+                m,
+            ),
+            panics_total: registry.counter(
+                "permsearch_query_panics_total",
+                "Queries whose per-query work panicked (isolated to one answer).",
+                m,
+            ),
         }
     }
 
@@ -158,6 +179,21 @@ impl ServeMetrics {
     #[inline]
     pub fn observe_batch(&self) {
         self.batches_total.inc();
+    }
+
+    /// Count a query's robustness outcome. No-outcome queries (the common
+    /// case) take three untaken branches.
+    #[inline]
+    pub fn observe_outcome(&self, outcome: &crate::serve::QueryOutcome) {
+        if outcome.degraded {
+            self.degraded_total.inc();
+        }
+        if outcome.partial {
+            self.partial_total.inc();
+        }
+        if outcome.failed {
+            self.panics_total.inc();
+        }
     }
 }
 

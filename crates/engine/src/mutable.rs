@@ -54,11 +54,27 @@
 //! format) *before* it is applied, under the same lock that assigns ids —
 //! journal order is id order by construction. Warm start replays the
 //! journal over the restored base and reproduces the live engine's
-//! results exactly. Journal and snapshot I/O failures panic: this layer
-//! treats storage loss as fatal rather than serving silently divergent
-//! state.
+//! results exactly. A journal append failure *refuses* the mutation with
+//! a typed [`MutationError`] — the in-memory state is untouched, the
+//! write lock is released normally (never poisoned), and the engine
+//! keeps serving reads; the partial frame the failure may have left
+//! behind is exactly the torn tail recovery already truncates.
+//!
+//! ## Supervision
+//!
+//! Compaction can panic (index build bugs, snapshot I/O). The background
+//! thread runs every cycle through [`try_compact`](MutableEngine::try_compact),
+//! which isolates the panic, counts it in
+//! `permsearch_compactions_failed_total`, surfaces the panic text as the
+//! `permsearch_compactor_last_error` info gauge, and retries later with
+//! capped exponential backoff. A panicked cycle leaves the engine
+//! serving a consistent generation: phase 1's seal is atomic under the
+//! write lock, and a panic after it merely leaves the sealed segment
+//! unfolded — still served, still masked by tombstones.
 
 use std::collections::HashSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -71,12 +87,14 @@ use permsearch_core::{
     SearchScratch, Stage,
 };
 use permsearch_obs::{Counter, Gauge, MetricsRegistry, ShardedHistogram};
-use permsearch_store::{append_journal, create_journal, JournalRecord, JournalWriter};
+use permsearch_store::{
+    append_journal, create_journal, JournalError, JournalRecord, JournalWriter,
+};
 
 use crate::engine::{Engine, ShardedEngine, WarmStart};
 use crate::metrics::{set_deployment_gauges, ServeMetrics};
 use crate::registry::{EngineError, MethodRegistry};
-use crate::serve::{serve_batch_observed, ServeOutput};
+use crate::serve::{serve_batch_opts, ServeOptions, ServeOutput};
 
 /// Journal op tag: insert one point (payload = the point's codec bytes).
 pub const OP_INSERT: u8 = 1;
@@ -182,7 +200,10 @@ impl CompactorHandle {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(thread) = self.thread.take() {
-            thread.join().expect("compactor thread panicked");
+            // The loop isolates compaction panics itself; a join error
+            // would mean the supervisor died, which drop must not
+            // escalate into a second panic.
+            let _ = thread.join();
         }
     }
 }
@@ -203,6 +224,28 @@ pub struct FlushInfo {
     pub live: usize,
 }
 
+/// A refused mutation: its journal record could not be written, so the
+/// in-memory state was left untouched and the engine keeps serving the
+/// pre-mutation results. Returned instead of panicking so a storage
+/// fault never poisons the state lock.
+#[derive(Debug)]
+pub struct MutationError {
+    op: &'static str,
+    source: JournalError,
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} refused: mutation journal: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// How [`MutableEngine::open`] restored its state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MutableWarmStart {
@@ -215,15 +258,19 @@ pub struct MutableWarmStart {
 /// The object-safe mutation façade the serving layer talks to, layered on
 /// [`Engine`] so one trait object serves queries *and* accepts writes.
 pub trait MutableServing<P>: Engine<P> {
-    /// Insert a batch, returning the assigned global ids in order.
-    fn insert_points(&self, points: Vec<P>) -> Vec<u32>;
+    /// Insert a batch, returning the assigned global ids in order. A
+    /// journal fault stops the batch at the first refused point; the
+    /// points before it are applied (the journal holds only successful
+    /// ops, so a warm start agrees).
+    fn insert_points(&self, points: Vec<P>) -> Result<Vec<u32>, MutationError>;
 
     /// Remove a batch of global ids; `true` per id that named a live
     /// point. Double-removes and unknown ids report `false` harmlessly.
-    fn remove_ids(&self, ids: &[u32]) -> Vec<bool>;
+    /// A journal fault stops the batch at the first refused removal.
+    fn remove_ids(&self, ids: &[u32]) -> Result<Vec<bool>, MutationError>;
 
     /// Sync the journal to disk and force one compaction cycle.
-    fn flush(&self) -> FlushInfo;
+    fn flush(&self) -> Result<FlushInfo, MutationError>;
 
     /// Completed compaction count (the "generation" queries see).
     fn generation(&self) -> u64;
@@ -372,11 +419,26 @@ where
         }
     }
 
+    /// Set the journal's automatic-fsync cadence: sync after every `n`
+    /// appended records (`1` = every record, the durability default for
+    /// network serving; `0` = only on flush frames and clean shutdown).
+    /// Widening the window trades a bounded number of acknowledged
+    /// mutations — at most `n - 1` records, recoverable as a torn tail —
+    /// against per-mutation fsync cost. No-op on journal-less engines.
+    pub fn set_journal_sync_every(&self, n: u64) {
+        let mut st = self.state.write().expect("engine state poisoned");
+        if let Some(journal) = st.journal.as_mut() {
+            journal.set_sync_every(n);
+        }
+    }
+
     /// Insert one point, returning its global id. Ids ascend from the
     /// base size and are never reused. The journal record (when durable)
     /// is framed under the same lock that assigns the id, so journal
-    /// order is id order.
-    pub fn insert(&self, point: P) -> u32 {
+    /// order is id order. A journal fault refuses the insert with the
+    /// state untouched: the record is framed *before* the point is
+    /// applied, and the error return releases the write lock normally.
+    pub fn try_insert(&self, point: P) -> Result<u32, MutationError> {
         // Encode outside the lock; only the append itself must serialize.
         let payload = self.journaled.then(|| encode_point(&point));
         let mut st = self.state.write().expect("engine state poisoned");
@@ -385,7 +447,10 @@ where
         if let Some(journal) = st.journal.as_mut() {
             journal
                 .append(OP_INSERT, &payload.expect("encoded when journaled"))
-                .expect("mutation journal append failed");
+                .map_err(|source| MutationError {
+                    op: "insert",
+                    source,
+                })?;
         }
         let local = st.delta.insert(point);
         debug_assert_eq!(st.delta_base + local, id);
@@ -394,28 +459,43 @@ where
         if let Some(m) = &self.mutation {
             m.on_insert(&st);
         }
-        id
+        Ok(id)
+    }
+
+    /// [`try_insert`](Self::try_insert), panicking on a journal fault.
+    pub fn insert(&self, point: P) -> u32 {
+        self.try_insert(point)
+            .expect("mutation journal append failed")
     }
 
     /// Remove one global id (base, frozen or delta point alike). Returns
     /// `false` for unknown or already-removed ids, which are journaled as
-    /// nothing at all — the journal holds only successful ops.
-    pub fn remove(&self, id: u32) -> bool {
+    /// nothing at all — the journal holds only successful ops. A journal
+    /// fault refuses the removal with the state untouched.
+    pub fn try_remove(&self, id: u32) -> Result<bool, MutationError> {
         let mut st = self.state.write().expect("engine state poisoned");
         if id >= st.next_id || st.tombstones.contains(&id) {
-            return false;
+            return Ok(false);
         }
         if let Some(journal) = st.journal.as_mut() {
             journal
                 .append(OP_REMOVE, &id.to_le_bytes())
-                .expect("mutation journal append failed");
+                .map_err(|source| MutationError {
+                    op: "remove",
+                    source,
+                })?;
         }
         st.tombstones.insert(id);
         st.live -= 1;
         if let Some(m) = &self.mutation {
             m.on_remove(&st);
         }
-        true
+        Ok(true)
+    }
+
+    /// [`try_remove`](Self::try_remove), panicking on a journal fault.
+    pub fn remove(&self, id: u32) -> bool {
+        self.try_remove(id).expect("mutation journal append failed")
     }
 
     /// Apply replayed journal records without re-journaling them. The
@@ -478,7 +558,13 @@ where
     /// between two brief write-locked swaps, and a query in flight keeps
     /// serving the pre-seal generation through its own read guard.
     pub fn force_compact(&self) -> u64 {
-        let _flight = self.compacting.lock().expect("compaction lock poisoned");
+        // A panicked earlier cycle poisons this mutex but leaves the
+        // engine consistent (see `try_compact`); single-flight is all the
+        // guard provides, so poisoning is recoverable here.
+        let _flight = self
+            .compacting
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         let started = Instant::now();
         // Phase 1 — seal the active delta (brief write lock). New writes
         // land in an identically-configured empty twin.
@@ -503,6 +589,9 @@ where
         // id order and rebuild one dense segment. Removals that land
         // *during* the fold are not lost: tombstones are never pruned, so
         // they keep masking the folded segment after the swap.
+        if permsearch_core::failpoints::fire("compactor_panic") {
+            panic!("failpoint compactor_panic");
+        }
         let mut entries: Vec<(u32, P)> = Vec::new();
         for seg in &segments {
             for (local, point) in seg.index.live_entries() {
@@ -552,6 +641,27 @@ where
         generation
     }
 
+    /// [`force_compact`](Self::force_compact) with panic isolation: a
+    /// cycle that panics is counted in
+    /// `permsearch_compactions_failed_total`, its panic text becomes the
+    /// `permsearch_compactor_last_error` info gauge, and the engine keeps
+    /// serving. The interrupted cycle leaves a consistent generation —
+    /// phase 1's seal either happened atomically or not at all, and a
+    /// sealed-but-unfolded segment is served like any other frozen
+    /// segment until the next cycle folds it.
+    pub fn try_compact(&self) -> Result<u64, String> {
+        match catch_unwind(AssertUnwindSafe(|| self.force_compact())) {
+            Ok(generation) => Ok(generation),
+            Err(payload) => {
+                let text = panic_text(payload.as_ref());
+                if let Some(m) = &self.mutation {
+                    m.on_compaction_failure(&text);
+                }
+                Err(text)
+            }
+        }
+    }
+
     /// Whether the background trigger policy wants a compaction now.
     fn wants_compaction(&self, config: &CompactionConfig) -> bool {
         let st = self.state.read().expect("engine state poisoned");
@@ -559,10 +669,12 @@ where
     }
 
     /// Spawn the background compaction thread. It polls the trigger every
-    /// `poll_interval` and runs [`force_compact`](Self::force_compact)
-    /// when the delta outgrows `min_delta_slots`. The returned handle
-    /// stops and joins the thread on drop; the thread holds only a weak
-    /// reference, so dropping the engine also ends it.
+    /// `poll_interval` and runs [`try_compact`](Self::try_compact) when
+    /// the delta outgrows `min_delta_slots` — a panicked cycle is
+    /// isolated, counted, and retried with exponential backoff capped at
+    /// 64 poll intervals (reset by the first successful cycle). The
+    /// returned handle stops and joins the thread on drop; the thread
+    /// holds only a weak reference, so dropping the engine also ends it.
     pub fn spawn_compactor(self: &Arc<Self>, config: CompactionConfig) -> CompactorHandle
     where
         P: 'static,
@@ -573,13 +685,17 @@ where
         let thread = std::thread::Builder::new()
             .name("permsearch-compactor".into())
             .spawn(move || {
+                let mut failures: u32 = 0;
                 while !flag.load(Ordering::Acquire) {
                     let Some(engine) = weak.upgrade() else { return };
                     if engine.wants_compaction(&config) {
-                        engine.force_compact();
+                        failures = match engine.try_compact() {
+                            Ok(_) => 0,
+                            Err(_) => (failures + 1).min(6),
+                        };
                     }
                     drop(engine);
-                    std::thread::sleep(config.poll_interval);
+                    std::thread::sleep(config.poll_interval * (1u32 << failures));
                 }
             })
             .expect("failed to spawn the compactor thread");
@@ -590,18 +706,27 @@ where
     }
 
     /// Sync the journal to disk (when durable) and force one compaction.
-    pub fn flush(&self) -> FlushInfo {
+    /// An fsync fault refuses the flush without poisoning the state lock.
+    pub fn try_flush(&self) -> Result<FlushInfo, MutationError> {
         {
             let mut st = self.state.write().expect("engine state poisoned");
             if let Some(journal) = st.journal.as_mut() {
-                journal.sync().expect("mutation journal sync failed");
+                journal.sync().map_err(|source| MutationError {
+                    op: "flush",
+                    source,
+                })?;
             }
         }
         let generation = self.force_compact();
-        FlushInfo {
+        Ok(FlushInfo {
             generation,
             live: SearchIndex::len(self),
-        }
+        })
+    }
+
+    /// [`try_flush`](Self::try_flush), panicking on a journal fault.
+    pub fn flush(&self) -> FlushInfo {
+        self.try_flush().expect("mutation journal sync failed")
     }
 
     /// Completed compactions (bumped once per seal-fold-swap cycle).
@@ -637,10 +762,13 @@ where
     }
 
     /// Register serving and mutation metric families under this engine's
-    /// method label and start updating the deployment gauges.
+    /// method label and start updating the deployment gauges. Takes the
+    /// registry by `Arc` (unlike the immutable engine) because compactor
+    /// failure reporting registers its error-labeled info gauge lazily,
+    /// at failure time.
     pub fn attach_metrics(
         &mut self,
-        registry: &MetricsRegistry,
+        registry: &Arc<MetricsRegistry>,
         sample_every: usize,
     ) -> &ServeMetrics {
         let metrics = ServeMetrics::register(registry, &self.label, self.workers, sample_every);
@@ -657,6 +785,17 @@ where
         );
         self.mutation = Some(mutation);
         self.metrics.insert(metrics)
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -704,12 +843,24 @@ where
         if lists.len() < sources {
             lists.resize_with(sources, Vec::new);
         }
-        self.base
-            .sharded()
-            .search_into(query, k_fetch, scratch, &mut lists[0]);
-        lists[0].retain(|n| !st.tombstones.contains(&n.id));
+        // Each source is a deadline boundary: once the budget cuts, the
+        // remaining sources are skipped and the merge reduces whatever
+        // was gathered. Skipped lists must be cleared — they are reused
+        // across queries and would leak a previous answer into the merge.
+        if scratch.budget.checkpoint() {
+            self.base
+                .sharded()
+                .search_into(query, k_fetch, scratch, &mut lists[0]);
+            lists[0].retain(|n| !st.tombstones.contains(&n.id));
+        } else {
+            lists[0].clear();
+        }
         for (si, seg) in st.frozen.iter().enumerate() {
             let list = &mut lists[1 + si];
+            if !scratch.budget.checkpoint() {
+                list.clear();
+                continue;
+            }
             seg.index.search_into(query, k_fetch, scratch, list);
             for n in list.iter_mut() {
                 n.id = seg.ids.global(n.id);
@@ -718,12 +869,16 @@ where
         }
         let last = sources - 1;
         let delta_base = st.delta_base;
-        st.delta
-            .search_into(query, k_fetch, scratch, &mut lists[last]);
-        for n in lists[last].iter_mut() {
-            n.id += delta_base;
+        if scratch.budget.checkpoint() {
+            st.delta
+                .search_into(query, k_fetch, scratch, &mut lists[last]);
+            for n in lists[last].iter_mut() {
+                n.id += delta_base;
+            }
+            lists[last].retain(|n| !st.tombstones.contains(&n.id));
+        } else {
+            lists[last].clear();
         }
-        lists[last].retain(|n| !st.tombstones.contains(&n.id));
         let t0 = scratch.trace.start();
         merge_sorted_topk_with(&lists[..sources], k, scratch, out);
         scratch.trace.finish(Stage::Merge, t0);
@@ -755,7 +910,18 @@ where
     P: PointCodec + Clone,
 {
     fn serve(&self, queries: &[P], k: usize) -> ServeOutput {
-        serve_batch_observed(self, queries, k, self.workers, self.metrics.as_ref())
+        self.serve_opts(queries, k, &ServeOptions::default())
+    }
+
+    fn serve_opts(&self, queries: &[P], k: usize, options: &ServeOptions) -> ServeOutput {
+        serve_batch_opts(
+            self,
+            queries,
+            k,
+            self.workers,
+            self.metrics.as_ref(),
+            options,
+        )
     }
 
     fn method(&self) -> &str {
@@ -780,16 +946,16 @@ impl<P> MutableServing<P> for MutableEngine<P>
 where
     P: PointCodec + Clone,
 {
-    fn insert_points(&self, points: Vec<P>) -> Vec<u32> {
-        points.into_iter().map(|p| self.insert(p)).collect()
+    fn insert_points(&self, points: Vec<P>) -> Result<Vec<u32>, MutationError> {
+        points.into_iter().map(|p| self.try_insert(p)).collect()
     }
 
-    fn remove_ids(&self, ids: &[u32]) -> Vec<bool> {
-        ids.iter().map(|&id| self.remove(id)).collect()
+    fn remove_ids(&self, ids: &[u32]) -> Result<Vec<bool>, MutationError> {
+        ids.iter().map(|&id| self.try_remove(id)).collect()
     }
 
-    fn flush(&self) -> FlushInfo {
-        MutableEngine::flush(self)
+    fn flush(&self) -> Result<FlushInfo, MutationError> {
+        self.try_flush()
     }
 
     fn generation(&self) -> u64 {
@@ -804,6 +970,8 @@ where
 /// | `permsearch_inserts_total` | counter | points inserted |
 /// | `permsearch_removes_total` | counter | successful removals |
 /// | `permsearch_compactions_total` | counter | completed seal-fold-swap cycles |
+/// | `permsearch_compactions_failed_total` | counter | compaction cycles that panicked (isolated, retried) |
+/// | `permsearch_compactor_last_error` | gauge | info gauge: 1 on the `error` label of the latest failure |
 /// | `permsearch_compaction_duration_seconds` | summary | wall time per compaction |
 /// | `permsearch_generation` | gauge | completed compaction count |
 /// | `permsearch_live_points` | gauge | live points across all sources |
@@ -815,19 +983,32 @@ pub struct MutationMetrics {
     inserts_total: Arc<Counter>,
     removes_total: Arc<Counter>,
     compactions_total: Arc<Counter>,
+    compactions_failed_total: Arc<Counter>,
     compaction_duration: Arc<ShardedHistogram>,
     generation: Arc<Gauge>,
     live_points: Arc<Gauge>,
     delta_slots: Arc<Gauge>,
     tombstones: Arc<Gauge>,
     frozen_segments: Arc<Gauge>,
+    /// Kept for lazy registration of the error-labeled info gauge.
+    registry: Arc<MetricsRegistry>,
+    method: String,
+    /// The currently-raised `permsearch_compactor_last_error` series, so
+    /// a new error can lower the previous one before raising its own.
+    last_error: Arc<Mutex<RaisedError>>,
 }
+
+/// The raised last-error series: sanitized error label and its gauge.
+type RaisedError = Option<(String, Arc<Gauge>)>;
 
 impl MutationMetrics {
     /// Register (or re-resolve) the mutation families for `method`.
-    pub fn register(registry: &MetricsRegistry, method: &str) -> Self {
+    pub fn register(registry: &Arc<MetricsRegistry>, method: &str) -> Self {
         let m: &[(&str, &str)] = &[("method", method)];
         Self {
+            registry: Arc::clone(registry),
+            method: method.to_string(),
+            last_error: Arc::new(Mutex::new(None)),
             inserts_total: registry.counter("permsearch_inserts_total", "Points inserted.", m),
             removes_total: registry.counter(
                 "permsearch_removes_total",
@@ -837,6 +1018,11 @@ impl MutationMetrics {
             compactions_total: registry.counter(
                 "permsearch_compactions_total",
                 "Completed compaction cycles (seal, fold, swap).",
+                m,
+            ),
+            compactions_failed_total: registry.counter(
+                "permsearch_compactions_failed_total",
+                "Compaction cycles that panicked; isolated and retried with backoff.",
                 m,
             ),
             compaction_duration: registry.histogram(
@@ -899,6 +1085,54 @@ impl MutationMetrics {
             .record(0, elapsed.as_nanos() as u64);
         self.set_gauges(generation, st);
     }
+
+    /// Count one isolated compaction panic and surface its text as the
+    /// `permsearch_compactor_last_error{method, error}` info gauge: the
+    /// newest failure's series reads 1, any previous one drops to 0.
+    /// Cardinality stays bounded because panic texts come from a small
+    /// fixed set of `panic!`/`expect` sites, not from per-item data.
+    fn on_compaction_failure(&self, text: &str) {
+        self.compactions_failed_total.inc();
+        let label = error_label(text);
+        let mut slot = self
+            .last_error
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some((current, gauge)) = slot.as_ref() {
+            if *current == label {
+                return;
+            }
+            gauge.set(0);
+        }
+        let gauge = self.registry.gauge(
+            "permsearch_compactor_last_error",
+            "Info gauge: 1 on the error label of the latest compaction failure.",
+            &[("method", &self.method), ("error", &label)],
+        );
+        gauge.set(1);
+        *slot = Some((label, gauge));
+    }
+}
+
+/// Squash a panic text into a label-safe value: control characters,
+/// quotes and backslashes become spaces, and the text is capped at 96
+/// bytes so an exotic payload cannot bloat the exposition.
+fn error_label(text: &str) -> String {
+    let mut label: String = text
+        .chars()
+        .map(|c| {
+            if c.is_control() || c == '"' || c == '\\' {
+                ' '
+            } else {
+                c
+            }
+        })
+        .take(96)
+        .collect();
+    if label.is_empty() {
+        label.push_str("unknown");
+    }
+    label
 }
 
 #[cfg(test)]
@@ -1067,7 +1301,7 @@ mod tests {
     fn serves_batches_and_reports_generational_shape() {
         let data = grid(120);
         let mut e = engine(&data);
-        let registry = MetricsRegistry::new();
+        let registry = Arc::new(MetricsRegistry::new());
         e.attach_metrics(&registry, 4);
         for i in 0..30 {
             e.insert(vec![i as f32 * 0.2, 0.7]);

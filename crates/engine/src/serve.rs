@@ -16,6 +16,7 @@
 //! [`ServeMetrics`] handle bundle: cumulative query/latency families plus
 //! the 1-in-`N` sampled per-query stage traces.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use permsearch_core::{Neighbor, SearchIndex, SearchScratch};
@@ -117,11 +118,50 @@ impl ServeStats {
     }
 }
 
+/// Per-query robustness outcome. All-false is the common case: a complete,
+/// full-precision answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// Served in degraded mode: the refinement stage traded recall for
+    /// bounded work (quant-only re-rank or tightened candidate budget).
+    pub degraded: bool,
+    /// The query's deadline expired mid-flight; the result list covers
+    /// only the stages/shards that completed in time.
+    pub partial: bool,
+    /// Per-query work panicked; the panic was isolated to this query and
+    /// its result list is empty.
+    pub failed: bool,
+}
+
+/// Batch-level serving options: how hard to try, and for how long.
+///
+/// The default (`no degradation, no deadlines`) serves exactly like the
+/// option-free path — bit-identical results.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Serve the whole batch in degraded mode (the admission layer sets
+    /// this under queue pressure).
+    pub degraded: bool,
+    /// Absolute per-query deadlines, indexed by batch position; `None`
+    /// entries (and positions past the end) are unlimited.
+    pub deadlines: Vec<Option<Instant>>,
+}
+
+impl ServeOptions {
+    /// Whether these options can change anything about the served batch.
+    pub fn is_noop(&self) -> bool {
+        !self.degraded && self.deadlines.iter().all(|d| d.is_none())
+    }
+}
+
 /// Results plus statistics for one served batch.
 #[derive(Debug, Clone)]
 pub struct ServeOutput {
     /// Global top-k per query, in batch order.
     pub results: Vec<Vec<Neighbor>>,
+    /// Per-query robustness outcomes, in batch order (all-default when
+    /// the batch ran without options).
+    pub outcomes: Vec<QueryOutcome>,
     /// Batch timing summary.
     pub stats: ServeStats,
 }
@@ -175,10 +215,37 @@ where
     P: Sync,
     I: SearchIndex<P> + Sync + ?Sized,
 {
+    serve_batch_opts(
+        index,
+        queries,
+        k,
+        workers,
+        metrics,
+        &ServeOptions::default(),
+    )
+}
+
+/// [`serve_batch_observed`] with per-batch [`ServeOptions`]: degraded-mode
+/// refinement and per-query deadlines. Per-query work additionally runs
+/// under `catch_unwind`, so a panic inside one search poisons one answer
+/// (empty result, `failed` outcome) instead of the worker pool.
+pub fn serve_batch_opts<P, I>(
+    index: &I,
+    queries: &[P],
+    k: usize,
+    workers: usize,
+    metrics: Option<&ServeMetrics>,
+    options: &ServeOptions,
+) -> ServeOutput
+where
+    P: Sync,
+    I: SearchIndex<P> + Sync + ?Sized,
+{
     let nq = queries.len();
     let workers = effective_workers(workers, nq);
     let mut results: Vec<Vec<Neighbor>> = Vec::new();
     results.resize_with(nq, Vec::new);
+    let mut outcomes: Vec<QueryOutcome> = vec![QueryOutcome::default(); nq];
     // Per-batch latency histogram, one shard per worker: ServeStats is
     // derived from it whether or not registry metrics are attached.
     let hist = ShardedHistogram::new(workers);
@@ -189,19 +256,30 @@ where
             queries,
             k,
             &mut results,
+            &mut outcomes,
             Slice::new(0, 0, &hist, metrics),
+            options,
         );
     } else {
         let chunk = nq.div_ceil(workers);
         crossbeam::thread::scope(|scope| {
-            for (w, (qs, rs)) in queries
+            for (w, ((qs, rs), os)) in queries
                 .chunks(chunk)
                 .zip(results.chunks_mut(chunk))
+                .zip(outcomes.chunks_mut(chunk))
                 .enumerate()
             {
                 let hist = &hist;
                 scope.spawn(move |_| {
-                    serve_slice(index, qs, k, rs, Slice::new(w, w * chunk, hist, metrics))
+                    serve_slice(
+                        index,
+                        qs,
+                        k,
+                        rs,
+                        os,
+                        Slice::new(w, w * chunk, hist, metrics),
+                        options,
+                    )
                 });
             }
         })
@@ -213,6 +291,7 @@ where
     }
     ServeOutput {
         results,
+        outcomes,
         stats: ServeStats::from_histogram(batch_secs, &hist.snapshot()),
     }
 }
@@ -244,8 +323,15 @@ impl<'a> Slice<'a> {
     }
 }
 
-fn serve_slice<P, I>(index: &I, queries: &[P], k: usize, results: &mut [Vec<Neighbor>], s: Slice)
-where
+fn serve_slice<P, I>(
+    index: &I,
+    queries: &[P],
+    k: usize,
+    results: &mut [Vec<Neighbor>],
+    outcomes: &mut [QueryOutcome],
+    s: Slice,
+    options: &ServeOptions,
+) where
     I: SearchIndex<P> + ?Sized,
 {
     // One scratch per worker: after the first few queries grow its buffers
@@ -254,16 +340,42 @@ where
     // is the output, written in place).
     let mut scratch = SearchScratch::new();
     for (i, q) in queries.iter().enumerate() {
+        let global = s.offset + i;
         if let Some(m) = s.metrics {
-            scratch.trace.begin(m.should_trace(s.offset + i));
+            scratch.trace.begin(m.should_trace(global));
+        }
+        scratch.budget.clear();
+        scratch.budget.set_degraded(options.degraded);
+        if let Some(deadline) = options.deadlines.get(global).copied().flatten() {
+            scratch.budget.set_deadline(deadline);
         }
         let start = Instant::now();
-        index.search_into(q, k, &mut scratch, &mut results[i]);
+        // Panic isolation: one poisoned query degrades one answer, not
+        // the worker pool (a panic escaping a scoped worker would tear
+        // down the whole batch). The success path costs nothing.
+        let scratch_ref = &mut scratch;
+        let out_ref = &mut results[i];
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            if permsearch_core::failpoints::fire("query_panic") {
+                panic!("failpoint query_panic");
+            }
+            index.search_into(q, k, scratch_ref, out_ref);
+        }))
+        .is_err();
+        if panicked {
+            results[i].clear();
+        }
         let nanos = start.elapsed().as_nanos() as u64;
         s.hist.record(s.worker, nanos);
+        outcomes[i] = QueryOutcome {
+            degraded: options.degraded && !panicked,
+            partial: scratch.budget.was_cut() && !panicked,
+            failed: panicked,
+        };
         if let Some(m) = s.metrics {
             m.observe_query(s.worker, nanos);
             m.observe_trace(&scratch.trace);
+            m.observe_outcome(&outcomes[i]);
         }
     }
 }

@@ -162,6 +162,18 @@ impl<P> SearchIndex<P> for ShardedIndex<P> {
             lists.resize_with(self.shards.len(), Vec::new);
         }
         for (shard, local) in self.shards.iter().zip(lists.iter_mut()) {
+            if permsearch_core::failpoints::fire("stall:shard") {
+                scratch.budget.force_expire();
+            }
+            // Per-shard budget boundary: an expired query skips the
+            // remaining shards and merges what the earlier shards found.
+            // Skipped lists must be cleared — they are reused across
+            // queries and would otherwise leak a previous query's results
+            // into this merge.
+            if !scratch.budget.checkpoint() {
+                local.clear();
+                continue;
+            }
             shard.index.search_into(query, k, scratch, local);
             for n in local.iter_mut() {
                 n.id += shard.base;

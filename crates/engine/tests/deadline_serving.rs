@@ -1,0 +1,115 @@
+//! Deadline and degradation contracts at the serving-batch level.
+//!
+//! The bitwise pins here are the compatibility story of the whole
+//! robustness layer: a query that carries no deadline and no degradation
+//! must be indistinguishable — result bits included — from a build that
+//! never grew these features.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use permsearch_core::{deadline_after, Dataset};
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_engine::{dense_l2_registry, Engine, ServeOptions, ShardedEngine};
+
+const N: usize = 400;
+const SEED: u64 = 42;
+
+fn world(method: &str) -> (ShardedEngine<Vec<f32>>, Vec<Vec<f32>>) {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new_flat(gen.generate(N, SEED)));
+    let queries = gen.generate(16, SEED ^ 0x0051_C0DE);
+    let engine = ShardedEngine::from_registry(&dense_l2_registry(), method, &data, 2, 2, SEED)
+        .expect("build engine");
+    (engine, queries)
+}
+
+#[test]
+fn default_options_are_bitwise_identical_to_plain_serve() {
+    for method in ["brute", "napp"] {
+        let (engine, queries) = world(method);
+        let plain = engine.serve(&queries, 7);
+        let opts = engine.serve_opts(&queries, 7, &ServeOptions::default());
+        assert_eq!(
+            plain.results, opts.results,
+            "{method}: default opts diverged"
+        );
+        assert!(opts.outcomes.iter().all(|o| o == &Default::default()));
+    }
+}
+
+#[test]
+fn all_none_deadlines_are_bitwise_identical_to_plain_serve() {
+    let (engine, queries) = world("napp");
+    let plain = engine.serve(&queries, 7);
+    let options = ServeOptions {
+        degraded: false,
+        deadlines: vec![None; queries.len()],
+    };
+    let opts = engine.serve_opts(&queries, 7, &options);
+    assert_eq!(plain.results, opts.results, "explicit no-deadline diverged");
+    assert!(opts.outcomes.iter().all(|o| !o.partial && !o.degraded));
+}
+
+#[test]
+fn generous_deadline_is_complete_and_identical() {
+    let (engine, queries) = world("brute");
+    let plain = engine.serve(&queries, 7);
+    let hour = deadline_after(Instant::now(), 3_600_000_000).expect("an hour fits");
+    let options = ServeOptions {
+        degraded: false,
+        deadlines: vec![Some(hour); queries.len()],
+    };
+    let opts = engine.serve_opts(&queries, 7, &options);
+    assert_eq!(plain.results, opts.results, "generous deadline diverged");
+    assert!(opts.outcomes.iter().all(|o| !o.partial));
+}
+
+#[test]
+fn expired_deadline_cuts_to_a_flagged_partial_answer() {
+    let (engine, queries) = world("brute");
+    let plain = engine.serve(&queries, 7);
+    // Deadline already in the past: the very first stage boundary cuts.
+    // Only query 3 carries it; the rest of the batch must be untouched.
+    let past = Instant::now();
+    let mut deadlines = vec![None; queries.len()];
+    deadlines[3] = Some(past);
+    let opts = engine.serve_opts(
+        &queries,
+        7,
+        &ServeOptions {
+            degraded: false,
+            deadlines,
+        },
+    );
+    assert!(opts.outcomes[3].partial, "expired query must flag partial");
+    assert!(
+        opts.results[3].len() <= plain.results[3].len(),
+        "an expired query can never return more than the full answer"
+    );
+    for i in (0..queries.len()).filter(|&i| i != 3) {
+        assert_eq!(opts.results[i], plain.results[i], "query {i} perturbed");
+        assert!(!opts.outcomes[i].partial);
+    }
+}
+
+#[test]
+fn degraded_batch_is_flagged_and_bounded_but_never_partial() {
+    let (engine, queries) = world("napp");
+    let plain = engine.serve(&queries, 7);
+    let options = ServeOptions {
+        degraded: true,
+        deadlines: Vec::new(),
+    };
+    let opts = engine.serve_opts(&queries, 7, &options);
+    for (i, o) in opts.outcomes.iter().enumerate() {
+        assert!(o.degraded, "query {i} must carry the degraded flag");
+        assert!(!o.partial, "degradation is not expiry");
+        assert!(
+            opts.results[i].len() <= plain.results[i].len(),
+            "degraded mode must not invent extra results"
+        );
+    }
+    // Degradation is per-batch and leaves no residue.
+    assert_eq!(engine.serve(&queries, 7).results, plain.results);
+}

@@ -1,0 +1,213 @@
+//! Deterministic fault-injection: every failure mode the serving path
+//! claims to survive, forced on purpose through `core::failpoints` and
+//! asserted without a single sleep or clock race.
+//!
+//! Failpoints are process-global, so every test here serializes on one
+//! mutex and disarms everything on entry and exit.
+
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use permsearch_core::failpoints::{self, FailConfig};
+use permsearch_core::Dataset;
+use permsearch_datasets::{sift_like, Generator};
+use permsearch_engine::{dense_l2_registry, Engine, MetricsRegistry, MutableEngine, ShardedEngine};
+
+const N: usize = 300;
+const SEED: u64 = 42;
+
+/// One guard per test: failpoints are process-wide state.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    failpoints::disarm_all();
+    guard
+}
+
+fn world() -> (Arc<Dataset<Vec<f32>>>, Vec<Vec<f32>>) {
+    let gen = sift_like();
+    let data = Arc::new(Dataset::new_flat(gen.generate(N, SEED)));
+    let queries = gen.generate(12, SEED ^ 0x0051_C0DE);
+    (data, queries)
+}
+
+fn sharded(data: &Arc<Dataset<Vec<f32>>>, method: &str) -> ShardedEngine<Vec<f32>> {
+    ShardedEngine::from_registry(&dense_l2_registry(), method, data, 2, 1, SEED)
+        .expect("build engine")
+}
+
+#[test]
+fn stalled_shard_cuts_one_query_into_a_partial_answer() {
+    let _guard = serial();
+    let (data, queries) = world();
+    let engine = sharded(&data, "brute");
+    let baseline = engine.serve(&queries, 5);
+
+    // The stall fires once, at the first query's second shard: that shard
+    // is skipped, the merge covers shard 0 only, and the answer is
+    // flagged partial. Single worker keeps the query->failpoint mapping
+    // deterministic.
+    failpoints::arm("stall:shard", FailConfig::once().after(1));
+    let out = engine.serve(&queries, 5);
+    failpoints::disarm_all();
+
+    assert!(out.outcomes[0].partial, "stalled query must flag partial");
+    assert!(!out.outcomes[0].failed);
+    assert!(
+        out.results[0].iter().all(|n| (n.id as usize) < N / 2),
+        "partial answer must cover only the shard that finished in time"
+    );
+    // Every other query is untouched — bitwise.
+    for i in 1..queries.len() {
+        assert_eq!(out.results[i], baseline.results[i], "query {i} perturbed");
+        assert_eq!(out.outcomes[i], baseline.outcomes[i]);
+    }
+    // Disarmed, the engine is bitwise back to normal.
+    assert_eq!(engine.serve(&queries, 5).results, baseline.results);
+}
+
+#[test]
+fn stalled_refine_returns_partial_without_exact_rerank() {
+    let _guard = serial();
+    let (data, queries) = world();
+    let engine = sharded(&data, "napp");
+    let baseline = engine.serve(&queries, 5);
+
+    failpoints::arm("stall:refine", FailConfig::once());
+    let out = engine.serve(&queries, 5);
+    failpoints::disarm_all();
+
+    assert!(
+        out.outcomes[0].partial,
+        "a refine stall must cut the query into a partial answer"
+    );
+    for i in 1..queries.len() {
+        assert_eq!(out.results[i], baseline.results[i], "query {i} perturbed");
+    }
+    assert_eq!(engine.serve(&queries, 5).results, baseline.results);
+}
+
+#[test]
+fn query_panic_poisons_one_answer_not_the_batch() {
+    let _guard = serial();
+    let (data, queries) = world();
+    let engine = sharded(&data, "brute");
+    let baseline = engine.serve(&queries, 5);
+
+    // Skip 2: the third query of the batch panics mid-search.
+    failpoints::arm("query_panic", FailConfig::once().after(2));
+    let out = engine.serve(&queries, 5);
+    failpoints::disarm_all();
+
+    assert!(out.outcomes[2].failed, "panicked query must flag failed");
+    assert!(
+        out.results[2].is_empty(),
+        "panicked query yields no results"
+    );
+    for i in (0..queries.len()).filter(|&i| i != 2) {
+        assert_eq!(out.results[i], baseline.results[i], "query {i} perturbed");
+        assert!(!out.outcomes[i].failed);
+    }
+    assert_eq!(engine.serve(&queries, 5).results, baseline.results);
+}
+
+#[test]
+fn compactor_panic_is_contained_and_the_next_cycle_succeeds() {
+    let _guard = serial();
+    let (data, queries) = world();
+    let registry = dense_l2_registry();
+    let mut engine =
+        MutableEngine::from_registry(&registry, "brute", "dynamic-napp", &data, 2, 1, SEED)
+            .expect("build mutable engine");
+    let metrics = Arc::new(MetricsRegistry::new());
+    engine.attach_metrics(&metrics, 8);
+    for q in &queries {
+        engine.insert(q.clone());
+    }
+    let before = engine.serve(&queries, 3);
+
+    failpoints::arm("compactor_panic", FailConfig::once());
+    let err = engine.try_compact().expect_err("armed cycle must fail");
+    failpoints::disarm_all();
+    assert!(err.contains("compactor_panic"), "{err}");
+
+    // The panicked cycle left a consistent generation: serving is
+    // bitwise unchanged and the failure is visible in the exposition.
+    assert_eq!(engine.generation(), 0, "failed cycle must not advance");
+    assert_eq!(engine.serve(&queries, 3).results, before.results);
+    let text = metrics.render_text();
+    assert!(
+        text.contains("permsearch_compactions_failed_total{method=\"brute+dynamic-napp\"} 1"),
+        "missing failure counter in:\n{text}"
+    );
+    assert!(
+        text.contains("permsearch_compactor_last_error{"),
+        "missing last-error gauge in:\n{text}"
+    );
+
+    // Supervision contract: the very next cycle (disarmed) succeeds.
+    let generation = engine.try_compact().expect("recovery cycle");
+    assert_eq!(generation, 1);
+    assert_eq!(
+        engine.serve(&queries, 3).results,
+        before.results,
+        "compaction after a panicked cycle changed answers"
+    );
+}
+
+#[test]
+fn journal_write_failure_refuses_the_mutation_and_state_survives() {
+    let _guard = serial();
+    let (data, queries) = world();
+    let registry = dense_l2_registry();
+    let dir = std::env::temp_dir().join(format!("ps-faultinj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let (engine, _) =
+        MutableEngine::open(&registry, "brute", "dynamic-napp", &data, 2, 1, SEED, &dir)
+            .expect("open journaled engine");
+
+    let first = engine.try_insert(queries[0].clone()).expect("insert");
+    assert_eq!(first, N as u32);
+
+    failpoints::arm("journal_write_fail", FailConfig::once());
+    let err = engine
+        .try_insert(queries[1].clone())
+        .expect_err("armed append must refuse the insert");
+    failpoints::disarm_all();
+    assert!(err.to_string().contains("insert refused"), "{err}");
+    assert!(err.to_string().contains("journal"), "{err}");
+
+    // The refused insert left no trace: same length, and the next insert
+    // takes the id the refused one would have — the write lock was
+    // released normally, not poisoned.
+    assert_eq!(Engine::len(&engine), N + 1);
+    let retry = engine.try_insert(queries[1].clone()).expect("retry");
+    assert_eq!(retry, N as u32 + 1, "refused insert must not burn an id");
+
+    // A remove refusal is equally typed and stateless.
+    failpoints::arm("journal_write_fail", FailConfig::once());
+    let err = engine.try_remove(first).expect_err("armed remove refuses");
+    failpoints::disarm_all();
+    assert!(err.to_string().contains("remove refused"), "{err}");
+    assert!(
+        engine.try_remove(first).expect("retry remove"),
+        "still live"
+    );
+
+    // Warm restart replays only the successful operations.
+    let answers = engine.serve(&queries, 3);
+    drop(engine);
+    let (reopened, warm) =
+        MutableEngine::open(&registry, "brute", "dynamic-napp", &data, 2, 1, SEED, &dir)
+            .expect("reopen");
+    assert_eq!(warm.journal_records, 3, "insert, insert, remove");
+    assert_eq!(
+        reopened.serve(&queries, 3).results,
+        answers.results,
+        "replayed engine diverged from the live one"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

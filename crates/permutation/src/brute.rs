@@ -147,6 +147,7 @@ where
             dists,
             heap,
             trace,
+            budget,
             ..
         } = scratch;
         refine_into(
@@ -160,6 +161,7 @@ where
             heap,
             out,
             trace,
+            budget,
         );
     }
 
@@ -266,6 +268,7 @@ where
             dists,
             heap,
             trace,
+            budget,
             ..
         } = scratch;
         refine_into(
@@ -279,6 +282,7 @@ where
             heap,
             out,
             trace,
+            budget,
         );
     }
 

@@ -247,6 +247,7 @@ where
             dists,
             heap,
             trace,
+            budget,
             ..
         } = scratch;
         refine_into(
@@ -260,6 +261,7 @@ where
             heap,
             out,
             trace,
+            budget,
         );
     }
 

@@ -244,6 +244,7 @@ where
             dists,
             heap,
             trace,
+            budget,
             ..
         } = scratch;
         refine_into(
@@ -257,6 +258,7 @@ where
             heap,
             out,
             trace,
+            budget,
         );
     }
 

@@ -290,6 +290,7 @@ where
             touched,
             heap,
             trace,
+            budget,
             ..
         } = scratch;
         let t0 = trace.start();
@@ -340,6 +341,7 @@ where
             heap,
             out,
             trace,
+            budget,
         );
     }
 

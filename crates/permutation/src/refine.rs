@@ -1,7 +1,8 @@
 //! The refine stage shared by every filter-and-refine method.
 
 use permsearch_core::{
-    score_ids, score_ids_quantized, Dataset, KnnHeap, Neighbor, Point, QueryTrace, Space, Stage,
+    failpoints, score_ids, score_ids_quantized, Dataset, KnnHeap, Neighbor, Point, QueryBudget,
+    QueryTrace, Space, Stage,
 };
 
 /// Oversampling factor of the SQ8 pre-filter: the quantized scan keeps
@@ -35,8 +36,19 @@ pub fn refine<P: Point, S: Space<P::Ref>>(
     let mut heap = KnnHeap::new(k);
     let mut out = Vec::new();
     let mut trace = QueryTrace::new();
+    let mut budget = QueryBudget::unlimited();
     refine_into(
-        data, space, query, candidates, k, &mut ids, &mut dists, &mut heap, &mut out, &mut trace,
+        data,
+        space,
+        query,
+        candidates,
+        k,
+        &mut ids,
+        &mut dists,
+        &mut heap,
+        &mut out,
+        &mut trace,
+        &mut budget,
     );
     out
 }
@@ -58,6 +70,15 @@ pub fn refine<P: Point, S: Space<P::Ref>>(
 /// entirely: scanning the quantized rows only to keep most of them would
 /// cost more than the exact scan it saves. All buffers are reused; the
 /// pre-filter adds no steady-state allocations.
+///
+/// The `budget` is consulted at the two stage boundaries (after the
+/// filter stage that produced the candidates, and between the quantized
+/// pre-filter and the exact re-rank); an unlimited budget costs one
+/// branch per boundary and changes nothing. Under a **degraded** budget
+/// the stage trades recall for bounded work: with a quantized tier it
+/// re-ranks with the SQ8 distances alone (no exact pass — the answer
+/// carries approximate distances and the caller flags it degraded);
+/// without one it refines only the first `keep` deduplicated candidates.
 #[allow(clippy::too_many_arguments)]
 pub fn refine_into<P: Point, S: Space<P::Ref>>(
     data: &Dataset<P>,
@@ -70,6 +91,7 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
     heap: &mut KnnHeap,
     out: &mut Vec<Neighbor>,
     trace: &mut QueryTrace,
+    budget: &mut QueryBudget,
 ) {
     ids.clear();
     ids.extend(candidates);
@@ -79,27 +101,63 @@ pub fn refine_into<P: Point, S: Space<P::Ref>>(
     ids.sort_unstable();
     ids.dedup();
     trace.add_candidates(ids.len());
+    // Boundary "filter -> quant_filter": the candidates are collected; an
+    // expired query stops before paying for any scoring.
+    if !budget.checkpoint() {
+        out.clear();
+        return;
+    }
     let keep = k * QUANT_OVERSAMPLE + QUANT_FLOOR;
+    let degraded = budget.is_degraded();
+    let mut prefiltered = false;
     if let Some(quant) = data.quantized() {
         // `2 * keep`: the pre-filter pays for itself only when it halves
-        // (at least) the exact-scan volume.
-        if space.supports_quantized() && ids.len() > 2 * keep {
-            // Quantized pre-filter: keep the `keep` best under the SQ8
+        // (at least) the exact-scan volume. Degraded queries always take
+        // the quantized scan — it is strictly cheaper than the exact one
+        // and its output is the whole answer.
+        if space.supports_quantized() && (degraded || ids.len() > 2 * keep) {
+            // Quantized pre-filter: keep the best under the SQ8
             // approximation (the heap and `out` double as the selection
             // scratch), then fall through to the exact re-rank below.
             let t0 = trace.start();
             trace.set_quant_engaged();
             trace.add_dists(Stage::QuantFilter, ids.len() as u64);
-            heap.reset(keep);
+            heap.reset(if degraded { k } else { keep });
             score_ids_quantized(space, quant, query, ids, dists, |id, d| {
                 heap.push(id, d);
             });
             heap.drain_sorted_into(out);
+            trace.finish(Stage::QuantFilter, t0);
+            if degraded {
+                // Quant-only re-rank: under pressure the SQ8 distances
+                // are the answer. No exact pass.
+                return;
+            }
             ids.clear();
             ids.extend(out.iter().map(|n| n.id));
             ids.sort_unstable();
-            trace.finish(Stage::QuantFilter, t0);
+            prefiltered = true;
         }
+    }
+    if degraded && ids.len() > keep {
+        // No quantized tier to degrade onto: tightened candidate budget —
+        // refine only the first `keep` ids of the deduplicated ascending
+        // list. Deterministic and bounded; recall traded for latency.
+        ids.truncate(keep);
+    }
+    if failpoints::fire("stall:refine") {
+        budget.force_expire();
+    }
+    // Boundary "quant_filter -> refine": a query that expired during the
+    // pre-filter returns its quantized survivors (approximate distances,
+    // flagged partial by the caller) rather than nothing.
+    if !budget.checkpoint() {
+        if prefiltered {
+            out.truncate(k);
+        } else {
+            out.clear();
+        }
+        return;
     }
     let t0 = trace.start();
     trace.add_dists(Stage::Refine, ids.len() as u64);
@@ -197,6 +255,7 @@ mod tests {
         let mut heap = KnnHeap::new(1);
         let mut out = Vec::new();
         let mut trace = permsearch_core::QueryTrace::default();
+        let mut budget = QueryBudget::unlimited();
         for qi in 0..20 {
             let q = vec![qi as f32 * 7.3];
             let cands: Vec<u32> = (0..200u32).filter(|i| i % 3 == qi % 3).collect();
@@ -211,6 +270,7 @@ mod tests {
                 &mut heap,
                 &mut out,
                 &mut trace,
+                &mut budget,
             );
             let fresh = refine(&data, &L2, &q, cands.iter().copied(), 5);
             assert_eq!(out, fresh, "query {qi}");

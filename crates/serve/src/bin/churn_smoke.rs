@@ -157,7 +157,9 @@ fn main() {
         let ids = client
             .insert(&batch)
             .unwrap_or_else(|e| die(&format!("round {round}: insert: {e}")));
-        let oracle_ids = oracle.insert_points(batch.clone());
+        let oracle_ids = oracle
+            .insert_points(batch.clone())
+            .unwrap_or_else(|e| die(&format!("round {round}: oracle insert: {e}")));
         if ids != oracle_ids {
             eprintln!("churn_smoke: round {round}: id divergence {ids:?} vs {oracle_ids:?}");
             exit(1);
@@ -171,7 +173,9 @@ fn main() {
         let flags = client
             .delete(&victims)
             .unwrap_or_else(|e| die(&format!("round {round}: delete: {e}")));
-        let oracle_flags = oracle.remove_ids(&victims);
+        let oracle_flags = oracle
+            .remove_ids(&victims)
+            .unwrap_or_else(|e| die(&format!("round {round}: oracle delete: {e}")));
         if flags != oracle_flags {
             eprintln!(
                 "churn_smoke: round {round}: delete divergence {flags:?} vs {oracle_flags:?} \

@@ -11,6 +11,13 @@
 //! # behavior, metrics re-parse, a short sweep, then remote shutdown:
 //! cargo run -p permsearch-serve --release --bin loadgen -- \
 //!     --addr 127.0.0.1:7377 --from-snapshot DIR --smoke
+//!
+//! # CI overload gate: baseline point, a 2x-saturation point (assert the
+//! # accepted-query p50 stays under the pinned bound and admission
+//! # control actually shed), then a return-to-baseline point:
+//! cargo run -p permsearch-serve --release --bin loadgen -- \
+//!     --addr 127.0.0.1:7377 --from-snapshot DIR --overload \
+//!     --qps 300 --overload-qps 4000 --overload-p50-ms 60
 //! ```
 //!
 //! `--from-snapshot` points at the same deployment directory the server
@@ -37,7 +44,8 @@ use permsearch_serve::{Client, LoadPoint, OpenLoopConfig};
 const USAGE: &str = "usage:
   loadgen --addr HOST:PORT --from-snapshot DIR [--qps LIST] \\
           [--duration-secs N] [--connections N] [--k K] [--queries N] \\
-          [--seed S] [--out PATH] [--smoke]";
+          [--seed S] [--out PATH] [--deadline-ms N] [--smoke] \\
+          [--overload] [--overload-qps N] [--overload-p50-ms N]";
 
 fn die(msg: &str) -> ! {
     eprintln!("loadgen: {msg}");
@@ -55,7 +63,11 @@ struct Args {
     queries: usize,
     seed: u64,
     out: String,
+    deadline_ms: u64,
     smoke: bool,
+    overload: bool,
+    overload_qps: f64,
+    overload_p50_ms: f64,
 }
 
 fn parse(argv: &[String]) -> Args {
@@ -69,7 +81,11 @@ fn parse(argv: &[String]) -> Args {
         queries: 1_000,
         seed: 42,
         out: "bench_results/BENCH_serve_tcp.json".to_string(),
+        deadline_ms: 0,
         smoke: false,
+        overload: false,
+        overload_qps: 4_000.0,
+        overload_p50_ms: 60.0,
     };
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
@@ -118,7 +134,17 @@ fn parse(argv: &[String]) -> Args {
             "--queries" => args.queries = parse_num(flag, &next_value(flag, &mut it)),
             "--seed" => args.seed = parse_num(flag, &next_value(flag, &mut it)) as u64,
             "--out" => args.out = next_value(flag, &mut it),
+            "--deadline-ms" => {
+                args.deadline_ms = parse_num(flag, &next_value(flag, &mut it)) as u64;
+            }
             "--smoke" => args.smoke = true,
+            "--overload" => args.overload = true,
+            "--overload-qps" => {
+                args.overload_qps = parse_num(flag, &next_value(flag, &mut it)) as f64;
+            }
+            "--overload-p50-ms" => {
+                args.overload_p50_ms = parse_num(flag, &next_value(flag, &mut it)) as f64;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -186,42 +212,118 @@ fn main() {
     }
 
     let mut sweep = Vec::new();
-    for &qps in &args.qps {
-        let config = OpenLoopConfig {
-            addr: args.addr.clone(),
-            qps,
-            duration: Duration::from_secs_f64(args.duration_secs),
-            connections: args.connections,
-            k: args.k as u32,
-            seed: args.seed,
-        };
-        let point = permsearch_serve::run_open_loop(&config, &queries)
-            .unwrap_or_else(|e| die(&format!("open-loop run at {qps} qps: {e}")));
-        eprintln!(
-            "[loadgen] target {qps:.0} qps -> achieved {:.0} qps, \
-             p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms ({} completed, {} errors)",
-            point.achieved_qps,
-            point.p50_latency_secs * 1e3,
-            point.p99_latency_secs * 1e3,
-            point.p999_latency_secs * 1e3,
-            point.completed,
-            point.errors,
-        );
-        if args.smoke && point.completed == 0 {
-            die("smoke: open-loop sweep completed zero requests");
+    if args.overload {
+        sweep = overload_gate(&args, &queries);
+    } else {
+        for &qps in &args.qps {
+            let point = run_point(&args, &queries, qps);
+            if args.smoke && point.completed == 0 {
+                die("smoke: open-loop sweep completed zero requests");
+            }
+            sweep.push(point);
         }
-        sweep.push(point);
     }
 
     write_results(&args, &info.method, info.points, info.shards, &sweep);
 
-    if args.smoke {
+    if args.smoke || args.overload {
         client
             .shutdown_server()
-            .unwrap_or_else(|e| die(&format!("smoke: shutdown: {e}")));
-        eprintln!("[loadgen] smoke: server acknowledged shutdown");
+            .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        eprintln!("[loadgen] server acknowledged shutdown");
+    }
+    if args.smoke {
         println!("smoke OK: parity, empty batch, metrics, sweep, shutdown");
     }
+    if args.overload {
+        println!("overload gate OK: bounded accepted p50, nonzero shed, baseline recovery");
+    }
+}
+
+/// Run one open-loop measurement point at `qps` and log its summary.
+fn run_point(args: &Args, queries: &[Vec<f32>], qps: f64) -> LoadPoint {
+    let config = OpenLoopConfig {
+        addr: args.addr.clone(),
+        qps,
+        duration: Duration::from_secs_f64(args.duration_secs),
+        connections: args.connections,
+        k: args.k as u32,
+        seed: args.seed,
+        deadline: (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms)),
+    };
+    let point = permsearch_serve::run_open_loop(&config, queries)
+        .unwrap_or_else(|e| die(&format!("open-loop run at {qps} qps: {e}")));
+    eprintln!(
+        "[loadgen] target {qps:.0} qps -> achieved {:.0} qps, \
+         p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms ({} completed, {} errors, \
+         {} shed, {} degraded, {} partial)",
+        point.achieved_qps,
+        point.p50_latency_secs * 1e3,
+        point.p99_latency_secs * 1e3,
+        point.p999_latency_secs * 1e3,
+        point.completed,
+        point.errors,
+        point.shed,
+        point.degraded,
+        point.partial,
+    );
+    point
+}
+
+/// The CI overload gate: a baseline point at the (pre-knee) normal rate,
+/// an overload point far past saturation, and a recovery point back at
+/// the normal rate. Dies unless (a) the overload point's accepted-query
+/// p50 stays under the pinned `--overload-p50-ms` bound, (b) admission
+/// control shed a nonzero fraction, and (c) the recovery point's p50
+/// returns to within 3x the baseline (or the pinned bound, whichever is
+/// looser — tiny baselines would otherwise gate on scheduler noise).
+fn overload_gate(args: &Args, queries: &[Vec<f32>]) -> Vec<LoadPoint> {
+    let normal = args.qps[0];
+    eprintln!(
+        "[loadgen] overload gate: baseline {normal:.0} qps, overload {:.0} qps",
+        args.overload_qps
+    );
+    let baseline = run_point(args, queries, normal);
+    if baseline.completed == 0 {
+        die("overload gate: baseline point completed zero requests");
+    }
+    let overload = run_point(args, queries, args.overload_qps);
+    let p50_ms = overload.p50_latency_secs * 1e3;
+    if overload.completed == 0 {
+        die("overload gate: overload point completed zero requests");
+    }
+    if p50_ms > args.overload_p50_ms {
+        die(&format!(
+            "overload gate: accepted-query p50 {p50_ms:.1}ms exceeds the \
+             {:.1}ms bound — admission control is not protecting latency",
+            args.overload_p50_ms
+        ));
+    }
+    if overload.shed == 0 {
+        die(&format!(
+            "overload gate: {:.0} qps offered, zero requests shed — the load \
+             was absorbed without admission control engaging (raise \
+             --overload-qps or lower the server's --queue-cap)",
+            args.overload_qps
+        ));
+    }
+    let recovery = run_point(args, queries, normal);
+    let recovered_ms = recovery.p50_latency_secs * 1e3;
+    let bound_ms = (baseline.p50_latency_secs * 1e3 * 3.0).max(args.overload_p50_ms);
+    if recovery.completed == 0 || recovered_ms > bound_ms {
+        die(&format!(
+            "overload gate: post-overload p50 {recovered_ms:.1}ms did not \
+             return to baseline (bound {bound_ms:.1}ms from baseline p50 \
+             {:.1}ms)",
+            baseline.p50_latency_secs * 1e3
+        ));
+    }
+    eprintln!(
+        "[loadgen] overload gate: p50 {p50_ms:.1}ms under load ({} shed, \
+         {} degraded), recovered to {recovered_ms:.1}ms",
+        overload.shed, overload.degraded
+    );
+    vec![baseline, overload, recovery]
 }
 
 /// The CI loopback gate: bit-exact parity with the in-process engine on a
@@ -326,12 +428,16 @@ fn json_f64(v: f64) -> String {
 fn point_to_json(p: &LoadPoint) -> String {
     format!(
         "{{\"target_qps\": {}, \"offered\": {}, \"completed\": {}, \"errors\": {}, \
+         \"shed\": {}, \"degraded\": {}, \"partial\": {}, \
          \"achieved_qps\": {}, \"mean_latency_secs\": {}, \"p50_latency_secs\": {}, \
          \"p99_latency_secs\": {}, \"p999_latency_secs\": {}}}",
         json_f64(p.target_qps),
         p.offered,
         p.completed,
         p.errors,
+        p.shed,
+        p.degraded,
+        p.partial,
         json_f64(p.achieved_qps),
         json_f64(p.mean_latency_secs),
         json_f64(p.p50_latency_secs),
@@ -364,10 +470,13 @@ fn write_results(args: &Args, method: &str, points: u64, shards: u32, sweep: &[L
     let cells: Vec<String> = sweep.iter().map(point_to_json).collect();
     let json = format!(
         "{{\n  \"bench\": \"serve_tcp\",\n  \"date\": \"{date}\",\n  \"unix\": {unix},\n  \
-         \"smoke\": {},\n  \"method\": \"{method}\",\n  \"points\": {points},\n  \
+         \"smoke\": {},\n  \"overload\": {},\n  \"deadline_ms\": {},\n  \
+         \"method\": \"{method}\",\n  \"points\": {points},\n  \
          \"shards\": {shards},\n  \"connections\": {},\n  \"k\": {},\n  \
          \"duration_secs\": {},\n  \"sweep\": [\n    {}\n  ]\n}}\n",
         args.smoke,
+        args.overload,
+        args.deadline_ms,
         args.connections,
         args.k,
         json_f64(args.duration_secs),

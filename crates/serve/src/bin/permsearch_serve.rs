@@ -38,7 +38,9 @@ const USAGE: &str = "usage:
   permsearch-serve --from-snapshot DIR --addr HOST:PORT [--workers W] \\
                    [--batch-window-us N] [--max-batch N] [--max-k N] \\
                    [--sample-every N] [--mutable DELTA_METHOD] \\
-                   [--compact-min-slots N]";
+                   [--compact-min-slots N] [--queue-cap N] \\
+                   [--degrade-at N] [--retry-after-ms N] \\
+                   [--journal-sync-every N]";
 
 fn die(msg: &str) -> ! {
     eprintln!("permsearch-serve: {msg}");
@@ -56,6 +58,10 @@ struct Args {
     sample_every: usize,
     mutable: Option<String>,
     compact_min_slots: usize,
+    queue_cap: usize,
+    degrade_at: usize,
+    retry_after_ms: u64,
+    journal_sync_every: u64,
 }
 
 fn parse(argv: &[String]) -> Args {
@@ -69,6 +75,13 @@ fn parse(argv: &[String]) -> Args {
         sample_every: DEFAULT_SAMPLE_EVERY,
         mutable: None,
         compact_min_slots: CompactionConfig::default().min_delta_slots,
+        queue_cap: 1024,
+        degrade_at: 512,
+        retry_after_ms: 20,
+        // Sync the mutation journal after every record by default: the
+        // durability window of an acknowledged write is zero unless the
+        // operator widens it explicitly.
+        journal_sync_every: 1,
     };
     let mut it = argv.iter();
     let next_value = |flag: &str, it: &mut std::slice::Iter<String>| -> String {
@@ -96,6 +109,14 @@ fn parse(argv: &[String]) -> Args {
             "--compact-min-slots" => {
                 args.compact_min_slots = parse_num(flag, &next_value(flag, &mut it));
             }
+            "--queue-cap" => args.queue_cap = parse_num(flag, &next_value(flag, &mut it)),
+            "--degrade-at" => args.degrade_at = parse_num(flag, &next_value(flag, &mut it)),
+            "--retry-after-ms" => {
+                args.retry_after_ms = parse_num(flag, &next_value(flag, &mut it)) as u64;
+            }
+            "--journal-sync-every" => {
+                args.journal_sync_every = parse_num(flag, &next_value(flag, &mut it)) as u64;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 exit(0);
@@ -114,6 +135,9 @@ fn parse(argv: &[String]) -> Args {
     }
     if args.max_k == 0 {
         die("--max-k must be at least 1");
+    }
+    if args.queue_cap == 0 {
+        die("--queue-cap must be at least 1");
     }
     args
 }
@@ -138,6 +162,9 @@ fn main() {
         max_k: args.max_k,
         dim,
         metrics: Some(Arc::clone(&metrics)),
+        queue_cap: args.queue_cap,
+        degrade_at: args.degrade_at,
+        retry_after: Duration::from_millis(args.retry_after_ms),
     };
 
     // Compactor handle must outlive serving (dropping it stops the
@@ -156,6 +183,7 @@ fn main() {
         )
         .unwrap_or_else(|e| die(&e.to_string()));
         engine.attach_metrics(&metrics, args.sample_every);
+        engine.set_journal_sync_every(args.journal_sync_every);
         eprintln!(
             "[serve] mutable warm start: method={} shards={} points={} dim={dim} \
              journal_records={} loaded in {:.3}s",

@@ -4,13 +4,31 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use permsearch_core::Neighbor;
+use permsearch_core::{rng::seeded_rng, Neighbor};
+use rand::Rng;
 
-use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, ServerInfo};
+use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, QueryStatus, ServerInfo};
+
+/// Initial delay between connection attempts; doubles per failure.
+const RETRY_BASE: Duration = Duration::from_millis(5);
+/// Backoff ceiling — attempts never wait longer than this (pre-jitter).
+const RETRY_CAP: Duration = Duration::from_millis(320);
+
+/// One answered search request: the neighbor lists plus the per-query
+/// status flags the server attached (all-clear from v1 servers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReply {
+    /// `k` nearest neighbors per query, in request order.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Per-query serving flags, parallel to `results`.
+    pub statuses: Vec<QueryStatus>,
+}
 
 /// A connected protocol client. Each request method writes one frame and
 /// blocks for the matching response; a [`Frame::Error`] answer surfaces as
-/// [`ProtocolError::Remote`] and leaves the connection usable.
+/// [`ProtocolError::Remote`] and leaves the connection usable, while a
+/// [`Frame::Overloaded`] shed surfaces as [`ProtocolError::Overloaded`]
+/// (also leaving the connection usable — retry after the hinted delay).
 pub struct Client {
     stream: TcpStream,
 }
@@ -24,27 +42,45 @@ impl Client {
     }
 
     /// Connect with retries until `timeout` elapses — the standard way to
-    /// wait out a server that is still binding its listener.
+    /// wait out a server that is still binding its listener. Attempts back
+    /// off exponentially (5ms doubling to a 320ms cap) with deterministic
+    /// jitter, so a fleet of clients started together does not hammer the
+    /// listener in lockstep.
     pub fn connect_retry(
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Self, ProtocolError> {
+        // Seed off the timeout so two differently-configured callers
+        // de-correlate, while the same call site stays reproducible.
+        let mut rng = seeded_rng(0x5EED_C0DE ^ timeout.as_nanos() as u64);
         let deadline = Instant::now() + timeout;
+        let mut delay = RETRY_BASE;
         loop {
             match Self::connect(&addr) {
                 Ok(client) => return Ok(client),
                 Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => thread::sleep(Duration::from_millis(20)),
+                Err(_) => {
+                    // Full jitter: sleep a uniform fraction of the current
+                    // backoff window, never past the caller's deadline.
+                    let jittered = delay.mul_f64(rng.gen_range(0.5..1.0));
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    thread::sleep(jittered.min(left));
+                    delay = (delay * 2).min(RETRY_CAP);
+                }
             }
         }
     }
 
     /// Send `frame`, read the response; `Error` answers become
-    /// [`ProtocolError::Remote`], a closed stream becomes `Truncated`.
+    /// [`ProtocolError::Remote`], `Overloaded` answers become
+    /// [`ProtocolError::Overloaded`], a closed stream becomes `Truncated`.
     fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ProtocolError> {
         write_frame(&mut self.stream, frame)?;
         match read_frame(&mut self.stream)? {
             Some(Frame::Error(msg)) => Err(ProtocolError::Remote(msg)),
+            Some(Frame::Overloaded { retry_after_ms }) => {
+                Err(ProtocolError::Overloaded { retry_after_ms })
+            }
             Some(reply) => Ok(reply),
             None => Err(ProtocolError::Truncated {
                 context: "response frame",
@@ -59,12 +95,30 @@ impl Client {
         queries: &[Vec<f32>],
         k: u32,
     ) -> Result<Vec<Vec<Neighbor>>, ProtocolError> {
+        Ok(self.search_deadline(queries, k, None)?.results)
+    }
+
+    /// Like [`Client::search`], but attaches an optional per-request
+    /// deadline (`None` = unbounded, identical wire bytes to a plain
+    /// search) and returns the per-query status flags alongside the
+    /// results. A query whose deadline expires mid-flight comes back with
+    /// `partial` set and whatever neighbors the completed stages found.
+    pub fn search_deadline(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: u32,
+        deadline: Option<Duration>,
+    ) -> Result<SearchReply, ProtocolError> {
+        let deadline_micros = deadline
+            .map(|d| d.as_micros().min(u64::MAX as u128) as u64)
+            .unwrap_or(0);
         let request = Frame::Query {
             k,
+            deadline_micros,
             queries: queries.to_vec(),
         };
         match self.roundtrip(&request)? {
-            Frame::Results(results) => {
+            Frame::Results { results, statuses } => {
                 if results.len() != queries.len() {
                     return Err(crate::protocol::corrupt(format!(
                         "sent {} queries, received {} result lists",
@@ -72,7 +126,7 @@ impl Client {
                         results.len()
                     )));
                 }
-                Ok(results)
+                Ok(SearchReply { results, statuses })
             }
             other => Err(unexpected("results", &other)),
         }

@@ -29,10 +29,11 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, SearchReply};
 pub use loadgen::{poisson_schedule, run_open_loop, LoadPoint, OpenLoopConfig};
 pub use protocol::{
-    frame_to_vec, read_frame, write_frame, Frame, ProtocolError, ServerInfo, MAGIC,
-    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    frame_to_vec, frame_to_vec_versioned, read_frame, read_frame_versioned, write_frame,
+    write_frame_versioned, Frame, ProtocolError, QueryStatus, ServerInfo, MAGIC, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_V1,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -36,6 +36,15 @@ pub struct LoadPoint {
     pub completed: u64,
     /// Requests that failed (transport or server error).
     pub errors: u64,
+    /// Requests shed by admission control (typed overload answers).
+    /// Shed requests are not errors: the connection stays usable and the
+    /// server told the client when to retry.
+    pub shed: u64,
+    /// Completed queries answered in degraded mode.
+    pub degraded: u64,
+    /// Completed queries whose deadline expired mid-flight (partial
+    /// results).
+    pub partial: u64,
     /// Completed queries divided by the wall time from first scheduled
     /// arrival to last response.
     pub achieved_qps: f64,
@@ -64,6 +73,9 @@ pub struct OpenLoopConfig {
     pub k: u32,
     /// Seed for the arrival-schedule draw.
     pub seed: u64,
+    /// Optional per-request deadline carried in the query frame
+    /// (`None` = unbounded — wire bytes identical to a v1-era search).
+    pub deadline: Option<Duration>,
 }
 
 /// Draw a Poisson arrival schedule: exponential gaps at rate `qps`,
@@ -111,16 +123,30 @@ pub fn run_open_loop(
         )?);
     }
 
-    let (tx, rx) = mpsc::channel::<(Vec<f64>, u64)>();
+    struct SenderTally {
+        latencies: Vec<f64>,
+        errors: u64,
+        shed: u64,
+        degraded: u64,
+        partial: u64,
+    }
+
+    let (tx, rx) = mpsc::channel::<SenderTally>();
     let start = Instant::now() + Duration::from_millis(20);
     thread::scope(|scope| {
         for (c, mut client) in clients.into_iter().enumerate() {
             let tx = tx.clone();
             let schedule = &schedule;
             let k = config.k;
+            let deadline = config.deadline;
             scope.spawn(move || {
-                let mut latencies = Vec::new();
-                let mut errors = 0u64;
+                let mut tally = SenderTally {
+                    latencies: Vec::new(),
+                    errors: 0,
+                    shed: 0,
+                    degraded: 0,
+                    partial: 0,
+                };
                 let mut dead = false;
                 for (i, &offset) in schedule.iter().enumerate() {
                     if i % connections != c {
@@ -134,19 +160,28 @@ pub fn run_open_loop(
                         // Connection lost and not recoverable: the rest of
                         // this thread's arrivals are failures, not skipped
                         // load.
-                        errors += 1;
+                        tally.errors += 1;
                         continue;
                     }
                     let query = std::slice::from_ref(&queries[i % queries.len()]);
-                    match client.search(query, k) {
-                        Ok(_) => {
+                    match client.search_deadline(query, k, deadline) {
+                        Ok(reply) => {
                             // Open-loop latency: scheduled arrival to
                             // response, queueing delay included.
-                            latencies.push(scheduled.elapsed().as_secs_f64());
+                            tally.latencies.push(scheduled.elapsed().as_secs_f64());
+                            for s in &reply.statuses {
+                                tally.degraded += s.degraded as u64;
+                                tally.partial += s.partial as u64;
+                            }
                         }
-                        Err(ProtocolError::Remote(_)) => errors += 1,
+                        // Typed answers leave the connection usable —
+                        // reuse it, never reconnect (a shed request that
+                        // triggered a reconnect would turn admission
+                        // control into a connection storm).
+                        Err(ProtocolError::Overloaded { .. }) => tally.shed += 1,
+                        Err(ProtocolError::Remote(_)) => tally.errors += 1,
                         Err(_) => {
-                            errors += 1;
+                            tally.errors += 1;
                             match Client::connect(config.addr.as_str()) {
                                 Ok(fresh) => client = fresh,
                                 Err(_) => dead = true,
@@ -154,17 +189,20 @@ pub fn run_open_loop(
                         }
                     }
                 }
-                let _ = tx.send((latencies, errors));
+                let _ = tx.send(tally);
             });
         }
     });
     drop(tx);
 
     let mut latencies = Vec::new();
-    let mut errors = 0u64;
-    for (lats, errs) in rx {
-        latencies.extend(lats);
-        errors += errs;
+    let (mut errors, mut shed, mut degraded, mut partial) = (0u64, 0u64, 0u64, 0u64);
+    for tally in rx {
+        latencies.extend(tally.latencies);
+        errors += tally.errors;
+        shed += tally.shed;
+        degraded += tally.degraded;
+        partial += tally.partial;
     }
     let elapsed = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -174,6 +212,9 @@ pub fn run_open_loop(
         offered,
         completed,
         errors,
+        shed,
+        degraded,
+        partial,
         achieved_qps: if completed == 0 {
             0.0
         } else {

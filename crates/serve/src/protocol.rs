@@ -6,12 +6,23 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic  b"PSRV"
-//!      4     2  protocol version, little-endian u16 (currently 1)
+//!      4     2  protocol version, little-endian u16 (currently 2)
 //!      6     1  frame type tag (see [`Frame`])
 //!      7     8  payload length N, little-endian u64
 //!     15     N  payload (the core snapshot codec's flat byte stream)
 //!   15+N     8  FNV-1a 64 checksum of all preceding bytes
 //! ```
+//!
+//! ## Versioning
+//!
+//! Version 2 adds the overload-resilience surface: a per-request
+//! deadline on [`Frame::Query`], a per-query status byte on
+//! [`Frame::Results`] (degraded / partial / failed), and the
+//! [`Frame::Overloaded`] load-shed reply. Version 1 encodings are
+//! unchanged bit for bit: payloads are written *and* parsed under an
+//! explicit version ([`frame_to_vec_versioned`], [`read_frame_versioned`]),
+//! and a server answers every request at the version the request carried,
+//! so a v1 client never sees a v2 byte.
 //!
 //! The framing deliberately mirrors the `permsearch-store` snapshot
 //! container — same magic-plus-version discipline, same trailing FNV-1a
@@ -49,7 +60,11 @@ use permsearch_store::fnv1a64;
 pub const MAGIC: [u8; 4] = *b"PSRV";
 
 /// Protocol version written by this build; readers accept only `<=` it.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The pre-deadline protocol version, still fully supported: v1 frames
+/// are encoded and parsed bitwise as they always were.
+pub const PROTOCOL_VERSION_V1: u16 = 1;
 
 /// Hard cap on a frame's payload length. A length prefix beyond this is
 /// refused before any allocation — the wire-level twin of the snapshot
@@ -104,6 +119,13 @@ pub enum ProtocolError {
     },
     /// The peer answered with an [`Frame::Error`] frame (client side).
     Remote(String),
+    /// The peer shed the request with [`Frame::Overloaded`] (client
+    /// side). Not a transport fault: the connection stays usable and the
+    /// request may be retried after the hinted backoff.
+    Overloaded {
+        /// Server's suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -130,6 +152,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Corrupt { context } => write!(f, "corrupt frame: {context}"),
             ProtocolError::Remote(msg) => write!(f, "server error: {msg}"),
+            ProtocolError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded: retry after {retry_after_ms}ms")
+            }
         }
     }
 }
@@ -194,11 +219,22 @@ pub enum Frame {
     Query {
         /// Neighbors requested per query.
         k: u32,
+        /// Per-request deadline in microseconds from the server reading
+        /// the frame; `0` means none. Carried only by v2 encodings — a
+        /// v1 write drops it (v1 cannot express one).
+        deadline_micros: u64,
         /// The query batch (may be empty: zero queries, zero results).
         queries: Vec<Vec<f32>>,
     },
     /// Server → client: per-query neighbor lists, in request order.
-    Results(Vec<Vec<Neighbor>>),
+    Results {
+        /// Neighbor lists, one per query.
+        results: Vec<Vec<Neighbor>>,
+        /// Per-query robustness outcome, parallel to `results`. Carried
+        /// only by v2 encodings; a v1 read fills in the all-clear
+        /// default and a v1 write drops the flags.
+        statuses: Vec<QueryStatus>,
+    },
     /// Client → server: request the metrics exposition.
     MetricsRequest,
     /// Server → client: the Prometheus text exposition.
@@ -243,13 +279,58 @@ pub enum Frame {
         /// Live (non-tombstoned) points served.
         live: u64,
     },
+    /// Server → client: the request was shed by admission control before
+    /// any query work ran. v2 only; v1 requesters receive an
+    /// [`Frame::Error`] carrying the same retry hint as text.
+    Overloaded {
+        /// Client-side backoff hint before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+/// Per-query robustness outcome carried by v2 [`Frame::Results`].
+///
+/// Encoded as one strict byte: bit 0 degraded, bit 1 partial, bit 2
+/// failed; higher bits are refused as corruption.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStatus {
+    /// Served under pressure-degraded refinement (approximate re-rank).
+    pub degraded: bool,
+    /// Cut by its deadline; the neighbor list may be short or empty.
+    pub partial: bool,
+    /// The query's work panicked; the neighbor list is empty.
+    pub failed: bool,
+}
+
+impl QueryStatus {
+    fn to_byte(self) -> u8 {
+        u8::from(self.degraded) | (u8::from(self.partial) << 1) | (u8::from(self.failed) << 2)
+    }
+
+    fn from_byte(byte: u8) -> Result<Self, ProtocolError> {
+        if byte > 0b111 {
+            return Err(corrupt(format!(
+                "query status byte {byte:#04x} has unknown flag bits"
+            )));
+        }
+        Ok(Self {
+            degraded: byte & 1 != 0,
+            partial: byte & 2 != 0,
+            failed: byte & 4 != 0,
+        })
+    }
+
+    /// The all-clear outcome: full, exact, on time.
+    pub fn is_ok(self) -> bool {
+        self == Self::default()
+    }
 }
 
 impl Frame {
     fn tag(&self) -> u8 {
         match self {
             Frame::Query { .. } => 1,
-            Frame::Results(_) => 2,
+            Frame::Results { .. } => 2,
             Frame::MetricsRequest => 3,
             Frame::MetricsText(_) => 4,
             Frame::Error(_) => 5,
@@ -263,6 +344,7 @@ impl Frame {
             Frame::Deleted(_) => 13,
             Frame::Flush => 14,
             Frame::Flushed { .. } => 15,
+            Frame::Overloaded { .. } => 16,
         }
     }
 
@@ -270,7 +352,7 @@ impl Frame {
     pub fn name(&self) -> &'static str {
         match self {
             Frame::Query { .. } => "query",
-            Frame::Results(_) => "results",
+            Frame::Results { .. } => "results",
             Frame::MetricsRequest => "metrics-request",
             Frame::MetricsText(_) => "metrics-text",
             Frame::Error(_) => "error",
@@ -284,22 +366,34 @@ impl Frame {
             Frame::Deleted(_) => "deleted",
             Frame::Flush => "flush",
             Frame::Flushed { .. } => "flushed",
+            Frame::Overloaded { .. } => "overloaded",
         }
     }
 
-    fn write_payload(&self, w: &mut Vec<u8>) -> Result<(), SnapshotError> {
+    fn write_payload(&self, w: &mut Vec<u8>, version: u16) -> Result<(), SnapshotError> {
         match self {
-            Frame::Query { k, queries } => {
+            Frame::Query {
+                k,
+                deadline_micros,
+                queries,
+            } => {
                 write_u32(w, *k)?;
+                if version >= 2 {
+                    write_len(w, *deadline_micros as usize)?;
+                }
                 write_len(w, queries.len())?;
                 for q in queries {
                     write_f32_seq(w, q)?;
                 }
                 Ok(())
             }
-            Frame::Results(results) => {
+            Frame::Results { results, statuses } => {
                 write_len(w, results.len())?;
-                for neighbors in results {
+                for (i, neighbors) in results.iter().enumerate() {
+                    if version >= 2 {
+                        let status = statuses.get(i).copied().unwrap_or_default();
+                        w.push(status.to_byte());
+                    }
                     write_len(w, neighbors.len())?;
                     for n in neighbors {
                         write_u32(w, n.id)?;
@@ -347,17 +441,19 @@ impl Frame {
                 write_len(w, *generation as usize)?;
                 write_len(w, *live as usize)
             }
+            Frame::Overloaded { retry_after_ms } => write_u32(w, *retry_after_ms),
             Frame::MetricsRequest | Frame::Ping | Frame::Shutdown | Frame::Ack | Frame::Flush => {
                 Ok(())
             }
         }
     }
 
-    fn read_payload(tag: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+    fn read_payload(tag: u8, payload: &[u8], version: u16) -> Result<Self, ProtocolError> {
         let r = &mut &payload[..];
         let frame = match tag {
             1 => {
                 let k = read_u32(r)?;
+                let deadline_micros = if version >= 2 { read_len(r)? as u64 } else { 0 };
                 let nq = read_len(r)?;
                 // Capped prealloc: the frame-size cap bounds `nq * dim`,
                 // but the count itself is still only trusted as far as the
@@ -366,12 +462,26 @@ impl Frame {
                 for _ in 0..nq {
                     queries.push(read_f32_seq(r)?);
                 }
-                Frame::Query { k, queries }
+                Frame::Query {
+                    k,
+                    deadline_micros,
+                    queries,
+                }
             }
             2 => {
                 let n = read_len(r)?;
                 let mut results = Vec::with_capacity(n.min(1 << 16));
+                let mut statuses = Vec::with_capacity(n.min(1 << 16));
                 for _ in 0..n {
+                    statuses.push(if version >= 2 {
+                        let (&byte, rest) = r.split_first().ok_or(ProtocolError::Truncated {
+                            context: "query status",
+                        })?;
+                        *r = rest;
+                        QueryStatus::from_byte(byte)?
+                    } else {
+                        QueryStatus::default()
+                    });
                     let m = read_len(r)?;
                     let mut neighbors = Vec::with_capacity(m.min(1 << 16));
                     for _ in 0..m {
@@ -381,7 +491,7 @@ impl Frame {
                     }
                     results.push(neighbors);
                 }
-                Frame::Results(results)
+                Frame::Results { results, statuses }
             }
             3 => Frame::MetricsRequest,
             4 => Frame::MetricsText(read_str(r)?),
@@ -432,6 +542,9 @@ impl Frame {
                 generation: read_len(r)? as u64,
                 live: read_len(r)? as u64,
             },
+            16 => Frame::Overloaded {
+                retry_after_ms: read_u32(r)?,
+            },
             other => return Err(ProtocolError::UnknownFrameType(other)),
         };
         if !r.is_empty() {
@@ -462,10 +575,17 @@ fn read_bool(r: &mut &[u8]) -> Result<bool, ProtocolError> {
     }
 }
 
-/// Serialize one frame into a byte vector (header + payload + checksum).
+/// Serialize one frame at the current protocol version.
 pub fn frame_to_vec(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
+    frame_to_vec_versioned(frame, PROTOCOL_VERSION)
+}
+
+/// Serialize one frame into a byte vector (header + payload + checksum)
+/// at `version` — v1 encodings are produced bit for bit as the v1 build
+/// wrote them, so a server can answer old clients in their own dialect.
+pub fn frame_to_vec_versioned(frame: &Frame, version: u16) -> Result<Vec<u8>, ProtocolError> {
     let mut payload = Vec::new();
-    frame.write_payload(&mut payload)?;
+    frame.write_payload(&mut payload, version)?;
     if payload.len() as u64 > MAX_FRAME_BYTES {
         return Err(ProtocolError::FrameTooLarge {
             len: payload.len() as u64,
@@ -474,7 +594,7 @@ pub fn frame_to_vec(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
     }
     let mut out = Vec::with_capacity(HEADER_BYTES + payload.len() + 8);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.push(frame.tag());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
@@ -483,9 +603,18 @@ pub fn frame_to_vec(frame: &Frame) -> Result<Vec<u8>, ProtocolError> {
     Ok(out)
 }
 
-/// Write one frame to `w` and flush it.
+/// Write one frame to `w` at the current protocol version and flush it.
 pub fn write_frame<W: Write + ?Sized>(w: &mut W, frame: &Frame) -> Result<(), ProtocolError> {
-    let bytes = frame_to_vec(frame)?;
+    write_frame_versioned(w, frame, PROTOCOL_VERSION)
+}
+
+/// Write one frame to `w` at `version` and flush it.
+pub fn write_frame_versioned<W: Write + ?Sized>(
+    w: &mut W,
+    frame: &Frame,
+    version: u16,
+) -> Result<(), ProtocolError> {
+    let bytes = frame_to_vec_versioned(frame, version)?;
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(())
@@ -505,17 +634,26 @@ fn read_exact<R: Read + ?Sized>(
     })
 }
 
-/// Read one frame from `r`. A clean end of stream before the first magic
-/// byte returns `Ok(None)` (the peer closed between frames); any other
-/// short read is [`ProtocolError::Truncated`]. The checksum is verified
-/// before the payload is decoded.
+/// Read one frame from `r`, discarding the version it arrived at. See
+/// [`read_frame_versioned`].
 pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Frame>, ProtocolError> {
+    Ok(read_frame_versioned(r)?.map(|(_, frame)| frame))
+}
+
+/// Read one frame from `r`, returning it with the version its header
+/// carried (a server answers at that version). A clean end of stream
+/// before the first magic byte returns `Ok(None)` (the peer closed
+/// between frames); any other short read is [`ProtocolError::Truncated`].
+/// The checksum is verified before the payload is decoded.
+pub fn read_frame_versioned<R: Read + ?Sized>(
+    r: &mut R,
+) -> Result<Option<(u16, Frame)>, ProtocolError> {
     // First magic byte decides "closed" vs "truncated".
     let mut first = [0u8; 1];
     match r.read(&mut first) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
-        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame_versioned(r),
         Err(e) => return Err(e.into()),
     }
     let mut magic = [first[0], 0, 0, 0];
@@ -566,7 +704,7 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Frame>, Protocol
             computed: checksum,
         });
     }
-    Frame::read_payload(tag, &payload).map(Some)
+    Frame::read_payload(tag, &payload, version).map(|frame| Some((version, frame)))
 }
 
 /// Continue a running FNV-1a 64 hash over `bytes` (the store crate exposes
@@ -593,16 +731,28 @@ mod tests {
         let frames = vec![
             Frame::Query {
                 k: 10,
+                deadline_micros: 0,
                 queries: vec![vec![1.0, -2.5], vec![], vec![f32::MIN_POSITIVE]],
             },
             Frame::Query {
                 k: 1,
+                deadline_micros: 2_500,
                 queries: Vec::new(),
             },
-            Frame::Results(vec![
-                vec![Neighbor::new(3, 0.5), Neighbor::new(7, 0.5)],
-                Vec::new(),
-            ]),
+            Frame::Results {
+                results: vec![
+                    vec![Neighbor::new(3, 0.5), Neighbor::new(7, 0.5)],
+                    Vec::new(),
+                ],
+                statuses: vec![
+                    QueryStatus::default(),
+                    QueryStatus {
+                        degraded: true,
+                        partial: true,
+                        failed: false,
+                    },
+                ],
+            },
             Frame::MetricsRequest,
             Frame::MetricsText("# HELP x y\n".into()),
             Frame::Error("no such thing".into()),
@@ -631,10 +781,79 @@ mod tests {
                 generation: 17,
                 live: 123_456,
             },
+            Frame::Overloaded { retry_after_ms: 25 },
         ];
         for frame in frames {
             assert_eq!(round_trip(frame.clone()), frame, "{}", frame.name());
         }
+    }
+
+    #[test]
+    fn v1_encoding_drops_v2_fields_and_reads_all_clear() {
+        // A v1 write of a deadline query drops the deadline; the v1
+        // parse fills in "none".
+        let query = Frame::Query {
+            k: 5,
+            deadline_micros: 9_999,
+            queries: vec![vec![1.0, 2.0]],
+        };
+        let bytes = frame_to_vec_versioned(&query, PROTOCOL_VERSION_V1).unwrap();
+        let (version, frame) = read_frame_versioned(&mut bytes.as_slice())
+            .unwrap()
+            .unwrap();
+        assert_eq!(version, PROTOCOL_VERSION_V1);
+        assert_eq!(
+            frame,
+            Frame::Query {
+                k: 5,
+                deadline_micros: 0,
+                queries: vec![vec![1.0, 2.0]],
+            }
+        );
+        // A v1 results payload has no status bytes (exactly one byte per
+        // query smaller than v2) and parses to all-clear statuses.
+        let results = Frame::Results {
+            results: vec![vec![Neighbor::new(1, 0.25)], Vec::new()],
+            statuses: vec![
+                QueryStatus {
+                    degraded: true,
+                    partial: false,
+                    failed: false,
+                },
+                QueryStatus::default(),
+            ],
+        };
+        let v1 = frame_to_vec_versioned(&results, PROTOCOL_VERSION_V1).unwrap();
+        let v2 = frame_to_vec_versioned(&results, PROTOCOL_VERSION).unwrap();
+        assert_eq!(v2.len(), v1.len() + 2, "one status byte per query");
+        let got = read_frame(&mut v1.as_slice()).unwrap().unwrap();
+        assert_eq!(
+            got,
+            Frame::Results {
+                results: vec![vec![Neighbor::new(1, 0.25)], Vec::new()],
+                statuses: vec![QueryStatus::default(); 2],
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_status_flag_bits_are_corrupt() {
+        let frame = Frame::Results {
+            results: vec![vec![Neighbor::new(1, 0.5)]],
+            statuses: vec![QueryStatus::default()],
+        };
+        let mut bytes = frame_to_vec(&frame).unwrap();
+        // The status byte is the first payload byte after the list count.
+        let status_at = HEADER_BYTES + 8;
+        bytes[status_at] = 0b1000;
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(&err, ProtocolError::Corrupt { context } if context.contains("status")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -32,20 +32,43 @@
 //! prefix, truncation) poisons only its own connection: the thread answers
 //! with a best-effort [`Frame::Error`] and closes, while every other
 //! connection — and the acceptor — keeps serving.
+//!
+//! ## Overload behaviour
+//!
+//! The batcher queue is bounded ([`ServerConfig::queue_cap`], counted in
+//! queries): a query frame arriving with the queue full is **shed** in
+//! microseconds on its connection thread — a v2 client gets
+//! [`Frame::Overloaded`] with a retry-after hint, a v1 client the same
+//! hint as a [`Frame::Error`] — instead of growing an unbounded backlog
+//! whose tail latency is the collapse the no-admission design showed.
+//! Between admission and collapse there is a degradation band: while the
+//! backlog sits above [`ServerConfig::degrade_at`], accepted batches are
+//! served with pressure-degraded refinement (quantized re-rank, tightened
+//! candidate budgets), trading a little accuracy for bounded latency; the
+//! per-query `degraded` status bit and the engine's
+//! `permsearch_queries_degraded_total` family record the trade. Requests
+//! carrying a deadline propagate it into the engine as a per-query
+//! budget; an expired query returns whatever sources were already
+//! gathered, flagged `partial`. Every reply is written at the protocol
+//! version its request carried, so v1 clients never see a v2 byte.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use permsearch_core::Neighbor;
-use permsearch_engine::{Engine, MutableServing};
+use permsearch_core::{deadline_after, Neighbor};
+use permsearch_engine::{Engine, MutableServing, QueryOutcome, ServeOptions};
 use permsearch_obs::{Counter, Gauge, MetricsRegistry};
 
-use crate::protocol::{read_frame, write_frame, Frame, ProtocolError, ServerInfo};
+use crate::protocol::{
+    read_frame_versioned, write_frame_versioned, Frame, ProtocolError, QueryStatus, ServerInfo,
+    PROTOCOL_VERSION_V1,
+};
 
 /// How long an idle connection waits between checks of the shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(25);
@@ -78,11 +101,21 @@ pub struct ServerConfig {
     /// exposition; `None` disables both (metrics requests get a typed
     /// error).
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Admission cap on the batcher queue, counted in queries (an empty
+    /// query batch counts as one). Arrivals beyond it are shed with
+    /// [`Frame::Overloaded`] before any engine work runs.
+    pub queue_cap: usize,
+    /// Backlog depth at which accepted queries switch to degraded
+    /// refinement; `0` disables degradation.
+    pub degrade_at: usize,
+    /// Backoff hint carried by shed replies.
+    pub retry_after: Duration,
 }
 
 impl ServerConfig {
     /// Defaults tuned for loopback serving: 500 µs window, 256-query
-    /// batches, `k` capped at 1024, no metrics registry.
+    /// batches, `k` capped at 1024, a 1024-query admission cap degrading
+    /// from half that depth, no metrics registry.
     pub fn new(addr: impl Into<String>, dim: usize) -> Self {
         Self {
             addr: addr.into(),
@@ -91,6 +124,9 @@ impl ServerConfig {
             max_k: 1024,
             dim,
             metrics: None,
+            queue_cap: 1024,
+            degrade_at: 512,
+            retry_after: Duration::from_millis(20),
         }
     }
 }
@@ -109,6 +145,8 @@ struct TcpMetrics {
     batched_queries_total: Arc<Counter>,
     mutations_total: Arc<Counter>,
     protocol_errors_total: Arc<Counter>,
+    shed_total: Arc<Counter>,
+    queue_depth_gauge: Arc<Gauge>,
 }
 
 impl TcpMetrics {
@@ -156,6 +194,16 @@ impl TcpMetrics {
                 "Malformed or rejected frames.",
                 m,
             ),
+            shed_total: registry.counter(
+                "permsearch_tcp_shed_total",
+                "Queries shed by admission control (queue full).",
+                m,
+            ),
+            queue_depth_gauge: registry.gauge(
+                "permsearch_tcp_queue_depth",
+                "Queries waiting in the batcher queue.",
+                m,
+            ),
         }
     }
 
@@ -172,11 +220,21 @@ impl TcpMetrics {
 }
 
 /// One enqueued query request: the batch it carries, the `k` it asked
-/// for, and the channel its connection thread blocks on.
+/// for, its optional deadline, and the channel its connection thread
+/// blocks on.
 struct Pending {
     queries: Vec<Vec<f32>>,
     k: usize,
-    reply: SyncSender<Vec<Vec<Neighbor>>>,
+    deadline: Option<Instant>,
+    reply: SyncSender<(Vec<Vec<Neighbor>>, Vec<QueryOutcome>)>,
+}
+
+impl Pending {
+    /// Queue-depth cost of this request. An empty query batch still
+    /// occupies a batcher slot, so it costs one.
+    fn cost(&self) -> i64 {
+        self.queries.len().max(1) as i64
+    }
 }
 
 /// State shared by the acceptor, connection threads and the batcher.
@@ -190,6 +248,10 @@ struct Shared {
     config: ServerConfig,
     metrics: Option<TcpMetrics>,
     shutdown: AtomicBool,
+    /// Queries admitted but not yet taken into a serving batch — the
+    /// admission-control and pressure signal. Connection threads add on
+    /// enqueue; the batcher subtracts when it commits a batch.
+    queue_depth: AtomicI64,
 }
 
 /// The running server. Construct with [`Server::start`].
@@ -244,6 +306,7 @@ impl Server {
             config,
             metrics,
             shutdown: AtomicBool::new(false),
+            queue_depth: AtomicI64::new(0),
         });
 
         let (queue, batcher_rx) = mpsc::channel::<Pending>();
@@ -368,7 +431,17 @@ fn batcher_loop(shared: &Arc<Shared>, rx: &Receiver<Pending>) {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        serve_coalesced(shared, pending);
+        // Defense in depth: per-query panics are already isolated inside
+        // the engine, but a panic in the coalescing bookkeeping itself
+        // must not kill the batcher thread — that would strand every
+        // future query. The affected requests' reply channels drop and
+        // their connections answer a typed error.
+        let caught = catch_unwind(AssertUnwindSafe(|| serve_coalesced(shared, pending)));
+        if caught.is_err() {
+            if let Some(m) = &shared.metrics {
+                m.protocol_errors_total.inc();
+            }
+        }
     }
     // Receiver disconnected: all senders gone, nothing left to drain.
 }
@@ -376,6 +449,11 @@ fn batcher_loop(shared: &Arc<Shared>, rx: &Receiver<Pending>) {
 /// Serve one coalesced batch and route each request's slice of the
 /// results back to its connection thread.
 fn serve_coalesced(shared: &Shared, pending: Vec<Pending>) {
+    // The batch is committed: release its admission slots first (even a
+    // panic below must not leak depth) and read the remaining backlog —
+    // the pressure signal that decides degraded refinement.
+    let total: i64 = pending.iter().map(Pending::cost).sum();
+    let backlog = shared.queue_depth.fetch_sub(total, Ordering::Relaxed) - total;
     let k_max = pending.iter().map(|p| p.k).max().unwrap_or(1).max(1);
     let flat: Vec<Vec<f32>> = pending
         .iter()
@@ -384,12 +462,26 @@ fn serve_coalesced(shared: &Shared, pending: Vec<Pending>) {
     if let Some(m) = &shared.metrics {
         m.batches_total.inc();
         m.batched_queries_total.add(flat.len() as u64);
+        m.queue_depth_gauge.set(backlog.max(0));
     }
-    let output = shared.engine.serve(&flat, k_max);
+    let mut options = ServeOptions {
+        degraded: shared.config.degrade_at > 0 && backlog >= shared.config.degrade_at as i64,
+        deadlines: Vec::new(),
+    };
+    if pending.iter().any(|p| p.deadline.is_some()) {
+        options.deadlines = pending
+            .iter()
+            .flat_map(|p| std::iter::repeat_n(p.deadline, p.queries.len()))
+            .collect();
+    }
+    let output = shared.engine.serve_opts(&flat, k_max, &options);
     debug_assert_eq!(output.results.len(), flat.len());
+    debug_assert_eq!(output.outcomes.len(), flat.len());
     let mut results = output.results.into_iter();
+    let mut outcomes = output.outcomes.into_iter();
     for p in pending {
         let mut slice: Vec<Vec<Neighbor>> = results.by_ref().take(p.queries.len()).collect();
+        let flags: Vec<QueryOutcome> = outcomes.by_ref().take(p.queries.len()).collect();
         // Exact per-request k: ascending order makes the prefix of a
         // top-k_max list the top-k answer.
         for r in &mut slice {
@@ -397,7 +489,7 @@ fn serve_coalesced(shared: &Shared, pending: Vec<Pending>) {
         }
         // A send only fails when the connection died mid-request; the
         // batch is still correct for everyone else.
-        let _ = p.reply.send(slice);
+        let _ = p.reply.send((slice, flags));
     }
 }
 
@@ -414,11 +506,11 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &Sender<Pendi
     let _ = stream.set_nodelay(true);
     loop {
         match wait_for_frame(shared, &mut stream) {
-            Ok(Some(frame)) => {
+            Ok(Some((version, frame))) => {
                 if let Some(m) = &shared.metrics {
                     m.requests_total.inc();
                 }
-                match handle_frame(shared, &mut stream, queue, frame) {
+                match handle_frame(shared, &mut stream, queue, frame, version) {
                     Ok(true) => {}
                     Ok(false) => return,
                     Err(_) => return,
@@ -435,7 +527,10 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream, queue: &Sender<Pendi
 /// server shuts down while the connection is idle. Malformed frames are
 /// answered with a best-effort [`Frame::Error`] before closing — the
 /// stream cannot be resynchronized after framing is lost.
-fn wait_for_frame(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Frame>, ConnExit> {
+fn wait_for_frame(
+    shared: &Shared,
+    stream: &mut TcpStream,
+) -> Result<Option<(u16, Frame)>, ConnExit> {
     // Idle phase: peek with a short timeout so shutdown is observed at
     // frame boundaries without tearing down mid-request state.
     let mut first = [0u8; 1];
@@ -457,7 +552,7 @@ fn wait_for_frame(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Fram
     // Frame phase: bytes are pending; a peer that stalls longer than
     // FRAME_READ_TIMEOUT mid-frame counts as disconnected.
     let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
-    match read_frame(stream) {
+    match read_frame_versioned(stream) {
         Ok(frame) => Ok(frame),
         Err(err) => {
             if let Some(m) = &shared.metrics {
@@ -472,7 +567,9 @@ fn wait_for_frame(shared: &Shared, stream: &mut TcpStream) -> Result<Option<Fram
                 }
                 other => other.to_string(),
             };
-            let _ = write_frame(stream, &Frame::Error(msg));
+            // The peer's version is unknown on a malformed stream; v1 is
+            // the encoding every client parses.
+            let _ = write_frame_versioned(stream, &Frame::Error(msg), PROTOCOL_VERSION_V1);
             let _ = stream.flush();
             Err(ConnExit::Close)
         }
@@ -487,9 +584,14 @@ fn handle_frame(
     stream: &mut TcpStream,
     queue: &Sender<Pending>,
     frame: Frame,
+    version: u16,
 ) -> Result<bool, ProtocolError> {
     match frame {
-        Frame::Query { k, queries } => {
+        Frame::Query {
+            k,
+            deadline_micros,
+            queries,
+        } => {
             if let Some(m) = &shared.metrics {
                 m.queries_total.add(queries.len() as u64);
             }
@@ -497,32 +599,84 @@ fn handle_frame(
                 if let Some(m) = &shared.metrics {
                     m.protocol_errors_total.inc();
                 }
-                write_frame(stream, &Frame::Error(msg))?;
+                write_frame_versioned(stream, &Frame::Error(msg), version)?;
                 return Ok(true);
             }
+            // Admission control: reserve queue capacity before enqueueing.
+            // When the batcher backlog already holds `queue_cap` queries,
+            // shed in microseconds instead of stacking latency — the
+            // client gets a typed retry-after hint, not a timeout.
+            let cost = queries.len().max(1) as i64;
+            let prior = shared.queue_depth.fetch_add(cost, Ordering::Relaxed);
+            if prior >= shared.config.queue_cap as i64 {
+                shared.queue_depth.fetch_sub(cost, Ordering::Relaxed);
+                let retry_after_ms = shared.config.retry_after.as_millis().min(u32::MAX as u128);
+                if let Some(m) = &shared.metrics {
+                    m.shed_total.add(queries.len() as u64);
+                }
+                let reply = if version >= 2 {
+                    Frame::Overloaded {
+                        retry_after_ms: retry_after_ms as u32,
+                    }
+                } else {
+                    Frame::Error(format!("server overloaded: retry after {retry_after_ms}ms"))
+                };
+                write_frame_versioned(stream, &reply, version)?;
+                return Ok(true);
+            }
+            if let Some(m) = &shared.metrics {
+                m.queue_depth_gauge.set((prior + cost).max(0));
+            }
+            // A zero deadline means "none"; a deadline too far in the
+            // future to represent clamps to no deadline (same behaviour).
+            let deadline = if deadline_micros > 0 {
+                deadline_after(Instant::now(), deadline_micros)
+            } else {
+                None
+            };
             let (reply_tx, reply_rx) = mpsc::sync_channel(1);
             let pending = Pending {
                 queries,
                 k: k as usize,
+                deadline,
                 reply: reply_tx,
             };
-            if queue.send(pending).is_err() {
-                write_frame(stream, &Frame::Error("server is shutting down".into()))?;
+            if let Err(mpsc::SendError(refused)) = queue.send(pending) {
+                shared
+                    .queue_depth
+                    .fetch_sub(refused.cost(), Ordering::Relaxed);
+                write_frame_versioned(
+                    stream,
+                    &Frame::Error("server is shutting down".into()),
+                    version,
+                )?;
                 return Ok(false);
             }
             match reply_rx.recv() {
-                Ok(results) => {
-                    write_frame(stream, &Frame::Results(results))?;
+                Ok((results, outcomes)) => {
+                    let statuses = outcomes
+                        .iter()
+                        .map(|o| QueryStatus {
+                            degraded: o.degraded,
+                            partial: o.partial,
+                            failed: o.failed,
+                        })
+                        .collect();
+                    write_frame_versioned(stream, &Frame::Results { results, statuses }, version)?;
                     Ok(true)
                 }
                 Err(_) => {
-                    write_frame(stream, &Frame::Error("server is shutting down".into()))?;
+                    write_frame_versioned(
+                        stream,
+                        &Frame::Error("server is shutting down".into()),
+                        version,
+                    )?;
                     Ok(false)
                 }
             }
         }
         Frame::Ping => {
-            write_frame(stream, &Frame::Pong(shared.info.clone()))?;
+            write_frame_versioned(stream, &Frame::Pong(shared.info.clone()), version)?;
             Ok(true)
         }
         Frame::MetricsRequest => {
@@ -530,12 +684,12 @@ fn handle_frame(
                 Some(registry) => Frame::MetricsText(registry.render_text()),
                 None => Frame::Error("metrics exposition is not enabled on this server".into()),
             };
-            write_frame(stream, &reply)?;
+            write_frame_versioned(stream, &reply, version)?;
             Ok(true)
         }
         Frame::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
-            write_frame(stream, &Frame::Ack)?;
+            write_frame_versioned(stream, &Frame::Ack, version)?;
             Ok(false)
         }
         // Mutations run inline on the connection thread — they hold the
@@ -551,10 +705,16 @@ fn handle_frame(
                         }
                         Frame::Error(msg)
                     }
-                    Ok(()) => Frame::Inserted(engine.insert_points(points)),
+                    // A refused journal write is a typed error, not a
+                    // dropped connection: the engine state is untouched
+                    // and the client may retry.
+                    Ok(()) => match engine.insert_points(points) {
+                        Ok(ids) => Frame::Inserted(ids),
+                        Err(e) => Frame::Error(e.to_string()),
+                    },
                 },
             };
-            write_frame(stream, &reply)?;
+            write_frame_versioned(stream, &reply, version)?;
             Ok(true)
         }
         Frame::Delete { ids } => {
@@ -562,23 +722,26 @@ fn handle_frame(
                 Err(msg) => Frame::Error(msg),
                 // Unknown or already-removed ids report `false` per id;
                 // there is nothing to validate up front.
-                Ok(engine) => Frame::Deleted(engine.remove_ids(&ids)),
+                Ok(engine) => match engine.remove_ids(&ids) {
+                    Ok(flags) => Frame::Deleted(flags),
+                    Err(e) => Frame::Error(e.to_string()),
+                },
             };
-            write_frame(stream, &reply)?;
+            write_frame_versioned(stream, &reply, version)?;
             Ok(true)
         }
         Frame::Flush => {
             let reply = match require_mutable(shared) {
                 Err(msg) => Frame::Error(msg),
-                Ok(engine) => {
-                    let info = engine.flush();
-                    Frame::Flushed {
+                Ok(engine) => match engine.flush() {
+                    Ok(info) => Frame::Flushed {
                         generation: info.generation,
                         live: info.live as u64,
-                    }
-                }
+                    },
+                    Err(e) => Frame::Error(e.to_string()),
+                },
             };
-            write_frame(stream, &reply)?;
+            write_frame_versioned(stream, &reply, version)?;
             Ok(true)
         }
         // Server-to-client frame types arriving at the server are a
@@ -588,13 +751,14 @@ fn handle_frame(
             if let Some(m) = &shared.metrics {
                 m.protocol_errors_total.inc();
             }
-            write_frame(
+            write_frame_versioned(
                 stream,
                 &Frame::Error(format!(
                     "unexpected {} frame: clients send query, insert, delete, flush, ping, \
                      metrics-request or shutdown",
                     other.name()
                 )),
+                version,
             )?;
             Ok(true)
         }

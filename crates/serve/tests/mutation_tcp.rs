@@ -113,13 +113,13 @@ fn tcp_mutations_match_a_local_oracle_engine() {
     // mid-stream so the comparison crosses a generation boundary.
     for (round, chunk) in world.fresh.chunks(8).enumerate() {
         let ids = client.insert(chunk).expect("insert");
-        let oracle_ids = oracle.insert_points(chunk.to_vec());
+        let oracle_ids = oracle.insert_points(chunk.to_vec()).expect("oracle insert");
         assert_eq!(ids, oracle_ids, "round {round}: id assignment diverged");
         let victims = [ids[0], (round as u32) * 3, N as u32 + round as u32];
         let flags = client.delete(&victims).expect("delete");
         assert_eq!(
             flags,
-            oracle.remove_ids(&victims),
+            oracle.remove_ids(&victims).expect("oracle delete"),
             "round {round}: delete outcomes diverged"
         );
         if round % 2 == 1 {

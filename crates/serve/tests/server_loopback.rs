@@ -171,6 +171,7 @@ fn checksum_mismatch_is_typed_and_server_survives() {
     let world = start_world();
     let mut bytes = frame_to_vec(&Frame::Query {
         k: 3,
+        deadline_micros: 0,
         queries: vec![world.queries[0].clone()],
     })
     .expect("encode query");
@@ -186,6 +187,7 @@ fn mid_stream_disconnect_is_truncation_and_server_survives() {
     let world = start_world();
     let bytes = frame_to_vec(&Frame::Query {
         k: 3,
+        deadline_micros: 0,
         queries: world.queries[..8].to_vec(),
     })
     .expect("encode query");

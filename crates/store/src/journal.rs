@@ -194,9 +194,18 @@ pub struct JournalWriter {
     file: BufWriter<File>,
     bytes: u64,
     records: u64,
+    sync_every: u64,
 }
 
 impl JournalWriter {
+    /// `fsync` automatically after every `n` appended records (`1` =
+    /// every record, `0` = never — the caller owns durability via
+    /// explicit [`sync`](Self::sync) calls). Defaults to `0`: appends
+    /// flush to the OS but survive only process crashes, not power loss,
+    /// until the next explicit sync.
+    pub fn set_sync_every(&mut self, n: u64) {
+        self.sync_every = n;
+    }
     /// Append one record and flush it to the OS. Durability against
     /// power loss additionally needs [`sync`](Self::sync); the engine
     /// syncs on flush frames and on clean shutdown.
@@ -205,6 +214,11 @@ impl JournalWriter {
             payload.len() <= MAX_RECORD_BYTES,
             "journal payload exceeds MAX_RECORD_BYTES"
         );
+        if permsearch_core::failpoints::fire("journal_write_fail") {
+            return Err(JournalError::Io(io::Error::other(
+                "failpoint journal_write_fail",
+            )));
+        }
         let mut frame = Vec::with_capacity(1 + 4 + payload.len() + 8);
         frame.push(op);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -215,6 +229,9 @@ impl JournalWriter {
         self.file.flush()?;
         self.bytes += frame.len() as u64;
         self.records += 1;
+        if self.sync_every > 0 && self.records.is_multiple_of(self.sync_every) {
+            self.sync()?;
+        }
         Ok(())
     }
 
@@ -250,6 +267,7 @@ pub fn create_journal(path: &Path, kind: &str) -> Result<JournalWriter, JournalE
     Ok(JournalWriter {
         bytes: header.len() as u64 + 8,
         records: 0,
+        sync_every: 0,
         file: w,
     })
 }
@@ -458,6 +476,7 @@ pub fn append_journal(
         file,
         bytes,
         records: records.len() as u64,
+        sync_every: 0,
     };
     Ok((records, writer))
 }
